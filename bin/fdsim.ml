@@ -1,0 +1,589 @@
+(* fdsim - command-line driver for the "Realistic Look At Failure Detectors"
+   reproduction.
+
+     fdsim check                       run every claim of the paper
+     fdsim survey                      the hierarchy / realism survey
+     fdsim run --algo ... --fd ...     one consensus run, with verdicts
+     fdsim trb --sender 2 ...          one TRB instance
+     fdsim reduce --impl ...           the T(D->P) transformation
+     fdsim qos --model psync ...       heartbeat detector quality of service
+     fdsim gms --model sync ...        the group membership service
+     fdsim vsync ...                   view-synchronous multicast
+     fdsim paxos ...                   Omega-based majority consensus
+     fdsim nbac --no 3 ...             non-blocking atomic commitment
+     fdsim explore --algo rank ...     exhaustive schedule exploration *)
+
+open Rlfd_kernel
+open Rlfd_fd
+open Rlfd_sim
+open Rlfd_algo
+open Rlfd_reduction
+open Rlfd_net
+open Rlfd_membership
+module Theorems = Rlfd_core.Theorems
+open Cmdliner
+
+let proposals p = 100 + Pid.to_int p
+
+(* ---------- shared argument parsing ---------- *)
+
+let crash_conv =
+  let parse s =
+    match String.split_on_char '@' s with
+    | [ p; t ] -> (
+      match (int_of_string_opt p, int_of_string_opt t) with
+      | Some p, Some t when p >= 1 && t >= 0 -> Ok (p, t)
+      | _ -> Error (`Msg "expected <pid>@<time> with pid >= 1, time >= 0"))
+    | _ -> Error (`Msg "expected <pid>@<time>, e.g. 2@40")
+  in
+  let print ppf (p, t) = Format.fprintf ppf "%d@%d" p t in
+  Arg.conv (parse, print)
+
+let n_arg =
+  Arg.(value & opt int 5 & info [ "n" ] ~docv:"N" ~doc:"Number of processes.")
+
+let seed_arg =
+  Arg.(value & opt int 2002 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+
+let horizon_arg =
+  Arg.(value & opt int 6000 & info [ "horizon" ] ~docv:"TICKS" ~doc:"Run length cap.")
+
+let crashes_arg =
+  Arg.(
+    value
+    & opt_all crash_conv []
+    & info [ "crash" ] ~docv:"PID@TIME"
+        ~doc:"Crash process PID at TIME (repeatable), e.g. --crash 2@40.")
+
+let trace_arg =
+  Arg.(value & flag & info [ "trace" ] ~doc:"Print the full step-by-step trace.")
+
+let pattern_of ~n crashes =
+  Pattern.make ~n
+    (List.map (fun (p, t) -> (Pid.of_int p, Time.of_int t)) crashes)
+
+let detector_names =
+  [ ("P", `P); ("P-delayed", `P_delayed); ("ev-P", `Ev_p); ("S", `S);
+    ("S-clairvoyant", `S_clairvoyant); ("ev-S", `Ev_s); ("ev-S-paranoid", `Ev_s_paranoid);
+    ("scribe", `Scribe); ("marabout", `Marabout); ("P<", `P_lt) ]
+
+let detector_arg =
+  Arg.(
+    value
+    & opt (enum detector_names) `P
+    & info [ "fd" ] ~docv:"DETECTOR"
+        ~doc:
+          (Format.asprintf "Failure detector: %s."
+             (String.concat ", " (List.map fst detector_names))))
+
+let make_detector ~seed = function
+  | `P -> Perfect.canonical
+  | `P_delayed -> Perfect.delayed ~lag:10
+  | `Ev_p -> Ev_perfect.canonical ~stabilization:(Time.of_int 200) ~seed
+  | `S -> Strong.realistic
+  | `S_clairvoyant -> Strong.clairvoyant
+  | `Ev_s -> Ev_strong.canonical ~seed ~noise:0.2
+  | `Ev_s_paranoid -> Ev_strong.paranoid ~stabilization:(Time.of_int 400)
+  | `Scribe -> Scribe.as_suspicions
+  | `Marabout -> Marabout.canonical
+  | `P_lt -> Partial_perfect.canonical
+
+let scheduler_arg =
+  Arg.(
+    value
+    & opt (enum [ ("fair", `Fair); ("random", `Random) ]) `Fair
+    & info [ "scheduler" ] ~docv:"SCHED" ~doc:"Scheduler: fair or random.")
+
+let make_scheduler ~seed = function
+  | `Fair -> Scheduler.fair ()
+  | `Random -> Scheduler.random ~seed ~lambda_bias:0.3
+
+let link_names = [ ("sync", `Sync); ("psync", `Psync); ("async", `Async) ]
+
+let model_arg =
+  Arg.(
+    value
+    & opt (enum link_names) `Sync
+    & info [ "model" ] ~docv:"LINK" ~doc:"Link model: sync, psync or async.")
+
+let make_model = function
+  | `Sync -> Link.Synchronous { delta = 10 }
+  | `Psync -> Link.Partially_synchronous { gst = 1000; delta = 10; wild_max = 120 }
+  | `Async -> Link.Asynchronous { mean = 15.; spike_every = 20; spike = 300 }
+
+(* ---------- output helpers ---------- *)
+
+let print_verdicts what checks =
+  Format.printf "@.%s:@." what;
+  List.iter
+    (fun (name, res) -> Format.printf "  %-24s %a@." name Classes.pp_result res)
+    checks;
+  List.for_all (fun (_, res) -> Classes.holds res) checks
+
+let print_trace (r : _ Runner.result) pp_output =
+  Format.printf "@.trace (%d steps):@." r.Runner.steps;
+  List.iter
+    (fun (e : _ Runner.event) ->
+      Format.printf "  %a %a %s%s%s@." Time.pp e.Runner.time Pid.pp e.Runner.pid
+        (match e.Runner.received with
+        | Some src -> Format.asprintf "recv<-%a" Pid.pp src
+        | None -> "lambda")
+        (if e.Runner.sent_to = [] then ""
+         else
+           Format.asprintf " send->{%s}"
+             (String.concat "," (List.map Pid.to_string e.Runner.sent_to)))
+        (match e.Runner.outputs with
+        | [] -> ""
+        | outs ->
+          Format.asprintf " OUTPUT %s" (String.concat "; " (List.map pp_output outs))))
+    r.Runner.events
+
+let print_run_header ~algo ~detector ~pattern =
+  Format.printf "algorithm: %s@.detector:  %s@.pattern:   %a@." algo detector
+    Pattern.pp pattern
+
+let exit_ok ok = if ok then 0 else 1
+
+(* ---------- fdsim check ---------- *)
+
+let check_cmd =
+  let run n seed trials =
+    let cfg =
+      { Theorems.default_config with n; seed; trials }
+    in
+    let outcomes = Theorems.all cfg in
+    List.iter (fun o -> Format.printf "%a@.@." Theorems.pp_outcome o) outcomes;
+    let failed = List.filter (fun o -> not o.Theorems.pass) outcomes in
+    Format.printf "%d/%d claims validated@." (List.length outcomes - List.length failed)
+      (List.length outcomes);
+    exit_ok (failed = [])
+  in
+  let trials =
+    Arg.(value & opt int 12 & info [ "trials" ] ~docv:"K" ~doc:"Trials per claim.")
+  in
+  Cmd.v
+    (Cmd.info "check" ~doc:"Execute every claim of the paper and report pass/fail.")
+    Term.(const run $ n_arg $ seed_arg $ trials)
+
+(* ---------- fdsim survey ---------- *)
+
+let survey_cmd =
+  let run n seed samples =
+    let rows =
+      Hierarchy.survey ~n ~horizon:(Time.of_int 150) ~seed ~samples
+        (Hierarchy.zoo ~seed)
+    in
+    List.iter (fun row -> Format.printf "%a@." Hierarchy.pp_row row) rows;
+    Format.printf "@.collapse (realistic & S => P): %b@." (Hierarchy.collapse_holds rows);
+    exit_ok (Hierarchy.collapse_holds rows)
+  in
+  let samples =
+    Arg.(value & opt int 25 & info [ "samples" ] ~docv:"K" ~doc:"Sampled patterns/pairs.")
+  in
+  Cmd.v
+    (Cmd.info "survey" ~doc:"Classify the detector zoo: realism and class membership.")
+    Term.(const run $ n_arg $ seed_arg $ samples)
+
+(* ---------- fdsim run (consensus) ---------- *)
+
+let algo_names =
+  [ ("ct-strong", `Ct_strong); ("ct-ev-strong", `Ct_ev_strong);
+    ("marabout", `Marabout); ("rank", `Rank) ]
+
+let diagram_arg =
+  Arg.(value & flag & info [ "diagram" ] ~doc:"Print an ASCII space-time diagram.")
+
+let algo_arg =
+  Arg.(
+    value
+    & opt (enum algo_names) `Ct_strong
+    & info [ "algo" ] ~docv:"ALGO"
+        ~doc:
+          (Format.asprintf "Consensus algorithm: %s."
+             (String.concat ", " (List.map fst algo_names))))
+
+let run_cmd =
+  let run n seed horizon crashes algo fd sched trace diagram =
+    let pattern = pattern_of ~n crashes in
+    let detector = make_detector ~seed fd in
+    let finish : type s m. (s, m, Detector.suspicions, int) Model.t -> int =
+     fun automaton ->
+      let scheduler = make_scheduler ~seed sched in
+      let r =
+        Runner.run ~pattern ~detector ~scheduler ~horizon:(Time.of_int horizon)
+          ~until:(Runner.stop_when_all_correct_output pattern)
+          automaton
+      in
+      print_run_header ~algo:r.Runner.algorithm ~detector:(Detector.name detector)
+        ~pattern;
+      Format.printf "steps: %d  messages: %d  end: %a@." r.Runner.steps r.Runner.sent
+        Time.pp r.Runner.end_time;
+      List.iter
+        (fun (t, p, v) -> Format.printf "  %a %a decided %d@." Time.pp t Pid.pp p v)
+        r.Runner.outputs;
+      if trace then print_trace r string_of_int;
+      if diagram then
+        Format.printf "@.%s@." (Spacetime.render ~pp_output:Format.pp_print_int r);
+      let ok =
+        print_verdicts "consensus specification"
+          (Properties.check_consensus ~uniform:true ~proposals ~equal:Int.equal r)
+      in
+      let total = Totality.check r in
+      Format.printf "  %-24s %s@." "totality (Lemma 4.1)"
+        (if total = [] then "holds"
+         else Format.asprintf "%d violations, e.g. %a" (List.length total)
+           Totality.pp_violation (List.hd total));
+      exit_ok ok
+    in
+    match algo with
+    | `Ct_strong -> finish (Ct_strong.automaton ~proposals)
+    | `Ct_ev_strong -> finish (Ct_ev_strong.automaton ~proposals)
+    | `Marabout -> finish (Marabout_consensus.automaton ~proposals)
+    | `Rank -> finish (Rank_consensus.automaton ~proposals)
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run one consensus instance and check the specification.")
+    Term.(
+      const run $ n_arg $ seed_arg $ horizon_arg $ crashes_arg $ algo_arg
+      $ detector_arg $ scheduler_arg $ trace_arg $ diagram_arg)
+
+(* ---------- fdsim trb ---------- *)
+
+let trb_cmd =
+  let run n seed horizon crashes sender value fd trace =
+    let pattern = pattern_of ~n crashes in
+    let detector = make_detector ~seed fd in
+    let r =
+      Runner.run ~pattern ~detector ~scheduler:(Scheduler.fair ())
+        ~horizon:(Time.of_int horizon)
+        ~until:(Runner.stop_when_all_correct_output pattern)
+        (Trb.automaton ~sender:(Pid.of_int sender) ~value)
+    in
+    print_run_header ~algo:"terminating-reliable-broadcast"
+      ~detector:(Detector.name detector) ~pattern;
+    List.iter
+      (fun (t, p, d) ->
+        Format.printf "  %a %a delivered %s@." Time.pp t Pid.pp p
+          (match d with Some v -> string_of_int v | None -> "nil"))
+      r.Runner.outputs;
+    if trace then
+      print_trace r (function Some v -> string_of_int v | None -> "nil");
+    let ok =
+      print_verdicts "TRB specification"
+        (Properties.trb_check ~sender:(Pid.of_int sender) ~value ~equal:Int.equal r)
+    in
+    exit_ok ok
+  in
+  let sender =
+    Arg.(value & opt int 1 & info [ "sender" ] ~docv:"PID" ~doc:"Broadcast sender.")
+  in
+  let value =
+    Arg.(value & opt int 4242 & info [ "value" ] ~docv:"V" ~doc:"Broadcast value.")
+  in
+  Cmd.v
+    (Cmd.info "trb" ~doc:"Run one terminating reliable broadcast instance.")
+    Term.(
+      const run $ n_arg $ seed_arg $ horizon_arg $ crashes_arg $ sender $ value
+      $ detector_arg $ trace_arg)
+
+(* ---------- fdsim reduce ---------- *)
+
+let reduce_cmd =
+  let run n seed horizon crashes impl fd =
+    let pattern = pattern_of ~n crashes in
+    let detector = make_detector ~seed fd in
+    let print_result r instances =
+      print_run_header ~algo:r.Runner.algorithm ~detector:(Detector.name detector)
+        ~pattern;
+      Format.printf "instances completed (max over processes): %d@." instances;
+      List.iter
+        (fun (t, p, s) ->
+          Format.printf "  %a %a output(P) := %a@." Time.pp t Pid.pp p Pid.Set.pp s)
+        r.Runner.outputs;
+      print_verdicts "emulated detector vs class P" (Emulation.check_emulation_run r)
+    in
+    let ok =
+      match impl with
+      | `Trb ->
+        let r =
+          Runner.run ~pattern ~detector ~scheduler:(Scheduler.fair ())
+            ~horizon:(Time.of_int horizon) Trb_to_p.automaton
+        in
+        let instances =
+          Pid.Map.fold (fun _ st acc -> Stdlib.max acc (Trb_to_p.instances_done st))
+            r.Runner.final_states 0
+        in
+        print_result r instances
+      | (`Ct_strong | `Rank | `Marabout) as impl ->
+        let impl_run impl_v =
+          let r =
+            Runner.run ~pattern ~detector ~scheduler:(Scheduler.fair ())
+              ~horizon:(Time.of_int horizon)
+              (Consensus_to_p.automaton ~impl:impl_v)
+          in
+          let instances =
+            Pid.Map.fold
+              (fun _ st acc -> Stdlib.max acc (Consensus_to_p.instances_decided st))
+              r.Runner.final_states 0
+          in
+          print_result r instances
+        in
+        (match impl with
+        | `Ct_strong -> impl_run Consensus_to_p.ct_strong_impl
+        | `Rank -> impl_run Consensus_to_p.rank_impl
+        | `Marabout -> impl_run Consensus_to_p.marabout_impl)
+    in
+    exit_ok ok
+  in
+  let impl =
+    Arg.(
+      value
+      & opt
+          (enum
+             [ ("ct-strong", `Ct_strong); ("rank", `Rank); ("marabout", `Marabout);
+               ("trb", `Trb) ])
+          `Ct_strong
+      & info [ "impl" ] ~docv:"IMPL"
+          ~doc:"Underlying algorithm: ct-strong, rank, marabout, or trb.")
+  in
+  Cmd.v
+    (Cmd.info "reduce"
+       ~doc:"Emulate a Perfect detector via the Section 4.3 / Section 5 reductions.")
+    Term.(
+      const run $ n_arg $ seed_arg $ Arg.(value & opt int 4000 & info [ "horizon" ])
+      $ crashes_arg $ impl $ detector_arg)
+
+(* ---------- fdsim qos ---------- *)
+
+let qos_cmd =
+  let run n seed horizon crashes model adaptive period timeout =
+    let pattern = pattern_of ~n crashes in
+    let model = make_model model in
+    let style =
+      if adaptive then
+        Heartbeat.Adaptive { period; initial_timeout = timeout; backoff = 25 }
+      else Heartbeat.Fixed { period; timeout }
+    in
+    let r = Netsim.run ~n ~pattern ~model ~seed ~horizon (Heartbeat.node style) in
+    Format.printf "link: %a@.detector: %a@.pattern: %a@.@." Link.pp model
+      Heartbeat.pp_style style Pattern.pp pattern;
+    let report = Qos.analyze r in
+    Format.printf "%a@." Qos.pp_report report;
+    exit_ok true
+  in
+  let adaptive = Arg.(value & flag & info [ "adaptive" ] ~doc:"Adaptive timeouts.") in
+  let period =
+    Arg.(value & opt int 20 & info [ "period" ] ~docv:"T" ~doc:"Heartbeat period.")
+  in
+  let timeout =
+    Arg.(value & opt int 31 & info [ "timeout" ] ~docv:"T" ~doc:"Suspicion timeout.")
+  in
+  Cmd.v
+    (Cmd.info "qos" ~doc:"Measure heartbeat failure-detector quality of service.")
+    Term.(
+      const run $ n_arg $ seed_arg
+      $ Arg.(value & opt int 4000 & info [ "horizon" ])
+      $ crashes_arg $ model_arg $ adaptive $ period $ timeout)
+
+(* ---------- fdsim gms ---------- *)
+
+let gms_cmd =
+  let run n seed horizon crashes model period timeout =
+    let pattern = pattern_of ~n crashes in
+    let model = make_model model in
+    let config = { Gms.period; timeout } in
+    let r = Netsim.run ~n ~pattern ~model ~seed ~horizon (Gms.node config) in
+    Format.printf "link: %a@.pattern: %a@.@." Link.pp model Pattern.pp pattern;
+    List.iter
+      (fun (t, p, ev) -> Format.printf "  t=%-5d %a %a@." t Pid.pp p Gms.pp_event ev)
+      r.Netsim.outputs;
+    let ok =
+      print_verdicts "group membership emulates P" (Gms.check_emulates_p r)
+      && Classes.holds (Gms.final_views_agree r)
+    in
+    Format.printf "  %-24s %a@." "final views agree"
+      Classes.pp_result (Gms.final_views_agree r);
+    exit_ok ok
+  in
+  let period = Arg.(value & opt int 20 & info [ "period" ] ~doc:"Heartbeat period.") in
+  let timeout = Arg.(value & opt int 55 & info [ "timeout" ] ~doc:"Suspicion timeout.") in
+  Cmd.v
+    (Cmd.info "gms" ~doc:"Run the group membership service (the practical P).")
+    Term.(
+      const run $ n_arg $ seed_arg
+      $ Arg.(value & opt int 4000 & info [ "horizon" ])
+      $ crashes_arg $ model_arg $ period $ timeout)
+
+(* ---------- fdsim paxos ---------- *)
+
+let paxos_cmd =
+  let run n seed horizon crashes diagram =
+    let pattern = pattern_of ~n crashes in
+    let r =
+      Runner.run ~pattern ~detector:Omega.canonical
+        ~scheduler:(make_scheduler ~seed `Fair)
+        ~horizon:(Time.of_int horizon)
+        ~until:(Runner.stop_when_all_correct_output pattern)
+        (Paxos.automaton ~proposals)
+    in
+    print_run_header ~algo:r.Runner.algorithm ~detector:"Omega" ~pattern;
+    List.iter
+      (fun (t, p, v) -> Format.printf "  %a %a decided %d@." Time.pp t Pid.pp p v)
+      r.Runner.outputs;
+    if diagram then
+      Format.printf "@.%s@." (Spacetime.render ~pp_output:Format.pp_print_int r);
+    let ok =
+      print_verdicts "consensus specification"
+        (Properties.check_consensus ~uniform:true ~proposals ~equal:Int.equal r)
+    in
+    exit_ok ok
+  in
+  Cmd.v
+    (Cmd.info "paxos" ~doc:"Run Omega-based majority consensus (Paxos style).")
+    Term.(const run $ n_arg $ seed_arg $ horizon_arg $ crashes_arg $ diagram_arg)
+
+(* ---------- fdsim vsync ---------- *)
+
+let vsync_cmd =
+  let run n seed horizon crashes model period timeout =
+    let pattern = pattern_of ~n crashes in
+    let model = make_model model in
+    let config = { Vsync.period; timeout } in
+    let payloads p = List.init 3 (fun k -> (Pid.to_int p * 100) + k) in
+    let r =
+      Netsim.run ~n ~pattern ~model ~seed ~horizon
+        (Vsync.node config ~to_send:payloads)
+    in
+    Format.printf "link: %a@.pattern: %a@.@." Link.pp model Pattern.pp pattern;
+    List.iter
+      (fun (t, p, ev) ->
+        Format.printf "  t=%-5d %a %a@." t Pid.pp p
+          (Vsync.pp_event Format.pp_print_int) ev)
+      r.Netsim.outputs;
+    let ok = print_verdicts "virtual synchrony" (Vsync.check r) in
+    exit_ok ok
+  in
+  let period = Arg.(value & opt int 20 & info [ "period" ] ~doc:"Heartbeat period.") in
+  let timeout = Arg.(value & opt int 55 & info [ "timeout" ] ~doc:"Suspicion timeout.") in
+  Cmd.v
+    (Cmd.info "vsync" ~doc:"Run view-synchronous multicast (virtual synchrony).")
+    Term.(
+      const run $ n_arg $ seed_arg
+      $ Arg.(value & opt int 6000 & info [ "horizon" ])
+      $ crashes_arg $ model_arg $ period $ timeout)
+
+(* ---------- fdsim nbac ---------- *)
+
+let nbac_cmd =
+  let run n seed horizon crashes no_voters fd =
+    let pattern = pattern_of ~n crashes in
+    let detector = make_detector ~seed fd in
+    let votes p = if List.mem (Pid.to_int p) no_voters then Nbac.No else Nbac.Yes in
+    let r =
+      Runner.run ~pattern ~detector ~scheduler:(Scheduler.fair ())
+        ~horizon:(Time.of_int horizon)
+        ~until:(Runner.stop_when_all_correct_output pattern)
+        (Nbac.automaton ~votes)
+    in
+    print_run_header ~algo:"non-blocking-atomic-commit"
+      ~detector:(Detector.name detector) ~pattern;
+    List.iter
+      (fun p ->
+        Format.printf "  %a votes %a@." Pid.pp p Nbac.pp_vote (votes p))
+      (Pid.all ~n);
+    List.iter
+      (fun (t, p, o) ->
+        Format.printf "  %a %a decided %a@." Time.pp t Pid.pp p Nbac.pp_outcome o)
+      r.Runner.outputs;
+    let ok = print_verdicts "NBAC specification" (Nbac.check ~votes r) in
+    exit_ok ok
+  in
+  let no_voters =
+    Arg.(
+      value & opt_all int []
+      & info [ "no" ] ~docv:"PID" ~doc:"Process voting No (repeatable).")
+  in
+  Cmd.v
+    (Cmd.info "nbac" ~doc:"Run non-blocking atomic commitment.")
+    Term.(
+      const run $ n_arg $ seed_arg $ horizon_arg $ crashes_arg $ no_voters
+      $ detector_arg)
+
+(* ---------- fdsim explore ---------- *)
+
+let explore_cmd =
+  let run n seed crashes algo fd max_steps max_nodes uniform =
+    let pattern = pattern_of ~n crashes in
+    let detector = make_detector ~seed fd in
+    let agreement = Explore.agreement_check ~equal:Int.equal in
+    let check =
+      if uniform then
+        Explore.both agreement
+          (Explore.validity_check ~n ~proposals ~equal:Int.equal)
+      else begin
+        let faulty = Pattern.faulty pattern in
+        fun outputs ->
+          agreement (List.filter (fun (p, _) -> not (Pid.Set.mem p faulty)) outputs)
+      end
+    in
+    let finish : type s m. (s, m, Detector.suspicions, int) Model.t -> int =
+     fun automaton ->
+      let report =
+        Explore.run ~max_steps ~max_nodes ~pattern ~detector ~check automaton
+      in
+      Format.printf "pattern:  %a@.detector: %s@." Pattern.pp pattern
+        (Detector.name detector);
+      Format.printf "%a@." Explore.pp_report report;
+      List.iter
+        (fun v ->
+          Format.printf "@.violation at step %d: %s@.schedule:@." v.Explore.at_step
+            v.Explore.reason;
+          List.iter
+            (fun (p, recv) ->
+              Format.printf "  %a %s@." Pid.pp p
+                (match recv with
+                | Some src -> Format.asprintf "receives from %a" Pid.pp src
+                | None -> "lambda"))
+            v.Explore.trail;
+          List.iter
+            (fun (p, v) -> Format.printf "  output: %a decided %d@." Pid.pp p v)
+            v.Explore.outputs)
+        report.Explore.violations;
+      exit_ok (report.Explore.violations = [])
+    in
+    match algo with
+    | `Ct_strong -> finish (Ct_strong.automaton ~proposals)
+    | `Ct_ev_strong -> finish (Ct_ev_strong.automaton ~proposals)
+    | `Marabout -> finish (Marabout_consensus.automaton ~proposals)
+    | `Rank -> finish (Rank_consensus.automaton ~proposals)
+  in
+  let max_steps =
+    Arg.(value & opt int 9 & info [ "max-steps" ] ~docv:"K" ~doc:"Depth bound.")
+  in
+  let max_nodes =
+    Arg.(value & opt int 2_000_000 & info [ "max-nodes" ] ~docv:"K" ~doc:"Node budget.")
+  in
+  let uniform =
+    Arg.(
+      value & opt bool true
+      & info [ "uniform" ] ~docv:"BOOL"
+          ~doc:"Check uniform agreement (true) or correct-restricted (false).")
+  in
+  Cmd.v
+    (Cmd.info "explore"
+       ~doc:"Exhaustively explore every schedule up to a bound (small n!).")
+    Term.(
+      const run $ Arg.(value & opt int 3 & info [ "n" ]) $ seed_arg $ crashes_arg
+      $ algo_arg $ detector_arg $ max_steps $ max_nodes $ uniform)
+
+(* ---------- main ---------- *)
+
+let () =
+  let doc = "A Realistic Look At Failure Detectors (DSN 2002), executable" in
+  let info = Cmd.info "fdsim" ~version:"1.0.0" ~doc in
+  let default = Term.(ret (const (`Help (`Pager, None)))) in
+  exit
+    (Cmd.eval'
+       (Cmd.group ~default info
+          [ check_cmd; survey_cmd; run_cmd; paxos_cmd; trb_cmd; reduce_cmd;
+            qos_cmd; gms_cmd; vsync_cmd; nbac_cmd; explore_cmd ]))

@@ -1,0 +1,64 @@
+(* The paper's headline (Sections 3 and 6.3): once failure detectors that
+   guess the future are excluded, the Chandra-Toueg hierarchy collapses -
+   a realistic Strong detector is already Perfect.
+
+     dune exec examples/hierarchy_collapse.exe *)
+
+open Rlfd_kernel
+open Rlfd_fd
+open Rlfd_reduction
+
+let () =
+  let n = 5 in
+  let seed = 2002 in
+
+  (* 1. The paper's own Section 3.2.2 example: the Marabout detector M
+     outputs the faulty set *from time zero*.  In F1 process p1 crashes at
+     time 10; in F2 nobody crashes.  Up to time 9 the two patterns are the
+     same world, yet M's outputs already differ - M reads the future. *)
+  let f1, f2, witness = Marabout.paper_example ~n in
+  Format.printf "F1 = %a@.F2 = %a@.identical through %a@.@." Pattern.pp f1 Pattern.pp
+    f2 Time.pp witness;
+  (match Realism.check_suspicions Marabout.canonical ~pairs:[ (f1, f2) ] with
+  | Realism.Not_realistic c ->
+    Format.printf "Marabout refuted:@.%a@.@." Realism.pp_counterexample c
+  | Realism.Realistic_on_samples _ -> assert false);
+
+  (* 2. The survey: classify the whole zoo on sampled patterns, and check
+     realism on pattern pairs sharing a prefix. *)
+  let rows =
+    Hierarchy.survey ~n ~horizon:(Time.of_int 150) ~seed ~samples:25
+      (Hierarchy.zoo ~seed)
+  in
+  List.iter (fun row -> Format.printf "%a@." Hierarchy.pp_row row) rows;
+
+  (* 3. The collapse: every surveyed detector that is realistic and Strong is
+     also Perfect. *)
+  Format.printf "@.S /\\ Realistic = P (on this survey): %b@."
+    (Hierarchy.collapse_holds rows);
+
+  (* 4. Why: a realistic detector cannot promise weak accuracy (never
+     suspecting some correct process) without strong accuracy.  Suppose it
+     falsely suspects p at time t.  Realism means the same prefix - hence the
+     same false suspicion - occurs in the pattern where everyone except p
+     then crashes; there, p is the only correct process and weak accuracy is
+     violated.  The executable version of that argument: *)
+  let suspicious_detector = Strong.clairvoyant in
+  let base = Pattern.failure_free ~n in
+  let p = Pid.of_int 2 in
+  let adversarial = Pattern.crash_all_except base ~keep:p ~at:(Time.of_int 20) in
+  let falsely_suspected_at_10 =
+    Pid.Set.mem p (Detector.query suspicious_detector base p (Time.of_int 10))
+    || Pid.Set.exists
+         (fun q -> Detector.suspects suspicious_detector base q (Time.of_int 10) p)
+         (Pid.universe ~n)
+  in
+  Format.printf
+    "clairvoyant suspects p2 in the failure-free world at t=10: %b@."
+    falsely_suspected_at_10;
+  Format.printf
+    "...but in the extension where everyone else crashes at t=20, p2 is the@.";
+  Format.printf
+    "only correct process (correct = %a): a realistic detector doing the same@."
+    Pid.Set.pp (Pattern.correct adversarial);
+  Format.printf "would violate weak accuracy, so it must not suspect alive processes at all.@."

@@ -1,0 +1,76 @@
+(* The full stack, closed end to end: a failure detector is an abstraction
+   of synchrony assumptions - so let's *implement* one from those
+   assumptions and feed it to the abstract algorithms.
+
+     timed network (synchronous link)
+       -> heartbeat + timeout detector (an implementation of P)
+       -> recorded suspicion history, bridged into the FLP model
+       -> Chandra-Toueg consensus over the recorded detector
+       -> specification + totality checks
+
+     dune exec examples/implemented_stack.exe *)
+
+open Rlfd_kernel
+open Rlfd_fd
+open Rlfd_sim
+open Rlfd_algo
+open Rlfd_net
+
+let n = 4
+
+let proposals p = 100 + Pid.to_int p
+
+let run_stack ~title model style =
+  Format.printf "== %s ==@.link: %a@.detector: %a@.@." title Link.pp model
+    Heartbeat.pp_style style;
+  (* 1. the network world: p3 crashes at network time 600 *)
+  let net_pattern = Pattern.make ~n [ (Pid.of_int 3, Time.of_int 600) ] in
+  let recording =
+    Netsim.run ~n ~pattern:net_pattern ~model ~seed:21 ~horizon:8000
+      (Heartbeat.node style)
+  in
+  let report = Qos.analyze recording in
+  Format.printf "implementation QoS: perfect-grade=%b, false episodes=%d@."
+    (Qos.perfect_grade report) report.Qos.false_episodes;
+
+  (* 2. bridge the recording into the abstract model (5 net ticks = 1 step) *)
+  let scale = 5 in
+  let detector = Bridge.detector_of_run ~scale recording in
+  let pattern = Bridge.scaled_pattern ~scale recording in
+
+  (* 3. run consensus over the implemented detector *)
+  let result =
+    Runner.run ~pattern ~detector ~scheduler:(Scheduler.fair ())
+      ~horizon:(Time.of_int 1500)
+      ~until:(Runner.stop_when_all_correct_output pattern)
+      (Ct_strong.automaton ~proposals)
+  in
+  List.iter
+    (fun (t, p, v) -> Format.printf "  %a %a decided %d@." Time.pp t Pid.pp p v)
+    result.Runner.outputs;
+  List.iter
+    (fun (name, verdict) -> Format.printf "  %-18s %a@." name Classes.pp_result verdict)
+    (Properties.check_consensus ~uniform:true ~proposals ~equal:Int.equal result);
+  Format.printf "  %-18s %s@.@." "totality"
+    (if Totality.is_total result then "holds" else "VIOLATED")
+
+let () =
+  (* On a synchronous link, a big-enough timeout implements a true P: the
+     whole stack behaves like the paper's sufficiency direction. *)
+  let sync = Link.Synchronous { delta = 10 } in
+  let timeout = Option.get (Heartbeat.perfect_timeout sync ~period:20) in
+  run_stack ~title:"synchronous network implements P" sync
+    (Heartbeat.Fixed { period = 20; timeout });
+
+  (* On a lossy synchronous link, the reliable-channel stack restores the
+     implementation (with a timeout widened by the retransmission cost). *)
+  Format.printf "== lossy link + reliable channel ==@.";
+  let lossy = Link.lossy ~drop:0.2 (Link.Synchronous { delta = 5 }) in
+  let net_pattern = Pattern.make ~n [ (Pid.of_int 3, Time.of_int 600) ] in
+  let recording =
+    Netsim.run ~n ~pattern:net_pattern ~model:lossy ~seed:9 ~horizon:8000
+      (Channel.reliable ~retransmit_every:15
+         (Heartbeat.node (Heartbeat.Fixed { period = 30; timeout = 120 })))
+  in
+  let report = Qos.analyze recording in
+  Format.printf "QoS over the channel: perfect-grade=%b@." (Qos.perfect_grade report)

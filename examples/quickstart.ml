@@ -1,0 +1,66 @@
+(* Quickstart: build a failure pattern, pick a failure detector, run a
+   consensus algorithm, and check the paper's properties.
+
+     dune exec examples/quickstart.exe *)
+
+open Rlfd_kernel
+open Rlfd_fd
+open Rlfd_sim
+open Rlfd_algo
+
+let () =
+  (* Five processes; p2 crashes at time 10 and p4 at time 30.  The paper's
+     environment puts no bound on how many may crash. *)
+  let n = 5 in
+  let pattern =
+    Pattern.make ~n
+      [ (Pid.of_int 2, Time.of_int 10); (Pid.of_int 4, Time.of_int 30) ]
+  in
+  Format.printf "pattern: %a@." Pattern.pp pattern;
+
+  (* A realistic Perfect failure detector: its output at time t is exactly
+     the set of processes crashed by t - a function of the past only. *)
+  let detector = Perfect.canonical in
+
+  (* Each process proposes 100 + its index. *)
+  let proposals p = 100 + Pid.to_int p in
+
+  (* The S-based Chandra-Toueg consensus algorithm: tolerates any number of
+     crashes, and - with a realistic detector - is "total" (Lemma 4.1). *)
+  let algorithm = Ct_strong.automaton ~proposals in
+
+  let result =
+    Runner.run ~pattern ~detector
+      ~scheduler:(Scheduler.fair ())
+      ~horizon:(Time.of_int 5000)
+      ~until:(Runner.stop_when_all_correct_output pattern)
+      algorithm
+  in
+
+  Format.printf "steps: %d, messages: %d@." result.Runner.steps result.Runner.sent;
+  List.iter
+    (fun (t, p, v) -> Format.printf "  %a: %a decided %d@." Time.pp t Pid.pp p v)
+    result.Runner.outputs;
+
+  (* Check the consensus specification... *)
+  List.iter
+    (fun (name, verdict) -> Format.printf "%-18s %a@." name Classes.pp_result verdict)
+    (Properties.check_consensus ~uniform:true ~proposals ~equal:Int.equal result);
+
+  (* ...and Lemma 4.1: with a realistic detector, no decision happens without
+     consulting every process alive at decision time. *)
+  Format.printf "totality          %s@."
+    (if Totality.is_total result then "holds" else "VIOLATED");
+
+  (* Contrast: the clairvoyant Strong detector (which guesses the future)
+     still solves consensus - but the run is no longer total. *)
+  let result' =
+    Runner.run ~pattern ~detector:Strong.clairvoyant
+      ~scheduler:(Scheduler.fair ())
+      ~horizon:(Time.of_int 5000)
+      ~until:(Runner.stop_when_all_correct_output pattern)
+      algorithm
+  in
+  Format.printf "with %s: totality %s - realism is load-bearing.@."
+    (Detector.name Strong.clairvoyant)
+    (if Totality.is_total result' then "holds" else "violated")

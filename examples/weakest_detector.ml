@@ -1,0 +1,70 @@
+(* The heart of the paper (Section 4): if a realistic failure detector D can
+   solve consensus with unbounded failures, then D can be transformed into a
+   Perfect failure detector - so P is the *weakest* realistic detector for
+   the job.  This example runs the transformation T(D->P) and watches the
+   emulated detector come to life.
+
+     dune exec examples/weakest_detector.exe *)
+
+open Rlfd_kernel
+open Rlfd_fd
+open Rlfd_sim
+open Rlfd_reduction
+
+let n = 4
+
+let () =
+  let pattern =
+    Pattern.make ~n [ (Pid.of_int 2, Time.of_int 60); (Pid.of_int 4, Time.of_int 150) ]
+  in
+  Format.printf "pattern: %a@.@." Pattern.pp pattern;
+  Format.printf
+    "Running an infinite sequence of consensus instances, each message tagged@.";
+  Format.printf
+    "with [p is alive] information; a decision that lacks some process's tag@.";
+  Format.printf "adds that process to output(P) - the emulated Perfect detector.@.@.";
+
+  let r =
+    Runner.run ~pattern ~detector:Perfect.canonical
+      ~scheduler:(Scheduler.fair ())
+      ~horizon:(Time.of_int 4000)
+      (Consensus_to_p.automaton ~impl:Consensus_to_p.ct_strong_impl)
+  in
+
+  Format.printf "evolution of output(P):@.";
+  List.iter
+    (fun (t, p, suspects) ->
+      Format.printf "  %a at %a: output(P) := %a@." Pid.pp p Time.pp t Pid.Set.pp
+        suspects)
+    r.Runner.outputs;
+
+  Format.printf "@.instances completed per process:@.";
+  Pid.Map.iter
+    (fun p st ->
+      Format.printf "  %a: %d instances, final output(P) = %a@." Pid.pp p
+        (Consensus_to_p.instances_decided st)
+        Pid.Set.pp
+        (Consensus_to_p.output_p st))
+    r.Runner.final_states;
+
+  (* Is the emulated history really in class P?  Lemma 4.2 says it must be:
+     strong completeness (crashed processes end up suspected forever) and
+     strong accuracy (nobody is suspected before crashing). *)
+  Format.printf "@.Lemma 4.2 verdicts:@.";
+  List.iter
+    (fun (name, verdict) -> Format.printf "  %-22s %a@." name Classes.pp_result verdict)
+    (Emulation.check_emulation_run r);
+
+  (* The necessity direction needs *totality* (Lemma 4.1), which realistic
+     detectors force.  Feed a non-total algorithm (the rank-based one, where
+     p1 decides alone) into the same transformation and accuracy shatters: *)
+  Format.printf "@.the same transformation over a NON-total algorithm:@.";
+  let bad =
+    Runner.run ~pattern:(Pattern.failure_free ~n) ~detector:Partial_perfect.canonical
+      ~scheduler:(Scheduler.fair ())
+      ~horizon:(Time.of_int 2000)
+      (Consensus_to_p.automaton ~impl:Consensus_to_p.rank_impl)
+  in
+  List.iter
+    (fun (name, verdict) -> Format.printf "  %-22s %a@." name Classes.pp_result verdict)
+    (Emulation.check_emulation_run bad)

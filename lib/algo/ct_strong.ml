@@ -1,0 +1,161 @@
+open Rlfd_kernel
+open Rlfd_sim
+
+module Int_map = Map.Make (Int)
+
+type 'v vector = 'v option Pid.Map.t
+
+type 'v msg =
+  | Round of { round : int; delta : 'v vector }
+  | Final of { view : 'v vector }
+
+type 'v phase = Rounds of int | Collect_final | Decided of 'v
+
+type 'v state = {
+  view : 'v vector;
+  delta : 'v vector;
+  phase : 'v phase;
+  sent_round : int; (* highest round already broadcast, 0 if none *)
+  sent_final : bool;
+  round_msgs : 'v vector Pid.Map.t Int_map.t; (* round -> sender -> delta *)
+  final_msgs : 'v vector Pid.Map.t;
+}
+
+let empty_vector ~n =
+  List.fold_left (fun m p -> Pid.Map.add p None m) Pid.Map.empty (Pid.all ~n)
+
+let init ~n ~self ~proposal =
+  let view = Pid.Map.add self (Some proposal) (empty_vector ~n) in
+  {
+    view;
+    delta = view;
+    phase = (if n >= 2 then Rounds 1 else Collect_final);
+    sent_round = 0;
+    sent_final = false;
+    round_msgs = Int_map.empty;
+    final_msgs = Pid.Map.empty;
+  }
+
+let decision st = match st.phase with Decided v -> Some v | Rounds _ | Collect_final -> None
+
+let view st = st.view
+
+let current_round st =
+  match st.phase with Rounds r -> Some r | Collect_final | Decided _ -> None
+
+let others ~n ~self = List.filter (fun p -> not (Pid.equal p self)) (Pid.all ~n)
+
+let record_msg st (e : _ Model.envelope) =
+  match e.Model.payload with
+  | Round { round; delta } ->
+    let per_round =
+      match Int_map.find_opt round st.round_msgs with
+      | None -> Pid.Map.empty
+      | Some m -> m
+    in
+    {
+      st with
+      round_msgs =
+        Int_map.add round (Pid.Map.add e.Model.src delta per_round) st.round_msgs;
+    }
+  | Final { view } -> { st with final_msgs = Pid.Map.add e.Model.src view st.final_msgs }
+
+let heard_or_suspected ~received suspects q =
+  Pid.Map.mem q received || Pid.Set.mem q suspects
+
+(* Merge the deltas received in a completed round: adopt a value for every
+   still-unknown component, and remember the newly learned components as the
+   next delta. *)
+let merge_round ~n st msgs =
+  let learn (view, delta) p =
+    match Pid.Map.find p view with
+    | Some _ -> (view, delta)
+    | None -> (
+      let contributed =
+        Pid.Map.fold
+          (fun _sender (dv : _ vector) acc ->
+            match acc with
+            | Some _ -> acc
+            | None -> ( match Pid.Map.find p dv with Some v -> Some v | None -> None))
+          msgs None
+      in
+      match contributed with
+      | None -> (view, delta)
+      | Some v -> (Pid.Map.add p (Some v) view, Pid.Map.add p (Some v) delta))
+  in
+  List.fold_left learn (st.view, empty_vector ~n) (Pid.all ~n)
+
+(* Pointwise intersection of the final vectors (own view included): a
+   component survives only if every collected vector knows it. *)
+let intersect ~n own finals =
+  let keep p =
+    match Pid.Map.find p own with
+    | None -> None
+    | Some v ->
+      let everywhere =
+        Pid.Map.for_all (fun _sender (vec : _ vector) -> Pid.Map.find p vec <> None) finals
+      in
+      if everywhere then Some v else None
+  in
+  List.fold_left (fun m p -> Pid.Map.add p (keep p) m) Pid.Map.empty (Pid.all ~n)
+
+let first_component ~n vec =
+  List.find_map (fun p -> Pid.Map.find p vec) (Pid.all ~n)
+
+(* Drive the state machine until no further progress is possible without new
+   input.  Accumulates sends; emits the decision when reached. *)
+let rec progress ~n ~self suspects st sends outputs =
+  match st.phase with
+  | Decided _ -> (st, sends, outputs)
+  | Rounds r ->
+    let st, sends =
+      if st.sent_round < r then
+        ( { st with sent_round = r },
+          sends @ Model.send_all ~n ~but:self (Round { round = r; delta = st.delta }) )
+      else (st, sends)
+    in
+    let received =
+      match Int_map.find_opt r st.round_msgs with None -> Pid.Map.empty | Some m -> m
+    in
+    let complete =
+      List.for_all (heard_or_suspected ~received suspects) (others ~n ~self)
+    in
+    if not complete then (st, sends, outputs)
+    else begin
+      let view, delta = merge_round ~n st received in
+      let phase = if r < n - 1 then Rounds (r + 1) else Collect_final in
+      progress ~n ~self suspects { st with view; delta; phase } sends outputs
+    end
+  | Collect_final ->
+    let st, sends =
+      if not st.sent_final then
+        ( { st with sent_final = true },
+          sends @ Model.send_all ~n ~but:self (Final { view = st.view }) )
+      else (st, sends)
+    in
+    let complete =
+      List.for_all
+        (heard_or_suspected ~received:st.final_msgs suspects)
+        (others ~n ~self)
+    in
+    if not complete then (st, sends, outputs)
+    else begin
+      let final_view = intersect ~n st.view st.final_msgs in
+      match first_component ~n final_view with
+      | None ->
+        (* Unreachable with a Strong detector: the never-suspected correct
+           process's proposal survives the intersection.  Guard anyway. *)
+        (st, sends, outputs)
+      | Some v ->
+        ({ st with view = final_view; phase = Decided v }, sends, outputs @ [ v ])
+    end
+
+let handle ~n ~self st envelope suspects =
+  let st = match envelope with None -> st | Some e -> record_msg st e in
+  let st, sends, outputs = progress ~n ~self suspects st [] [] in
+  { Model.state = st; sends; outputs }
+
+let automaton ~proposals =
+  Model.make ~name:"ct-strong-consensus"
+    ~initial:(fun ~n self -> init ~n ~self ~proposal:(proposals self))
+    ~step:(fun ~n ~self st envelope suspects -> handle ~n ~self st envelope suspects)

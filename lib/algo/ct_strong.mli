@@ -1,0 +1,61 @@
+(** Consensus with a Strong failure detector, tolerating any number of
+    crashes (Chandra–Toueg 1996, Fig. 5 style; the algorithm Proposition 4.3
+    of the paper invokes for sufficiency).
+
+    The algorithm runs [n-1] asynchronous rounds in which processes flood
+    newly learned proposals, waiting in each round for a message from every
+    process they do not suspect, followed by a final vector exchange whose
+    pointwise intersection forces agreement; each process then decides the
+    first non-bottom component.  Correctness needs strong completeness (the
+    waits unblock) and weak accuracy (some correct process is heard by
+    everyone in every round).
+
+    Run with a {e realistic} detector (which, per Section 6.3 of the paper,
+    has strong accuracy) the algorithm is {e total}: no process decides
+    without a message from every process alive at decision time — the
+    property Lemma 4.1 predicts and {!Totality.check} verifies.  Run with
+    the non-realistic {!Rlfd_fd.Strong.clairvoyant} it still solves
+    consensus but is {e not} total, exhibiting why realism matters.
+
+    The state, message type and transition function are exposed so that
+    higher-level protocols (terminating reliable broadcast, atomic
+    broadcast, the Section 4.3 reduction) can embed consensus instances. *)
+
+open Rlfd_kernel
+open Rlfd_fd
+open Rlfd_sim
+
+type 'v vector = 'v option Pid.Map.t
+(** Known proposals, indexed by proposer. *)
+
+type 'v msg =
+  | Round of { round : int; delta : 'v vector }
+  | Final of { view : 'v vector }
+
+type 'v state
+
+val init : n:int -> self:Pid.t -> proposal:'v -> 'v state
+
+val decision : 'v state -> 'v option
+(** The value decided, once the state has reached its decision. *)
+
+val view : 'v state -> 'v vector
+(** Current knowledge vector (diagnostics and tests). *)
+
+val current_round : 'v state -> int option
+(** The asynchronous round in progress; [None] once past the rounds. *)
+
+val handle :
+  n:int ->
+  self:Pid.t ->
+  'v state ->
+  'v msg Model.envelope option ->
+  Detector.suspicions ->
+  ('v state, 'v msg, 'v) Model.effects
+(** One step: absorb the (optional) message, make all enabled progress,
+    emit sends and — exactly once — the decision. *)
+
+val automaton :
+  proposals:(Pid.t -> 'v) -> ('v state, 'v msg, Detector.suspicions, 'v) Model.t
+(** The algorithm as a runnable automaton; the output is the decided
+    value. *)

@@ -1,0 +1,214 @@
+open Rlfd_kernel
+open Rlfd_fd
+open Rlfd_sim
+
+let violatedf fmt = Format.kasprintf (fun s -> Classes.Violated s) fmt
+
+let decisions r =
+  List.map (fun (t, p, v) -> (p, t, v)) r.Runner.outputs
+
+let decision_of r p =
+  match Runner.first_output r p with None -> None | Some (_, v) -> Some v
+
+let termination r =
+  let missing =
+    Pid.Set.filter (fun p -> decision_of r p = None) (Pattern.correct r.Runner.pattern)
+  in
+  if Pid.Set.is_empty missing then Classes.Holds
+  else violatedf "termination: correct %a never decided" Pid.Set.pp missing
+
+let integrity r =
+  let counts =
+    List.fold_left
+      (fun acc (p, _, _) ->
+        Pid.Map.update p (function None -> Some 1 | Some k -> Some (k + 1)) acc)
+      Pid.Map.empty (decisions r)
+  in
+  match Pid.Map.choose_opt (Pid.Map.filter (fun _ k -> k > 1) counts) with
+  | None -> Classes.Holds
+  | Some (p, k) -> violatedf "integrity: %a decided %d times" Pid.pp p k
+
+let pairwise_agreement ~equal deciders =
+  match deciders with
+  | [] -> Classes.Holds
+  | (p0, v0) :: rest -> (
+    match List.find_opt (fun (_, v) -> not (equal v0 v)) rest with
+    | None -> Classes.Holds
+    | Some (p, _) ->
+      violatedf "agreement: %a and %a decided different values" Pid.pp p0 Pid.pp p)
+
+let agreement ~equal r =
+  let correct = Pattern.correct r.Runner.pattern in
+  let deciders =
+    List.filter_map
+      (fun (p, _, v) -> if Pid.Set.mem p correct then Some (p, v) else None)
+      (decisions r)
+  in
+  pairwise_agreement ~equal deciders
+
+let uniform_agreement ~equal r =
+  pairwise_agreement ~equal (List.map (fun (p, _, v) -> (p, v)) (decisions r))
+
+let validity ~proposals ~equal r =
+  let proposed = List.map proposals (Pid.all ~n:r.Runner.n) in
+  match
+    List.find_opt
+      (fun (_, _, v) -> not (List.exists (equal v) proposed))
+      (decisions r)
+  with
+  | None -> Classes.Holds
+  | Some (p, _, _) -> violatedf "validity: %a decided a value nobody proposed" Pid.pp p
+
+let check_consensus ~uniform ~proposals ~equal r =
+  [
+    ("termination", termination r);
+    ("integrity", integrity r);
+    ("validity", validity ~proposals ~equal r);
+    ( (if uniform then "uniform agreement" else "agreement"),
+      if uniform then uniform_agreement ~equal r else agreement ~equal r );
+  ]
+
+(* ---------- Terminating reliable broadcast ---------- *)
+
+let trb_check ~sender ~value ~equal r =
+  let sender_correct = Pid.Set.mem sender (Pattern.correct r.Runner.pattern) in
+  let opt_equal a b =
+    match (a, b) with
+    | None, None -> true
+    | Some x, Some y -> equal x y
+    | None, Some _ | Some _, None -> false
+  in
+  let integrity_trb =
+    match
+      List.find_opt
+        (fun (_, _, d) ->
+          match d with
+          | Some v -> not (equal v value)
+          | None -> sender_correct)
+        (decisions r)
+    with
+    | None -> Classes.Holds
+    | Some (p, _, Some _) ->
+      violatedf "TRB integrity: %a delivered a value the sender never sent" Pid.pp p
+    | Some (p, _, None) ->
+      violatedf "TRB integrity: %a delivered nil although the sender is correct" Pid.pp
+        p
+  in
+  let validity_trb =
+    if not sender_correct then Classes.Holds
+    else begin
+      match decision_of r sender with
+      | Some (Some v) when equal v value -> Classes.Holds
+      | Some _ -> violatedf "TRB validity: correct sender delivered something else"
+      | None -> violatedf "TRB validity: correct sender never delivered its message"
+    end
+  in
+  [
+    ("termination", termination r);
+    ("agreement", uniform_agreement ~equal:opt_equal r);
+    ("validity", validity_trb);
+    ("integrity", integrity_trb);
+  ]
+
+(* ---------- Atomic / reliable broadcast ---------- *)
+
+let deliveries_of r p = List.map snd (Runner.outputs_of r p)
+
+let item_mem i items = List.exists (Broadcast.same_id i) items
+
+let broadcast_agreement r =
+  let correct = Pid.Set.elements (Pattern.correct r.Runner.pattern) in
+  match correct with
+  | [] -> Classes.Holds
+  | first :: rest -> (
+    let reference = Broadcast.sort_batch (deliveries_of r first) in
+    let differs q =
+      let mine = Broadcast.sort_batch (deliveries_of r q) in
+      List.length mine <> List.length reference
+      || not (List.for_all2 Broadcast.same_id mine reference)
+    in
+    match List.find_opt differs rest with
+    | None -> Classes.Holds
+    | Some q ->
+      violatedf "broadcast agreement: %a and %a delivered different sets" Pid.pp first
+        Pid.pp q)
+
+let broadcast_validity ~to_broadcast r =
+  let correct = Pattern.correct r.Runner.pattern in
+  let expected =
+    Pid.Set.elements correct
+    |> List.concat_map (Broadcast.workload to_broadcast)
+  in
+  let missing_for q =
+    let mine = deliveries_of r q in
+    List.find_opt (fun i -> not (item_mem i mine)) expected
+  in
+  match
+    Pid.Set.elements correct
+    |> List.find_map (fun q ->
+           match missing_for q with None -> None | Some i -> Some (q, i))
+  with
+  | None -> Classes.Holds
+  | Some (q, i) ->
+    violatedf "broadcast validity: %a never delivered %a#%d" Pid.pp q Pid.pp
+      i.Broadcast.origin i.Broadcast.seq
+
+let broadcast_no_creation ~to_broadcast ~equal r =
+  let all_broadcast =
+    Pid.all ~n:r.Runner.n |> List.concat_map (Broadcast.workload to_broadcast)
+  in
+  let genuine (i : _ Broadcast.item) =
+    List.exists
+      (fun (j : _ Broadcast.item) -> Broadcast.same_id i j && equal i.data j.data)
+      all_broadcast
+  in
+  match
+    List.find_opt (fun (_, _, i) -> not (genuine i)) r.Runner.outputs
+    |> Option.map (fun (_, p, _) -> p)
+  with
+  | None -> Classes.Holds
+  | Some p -> violatedf "broadcast no-creation: %a delivered a forged item" Pid.pp p
+
+let broadcast_no_duplication r =
+  let dup_for p =
+    let rec scan = function
+      | [] -> false
+      | i :: rest -> item_mem i rest || scan rest
+    in
+    scan (deliveries_of r p)
+  in
+  match List.find_opt dup_for (Pid.all ~n:r.Runner.n) with
+  | None -> Classes.Holds
+  | Some p -> violatedf "broadcast no-duplication: %a delivered an item twice" Pid.pp p
+
+let rec is_prefix same a b =
+  match (a, b) with
+  | [], _ -> true
+  | _, [] -> false
+  | x :: xs, y :: ys -> same x y && is_prefix same xs ys
+
+let total_order r =
+  let pids = Pid.all ~n:r.Runner.n in
+  let seqs = List.map (fun p -> (p, deliveries_of r p)) pids in
+  let compatible (_, a) (_, b) =
+    is_prefix Broadcast.same_id a b || is_prefix Broadcast.same_id b a
+  in
+  let rec check = function
+    | [] -> Classes.Holds
+    | x :: rest -> (
+      match List.find_opt (fun y -> not (compatible x y)) rest with
+      | Some (q, _) ->
+        violatedf "total order: %a and %a delivered in incompatible orders" Pid.pp
+          (fst x) Pid.pp q
+      | None -> check rest)
+  in
+  check seqs
+
+let check_abcast ~to_broadcast ~equal r =
+  [
+    ("agreement", broadcast_agreement r);
+    ("validity", broadcast_validity ~to_broadcast r);
+    ("no-creation", broadcast_no_creation ~to_broadcast ~equal r);
+    ("no-duplication", broadcast_no_duplication r);
+    ("total order", total_order r);
+  ]

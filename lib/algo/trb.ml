@@ -1,0 +1,100 @@
+open Rlfd_kernel
+open Rlfd_sim
+
+type 'v msg = Value of 'v | Cons of 'v option Ct_strong.msg
+
+type 'v phase =
+  | Waiting of (Pid.t * 'v option Ct_strong.msg) list (* stashed, newest first *)
+  | Running of 'v option Ct_strong.state
+  | Delivered of 'v option
+
+type 'v state = { sender : Pid.t; value : 'v option; phase : 'v phase; sent_value : bool }
+
+let delivery st = match st.phase with Delivered d -> Some d | Waiting _ | Running _ -> None
+
+let wrap_sends sends = List.map (fun (dst, m) -> (dst, Cons m)) sends
+
+let drive ~n ~self st cons inner suspects sends =
+  let effects = Ct_strong.handle ~n ~self cons inner suspects in
+  let sends = sends @ wrap_sends effects.Model.sends in
+  match effects.Model.outputs with
+  | d :: _ -> ({ st with phase = Delivered d }, sends, [ d ])
+  | [] -> ({ st with phase = Running effects.Model.state }, sends, [])
+
+(* Leave the waiting phase by proposing [proposal], replaying any stashed
+   consensus messages. *)
+let start ~n ~self st stashed proposal suspects sends =
+  let st = { st with phase = Running (Ct_strong.init ~n ~self ~proposal) } in
+  List.fold_left
+    (fun (st, sends, outputs) (src, m) ->
+      match st.phase with
+      | Running cons ->
+        let st, sends, out =
+          drive ~n ~self st cons
+            (Some { Model.src; dst = self; payload = m })
+            suspects sends
+        in
+        (st, sends, outputs @ out)
+      | Delivered _ | Waiting _ -> (st, sends, outputs))
+    (st, sends, [])
+    (List.rev stashed)
+
+let handle ~n ~self st envelope suspects =
+  (* The sender disseminates its value once, then behaves like everyone. *)
+  let st, sends =
+    if Pid.equal self st.sender && not st.sent_value then
+      match st.value with
+      | Some v ->
+        ({ st with sent_value = true }, Model.send_all ~n ~but:self (Value v))
+      | None -> (st, [])
+    else (st, [])
+  in
+  match st.phase with
+  | Delivered _ -> { Model.state = st; sends; outputs = [] }
+  | Running cons ->
+    let inner =
+      match envelope with
+      | Some { Model.payload = Cons m; src; _ } ->
+        Some { Model.src = src; dst = self; payload = m }
+      | Some { Model.payload = Value _; _ } | None -> None
+    in
+    let st, sends, outputs = drive ~n ~self st cons inner suspects sends in
+    { Model.state = st; sends; outputs }
+  | Waiting stashed -> (
+    match envelope with
+    | Some { Model.payload = Value v; src; _ } when Pid.equal src st.sender ->
+      let st, sends, outputs = start ~n ~self st stashed (Some v) suspects sends in
+      { Model.state = st; sends; outputs }
+    | Some { Model.payload = Cons m; src; _ } ->
+      let stashed = (src, m) :: stashed in
+      if Pid.Set.mem st.sender suspects then begin
+        let st, sends, outputs = start ~n ~self st stashed None suspects sends in
+        { Model.state = st; sends; outputs }
+      end
+      else { Model.state = { st with phase = Waiting stashed }; sends; outputs = [] }
+    | Some { Model.payload = Value _; _ } | None ->
+      if Pid.equal self st.sender && st.value <> None then begin
+        (* The sender proposes its own value without waiting. *)
+        let st, sends, outputs =
+          start ~n ~self st stashed st.value suspects sends
+        in
+        { Model.state = st; sends; outputs }
+      end
+      else if Pid.Set.mem st.sender suspects then begin
+        let st, sends, outputs = start ~n ~self st stashed None suspects sends in
+        { Model.state = st; sends; outputs }
+      end
+      else { Model.state = st; sends; outputs = [] })
+
+let init ~self ~sender ~value =
+  {
+    sender;
+    value = (if Pid.equal self sender then Some value else None);
+    phase = Waiting [];
+    sent_value = false;
+  }
+
+let automaton ~sender ~value =
+  Model.make ~name:"terminating-reliable-broadcast"
+    ~initial:(fun ~n:_ self -> init ~self ~sender ~value)
+    ~step:(fun ~n ~self st envelope suspects -> handle ~n ~self st envelope suspects)

@@ -1,0 +1,49 @@
+(** Terminating Reliable Broadcast (paper, Section 5) — the crash-stop
+    rephrasing of the Byzantine Generals problem.
+
+    One designated sender broadcasts a value; every process must deliver the
+    same thing, and a crashed sender may be accounted for by delivering the
+    distinguished value [nil] (here [None]).  The algorithm is the paper's
+    sufficiency construction for Proposition 5.1: each process waits until
+    it receives the sender's value or suspects the sender, proposes the
+    value (or [nil]) to a consensus instance ({!Ct_strong}), and delivers
+    the consensus outcome.
+
+    With a realistic Perfect detector:
+    - {e validity}: a correct sender is never suspected, so everyone
+      proposes its value and delivers it;
+    - {e agreement}: consensus;
+    - {e integrity}: delivering [nil] requires a suspicion, which by strong
+      accuracy means the sender really crashed — the very fact the
+      Section 5 reduction uses to emulate [P] from TRB. *)
+
+open Rlfd_kernel
+open Rlfd_fd
+open Rlfd_sim
+
+type 'v msg
+
+type 'v state
+
+val delivery : 'v state -> 'v option option
+(** [None] while undecided; [Some (Some v)] once the sender's value is
+    delivered; [Some None] once [nil] is delivered. *)
+
+val init : self:Pid.t -> sender:Pid.t -> value:'v -> 'v state
+(** Exposed for embedding (the Section 5 reduction runs a sequence of TRB
+    instances). *)
+
+val handle :
+  n:int ->
+  self:Pid.t ->
+  'v state ->
+  'v msg Model.envelope option ->
+  Detector.suspicions ->
+  ('v state, 'v msg, 'v option) Model.effects
+
+val automaton :
+  sender:Pid.t ->
+  value:'v ->
+  ('v state, 'v msg, Detector.suspicions, 'v option) Model.t
+(** The instance [(sender, _)] of the problem.  The output is the delivery:
+    [Some v] or [None] (= [nil]).  Only the sender consults [value]. *)

@@ -1,0 +1,557 @@
+open Rlfd_kernel
+open Rlfd_fd
+open Rlfd_sim
+open Rlfd_algo
+open Rlfd_reduction
+open Rlfd_net
+open Rlfd_membership
+
+type outcome = {
+  id : string;
+  claim : string;
+  expected : string;
+  observed : string;
+  pass : bool;
+}
+
+let pp_outcome ppf o =
+  Format.fprintf ppf "@[<v>[%s] %s@ %s: %s@ observed: %s@]" o.id
+    (if o.pass then "PASS" else "FAIL")
+    o.claim o.expected o.observed
+
+type config = { n : int; seed : int; trials : int; horizon : Time.t }
+
+let default_config = { n = 5; seed = 2002; trials = 30; horizon = Time.of_int 6000 }
+
+(* ---------- shared workload machinery ---------- *)
+
+let crash_horizon cfg = Time.of_int (Stdlib.min 300 (Time.to_int cfg.horizon / 4))
+
+let sample_patterns cfg ~count =
+  let rng = Rng.derive ~seed:cfg.seed ~salts:[ 0x7A ] in
+  let families = Pattern.Family.all in
+  List.init count (fun i ->
+      let family = List.nth families (i mod List.length families) in
+      Pattern.Family.generate family ~n:cfg.n ~horizon:(crash_horizon cfg) rng)
+
+let fresh_scheduler cfg ~trial =
+  if trial mod 2 = 0 then Scheduler.fair ()
+  else Scheduler.random ~seed:(cfg.seed + trial) ~lambda_bias:0.3
+
+let proposals p = 100 + Pid.to_int p
+
+let run_consensus cfg ~trial ~detector ~pattern automaton =
+  Runner.run ~pattern ~detector
+    ~scheduler:(fresh_scheduler cfg ~trial)
+    ~horizon:cfg.horizon
+    ~until:(Runner.stop_when_all_correct_output pattern)
+    automaton
+
+let consensus_ok ~uniform r =
+  Properties.check_consensus ~uniform ~proposals ~equal:Int.equal r
+  |> List.for_all (fun (_, res) -> Classes.holds res)
+
+let count_failures checks = List.length (List.filter (fun (_, ok) -> not ok) checks)
+
+let outcome ~id ~claim ~expected ~observed ~pass = { id; claim; expected; observed; pass }
+
+(* ---------- Lemma 4.1 ---------- *)
+
+let realistic_detectors cfg =
+  [ Perfect.canonical; Perfect.delayed ~lag:3;
+    Perfect.staggered ~seed:cfg.seed ~max_lag:4; Strong.realistic;
+    Scribe.as_suspicions ]
+
+let totality_runs cfg detectors =
+  let patterns = sample_patterns cfg ~count:cfg.trials in
+  List.concat_map
+    (fun detector ->
+      List.mapi
+        (fun trial pattern ->
+          let r =
+            run_consensus cfg ~trial ~detector ~pattern
+              (Ct_strong.automaton ~proposals)
+          in
+          (detector, pattern, r))
+        patterns)
+    detectors
+
+let lemma_4_1_totality cfg =
+  let runs = totality_runs cfg (realistic_detectors cfg) in
+  let bad =
+    List.filter
+      (fun (_, _, r) -> (not (consensus_ok ~uniform:true r)) || not (Totality.is_total r))
+      runs
+  in
+  outcome ~id:"EXP-1a"
+    ~claim:"Lemma 4.1: every consensus algorithm using a realistic FD is total"
+    ~expected:"consensus correct and 0 totality violations on every run"
+    ~observed:
+      (Format.asprintf "%d/%d runs clean" (List.length runs - List.length bad)
+         (List.length runs))
+    ~pass:(bad = [])
+
+let lemma_4_1_needs_realism cfg =
+  let runs = totality_runs cfg [ Strong.clairvoyant; Marabout.canonical ] in
+  let consensus_broken =
+    List.exists (fun (_, _, r) -> not (consensus_ok ~uniform:true r)) runs
+  in
+  let with_violations =
+    List.length (List.filter (fun (_, _, r) -> not (Totality.is_total r)) runs)
+  in
+  outcome ~id:"EXP-1b"
+    ~claim:"Lemma 4.1 needs realism: future-guessing detectors escape totality"
+    ~expected:"consensus still correct, but totality violations occur"
+    ~observed:
+      (Format.asprintf "consensus %s; %d/%d runs with totality violations"
+         (if consensus_broken then "BROKEN" else "correct")
+         with_violations (List.length runs))
+    ~pass:((not consensus_broken) && with_violations > 0)
+
+(* ---------- Lemma 4.2 / Proposition 4.3 ---------- *)
+
+let emulation_clean r =
+  Emulation.check_emulation_run r |> List.for_all (fun (_, res) -> Classes.holds res)
+
+let lemma_4_2_reduction cfg =
+  let patterns = sample_patterns cfg ~count:cfg.trials in
+  let detectors = [ Perfect.canonical; Strong.realistic ] in
+  let runs =
+    List.concat_map
+      (fun detector ->
+        List.mapi
+          (fun trial pattern ->
+            Runner.run ~pattern ~detector
+              ~scheduler:(fresh_scheduler cfg ~trial)
+              ~horizon:cfg.horizon
+              (Consensus_to_p.automaton ~impl:Consensus_to_p.ct_strong_impl))
+          patterns)
+      detectors
+  in
+  let clean = List.filter emulation_clean runs in
+  outcome ~id:"EXP-2a"
+    ~claim:"Lemma 4.2: T(D->P) over a total consensus algorithm emulates P"
+    ~expected:"emulated history satisfies strong completeness and accuracy on every run"
+    ~observed:
+      (Format.asprintf "%d/%d emulations satisfy class P" (List.length clean)
+         (List.length runs))
+    ~pass:(List.length clean = List.length runs)
+
+let reduction_needs_totality cfg =
+  (* The rank algorithm is not total; feeding it to the reduction must break
+     strong accuracy of the emulated detector (p1 decides alone, so everyone
+     else looks "unconsulted" and gets falsely suspected). *)
+  let pattern = Pattern.failure_free ~n:cfg.n in
+  let r =
+    Runner.run ~pattern ~detector:Partial_perfect.canonical
+      ~scheduler:(Scheduler.fair ()) ~horizon:cfg.horizon
+      (Consensus_to_p.automaton ~impl:Consensus_to_p.rank_impl)
+  in
+  let accuracy =
+    List.assoc_opt "strong accuracy" (Emulation.check_emulation_run r)
+  in
+  let violated =
+    match accuracy with Some res -> not (Classes.holds res) | None -> false
+  in
+  outcome ~id:"EXP-2b"
+    ~claim:"the reduction needs totality: a non-total algorithm breaks the emulation"
+    ~expected:"strong accuracy of the emulated detector violated"
+    ~observed:
+      (match accuracy with
+      | Some res -> Format.asprintf "%a" Classes.pp_result res
+      | None -> "no accuracy check ran")
+    ~pass:violated
+
+let prop_4_3_sufficiency cfg =
+  let rng = Rng.derive ~seed:cfg.seed ~salts:[ 0x43 ] in
+  let runs =
+    List.init cfg.n (fun f ->
+        let victims =
+          Rng.shuffle rng (Pid.all ~n:cfg.n) |> List.filteri (fun i _ -> i < f)
+        in
+        let pattern =
+          Pattern.make ~n:cfg.n
+            (List.map
+               (fun p ->
+                 (p, Time.of_int (Rng.int rng (Time.to_int (crash_horizon cfg)))))
+               victims)
+        in
+        let r =
+          run_consensus cfg ~trial:f ~detector:Perfect.canonical ~pattern
+            (Ct_strong.automaton ~proposals)
+        in
+        (f, consensus_ok ~uniform:true r))
+  in
+  outcome ~id:"EXP-3"
+    ~claim:"Prop 4.3 (sufficiency): P solves uniform consensus for any number of crashes"
+    ~expected:(Format.asprintf "success for every f in 0..%d" (cfg.n - 1))
+    ~observed:
+      (String.concat ", "
+         (List.map (fun (f, ok) -> Format.asprintf "f=%d:%s" f (if ok then "ok" else "FAIL")) runs))
+    ~pass:(count_failures runs = 0)
+
+let ev_strong_needs_majority cfg =
+  let detector = Ev_strong.canonical ~seed:cfg.seed ~noise:0.15 in
+  let minority_pattern =
+    Pattern.make ~n:cfg.n [ (Pid.of_int 2, Time.of_int 40) ]
+  in
+  let f_major = (cfg.n / 2) + (cfg.n mod 2) in
+  let majority_pattern =
+    Pattern.make ~n:cfg.n
+      (List.init f_major (fun i -> (Pid.of_int (i + 1), Time.of_int (30 + (10 * i)))))
+  in
+  let run pattern =
+    run_consensus cfg ~trial:0 ~detector ~pattern (Ct_ev_strong.automaton ~proposals)
+  in
+  let r_min = run minority_pattern in
+  let r_maj = run majority_pattern in
+  let minority_ok = consensus_ok ~uniform:true r_min in
+  let majority_blocked = not (Classes.holds (Properties.termination r_maj)) in
+  let majority_safe =
+    Classes.holds (Properties.uniform_agreement ~equal:Int.equal r_maj)
+    && Classes.holds (Properties.validity ~proposals ~equal:Int.equal r_maj)
+  in
+  outcome ~id:"EXP-9"
+    ~claim:"background [CT96]: <>S solves consensus iff a majority is correct"
+    ~expected:"minority of crashes: success; majority crashed: blocks, safely"
+    ~observed:
+      (Format.asprintf "minority:%s majority:%s%s"
+         (if minority_ok then "ok" else "FAIL")
+         (if majority_blocked then "blocked" else "TERMINATED")
+         (if majority_safe then "(safe)" else "(UNSAFE)"))
+    ~pass:(minority_ok && majority_blocked && majority_safe)
+
+(* ---------- Proposition 5.1 ---------- *)
+
+let prop_5_1_trb cfg =
+  let value = 4242 in
+  let cases =
+    [ ("correct sender", Pattern.make ~n:cfg.n [ (Pid.of_int 3, Time.of_int 50) ]);
+      ("crashed sender", Pattern.make ~n:cfg.n [ (Pid.of_int 1, Time.of_int 0) ]);
+      ( "sender crashes mid-broadcast",
+        Pattern.make ~n:cfg.n [ (Pid.of_int 1, Time.of_int 2) ] );
+    ]
+  in
+  let sender = Pid.of_int 1 in
+  let results =
+    List.mapi
+      (fun trial (label, pattern) ->
+        let r =
+          Runner.run ~pattern ~detector:Perfect.canonical
+            ~scheduler:(fresh_scheduler cfg ~trial) ~horizon:cfg.horizon
+            ~until:(Runner.stop_when_all_correct_output pattern)
+            (Trb.automaton ~sender ~value)
+        in
+        let ok =
+          Properties.trb_check ~sender ~value ~equal:Int.equal r
+          |> List.for_all (fun (_, res) -> Classes.holds res)
+        in
+        (label, ok))
+      cases
+  in
+  outcome ~id:"EXP-4a"
+    ~claim:"Prop 5.1 (sufficiency): P solves terminating reliable broadcast"
+    ~expected:"TRB spec holds with correct and crashed senders"
+    ~observed:
+      (String.concat ", "
+         (List.map (fun (l, ok) -> Format.asprintf "%s:%s" l (if ok then "ok" else "FAIL")) results))
+    ~pass:(count_failures results = 0)
+
+let prop_5_1_reduction cfg =
+  let patterns = sample_patterns cfg ~count:(Stdlib.max 6 (cfg.trials / 3)) in
+  let runs =
+    List.mapi
+      (fun trial pattern ->
+        Runner.run ~pattern ~detector:Perfect.canonical
+          ~scheduler:(fresh_scheduler cfg ~trial) ~horizon:cfg.horizon
+          Trb_to_p.automaton)
+      patterns
+  in
+  let clean = List.filter emulation_clean runs in
+  outcome ~id:"EXP-4b"
+    ~claim:"Prop 5.1 (necessity): repeated TRB emulates a Perfect detector"
+    ~expected:"emulated history satisfies class P on every run"
+    ~observed:
+      (Format.asprintf "%d/%d emulations satisfy class P" (List.length clean)
+         (List.length runs))
+    ~pass:(List.length clean = List.length runs)
+
+(* ---------- Section 6.1: Marabout ---------- *)
+
+let marabout_solves_consensus cfg =
+  let rng = Rng.derive ~seed:cfg.seed ~salts:[ 0x61 ] in
+  let runs =
+    List.init cfg.trials (fun trial ->
+        let pattern =
+          Pattern.Family.generate Pattern.Family.all_but_one ~n:cfg.n
+            ~horizon:(crash_horizon cfg) rng
+        in
+        let r =
+          run_consensus cfg ~trial ~detector:Marabout.canonical ~pattern
+            (Marabout_consensus.automaton ~proposals)
+        in
+        (consensus_ok ~uniform:true r, Totality.is_total r))
+  in
+  let all_correct = List.for_all fst runs in
+  let some_non_total = List.exists (fun (_, total) -> not total) runs in
+  outcome ~id:"EXP-7"
+    ~claim:"Section 6.1: with Marabout, consensus is trivially solvable (non-totally)"
+    ~expected:"consensus correct under all-but-one crashes; algorithm not total"
+    ~observed:
+      (Format.asprintf "consensus %s on %d runs; non-total runs: %b"
+         (if all_correct then "correct" else "BROKEN")
+         (List.length runs) some_non_total)
+    ~pass:(all_correct && some_non_total)
+
+let marabout_algorithm_unsound_realistically cfg =
+  (* Constructed run: the smallest alive process decides its own value and
+     crashes before its broadcast reaches anyone; the survivors elect a new
+     leader and decide differently.  Uniform agreement breaks. *)
+  let p1 = Pid.of_int 1 in
+  let pattern = Pattern.make ~n:cfg.n [ (p1, Time.of_int 1) ] in
+  let scheduler =
+    Scheduler.constrained ~base:(Scheduler.fair ())
+      [ Scheduler.delay_from p1 ~until:(Time.of_int 2000) ]
+  in
+  let r =
+    Runner.run ~pattern ~detector:Perfect.canonical ~scheduler ~horizon:cfg.horizon
+      ~until:(Runner.stop_when_all_correct_output pattern)
+      (Marabout_consensus.automaton ~proposals)
+  in
+  let uniform = Properties.uniform_agreement ~equal:Int.equal r in
+  let correct_restricted = Properties.agreement ~equal:Int.equal r in
+  outcome ~id:"EXP-7b"
+    ~claim:"the Marabout algorithm is unsound with a realistic detector"
+    ~expected:"uniform agreement violated in the constructed run"
+    ~observed:
+      (Format.asprintf "uniform: %a; correct-restricted: %a" Classes.pp_result uniform
+         Classes.pp_result correct_restricted)
+    ~pass:(not (Classes.holds uniform))
+
+(* ---------- Section 6.2: P< and non-uniform consensus ---------- *)
+
+let uniform_harder_than_consensus cfg =
+  let patterns = sample_patterns cfg ~count:cfg.trials in
+  let portfolio =
+    List.mapi
+      (fun trial pattern ->
+        let r =
+          run_consensus cfg ~trial ~detector:Partial_perfect.canonical ~pattern
+            (Rank_consensus.automaton ~proposals)
+        in
+        Properties.check_consensus ~uniform:false ~proposals ~equal:Int.equal r
+        |> List.for_all (fun (_, res) -> Classes.holds res))
+      patterns
+  in
+  let p1 = Pid.of_int 1 in
+  let witness_pattern = Pattern.make ~n:cfg.n [ (p1, Time.of_int 1) ] in
+  let scheduler =
+    Scheduler.constrained ~base:(Scheduler.fair ())
+      [ Scheduler.delay_from p1 ~until:(Time.of_int 2000) ]
+  in
+  let witness =
+    Runner.run ~pattern:witness_pattern ~detector:Partial_perfect.canonical ~scheduler
+      ~horizon:cfg.horizon
+      ~until:(Runner.stop_when_all_correct_output witness_pattern)
+      (Rank_consensus.automaton ~proposals)
+  in
+  let uniform_violated =
+    not (Classes.holds (Properties.uniform_agreement ~equal:Int.equal witness))
+  in
+  let witness_correct_ok =
+    Classes.holds (Properties.agreement ~equal:Int.equal witness)
+  in
+  outcome ~id:"EXP-8"
+    ~claim:"Section 6.2: P< solves correct-restricted consensus but not uniform consensus"
+    ~expected:"non-uniform spec holds on the portfolio; uniform agreement violated in a witness run"
+    ~observed:
+      (Format.asprintf "portfolio: %d/%d ok; witness: uniform %s, correct-restricted %s"
+         (List.length (List.filter Fun.id portfolio))
+         (List.length portfolio)
+         (if uniform_violated then "violated" else "HELD")
+         (if witness_correct_ok then "holds" else "BROKEN"))
+    ~pass:(List.for_all Fun.id portfolio && uniform_violated && witness_correct_ok)
+
+(* ---------- Section 6.3: the collapse ---------- *)
+
+let collapse_s_and_p cfg =
+  let rows =
+    Hierarchy.survey ~n:cfg.n ~horizon:(Time.of_int 150) ~seed:cfg.seed
+      ~samples:(Stdlib.max 10 cfg.trials) (Hierarchy.zoo ~seed:cfg.seed)
+  in
+  let collapse = Hierarchy.collapse_holds rows in
+  let refuted name =
+    match List.find_opt (fun row -> row.Hierarchy.detector = name) rows with
+    | Some row -> not (Realism.is_realistic row.Hierarchy.realism)
+    | None -> false
+  in
+  let marabout_refuted = refuted "M(marabout)" in
+  let clairvoyant_refuted = refuted "S(clairvoyant)" in
+  outcome ~id:"EXP-5"
+    ~claim:"Section 6.3: among realistic detectors, S and P collapse"
+    ~expected:"every realistic detector in S is in P; Marabout and clairvoyant-S refuted as non-realistic"
+    ~observed:
+      (Format.asprintf "collapse:%b marabout-refuted:%b clairvoyant-refuted:%b"
+         collapse marabout_refuted clairvoyant_refuted)
+    ~pass:(collapse && marabout_refuted && clairvoyant_refuted)
+
+(* ---------- Atomic broadcast ---------- *)
+
+let abcast_equivalence cfg =
+  let to_broadcast p =
+    List.init 2 (fun k -> (Pid.to_int p * 10) + k)
+  in
+  let rng = Rng.derive ~seed:cfg.seed ~salts:[ 0xAB ] in
+  let runs =
+    List.init (Stdlib.max 5 (cfg.trials / 4)) (fun trial ->
+        let pattern =
+          Pattern.Family.generate Pattern.Family.uniform ~n:cfg.n
+            ~horizon:(crash_horizon cfg) rng
+        in
+        let r =
+          Runner.run ~pattern ~detector:Perfect.canonical
+            ~scheduler:(fresh_scheduler cfg ~trial) ~horizon:cfg.horizon
+            (Abcast.automaton ~to_broadcast)
+        in
+        Properties.check_abcast ~to_broadcast ~equal:Int.equal r
+        |> List.for_all (fun (_, res) -> Classes.holds res))
+  in
+  outcome ~id:"EXP-10"
+    ~claim:"Section 1.1: atomic broadcast from consensus, under unbounded crashes with P"
+    ~expected:"uniform total order, agreement, validity on every run"
+    ~observed:
+      (Format.asprintf "%d/%d runs clean"
+         (List.length (List.filter Fun.id runs))
+         (List.length runs))
+    ~pass:(List.for_all Fun.id runs)
+
+(* ---------- Group membership ---------- *)
+
+let membership_emulates_p cfg =
+  let pattern =
+    Pattern.make ~n:cfg.n
+      [ (Pid.of_int 2, Time.of_int 500); (Pid.of_int (cfg.n), Time.of_int 1200) ]
+  in
+  let models =
+    [ Link.Synchronous { delta = 8 };
+      Link.Partially_synchronous { gst = 900; delta = 8; wild_max = 100 } ]
+  in
+  let results =
+    List.map
+      (fun model ->
+        let r =
+          Netsim.run ~n:cfg.n ~pattern ~model ~seed:cfg.seed ~horizon:4000
+            (Gms.node Gms.default_config)
+        in
+        let checks = Gms.check_emulates_p r in
+        let ok =
+          List.for_all (fun (_, res) -> Classes.holds res) checks
+          && Classes.holds (Gms.final_views_agree r)
+        in
+        (Link.name model, ok))
+      models
+  in
+  outcome ~id:"EXP-11"
+    ~claim:"Section 1.3: a group membership service emulates a Perfect detector"
+    ~expected:"class-P checks and view agreement hold on both link models"
+    ~observed:
+      (String.concat ", "
+         (List.map (fun (m, ok) -> Format.asprintf "%s:%s" m (if ok then "ok" else "FAIL")) results))
+    ~pass:(count_failures results = 0)
+
+(* ---------- Atomic commitment ---------- *)
+
+let nbac_with_p cfg =
+  let all_yes _ = Nbac.Yes in
+  let one_no p = if Pid.to_int p = 2 then Nbac.No else Nbac.Yes in
+  let run ~votes pattern =
+    Runner.run ~pattern ~detector:Perfect.canonical ~scheduler:(Scheduler.fair ())
+      ~horizon:cfg.horizon
+      ~until:(Runner.stop_when_all_correct_output pattern)
+      (Nbac.automaton ~votes)
+  in
+  let outcome_of r = match r.Runner.outputs with (_, _, o) :: _ -> Some o | [] -> None in
+  let cases =
+    [ ("all-yes/no-crash", all_yes, Pattern.failure_free ~n:cfg.n, Some Nbac.Commit);
+      ("one-no", one_no, Pattern.failure_free ~n:cfg.n, Some Nbac.Abort);
+      ( "all-yes/early-crash", all_yes,
+        Pattern.make ~n:cfg.n [ (Pid.of_int 2, Time.zero) ], Some Nbac.Abort );
+      ( "all-yes/heavy-crashes", all_yes,
+        Pattern.make ~n:cfg.n
+          (List.init (cfg.n - 1) (fun i -> (Pid.of_int (i + 1), Time.of_int (5 * (i + 1))))),
+        None (* either outcome, but spec must hold *) ) ]
+  in
+  let results =
+    List.map
+      (fun (label, votes, pattern, expected) ->
+        let r = run ~votes pattern in
+        let spec_ok =
+          Nbac.check ~votes r |> List.for_all (fun (_, res) -> Classes.holds res)
+        in
+        let outcome_ok =
+          match expected with None -> true | Some o -> outcome_of r = Some o
+        in
+        (label, spec_ok && outcome_ok))
+      cases
+  in
+  outcome ~id:"EXP-13"
+    ~claim:"non-blocking atomic commitment (the [8]/[10] lineage) solved with P"
+    ~expected:"commit iff unanimous yes and no excuse; spec holds under unbounded crashes"
+    ~observed:
+      (String.concat ", "
+         (List.map (fun (l, ok) -> Format.asprintf "%s:%s" l (if ok then "ok" else "FAIL")) results))
+    ~pass:(count_failures results = 0)
+
+(* ---------- Small-scope model checking ---------- *)
+
+let exhaustive_small_scope cfg =
+  let n = 3 in
+  let proposals p = 10 + Pid.to_int p in
+  let safety =
+    Explore.both
+      (Explore.agreement_check ~equal:Int.equal)
+      (Explore.validity_check ~n ~proposals ~equal:Int.equal)
+  in
+  let positive =
+    Explore.run ~max_steps:9 ~max_nodes:2_000_000
+      ~pattern:(Pattern.make ~n [ (Pid.of_int 1, Time.of_int 2) ])
+      ~detector:Perfect.canonical ~check:safety (Ct_strong.automaton ~proposals)
+  in
+  let negative =
+    Explore.run ~max_steps:10 ~max_nodes:400_000
+      ~pattern:(Pattern.make ~n [ (Pid.of_int 1, Time.of_int 1) ])
+      ~detector:Partial_perfect.canonical
+      ~check:(Explore.agreement_check ~equal:Int.equal)
+      (Rank_consensus.automaton ~proposals)
+  in
+  ignore cfg;
+  outcome ~id:"EXP-14"
+    ~claim:"small-scope exhaustive check: safety of the total algorithm, witness for P<"
+    ~expected:"0 violations for ct-strong+P over the whole tree; a uniformity witness for rank+P<"
+    ~observed:
+      (Format.asprintf "ct-strong: %a; rank: %d witness(es)" Explore.pp_report positive
+         (List.length negative.Explore.violations))
+    ~pass:
+      (positive.Explore.violations = []
+      && positive.Explore.complete
+      && negative.Explore.violations <> [])
+
+let all cfg =
+  [
+    lemma_4_1_totality cfg;
+    lemma_4_1_needs_realism cfg;
+    lemma_4_2_reduction cfg;
+    reduction_needs_totality cfg;
+    prop_4_3_sufficiency cfg;
+    prop_5_1_trb cfg;
+    prop_5_1_reduction cfg;
+    collapse_s_and_p cfg;
+    marabout_solves_consensus cfg;
+    marabout_algorithm_unsound_realistically cfg;
+    uniform_harder_than_consensus cfg;
+    ev_strong_needs_majority cfg;
+    abcast_equivalence cfg;
+    membership_emulates_p cfg;
+    nbac_with_p cfg;
+    exhaustive_small_scope cfg;
+  ]

@@ -1,0 +1,189 @@
+open Rlfd_kernel
+
+type result = Holds | Violated of string
+
+let holds = function Holds -> true | Violated _ -> false
+
+let pp_result ppf = function
+  | Holds -> Format.pp_print_string ppf "holds"
+  | Violated why -> Format.fprintf ppf "violated: %s" why
+
+let all_hold results =
+  match List.find_opt (fun r -> not (holds r)) results with
+  | None -> Holds
+  | Some v -> v
+
+type check =
+  Pattern.t -> horizon:Time.t -> window:Time.t -> Detector.suspicions History.t -> result
+
+let default_window ~horizon = Time.of_int (Stdlib.max 1 (Time.to_int horizon / 5))
+
+let violatedf fmt = Format.kasprintf (fun s -> Violated s) fmt
+
+let stability_start ~horizon ~window =
+  Time.of_int (Stdlib.max 0 (Time.to_int horizon - Time.to_int window))
+
+(* [forall_times a b f] is the first violation of [f t] for [t] in [a..b]. *)
+let forall_times a b f =
+  let rec go t =
+    if Time.(t > b) then Holds
+    else match f t with Holds -> go (Time.succ t) | v -> v
+  in
+  go a
+
+let forall_set s f =
+  Pid.Set.fold
+    (fun p acc -> match acc with Holds -> f p | v -> v)
+    s Holds
+
+let exists_set s f = Pid.Set.exists f s
+
+(* Eventually-permanently: [prop q p] must hold at every time in the final
+   stability window, for the given observer/subject pair. *)
+let permanently_in_window ~horizon ~window prop =
+  let start = stability_start ~horizon ~window in
+  fun q p -> holds (forall_times start horizon (fun t -> prop q p t))
+
+let strong_completeness pattern ~horizon ~window h =
+  let correct = Pattern.correct pattern and faulty = Pattern.faulty pattern in
+  let suspected_throughout =
+    permanently_in_window ~horizon ~window (fun q p t ->
+        if Pid.Set.mem p (h q t) then Holds
+        else violatedf "crash not suspected at %a" Time.pp t)
+  in
+  forall_set faulty (fun p ->
+      forall_set correct (fun q ->
+          if suspected_throughout q p then Holds
+          else
+            violatedf "strong completeness: %s never permanently suspects crashed %s"
+              (Pid.to_string q) (Pid.to_string p)))
+
+let weak_completeness pattern ~horizon ~window h =
+  let correct = Pattern.correct pattern and faulty = Pattern.faulty pattern in
+  let suspected_throughout =
+    permanently_in_window ~horizon ~window (fun q p t ->
+        if Pid.Set.mem p (h q t) then Holds else violatedf "gap at %a" Time.pp t)
+  in
+  forall_set faulty (fun p ->
+      if exists_set correct (fun q -> suspected_throughout q p) then Holds
+      else
+        violatedf "weak completeness: no correct process permanently suspects %s"
+          (Pid.to_string p))
+
+let partial_completeness pattern ~horizon ~window h =
+  let correct = Pattern.correct pattern and faulty = Pattern.faulty pattern in
+  let suspected_throughout =
+    permanently_in_window ~horizon ~window (fun q p t ->
+        if Pid.Set.mem p (h q t) then Holds else violatedf "gap at %a" Time.pp t)
+  in
+  forall_set faulty (fun p ->
+      let higher = Pid.Set.filter (fun q -> Pid.compare q p > 0) correct in
+      forall_set higher (fun q ->
+          if suspected_throughout q p then Holds
+          else
+            violatedf
+              "partial completeness: %s (rank above %s) never permanently suspects it"
+              (Pid.to_string q) (Pid.to_string p)))
+
+let strong_accuracy pattern ~horizon ~window:_ h =
+  let everyone = Pid.Set.of_list (Pattern.processes pattern) in
+  forall_times Time.zero horizon (fun t ->
+      forall_set everyone (fun q ->
+          if Pattern.is_crashed pattern q t then Holds
+          else
+            let wrong = Pid.Set.diff (h q t) (Pattern.crashed_by pattern t) in
+            if Pid.Set.is_empty wrong then Holds
+            else
+              violatedf "strong accuracy: %s suspects alive %a at %a"
+                (Pid.to_string q) Pid.Set.pp wrong Time.pp t))
+
+let never_suspected pattern ~from ~horizon h p =
+  let everyone = Pid.Set.of_list (Pattern.processes pattern) in
+  holds
+    (forall_times from horizon (fun t ->
+         forall_set everyone (fun q ->
+             if Pattern.is_crashed pattern q t then Holds
+             else if Pid.Set.mem p (h q t) then violatedf "suspected"
+             else Holds)))
+
+let weak_accuracy pattern ~horizon ~window:_ h =
+  let correct = Pattern.correct pattern in
+  if exists_set correct (fun p -> never_suspected pattern ~from:Time.zero ~horizon h p)
+  then Holds
+  else Violated "weak accuracy: every correct process is suspected at some point"
+
+let eventual_strong_accuracy pattern ~horizon ~window h =
+  let start = stability_start ~horizon ~window in
+  let correct = Pattern.correct pattern in
+  forall_set correct (fun p ->
+      if never_suspected pattern ~from:start ~horizon h p then Holds
+      else
+        violatedf "eventual strong accuracy: correct %s still suspected in the window"
+          (Pid.to_string p))
+
+let eventual_weak_accuracy pattern ~horizon ~window h =
+  let start = stability_start ~horizon ~window in
+  let correct = Pattern.correct pattern in
+  if exists_set correct (fun p -> never_suspected pattern ~from:start ~horizon h p)
+  then Holds
+  else
+    Violated
+      "eventual weak accuracy: no correct process is unsuspected through the window"
+
+type cls =
+  | Perfect
+  | Quasi_perfect
+  | Strong
+  | Weak
+  | Eventually_perfect
+  | Eventually_quasi
+  | Eventually_strong
+  | Eventually_weak
+  | Partially_perfect
+
+let all_classes =
+  [ Perfect; Quasi_perfect; Strong; Weak; Eventually_perfect; Eventually_quasi;
+    Eventually_strong; Eventually_weak; Partially_perfect ]
+
+let class_name = function
+  | Perfect -> "P"
+  | Quasi_perfect -> "Q"
+  | Strong -> "S"
+  | Weak -> "W"
+  | Eventually_perfect -> "<>P"
+  | Eventually_quasi -> "<>Q"
+  | Eventually_strong -> "<>S"
+  | Eventually_weak -> "<>W"
+  | Partially_perfect -> "P<"
+
+let checks_for = function
+  | Perfect ->
+    [ ("strong completeness", strong_completeness); ("strong accuracy", strong_accuracy) ]
+  | Quasi_perfect ->
+    [ ("weak completeness", weak_completeness); ("strong accuracy", strong_accuracy) ]
+  | Strong ->
+    [ ("strong completeness", strong_completeness); ("weak accuracy", weak_accuracy) ]
+  | Weak ->
+    [ ("weak completeness", weak_completeness); ("weak accuracy", weak_accuracy) ]
+  | Eventually_perfect ->
+    [ ("strong completeness", strong_completeness);
+      ("eventual strong accuracy", eventual_strong_accuracy) ]
+  | Eventually_quasi ->
+    [ ("weak completeness", weak_completeness);
+      ("eventual strong accuracy", eventual_strong_accuracy) ]
+  | Eventually_strong ->
+    [ ("strong completeness", strong_completeness);
+      ("eventual weak accuracy", eventual_weak_accuracy) ]
+  | Eventually_weak ->
+    [ ("weak completeness", weak_completeness);
+      ("eventual weak accuracy", eventual_weak_accuracy) ]
+  | Partially_perfect ->
+    [ ("partial completeness", partial_completeness); ("strong accuracy", strong_accuracy) ]
+
+let member cls pattern ~horizon ~window h =
+  checks_for cls
+  |> List.map (fun (_, check) -> check pattern ~horizon ~window h)
+  |> all_hold
+
+let classify pattern ~horizon ~window h =
+  all_classes |> List.filter (fun cls -> holds (member cls pattern ~horizon ~window h))

@@ -1,0 +1,36 @@
+open Rlfd_kernel
+
+let realistic_of a b = Detector.claims_realistic a && Detector.claims_realistic b
+
+let binary ~symbol ~combine a b =
+  Detector.make
+    ~name:(Format.asprintf "(%s %s %s)" (Detector.name a) symbol (Detector.name b))
+    ~claims_realistic:(realistic_of a b)
+    (fun f p t -> combine (Detector.query a f p t) (Detector.query b f p t))
+
+let union a b = binary ~symbol:"|" ~combine:Pid.Set.union a b
+
+let intersect a b = binary ~symbol:"&" ~combine:Pid.Set.inter a b
+
+let lag k d =
+  if k < 0 then invalid_arg "Combinators.lag: negative lag";
+  Detector.make
+    ~name:(Format.asprintf "lag(%d,%s)" k (Detector.name d))
+    ~claims_realistic:(Detector.claims_realistic d)
+    (fun f p t ->
+      let earlier = Time.to_int t - k in
+      if earlier < 0 then Pid.Set.empty
+      else Detector.query d f p (Time.of_int earlier))
+
+let restrict_below d =
+  Detector.make
+    ~name:(Format.asprintf "below(%s)" (Detector.name d))
+    ~claims_realistic:(Detector.claims_realistic d)
+    (fun f p t ->
+      Pid.Set.filter (fun q -> Pid.compare q p < 0) (Detector.query d f p t))
+
+let mask immune d =
+  Detector.make
+    ~name:(Format.asprintf "mask(%a,%s)" Pid.Set.pp immune (Detector.name d))
+    ~claims_realistic:(Detector.claims_realistic d)
+    (fun f p t -> Pid.Set.diff (Detector.query d f p t) immune)

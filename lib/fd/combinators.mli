@@ -1,0 +1,40 @@
+(** Failure-detector combinators.
+
+    Detectors compose: the union of two suspicion detectors suspects what
+    either does, intersection what both do, and lag shifts a detector's
+    knowledge into the past.  Each combinator documents how it acts on the
+    classes of its arguments; all of them preserve realism (they are
+    pointwise, prefix-respecting transformations — if the inputs cannot see
+    the future, neither can the output). *)
+
+open Rlfd_kernel
+
+val union :
+  Detector.suspicions Detector.t ->
+  Detector.suspicions Detector.t ->
+  Detector.suspicions Detector.t
+(** Suspect the union.  Preserves completeness of either argument and
+    accuracy only if both arguments have it: [union P noisy] is noisy. *)
+
+val intersect :
+  Detector.suspicions Detector.t ->
+  Detector.suspicions Detector.t ->
+  Detector.suspicions Detector.t
+(** Suspect the intersection.  Preserves accuracy of either argument and
+    completeness only if both have it. *)
+
+val lag : int -> Detector.suspicions Detector.t -> Detector.suspicions Detector.t
+(** [lag k d] outputs what [d] output [k] ticks ago (empty before time
+    [k]).  Preserves [P] (accuracy trivially; completeness delayed), models
+    stale views.  Raises [Invalid_argument] on negative [k]. *)
+
+val restrict_below : Detector.suspicions Detector.t -> Detector.suspicions Detector.t
+(** [restrict_below d] lets [p_j] see only [d]'s suspicions of processes
+    with index [< j]: the surgery that carves [P<] out of [P] (Section
+    6.2) — applied to the canonical Perfect detector it {e is}
+    [Partial_perfect.canonical]. *)
+
+val mask : Pid.Set.t -> Detector.suspicions Detector.t -> Detector.suspicions Detector.t
+(** [mask immune d] never suspects the given processes.  Destroys
+    completeness for crashed members of [immune]; useful to build detectors
+    with targeted blind spots for failure-injection tests. *)

@@ -1,0 +1,25 @@
+open Rlfd_kernel
+
+type 'd t = {
+  name : string;
+  claims_realistic : bool;
+  output : Pattern.t -> Pid.t -> Time.t -> 'd;
+}
+
+let make ~name ~claims_realistic output = { name; claims_realistic; output }
+
+let name d = d.name
+
+let claims_realistic d = d.claims_realistic
+
+let query d f p t = d.output f p t
+
+let history d f = History.of_fun (d.output f)
+
+let map ~name g d =
+  { name; claims_realistic = d.claims_realistic;
+    output = (fun f p t -> g (d.output f p t)) }
+
+type suspicions = Pid.Set.t
+
+let suspects d f q t p = Pid.Set.mem p (query d f q t)

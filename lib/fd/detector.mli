@@ -1,0 +1,43 @@
+(** The failure detector abstraction (paper, Section 2.2).
+
+    A failure detector [D] maps each failure pattern [F] to a set of
+    histories [D(F)].  The detectors in this repository are {e deterministic
+    given a seed}: [D(F)] is the single history computed by [output], so the
+    realism condition of Section 3.1 — which existentially quantifies over
+    histories — becomes an exact, checkable equality (see {!Realism}).
+
+    The range ['d] is a type parameter: suspicion-list detectors (the
+    classes of Chandra and Toueg) have range [Pid.Set.t], the Omega leader
+    oracle has range [Pid.t], and the Scribe has range [Pattern.prefix]. *)
+
+open Rlfd_kernel
+
+type 'd t
+
+val make :
+  name:string ->
+  claims_realistic:bool ->
+  (Pattern.t -> Pid.t -> Time.t -> 'd) ->
+  'd t
+(** [claims_realistic] documents the intended class of the detector; the
+    {!Realism} checker validates (or refutes) the claim empirically. *)
+
+val name : 'd t -> string
+
+val claims_realistic : 'd t -> bool
+
+val query : 'd t -> Pattern.t -> Pid.t -> Time.t -> 'd
+(** The value seen by [p_i]'s module at time [t] in pattern [F]. *)
+
+val history : 'd t -> Pattern.t -> 'd History.t
+
+val map : name:string -> ('d -> 'e) -> 'd t -> 'e t
+(** Transform the range pointwise; preserves the realism claim (a pointwise
+    function of a prefix-determined output is prefix-determined). *)
+
+type suspicions = Pid.Set.t
+(** The range of the classical Chandra–Toueg detectors: the set of processes
+    currently suspected. *)
+
+val suspects : suspicions t -> Pattern.t -> Pid.t -> Time.t -> Pid.t -> bool
+(** [suspects d f q t p] iff [p] is in the module output of [q] at [t]. *)

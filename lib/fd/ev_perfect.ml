@@ -1,0 +1,19 @@
+open Rlfd_kernel
+
+let noisy ~stabilization ~noise ~seed =
+  if noise < 0. || noise > 1. then invalid_arg "Ev_perfect.noisy: noise out of [0,1]";
+  let output f p t =
+    let crashed = Pattern.crashed_by f t in
+    if Time.(t >= stabilization) then crashed
+    else begin
+      let rng = Rng.derive ~seed ~salts:[ 0xE9; Pid.to_int p; Time.to_int t ] in
+      let alive = Pid.Set.elements (Pattern.alive_at f t) in
+      let falsely = Rng.subset rng ~p:noise alive in
+      Pid.Set.union crashed (Pid.Set.of_list falsely)
+    end
+  in
+  Detector.make
+    ~name:(Format.asprintf "<>P(stab=%d)" (Time.to_int stabilization))
+    ~claims_realistic:true output
+
+let canonical ~stabilization ~seed = noisy ~stabilization ~noise:0.3 ~seed

@@ -1,0 +1,21 @@
+(** Eventually Perfect failure detectors (class [◊P]).
+
+    Strong completeness plus {e eventual} strong accuracy: before a
+    stabilisation time the detector may suspect alive processes wrongly;
+    after it, only crashed processes are suspected.  This is the class a
+    timeout-based detector implements in a partially synchronous system
+    (compare {!Rlfd_net.Heartbeat}).  Realistic: the noise is a function of
+    the prefix and of the seed. *)
+
+open Rlfd_kernel
+
+val canonical : stabilization:Time.t -> seed:int -> Detector.suspicions Detector.t
+(** Before [stabilization]: outputs [F(t)] plus a seed-determined subset of
+    the processes still alive at [t] (false suspicions).  From
+    [stabilization] on: outputs exactly [F(t)]. *)
+
+val noisy :
+  stabilization:Time.t -> noise:float -> seed:int -> Detector.suspicions Detector.t
+(** Like {!canonical} with an explicit false-suspicion probability per
+    (process, time) pair.  Raises [Invalid_argument] unless
+    [0 <= noise <= 1]. *)

@@ -1,0 +1,35 @@
+open Rlfd_kernel
+
+let trusted f t = Pid.Set.min_elt_opt (Pattern.alive_at f t)
+
+let weakly_complete =
+  let output f p t =
+    match Pid.Set.min_elt_opt (Pattern.alive_at f t) with
+    | Some observer when Pid.equal observer p -> Pattern.crashed_by f t
+    | Some _ | None -> Pid.Set.empty
+  in
+  Detector.make ~name:"weak-completeness-only" ~claims_realistic:true output
+
+let paranoid ~stabilization =
+  let output f p t =
+    if Time.(t >= stabilization) then Pattern.crashed_by f t
+    else Pid.Set.remove p (Pid.universe ~n:(Pattern.n f))
+  in
+  Detector.make
+    ~name:(Format.asprintf "<>S(paranoid,stab=%d)" (Time.to_int stabilization))
+    ~claims_realistic:true output
+
+let canonical ~seed ~noise =
+  if noise < 0. || noise > 1. then invalid_arg "Ev_strong.canonical: noise out of [0,1]";
+  let output f p t =
+    let crashed = Pattern.crashed_by f t in
+    let rng = Rng.derive ~seed ~salts:[ 0xE5; Pid.to_int p; Time.to_int t ] in
+    let alive = Pid.Set.elements (Pattern.alive_at f t) in
+    let falsely = Pid.Set.of_list (Rng.subset rng ~p:noise alive) in
+    let suspected = Pid.Set.union crashed falsely in
+    let suspected = Pid.Set.remove p suspected in
+    match trusted f t with
+    | None -> suspected
+    | Some q -> Pid.Set.remove q suspected
+  in
+  Detector.make ~name:"<>S" ~claims_realistic:true output

@@ -1,0 +1,40 @@
+(** Eventually Strong failure detectors (class [◊S]): strong completeness
+    plus eventual weak accuracy (eventually some correct process is no
+    longer suspected by anyone).
+
+    [◊S] is the weakest class for consensus with a {e majority} of correct
+    processes [CHT96]; the paper's point is that without that bound it no
+    longer suffices.  The canonical member below is realistic: its trusted
+    process at time [t] is the smallest-index process alive at [t], a
+    function of the prefix that eventually stabilises on the smallest
+    correct process. *)
+
+open Rlfd_kernel
+
+val canonical : seed:int -> noise:float -> Detector.suspicions Detector.t
+(** Output at [(p, t)]: the crashed set [F(t)], plus seed-determined false
+    suspicions among alive processes with probability [noise], minus the
+    currently trusted process (smallest index alive at [t]) and [p] itself.
+    Raises [Invalid_argument] unless [0 <= noise <= 1]. *)
+
+val trusted : Pattern.t -> Time.t -> Pid.t option
+(** The process the canonical member never suspects at time [t]; [None]
+    only when everyone has crashed. *)
+
+val weakly_complete : Detector.suspicions Detector.t
+(** A detector with only {e weak} completeness: at any time, exactly one
+    observer — the smallest-index process alive — sees the crashed set;
+    every other module outputs the empty set.  Strong accuracy holds
+    (nobody is suspected before crashing) but most processes learn nothing.
+    Realistic.  This is the input the classical Chandra–Toueg
+    weak-to-strong completeness transformation
+    ({!Rlfd_reduction.Weak_to_strong}) amplifies. *)
+
+val paranoid : stabilization:Time.t -> Detector.suspicions Detector.t
+(** The adversarial member of [◊S]: before [stabilization] every process
+    suspects everyone else; afterwards it outputs exactly the crashed set.
+    Strong completeness and eventual weak accuracy hold, and the detector is
+    realistic — yet it deterministically breaks the [S]-based consensus
+    algorithm (every process runs its rounds alone and decides its own
+    value), exhibiting concretely why [◊S] does not solve consensus when
+    failures are unbounded. *)

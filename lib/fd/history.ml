@@ -1,0 +1,49 @@
+open Rlfd_kernel
+
+type 'd t = Pid.t -> Time.t -> 'd
+
+let of_fun f = f
+
+let agree_upto a b ~n ~upto ~equal =
+  let exception Diff of Pid.t * Time.t in
+  try
+    List.iter
+      (fun p ->
+        List.iter
+          (fun t -> if not (equal (a p t) (b p t)) then raise (Diff (p, t)))
+          (Time.range Time.zero upto))
+      (Pid.all ~n);
+    None
+  with Diff (p, t) -> Some (p, t)
+
+module Recorder = struct
+  type 'd r = {
+    init : 'd;
+    (* per process, reverse-chronological (time, value) list *)
+    cells : (Time.t * 'd) list array;
+  }
+
+  let create ~n ~init = { init; cells = Array.make n [] }
+
+  let idx p = Pid.to_int p - 1
+
+  let record r p t v =
+    let cell = r.cells.(idx p) in
+    (match cell with
+    | (last, _) :: _ when Time.(t < last) ->
+      invalid_arg "History.Recorder.record: time went backwards"
+    | _ -> ());
+    r.cells.(idx p) <- (t, v) :: cell
+
+  let last r p =
+    match r.cells.(idx p) with [] -> r.init | (_, v) :: _ -> v
+
+  let history r p t =
+    let rec find = function
+      | [] -> r.init
+      | (time, v) :: rest -> if Time.(time <= t) then v else find rest
+    in
+    find r.cells.(idx p)
+
+  let changes r p = List.rev r.cells.(idx p)
+end

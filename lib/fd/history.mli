@@ -1,0 +1,48 @@
+(** Failure detector histories (paper, Section 2.2).
+
+    A history [H] with range [R] maps each process and time to the value
+    output by that process's failure detector module at that time:
+    [H(p_i, t)].  Two forms are used in this repository:
+
+    - {e functional} histories, computed on demand from a detector and a
+      failure pattern (see {!Detector}); and
+    - {e recorded} histories, built by the reduction algorithms of Sections 4
+      and 5, which emulate a Perfect failure detector inside a distributed
+      variable [output(P)].  A recorder captures the successive values of
+      that variable so the emulated history can be checked against the class
+      [P]'s properties. *)
+
+open Rlfd_kernel
+
+type 'd t = Pid.t -> Time.t -> 'd
+(** A total history function. *)
+
+val of_fun : (Pid.t -> Time.t -> 'd) -> 'd t
+
+val agree_upto : 'd t -> 'd t -> n:int -> upto:Time.t -> equal:('d -> 'd -> bool)
+  -> (Pid.t * Time.t) option
+(** First [(process, time)] with [time <= upto] at which the histories
+    differ, or [None] when they agree at every process up to [upto]. *)
+
+(** Mutable recorder for emulated histories. *)
+module Recorder : sig
+  type 'd r
+
+  val create : n:int -> init:'d -> 'd r
+  (** Every process's variable starts at [init] at time 0. *)
+
+  val record : 'd r -> Pid.t -> Time.t -> 'd -> unit
+  (** Append a value change.  Raises [Invalid_argument] if [t] is earlier
+      than the last recorded change for that process (histories evolve
+      forward). *)
+
+  val last : 'd r -> Pid.t -> 'd
+  (** Most recently recorded value (or [init]). *)
+
+  val history : 'd r -> 'd t
+  (** The step-function history: [history r p t] is the value most recently
+      recorded at or before [t]. *)
+
+  val changes : 'd r -> Pid.t -> (Time.t * 'd) list
+  (** Recorded changes in chronological order. *)
+end

@@ -1,0 +1,11 @@
+open Rlfd_kernel
+
+let canonical =
+  Detector.make ~name:"M(marabout)" ~claims_realistic:false (fun f _p _t ->
+      Pattern.faulty f)
+
+let paper_example ~n =
+  if n < 2 then invalid_arg "Marabout.paper_example: need n >= 2";
+  let f1 = Pattern.make ~n [ (Pid.of_int 1, Time.of_int 10) ] in
+  let f2 = Pattern.failure_free ~n in
+  (f1, f2, Time.of_int 9)

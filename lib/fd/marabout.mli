@@ -1,0 +1,21 @@
+(** The Marabout failure detector [M] (paper, Section 3.2.2; Guerraoui,
+    IPL 79, 2001).
+
+    At every process and every time, [M] outputs the constant list of
+    processes that {e are or will be} faulty in the pattern: it predicts the
+    future.  [M] satisfies the properties of both [P] and [◊S] of the
+    original hierarchy, yet it cannot be implemented even in a perfectly
+    synchronous system — it is the paper's canonical non-realistic detector,
+    refuted by {!Realism.check} on the [F1]/[F2] pair of Section 3.2.2. *)
+
+open Rlfd_kernel
+
+val canonical : Detector.suspicions Detector.t
+(** Constant output [faulty(F)]. *)
+
+val paper_example : n:int -> Pattern.t * Pattern.t * Time.t
+(** The pair of patterns from Section 3.2.2: in [F1] all processes are
+    correct except [p_1], which crashes at time 10; in [F2] all processes
+    are correct.  Returned with the witness time [T = 9] up to which the
+    two patterns coincide while [M]'s outputs already differ.  Raises
+    [Invalid_argument] if [n < 2]. *)

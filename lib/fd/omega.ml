@@ -1,0 +1,18 @@
+open Rlfd_kernel
+
+let leader_at f t = Pid.Set.min_elt_opt (Pattern.alive_at f t)
+
+let canonical =
+  Detector.make ~name:"Omega" ~claims_realistic:true (fun f _p t ->
+      match leader_at f t with
+      | Some q -> q
+      | None -> failwith "Omega: no process alive")
+
+let as_suspicions ~n =
+  let output f _p t =
+    let everyone = Pid.universe ~n in
+    match leader_at f t with
+    | None -> everyone
+    | Some q -> Pid.Set.remove q everyone
+  in
+  Detector.make ~name:"Omega->suspicions" ~claims_realistic:true output

@@ -1,0 +1,15 @@
+open Rlfd_kernel
+
+let below j set = Pid.Set.filter (fun q -> Pid.compare q j < 0) set
+
+let canonical =
+  Detector.make ~name:"P<" ~claims_realistic:true (fun f p t ->
+      below p (Pattern.crashed_by f t))
+
+let delayed ~lag =
+  if lag < 0 then invalid_arg "Partial_perfect.delayed: negative lag";
+  let output f p t =
+    let seen = Stdlib.max 0 (Time.to_int t - lag) in
+    below p (Pattern.crashed_by f (Time.of_int seen))
+  in
+  Detector.make ~name:(Format.asprintf "P<(lag=%d)" lag) ~claims_realistic:true output

@@ -1,0 +1,18 @@
+(** Partially Perfect failure detectors [P<] (paper, Section 6.2, after
+    Guerraoui, WDAG 1995).
+
+    [P<] keeps the strong accuracy of [P] but weakens completeness to
+    {e partial completeness}: if [p_i] crashes then eventually every correct
+    [p_j] with [j > i] permanently suspects [p_i].  A process learns nothing
+    about higher-index processes, which is why [P<] is strictly weaker than
+    [P] when the number of failures is unbounded — and why correct-restricted
+    consensus (solvable with [P<]) is strictly easier than uniform consensus
+    (which needs full [P]). *)
+
+
+val canonical : Detector.suspicions Detector.t
+(** Output at [(p_j, t)]: the crashed processes with index strictly below
+    [j]. *)
+
+val delayed : lag:int -> Detector.suspicions Detector.t
+(** Same, with crash information delayed by [lag] ticks. *)

@@ -1,0 +1,31 @@
+open Rlfd_kernel
+
+let canonical =
+  Detector.make ~name:"P" ~claims_realistic:true (fun f _p t -> Pattern.crashed_by f t)
+
+let delayed ~lag =
+  if lag < 0 then invalid_arg "Perfect.delayed: negative lag";
+  let output f _p t =
+    let seen = Stdlib.max 0 (Time.to_int t - lag) in
+    Pattern.crashed_by f (Time.of_int seen)
+  in
+  Detector.make ~name:(Format.asprintf "P(lag=%d)" lag) ~claims_realistic:true output
+
+let staggered ~seed ~max_lag =
+  if max_lag < 0 then invalid_arg "Perfect.staggered: negative max_lag";
+  let lag_for observer subject =
+    let rng =
+      Rng.derive ~seed ~salts:[ 0x5747; Pid.to_int observer; Pid.to_int subject ]
+    in
+    Rng.int rng (max_lag + 1)
+  in
+  let output f p t =
+    Pattern.crashed_by f t
+    |> Pid.Set.filter (fun q ->
+           match Pattern.crash_time f q with
+           | None -> false
+           | Some ct -> Time.to_int ct + lag_for p q <= Time.to_int t)
+  in
+  Detector.make
+    ~name:(Format.asprintf "P(staggered<=%d)" max_lag)
+    ~claims_realistic:true output

@@ -1,0 +1,21 @@
+(** Perfect failure detectors (class [P]).
+
+    A Perfect detector satisfies strong completeness and strong accuracy: it
+    suspects every crashed process eventually and permanently, and never
+    suspects a process before it crashes.  All members here are realistic:
+    their output at time [t] is a function of [F\[t\]] only. *)
+
+
+val canonical : Detector.suspicions Detector.t
+(** Outputs exactly [F(t)], the set of processes crashed through [t]. *)
+
+val delayed : lag:int -> Detector.suspicions Detector.t
+(** Outputs [F(t - lag)]: crash information propagates with a fixed delay,
+    as in a synchronous system with message delay [lag].  Still Perfect
+    (accuracy trivially; completeness with a lag), still realistic.  Raises
+    [Invalid_argument] if [lag < 0]. *)
+
+val staggered : seed:int -> max_lag:int -> Detector.suspicions Detector.t
+(** Each (observer, crashed process) pair learns of the crash after its own
+    deterministic lag in [0..max_lag], modelling independent notification
+    channels.  Perfect and realistic. *)

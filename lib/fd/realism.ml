@@ -1,0 +1,94 @@
+open Rlfd_kernel
+
+type counterexample = {
+  pattern_a : Pattern.t;
+  pattern_b : Pattern.t;
+  diverge_at : Time.t;
+  process : Pid.t;
+  time : Time.t;
+  output_a : string;
+  output_b : string;
+}
+
+let pp_counterexample ppf c =
+  Format.fprintf ppf
+    "@[<v>patterns agree before %a:@ A = %a@ B = %a@ yet at %a, %a outputs@ %s in A@ %s in B@]"
+    Time.pp c.diverge_at Pattern.pp c.pattern_a Pattern.pp c.pattern_b Time.pp c.time
+    Pid.pp c.process c.output_a c.output_b
+
+type verdict = Realistic_on_samples of int | Not_realistic of counterexample
+
+let pp_verdict ppf = function
+  | Realistic_on_samples k -> Format.fprintf ppf "realistic on %d sampled pairs" k
+  | Not_realistic c -> Format.fprintf ppf "NOT realistic:@ %a" pp_counterexample c
+
+let is_realistic = function Realistic_on_samples _ -> true | Not_realistic _ -> false
+
+let check_pair ~equal ~pp d (fa, fb) =
+  match Pattern.divergence_time fa fb with
+  | None -> None (* identical patterns: vacuously fine for a deterministic D *)
+  | Some d_at ->
+    if Time.equal d_at Time.zero then None (* no shared non-trivial prefix *)
+    else begin
+      let upto = Time.of_int (Time.to_int d_at - 1) in
+      let ha = Detector.history d fa and hb = Detector.history d fb in
+      match
+        History.agree_upto ha hb ~n:(Pattern.n fa) ~upto ~equal
+      with
+      | None -> None
+      | Some (p, t) ->
+        Some
+          {
+            pattern_a = fa;
+            pattern_b = fb;
+            diverge_at = d_at;
+            process = p;
+            time = t;
+            output_a = Format.asprintf "%a" pp (ha p t);
+            output_b = Format.asprintf "%a" pp (hb p t);
+          }
+    end
+
+let check ~equal ~pp d ~pairs =
+  let rec go k = function
+    | [] -> Realistic_on_samples k
+    | pair :: rest -> (
+      match check_pair ~equal ~pp d pair with
+      | None -> go (k + 1) rest
+      | Some c -> Not_realistic c)
+  in
+  go 0 pairs
+
+let check_suspicions d ~pairs = check ~equal:Pid.Set.equal ~pp:Pid.Set.pp d ~pairs
+
+let perturb_after rng f ~cut ~horizon =
+  let base = Pattern.truncate_after f cut in
+  let later_time () =
+    let lo = Time.to_int cut + 1 in
+    let hi = Stdlib.max lo (Time.to_int horizon) in
+    Time.of_int (Rng.int_in rng lo hi)
+  in
+  let alive = Pid.Set.elements (Pattern.alive_at base cut) in
+  let victims = Rng.subset rng ~p:0.5 alive in
+  (* keep at least one process alive *)
+  let victims =
+    if List.length victims >= List.length alive then List.tl victims else victims
+  in
+  List.fold_left (fun acc p -> Pattern.crash acc p (later_time ())) base victims
+
+let prefix_sharing_pairs ~n ~horizon ~count rng =
+  let paper =
+    if n >= 2 && Time.to_int horizon >= 10 then begin
+      let f1, f2, _witness = Marabout.paper_example ~n in
+      [ (f1, f2) ]
+    end
+    else []
+  in
+  let sample _ =
+    let family = Rng.pick rng Pattern.Family.all in
+    let f = Pattern.Family.generate family ~n ~horizon rng in
+    let cut = Time.of_int (Rng.int_in rng 1 (Stdlib.max 1 (Time.to_int horizon - 1))) in
+    let f' = perturb_after rng f ~cut ~horizon in
+    (f, f')
+  in
+  paper @ List.init count sample

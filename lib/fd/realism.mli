@@ -1,0 +1,53 @@
+(** The realism condition (paper, Section 3.1) as an executable check.
+
+    A failure detector is {e realistic} if it cannot guess the future: for
+    any two failure patterns [F] and [F'] that coincide up to a time [t],
+    any history the detector can output in [F] can be matched, up to [t],
+    by a history it can output in [F'].  Because every detector in this
+    repository is deterministic given its seed ([D(F)] is a singleton), the
+    existential over histories collapses and realism becomes a decidable
+    equality over sampled pattern pairs: the unique histories must agree at
+    every process at every time before the patterns diverge.
+
+    The checker can refute realism (a counterexample is definitive, as in
+    the paper's Marabout argument) and can corroborate it over arbitrarily
+    many sampled pairs. *)
+
+open Rlfd_kernel
+
+type counterexample = {
+  pattern_a : Pattern.t;
+  pattern_b : Pattern.t;
+  diverge_at : Time.t; (* earliest time the patterns differ *)
+  process : Pid.t;
+  time : Time.t; (* time < diverge_at at which the outputs differ *)
+  output_a : string;
+  output_b : string;
+}
+
+val pp_counterexample : Format.formatter -> counterexample -> unit
+
+type verdict = Realistic_on_samples of int | Not_realistic of counterexample
+
+val pp_verdict : Format.formatter -> verdict -> unit
+
+val is_realistic : verdict -> bool
+
+val check :
+  equal:('d -> 'd -> bool) ->
+  pp:(Format.formatter -> 'd -> unit) ->
+  'd Detector.t ->
+  pairs:(Pattern.t * Pattern.t) list ->
+  verdict
+(** Checks the histories of each pair up to (excluding) its divergence time.
+    Pairs of identical patterns are counted but vacuous. *)
+
+val check_suspicions :
+  Detector.suspicions Detector.t -> pairs:(Pattern.t * Pattern.t) list -> verdict
+
+val prefix_sharing_pairs :
+  n:int -> horizon:Time.t -> count:int -> Rng.t -> (Pattern.t * Pattern.t) list
+(** Sampled pairs that agree up to a random cut time and then diverge:
+    the second pattern replays the first's prefix and schedules different
+    crashes after the cut.  Includes, first, the paper's own [F1]/[F2]
+    example of Section 3.2.2 (when [n >= 2] and [horizon >= 10]). *)

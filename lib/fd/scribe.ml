@@ -1,0 +1,7 @@
+
+let output_at f t = Pattern.prefix f t
+
+let canonical =
+  Detector.make ~name:"C(scribe)" ~claims_realistic:true (fun f _p t -> output_at f t)
+
+let as_suspicions = Detector.map ~name:"C(scribe)->P" Pattern.prefix_crashed canonical

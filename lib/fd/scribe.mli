@@ -1,0 +1,20 @@
+(** The Scribe failure detector [C] (paper, Section 3.2.1).
+
+    The Scribe "sees what happens at all processes in real time and takes
+    notes": at any time [t] and any process it outputs the whole prefix
+    [F\[t\]] of the failure pattern.  It is realistic by construction and —
+    projected onto crash sets — it belongs to [P]: the prefix determines
+    [F(t)] exactly. *)
+
+open Rlfd_kernel
+
+val canonical : Pattern.prefix Detector.t
+
+val as_suspicions : Detector.suspicions Detector.t
+(** The Scribe with its output projected to the crashed set: literally the
+    canonical Perfect detector, which is how the paper concludes
+    [C ∈ P]. *)
+
+val output_at : Pattern.t -> Time.t -> Pattern.prefix
+(** The value every module outputs at time [t] (it is the same at every
+    process). *)

@@ -1,0 +1,17 @@
+open Rlfd_kernel
+
+let realistic =
+  Detector.make ~name:"S(realistic)" ~claims_realistic:true (fun f _p t ->
+      Pattern.crashed_by f t)
+
+let clairvoyant =
+  let output f p _t =
+    let trusted =
+      match Pid.Set.min_elt_opt (Pattern.correct f) with
+      | Some q -> Pid.Set.singleton q
+      | None -> Pid.Set.empty
+    in
+    let everyone = Pid.Set.of_list (Pattern.processes f) in
+    Pid.Set.diff everyone (Pid.Set.add p trusted)
+  in
+  Detector.make ~name:"S(clairvoyant)" ~claims_realistic:false output

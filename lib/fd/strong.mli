@@ -1,0 +1,27 @@
+(** Strong failure detectors (class [S]): strong completeness plus weak
+    accuracy (some correct process is never suspected by anyone).
+
+    This class is the paper's central cautionary tale.  Section 6.3 shows
+    that, restricted to realistic detectors, [S] collapses onto [P]:
+    a realistic detector cannot promise never to suspect a given process
+    unless that promise is safe in {e every} extension of the current
+    prefix — including the one where all other processes crash — which
+    forces strong accuracy.  Accordingly:
+
+    - {!realistic} is a member of [S ∩ R]... and is in fact Perfect, which
+      is exactly the collapse;
+    - {!clairvoyant} is a genuine member of [S \ P]-behaviour (it always
+      trusts one {e correct} process while suspecting freely), but it reads
+      the future — the realism checker refutes it. *)
+
+
+val realistic : Detector.suspicions Detector.t
+(** A realistic Strong detector.  Outputs [F(t)]; weak accuracy holds
+    because strong accuracy does.  Its membership in [P] is Proposition
+    "S ∩ R = P" made executable. *)
+
+val clairvoyant : Detector.suspicions Detector.t
+(** Trusts the smallest-index {e correct} process of the pattern — an
+    oracle about the future — and suspects every other process permanently
+    from time 0.  Satisfies strong completeness and weak accuracy (so it is
+    in [S]) but violates strong accuracy and is not realistic. *)

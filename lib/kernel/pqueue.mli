@@ -1,0 +1,26 @@
+(** Imperative binary-heap priority queue, used as the event list of the
+    timed network simulator.
+
+    Elements are ordered by an integer priority (smallest first); ties are
+    broken by insertion order, which keeps the discrete-event simulation
+    deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val is_empty : 'a t -> bool
+
+val length : 'a t -> int
+
+val add : 'a t -> prio:int -> 'a -> unit
+
+val pop : 'a t -> (int * 'a) option
+(** Removes and returns the minimum-priority element. *)
+
+val peek : 'a t -> (int * 'a) option
+
+val clear : 'a t -> unit
+
+val to_list : 'a t -> (int * 'a) list
+(** Snapshot in priority order; does not modify the queue. *)

@@ -1,0 +1,54 @@
+let mean = function
+  | [] -> 0.
+  | xs -> List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs)
+
+let stddev = function
+  | [] | [ _ ] -> 0.
+  | xs ->
+    let m = mean xs in
+    let sq = List.fold_left (fun acc x -> acc +. ((x -. m) ** 2.)) 0. xs in
+    sqrt (sq /. float_of_int (List.length xs - 1))
+
+let percentile xs q =
+  if xs = [] then invalid_arg "Stats.percentile: empty data";
+  if q < 0. || q > 1. then invalid_arg "Stats.percentile: q out of [0,1]";
+  let sorted = List.sort Float.compare xs in
+  let n = List.length sorted in
+  let rank = int_of_float (ceil (q *. float_of_int n)) in
+  let idx = Stdlib.max 0 (Stdlib.min (n - 1) (rank - 1)) in
+  List.nth sorted idx
+
+let median xs = percentile xs 0.5
+
+let minimum = function
+  | [] -> invalid_arg "Stats.minimum: empty data"
+  | x :: xs -> List.fold_left Stdlib.min x xs
+
+let maximum = function
+  | [] -> invalid_arg "Stats.maximum: empty data"
+  | x :: xs -> List.fold_left Stdlib.max x xs
+
+let histogram ~buckets xs =
+  if buckets <= 0 then invalid_arg "Stats.histogram: buckets must be positive";
+  match xs with
+  | [] -> []
+  | _ ->
+    let lo = minimum xs and hi = maximum xs in
+    let width =
+      let w = (hi -. lo) /. float_of_int buckets in
+      if w <= 0. then 1. else w
+    in
+    let counts = Array.make buckets 0 in
+    let bucket_of x =
+      let b = int_of_float ((x -. lo) /. width) in
+      Stdlib.max 0 (Stdlib.min (buckets - 1) b)
+    in
+    List.iter (fun x -> counts.(bucket_of x) <- counts.(bucket_of x) + 1) xs;
+    List.init buckets (fun b ->
+        (lo +. (float_of_int b *. width), lo +. (float_of_int (b + 1) *. width), counts.(b)))
+
+let pp_summary ppf = function
+  | [] -> Format.pp_print_string ppf "n=0"
+  | xs ->
+    Format.fprintf ppf "n=%d mean=%.2f p50=%.2f p99=%.2f max=%.2f" (List.length xs)
+      (mean xs) (median xs) (percentile xs 0.99) (maximum xs)

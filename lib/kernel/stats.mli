@@ -1,0 +1,24 @@
+(** Small statistics helpers for the benchmark harness and the failure
+    detector quality-of-service experiments. *)
+
+val mean : float list -> float
+(** 0. on the empty list. *)
+
+val stddev : float list -> float
+
+val percentile : float list -> float -> float
+(** [percentile xs q] with [q] in [\[0,1\]]; nearest-rank on the sorted data.
+    Raises [Invalid_argument] on an empty list or an out-of-range [q]. *)
+
+val median : float list -> float
+
+val minimum : float list -> float
+
+val maximum : float list -> float
+
+val histogram : buckets:int -> float list -> (float * float * int) list
+(** [histogram ~buckets xs] is a list of [(lo, hi, count)] rows covering
+    [\[min xs, max xs\]].  Empty input gives []. *)
+
+val pp_summary : Format.formatter -> float list -> unit
+(** One-line [n/mean/p50/p99/max] summary. *)

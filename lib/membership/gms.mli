@@ -1,0 +1,65 @@
+(** A group membership service emulating a Perfect failure detector
+    (paper, Sections 1.3 and 6.3; Powell's CACM special issue [14]).
+
+    The paper's explanation for why reliable systems get away without a
+    true [P]: a membership service {e makes} every suspicion accurate.
+    Members heartbeat each other inside the current view; when the view's
+    coordinator (its smallest live-looking member) suspects someone, it
+    proposes the next view without them; a member that learns it has been
+    excluded {e halts} (fail-stop enforcement).  A suspicion therefore
+    turns out accurate even when it was wrong: the suspected process is
+    dead by the time anyone relies on it.
+
+    {!effective_pattern} captures that twist: it extends the injected
+    crash pattern with the forced halts.  Against the {e effective}
+    pattern, the view-derived suspicion history satisfies the class [P]
+    properties ({!check_emulates_p}) — the precise, checkable sense in
+    which a GMS emulates a Perfect failure detector. *)
+
+open Rlfd_kernel
+open Rlfd_fd
+open Rlfd_net
+
+type config = {
+  period : int; (** heartbeat period *)
+  timeout : int; (** suspicion timeout *)
+}
+
+val default_config : config
+
+type event =
+  | View_installed of { id : int; members : Pid.Set.t }
+  | Excluded_self (** emitted just before the node halts *)
+
+val pp_event : Format.formatter -> event -> unit
+
+type state
+
+type msg
+
+val current_view : state -> int * Pid.Set.t
+
+val node : config -> (state, msg, event) Netsim.node
+
+(** {1 Analysis} *)
+
+val effective_pattern : ('s, event) Netsim.result -> Pattern.t
+(** The injected crashes, with each excluded process additionally treated
+    as crashed at the earliest installation of a view excluding it — the
+    moment the group stops dealing with it.  The fail-stop halt (recorded
+    in the run's [halted] list) is what makes this bookkeeping physically
+    true, which is the paper's "every suspicion hence turns out to be
+    accurate". *)
+
+val emulated_history : ('s, event) Netsim.result -> Detector.suspicions History.t
+(** Per process and time: the complement of its installed view — who the
+    membership service says is gone. *)
+
+val check_emulates_p :
+  ('s, event) Netsim.result -> (string * Classes.result) list
+(** Class-[P] checks of {!emulated_history} against
+    {!effective_pattern}, over the run's duration. *)
+
+val final_views_agree : (state, event) Netsim.result -> Classes.result
+(** All surviving members end in the same view, and that view contains
+    exactly the survivors. *)

@@ -1,0 +1,34 @@
+open Rlfd_kernel
+open Rlfd_fd
+
+let ceil_div a b = (a + b - 1) / b
+
+let scaled_pattern ?(scale = 1) (r : _ Netsim.result) =
+  if scale < 1 then invalid_arg "Bridge.scaled_pattern: scale must be >= 1";
+  let n = r.Netsim.n in
+  Pattern.make ~n
+    (Pid.all ~n
+    |> List.filter_map (fun p ->
+           match Pattern.crash_time r.Netsim.pattern p with
+           | None -> None
+           | Some t -> Some (p, Time.of_int (ceil_div (Time.to_int t) scale))))
+
+let detector_of_run ?(scale = 1) (r : _ Netsim.result) =
+  if scale < 1 then invalid_arg "Bridge.detector_of_run: scale must be >= 1";
+  let n = r.Netsim.n in
+  let recorder = History.Recorder.create ~n ~init:Pid.Set.empty in
+  List.iter
+    (fun (t, p, suspects) -> History.Recorder.record recorder p (Time.of_int t) suspects)
+    r.Netsim.outputs;
+  let history = History.Recorder.history recorder in
+  let expected = scaled_pattern ~scale r in
+  let output pattern p t =
+    if Pattern.n pattern <> n then
+      invalid_arg "Bridge.detector_of_run: pattern size mismatch";
+    if not (Pattern.equal pattern expected) then
+      failwith "Bridge.detector_of_run: queried on a different pattern than recorded";
+    history p (Time.of_int (Time.to_int t * scale))
+  in
+  Detector.make
+    ~name:(Format.asprintf "recorded(%s)" (Link.name r.Netsim.model))
+    ~claims_realistic:true output

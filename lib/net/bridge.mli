@@ -1,0 +1,36 @@
+(** From implemented detectors to the abstract model.
+
+    The paper's thesis is that a failure detector class is an abstraction of
+    synchrony assumptions.  This module closes the loop concretely: take a
+    {!Heartbeat} run over a timed network (a detector {e implementation}),
+    record each process's suspicion timeline, and package it as a
+    {!Rlfd_fd.Detector.t} that the FLP-model algorithms of {!Rlfd_algo} can
+    consume.  One can then run, say, the Chandra–Toueg consensus over the
+    detector a synchronous network actually yields — and watch the class
+    checks predict exactly when it is safe.
+
+    The packaged detector replays a recorded history for one specific
+    failure pattern; queried on any other pattern it raises (it is an
+    observation, not a function of arbitrary patterns), so {!Realism} checks
+    do not apply to it — realism is a property of detector {e definitions},
+    not of single recorded histories. *)
+
+open Rlfd_kernel
+open Rlfd_fd
+
+val detector_of_run :
+  ?scale:int ->
+  ('s, Pid.Set.t) Netsim.result ->
+  Detector.suspicions Detector.t
+(** [detector_of_run r] replays the suspicion history recorded in [r] (as
+    emitted by {!Heartbeat.node}).  [scale] (default 1) maps one
+    model tick to [scale] network time units, so a consensus algorithm whose
+    steps are sparser than network events can still see the detector evolve.
+    Raises [Invalid_argument] when queried on a pattern of a different size,
+    and [Failure] when queried on a pattern that differs from the recorded
+    one (after time scaling). *)
+
+val scaled_pattern : ?scale:int -> ('s, 'o) Netsim.result -> Pattern.t
+(** The network run's failure pattern with crash times divided by [scale]
+    (rounded up): the pattern to drive the FLP-model run with so that both
+    worlds agree on who is alive when. *)

@@ -1,0 +1,35 @@
+(** Reliable channels over fair-lossy links.
+
+    The paper's model assumes reliable channels ("every message sent to a
+    correct process is eventually received"), and its Section 1.1 notes that
+    consensus–atomic-broadcast equivalence holds in any system "where only a
+    finite number of messages can be lost, e.g., with reliable channels".
+    This module builds that assumption instead of granting it: a node
+    transformer that runs any {!Netsim} node over the classical
+    stubborn-retransmission + acknowledgement + deduplication stack, making
+    its message exchange reliable even on a {!Link.Lossy} model.
+
+    The wrapper is transparent: the inner node's state machine, timers and
+    outputs are untouched; only its messages travel inside [Data]/[Ack]
+    frames with per-sender sequence numbers. *)
+
+
+type 'm msg
+
+type ('s, 'm) state
+
+val inner : ('s, 'm) state -> 's
+(** The wrapped node's state. *)
+
+val unacked : ('s, 'm) state -> int
+(** Messages still awaiting acknowledgement (diagnostics; 0 once the
+    channel has quiesced). *)
+
+val reliable :
+  retransmit_every:int ->
+  ('s, 'm, 'o) Netsim.node ->
+  (('s, 'm) state, 'm msg, 'o) Netsim.node
+(** [reliable ~retransmit_every node] retransmits every unacknowledged
+    message on that cadence, acknowledges and deduplicates receptions, and
+    delivers each inner message exactly once.  Raises [Invalid_argument]
+    unless [retransmit_every >= 1]. *)

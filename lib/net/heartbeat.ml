@@ -1,0 +1,83 @@
+open Rlfd_kernel
+
+type style =
+  | Fixed of { period : int; timeout : int }
+  | Adaptive of { period : int; initial_timeout : int; backoff : int }
+
+let pp_style ppf = function
+  | Fixed { period; timeout } -> Format.fprintf ppf "fixed(period=%d,timeout=%d)" period timeout
+  | Adaptive { period; initial_timeout; backoff } ->
+    Format.fprintf ppf "adaptive(period=%d,timeout0=%d,backoff=%d)" period
+      initial_timeout backoff
+
+type msg = Beat
+
+type state = {
+  period : int;
+  backoff : int option; (* None = fixed *)
+  last_heard : int Pid.Map.t;
+  timeouts : int Pid.Map.t;
+  suspects : Pid.Set.t;
+}
+
+let suspected st = st.suspects
+
+let timeout_of st p =
+  match Pid.Map.find_opt p st.timeouts with Some t -> t | None -> 0
+
+let tick_tag = 0
+
+let params = function
+  | Fixed { period; timeout } -> (period, timeout, None)
+  | Adaptive { period; initial_timeout; backoff } -> (period, initial_timeout, Some backoff)
+
+let node style =
+  let period, timeout0, backoff = params style in
+  let init ~n ~self =
+    let peers = List.filter (fun p -> not (Pid.equal p self)) (Pid.all ~n) in
+    let last_heard = List.fold_left (fun m p -> Pid.Map.add p 0 m) Pid.Map.empty peers in
+    let timeouts = List.fold_left (fun m p -> Pid.Map.add p timeout0 m) Pid.Map.empty peers in
+    ( { period; backoff; last_heard; timeouts; suspects = Pid.Set.empty },
+      [ Netsim.Broadcast Beat; Netsim.Set_timer { delay = period; tag = tick_tag } ] )
+  in
+  let emit_if_changed old_suspects st =
+    if Pid.Set.equal old_suspects st.suspects then [] else [ st.suspects ]
+  in
+  let on_message ~n:_ ~self:_ ~now st ~src Beat =
+    let st = { st with last_heard = Pid.Map.add src now st.last_heard } in
+    if Pid.Set.mem src st.suspects then begin
+      (* premature suspicion: trust again and, if adaptive, learn. *)
+      let timeouts =
+        match st.backoff with
+        | None -> st.timeouts
+        | Some b ->
+          Pid.Map.update src
+            (function None -> Some (timeout0 + b) | Some t -> Some (t + b))
+            st.timeouts
+      in
+      let st' = { st with suspects = Pid.Set.remove src st.suspects; timeouts } in
+      (st', [], emit_if_changed st.suspects st')
+    end
+    else (st, [], [])
+  in
+  let on_timer ~n:_ ~self:_ ~now st ~tag:_ =
+    let overdue q last =
+      let timeout = match Pid.Map.find_opt q st.timeouts with Some t -> t | None -> timeout0 in
+      now - last > timeout
+    in
+    let suspects =
+      Pid.Map.fold
+        (fun q last acc -> if overdue q last then Pid.Set.add q acc else acc)
+        st.last_heard Pid.Set.empty
+    in
+    let st' = { st with suspects } in
+    ( st',
+      [ Netsim.Broadcast Beat; Netsim.Set_timer { delay = st.period; tag = tick_tag } ],
+      emit_if_changed st.suspects st' )
+  in
+  { Netsim.node_name = Format.asprintf "heartbeat-%a" pp_style style; init; on_message; on_timer }
+
+let perfect_timeout model ~period =
+  match model with
+  | Link.Synchronous { delta } -> Some (delta + period + 1)
+  | Link.Partially_synchronous _ | Link.Asynchronous _ | Link.Lossy _ -> None

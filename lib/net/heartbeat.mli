@@ -1,0 +1,43 @@
+(** Heartbeat failure detectors: implementing the abstractions.
+
+    The paper's classes are abstract; these are their concrete timeout
+    implementations over the timed network, demonstrating which class each
+    synchrony model supports:
+
+    - {!fixed} on a {e synchronous} link with
+      [timeout >= delta + period] implements a Perfect detector: a missing
+      heartbeat past the bound proves the sender crashed;
+    - {!fixed} on weaker links over-suspects (false positives) — exactly
+      why [P] is not implementable there;
+    - {!adaptive} grows a peer's timeout after each false suspicion, so on
+      a {e partially synchronous} link the suspicions are eventually
+      accurate: an implementation of [◊P] (hence of [◊S]).
+
+    Each node broadcasts a heartbeat every [period] and checks its peers'
+    deadlines; it emits its full suspicion set whenever the set changes,
+    which is what {!Qos} consumes. *)
+
+open Rlfd_kernel
+
+type style =
+  | Fixed of { period : int; timeout : int }
+  | Adaptive of { period : int; initial_timeout : int; backoff : int }
+
+val pp_style : Format.formatter -> style -> unit
+
+type state
+
+type msg
+
+val suspected : state -> Pid.Set.t
+
+val timeout_of : state -> Pid.t -> int
+(** Current timeout applied to a peer (grows under {!Adaptive}). *)
+
+val node : style -> (state, msg, Pid.Set.t) Netsim.node
+(** Outputs the new suspicion set at every change. *)
+
+val perfect_timeout : Link.t -> period:int -> int option
+(** The timeout that makes {!Fixed} Perfect on the given link model:
+    [delta + period + 1] when the link has a delay bound that holds from
+    time 0 (synchronous links only). *)

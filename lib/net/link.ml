@@ -1,0 +1,52 @@
+open Rlfd_kernel
+
+type t =
+  | Synchronous of { delta : int }
+  | Partially_synchronous of { gst : int; delta : int; wild_max : int }
+  | Asynchronous of { mean : float; spike_every : int; spike : int }
+  | Lossy of { base : t; drop : float }
+
+let rec pp ppf = function
+  | Synchronous { delta } -> Format.fprintf ppf "synchronous(delta=%d)" delta
+  | Partially_synchronous { gst; delta; wild_max } ->
+    Format.fprintf ppf "partially-synchronous(gst=%d,delta=%d,wild<=%d)" gst delta
+      wild_max
+  | Asynchronous { mean; spike_every; spike } ->
+    Format.fprintf ppf "asynchronous(mean=%.1f,spike=%d/%d)" mean spike spike_every
+  | Lossy { base; drop } -> Format.fprintf ppf "lossy(%.0f%%,%a)" (100. *. drop) pp base
+
+let rec name = function
+  | Synchronous _ -> "sync"
+  | Partially_synchronous _ -> "psync"
+  | Asynchronous _ -> "async"
+  | Lossy { base; _ } -> "lossy-" ^ name base
+
+let lossy ~drop base =
+  if drop < 0. || drop >= 1. then invalid_arg "Link.lossy: drop out of [0,1)";
+  Lossy { base; drop }
+
+let rec delay model rng ~now =
+  let d =
+    match model with
+    | Synchronous { delta } -> 1 + Rng.int rng delta
+    | Partially_synchronous { gst; delta; wild_max } ->
+      if now >= gst then 1 + Rng.int rng delta else 1 + Rng.int rng wild_max
+    | Asynchronous { mean; spike_every; spike } ->
+      let base = 1 + int_of_float (Rng.exponential rng ~mean) in
+      if spike_every > 0 && Rng.int rng spike_every = 0 then base + spike else base
+    | Lossy { base; _ } -> delay base rng ~now
+  in
+  Stdlib.max 1 d
+
+let rec transmit model rng ~now =
+  match model with
+  | Lossy { base; drop } ->
+    if Rng.float rng 1.0 < drop then None else transmit base rng ~now
+  | Synchronous _ | Partially_synchronous _ | Asynchronous _ ->
+    Some (delay model rng ~now)
+
+let rec bound_after_gst = function
+  | Synchronous { delta } -> Some delta
+  | Partially_synchronous { delta; _ } -> Some delta
+  | Asynchronous _ -> None
+  | Lossy { base; _ } -> bound_after_gst base

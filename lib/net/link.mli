@@ -1,0 +1,44 @@
+(** Link synchrony models.
+
+    A failure detector, the paper argues, is an abstraction of synchrony
+    assumptions.  This module provides the assumptions themselves, as
+    message-delay distributions for the timed network simulator:
+
+    - {e synchronous}: delays bounded by a known [delta] — enough to
+      implement a Perfect detector by timeouts;
+    - {e partially synchronous}: after an unknown global stabilisation time
+      [gst] delays are bounded by [delta]; before it they are erratic —
+      enough for [◊P]/[◊S], not for [P];
+    - {e asynchronous}: unbounded (heavy-tailed) delays — no useful
+      detector is implementable, only over-suspicion. *)
+
+open Rlfd_kernel
+
+type t =
+  | Synchronous of { delta : int }
+  | Partially_synchronous of { gst : int; delta : int; wild_max : int }
+  | Asynchronous of { mean : float; spike_every : int; spike : int }
+  | Lossy of { base : t; drop : float }
+      (** Fair-lossy: each transmission is independently dropped with
+          probability [drop]; survivors take the base model's delay.  The
+          substrate of the paper's Section 1.1 footnote ("systems where only
+          a finite number of messages can be lost" — i.e., where reliable
+          channels can be built, see {!Channel}). *)
+
+val pp : Format.formatter -> t -> unit
+
+val name : t -> string
+
+val lossy : drop:float -> t -> t
+(** Raises [Invalid_argument] unless [0 <= drop < 1]. *)
+
+val delay : t -> Rng.t -> now:int -> int
+(** Sample the delay of a message sent at [now], ignoring loss.
+    Always [>= 1]. *)
+
+val transmit : t -> Rng.t -> now:int -> int option
+(** Sample a transmission: [None] if the message is dropped, otherwise its
+    delay.  Equals [Some (delay ...)] for loss-free models. *)
+
+val bound_after_gst : t -> int option
+(** The eventual delay bound, when the model has one. *)

@@ -1,0 +1,83 @@
+open Rlfd_kernel
+open Rlfd_fd
+
+type report = {
+  detection_latencies : float list;
+  undetected : int;
+  false_episodes : int;
+  mistake_durations : float list;
+  messages : int;
+  complete : bool;
+  accurate : bool;
+}
+
+let suspicion_intervals (r : _ Netsim.result) ~observer ~subject =
+  let changes = Netsim.outputs_of r observer in
+  let rec scan current acc = function
+    | [] -> (
+      match current with
+      | None -> List.rev acc
+      | Some start -> List.rev ((start, None) :: acc))
+    | (t, set) :: rest -> (
+      let suspected_now = Pid.Set.mem subject set in
+      match (current, suspected_now) with
+      | None, true -> scan (Some t) acc rest
+      | Some start, false -> scan None ((start, Some t) :: acc) rest
+      | None, false | Some _, true -> scan current acc rest)
+  in
+  scan None [] changes
+
+let analyze (r : _ Netsim.result) =
+  let pattern = r.Netsim.pattern in
+  let correct = Pid.Set.elements (Pattern.correct pattern) in
+  let latencies = ref [] and undetected = ref 0 in
+  let false_episodes = ref 0 and mistakes = ref [] in
+  let mistake start stop =
+    incr false_episodes;
+    let stop = match stop with Some t -> t | None -> r.Netsim.end_time in
+    mistakes := float_of_int (stop - start) :: !mistakes
+  in
+  let judge observer subject =
+    let intervals = suspicion_intervals r ~observer ~subject in
+    match Pattern.crash_time pattern subject with
+    | None ->
+      (* Correct subject: every suspicion episode is a mistake. *)
+      List.iter (fun (start, stop) -> mistake start stop) intervals
+    | Some ct -> (
+      let crash_time = Time.to_int ct in
+      (* Closed episodes that began before the crash are mistakes; the
+         final open episode is the detection. *)
+      List.iter
+        (fun (start, stop) ->
+          match stop with
+          | Some _ when start < crash_time -> mistake start stop
+          | Some _ | None -> ())
+        intervals;
+      match List.find_opt (fun (_, stop) -> stop = None) intervals with
+      | Some (start, None) ->
+        latencies := float_of_int (Stdlib.max 0 (start - crash_time)) :: !latencies
+      | Some _ | None -> incr undetected)
+  in
+  List.iter
+    (fun observer ->
+      List.iter
+        (fun subject -> if not (Pid.equal observer subject) then judge observer subject)
+        (Pid.all ~n:r.Netsim.n))
+    correct;
+  {
+    detection_latencies = !latencies;
+    undetected = !undetected;
+    false_episodes = !false_episodes;
+    mistake_durations = !mistakes;
+    messages = r.Netsim.messages_delivered;
+    complete = !undetected = 0;
+    accurate = !false_episodes = 0;
+  }
+
+let perfect_grade report = report.complete && report.accurate
+
+let pp_report ppf report =
+  Format.fprintf ppf
+    "@[<v>detection: %a@ undetected pairs: %d@ false episodes: %d@ mistake durations: %a@ messages: %d@ perfect-grade: %b@]"
+    Stats.pp_summary report.detection_latencies report.undetected report.false_episodes
+    Stats.pp_summary report.mistake_durations report.messages (perfect_grade report)

@@ -1,0 +1,42 @@
+(** Quality-of-service analysis of implemented failure detectors
+    (after Chen, Toueg and Aguilera's QoS metrics).
+
+    Consumes a {!Netsim} run whose outputs are suspicion-set changes (as
+    emitted by {!Heartbeat.node}) and reports, against the injected failure
+    pattern:
+
+    - {e detection latency}: per (crashed process, correct observer), the
+      delay between the crash and the start of the observer's final,
+      permanent suspicion of it;
+    - {e accuracy}: the number of false-suspicion episodes (an alive
+      process suspected) and their durations;
+    - whether the run was {e Perfect-grade} (complete and never wrong) —
+      the property EXP-12 shows holding on synchronous links and failing
+      beyond them. *)
+
+open Rlfd_kernel
+
+type report = {
+  detection_latencies : float list;
+  undetected : int; (** (crashed, correct observer) pairs never detected *)
+  false_episodes : int;
+  mistake_durations : float list;
+  messages : int;
+  complete : bool; (** every crashed process permanently suspected by every correct observer *)
+  accurate : bool; (** no false-suspicion episode *)
+}
+
+val analyze : ('s, Pid.Set.t) Netsim.result -> report
+
+val perfect_grade : report -> bool
+(** [complete && accurate]. *)
+
+val pp_report : Format.formatter -> report -> unit
+
+(** {1 Timeline reconstruction} *)
+
+val suspicion_intervals :
+  ('s, Pid.Set.t) Netsim.result -> observer:Pid.t -> subject:Pid.t ->
+  (Netsim.time * Netsim.time option) list
+(** Maximal intervals during which [observer] suspected [subject];
+    [None] end = still suspected at the end of the run. *)

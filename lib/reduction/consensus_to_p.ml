@@ -1,0 +1,133 @@
+open Rlfd_kernel
+open Rlfd_fd
+open Rlfd_sim
+open Rlfd_algo
+
+type ('cs, 'cm) consensus_impl = {
+  impl_name : string;
+  impl_init : n:int -> self:Pid.t -> proposal:int -> 'cs;
+  impl_handle :
+    n:int ->
+    self:Pid.t ->
+    'cs ->
+    'cm Model.envelope option ->
+    Detector.suspicions ->
+    ('cs, 'cm, int) Model.effects;
+}
+
+let ct_strong_impl =
+  {
+    impl_name = "ct-strong";
+    impl_init = (fun ~n ~self ~proposal -> Ct_strong.init ~n ~self ~proposal);
+    impl_handle = (fun ~n ~self st e d -> Ct_strong.handle ~n ~self st e d);
+  }
+
+let rank_impl =
+  {
+    impl_name = "rank";
+    impl_init = (fun ~n:_ ~self ~proposal -> Rank_consensus.init ~self ~proposal);
+    impl_handle = (fun ~n ~self st e d -> Rank_consensus.handle ~n ~self st e d);
+  }
+
+let marabout_impl =
+  {
+    impl_name = "marabout";
+    impl_init = (fun ~n:_ ~self ~proposal -> Marabout_consensus.init ~self ~proposal);
+    impl_handle = (fun ~n ~self st e d -> Marabout_consensus.handle ~n ~self st e d);
+  }
+
+type 'cm msg = { inst : int; inner : 'cm; alive_tags : Pid.Set.t }
+
+type ('cs, 'cm) state = {
+  instance : int;
+  cons : 'cs;
+  tags : Pid.Set.t; (* [p is alive] information attached to current events *)
+  emulated : Pid.Set.t; (* output(P) at this process; only ever grows *)
+  stash : (int * Pid.t * 'cm * Pid.Set.t) list; (* messages for future instances *)
+  decided_count : int;
+}
+
+let output_p st = st.emulated
+
+let instances_decided st = st.decided_count
+
+let wrap inst tags sends =
+  List.map (fun (dst, m) -> (dst, { inst; inner = m; alive_tags = tags })) sends
+
+(* Run one inner step; if the instance decides, update output(P) with every
+   process whose [is alive] tag is missing from the decision event, then
+   start the next instance (replaying stashed messages). *)
+let rec drive ~n ~self impl st inner suspects sends outputs =
+  let effects = impl.impl_handle ~n ~self st.cons inner suspects in
+  (* The tags to attach to the messages sent as a consequence of this event:
+     everything attached to the event itself. *)
+  let sends = sends @ wrap st.instance st.tags effects.Model.sends in
+  let st = { st with cons = effects.Model.state } in
+  match effects.Model.outputs with
+  | [] -> (st, sends, outputs)
+  | _decision :: _ ->
+    let missing = Pid.Set.diff (Pid.universe ~n) st.tags in
+    let emulated = Pid.Set.union st.emulated missing in
+    let outputs = outputs @ [ emulated ] in
+    next_instance ~n ~self impl
+      { st with emulated; decided_count = st.decided_count + 1 }
+      suspects sends outputs
+
+and next_instance ~n ~self impl st suspects sends outputs =
+  let instance = st.instance + 1 in
+  let replay, stash = List.partition (fun (k, _, _, _) -> k = instance) st.stash in
+  let st =
+    {
+      st with
+      instance;
+      cons = impl.impl_init ~n ~self ~proposal:instance;
+      tags = Pid.Set.singleton self;
+      stash;
+    }
+  in
+  (* Replay the stashed messages of the new instance, then let it progress.
+     A replayed decision may advance the instance again, making the
+     remaining replay items stale: drop them. *)
+  let st, sends, outputs =
+    List.fold_left
+      (fun (st, sends, outputs) (k, src, m, msg_tags) ->
+        if st.instance = k then
+          absorb ~n ~self impl st ~src ~inner:m ~msg_tags suspects sends outputs
+        else (st, sends, outputs))
+      (st, sends, outputs) replay
+  in
+  (* The fresh instance progresses on the next step's lambda drive; driving
+     it here would let an input-free algorithm (Marabout's leader) decide an
+     unbounded number of instances within a single step. *)
+  (st, sends, outputs)
+
+and absorb ~n ~self impl st ~src ~inner ~msg_tags suspects sends outputs =
+  let st = { st with tags = Pid.Set.union st.tags msg_tags } in
+  let envelope = Some { Model.src; dst = self; payload = inner } in
+  drive ~n ~self impl st envelope suspects sends outputs
+
+let handle ~n ~self impl st envelope suspects =
+  let st, sends, outputs =
+    match envelope with
+    | None -> drive ~n ~self impl st None suspects [] []
+    | Some { Model.payload = { inst; inner; alive_tags }; src; _ } ->
+      if inst < st.instance then (st, [], []) (* stale instance: ignore *)
+      else if inst > st.instance then
+        ({ st with stash = (inst, src, inner, alive_tags) :: st.stash }, [], [])
+      else absorb ~n ~self impl st ~src ~inner ~msg_tags:alive_tags suspects [] []
+  in
+  { Model.state = st; sends; outputs }
+
+let automaton ~impl =
+  Model.make
+    ~name:(Format.asprintf "T(D->P)[%s]" impl.impl_name)
+    ~initial:(fun ~n self ->
+      {
+        instance = 1;
+        cons = impl.impl_init ~n ~self ~proposal:1;
+        tags = Pid.Set.singleton self;
+        emulated = Pid.Set.empty;
+        stash = [];
+        decided_count = 0;
+      })
+    ~step:(fun ~n ~self st envelope suspects -> handle ~n ~self impl st envelope suspects)

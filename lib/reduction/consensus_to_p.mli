@@ -1,0 +1,69 @@
+(** The transformation [T_{D -> P}] (paper, Section 4.3, Lemma 4.2).
+
+    Given any {e total} consensus algorithm [A] using a realistic failure
+    detector [D], the transformation emulates a Perfect failure detector in
+    a distributed variable [output(P)]:
+
+    + the algorithm runs an infinite sequence of executions of [A];
+    + whenever [p_i] sends a message it attaches the information
+      [p_i is alive], and receivers attach every extracted information to
+      the events they subsequently execute (implemented as a transitively
+      propagated tag set per instance);
+    + whenever [p_j] executes a decision event [e], it adds to
+      [output(P)_j] every process whose [is alive] tag is not attached
+      to [e].
+
+    Completeness: a crashed process stops tagging, so the first decision of
+    an instance started after its crash suspects it forever.  Accuracy: [A]
+    total means an untagged process was not consulted, which — with
+    unbounded failures and a realistic [D] — only happens if it crashed.
+
+    The module is generic in the embedded consensus implementation so the
+    reduction can also be run over {e non-total} algorithms (Marabout-based,
+    rank-based), where the emulation demonstrably loses strong accuracy —
+    the empirical face of "P is necessary". *)
+
+open Rlfd_kernel
+open Rlfd_fd
+open Rlfd_sim
+
+(** A consensus implementation over integer proposals, embeddable
+    instance-by-instance. *)
+type ('cs, 'cm) consensus_impl = {
+  impl_name : string;
+  impl_init : n:int -> self:Pid.t -> proposal:int -> 'cs;
+  impl_handle :
+    n:int ->
+    self:Pid.t ->
+    'cs ->
+    'cm Model.envelope option ->
+    Detector.suspicions ->
+    ('cs, 'cm, int) Model.effects;
+}
+
+val ct_strong_impl : (int Rlfd_algo.Ct_strong.state, int Rlfd_algo.Ct_strong.msg) consensus_impl
+
+val rank_impl :
+  (int Rlfd_algo.Rank_consensus.state, int Rlfd_algo.Rank_consensus.msg) consensus_impl
+
+val marabout_impl :
+  ( int Rlfd_algo.Marabout_consensus.state,
+    int Rlfd_algo.Marabout_consensus.msg )
+  consensus_impl
+
+type ('cs, 'cm) state
+
+type 'cm msg
+
+val output_p : ('cs, 'cm) state -> Pid.Set.t
+(** Current value of the emulated variable [output(P)] at this process. *)
+
+val instances_decided : ('cs, 'cm) state -> int
+
+val automaton :
+  impl:('cs, 'cm) consensus_impl ->
+  (('cs, 'cm) state, 'cm msg, Detector.suspicions, Pid.Set.t) Model.t
+(** The transformation as a runnable automaton.  Each output is the new
+    value of [output(P)] at the emitting process (recorded at decision
+    events), from which {!Emulation.recorded_history} reconstructs the
+    emulated history to check against class [P]. *)

@@ -1,0 +1,40 @@
+open Rlfd_kernel
+open Rlfd_fd
+open Rlfd_sim
+
+let recorded_history ~n records =
+  let recorder = History.Recorder.create ~n ~init:Pid.Set.empty in
+  List.iter (fun (t, p, v) -> History.Recorder.record recorder p t v) records;
+  History.Recorder.history recorder
+
+let of_run (r : _ Runner.result) = recorded_history ~n:r.Runner.n r.Runner.outputs
+
+let monotone (r : _ Runner.result) =
+  let shrank =
+    List.filter_map
+      (fun p ->
+        let rec scan prev = function
+          | [] -> None
+          | (t, v) :: rest ->
+            if Pid.Set.subset prev v then scan v rest else Some (p, t)
+        in
+        scan Pid.Set.empty (Runner.outputs_of r p))
+      (Pid.all ~n:r.Runner.n)
+  in
+  match shrank with
+  | [] -> Classes.Holds
+  | (p, t) :: _ ->
+    Classes.Violated
+      (Format.asprintf "output(P) shrank at %a, %a" Pid.pp p Time.pp t)
+
+let check_perfect ?window ~pattern ~horizon history =
+  let window =
+    match window with Some w -> w | None -> Classes.default_window ~horizon
+  in
+  Classes.checks_for Classes.Perfect
+  |> List.map (fun (name, check) -> (name, check pattern ~horizon ~window history))
+
+let check_emulation_run (r : _ Runner.result) =
+  let history = of_run r in
+  ("monotone", monotone r)
+  :: check_perfect ~pattern:r.Runner.pattern ~horizon:r.Runner.end_time history

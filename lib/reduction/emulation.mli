@@ -1,0 +1,40 @@
+(** Validation of emulated failure detector histories.
+
+    The reductions of Sections 4.3 and 5 emulate a Perfect detector inside
+    a distributed variable [output(P)]; a run of the transformation yields,
+    per process, the sequence of values that variable took.  This module
+    reconstructs the emulated history (a step function over time) and
+    checks it against the class [P] — strong completeness and strong
+    accuracy — turning Lemma 4.2 and Proposition 5.1 into pass/fail
+    experiments. *)
+
+open Rlfd_kernel
+open Rlfd_fd
+open Rlfd_sim
+
+val recorded_history :
+  n:int -> (Time.t * Pid.t * Pid.Set.t) list -> Detector.suspicions History.t
+(** Builds the step-function history from chronological [(time, process,
+    new value)] records; the value before the first record is the empty
+    suspicion set. *)
+
+val of_run : ('s, Pid.Set.t) Runner.result -> Detector.suspicions History.t
+(** The emulated history of a transformation run (whose outputs are the
+    successive [output(P)] values). *)
+
+val monotone : ('s, Pid.Set.t) Runner.result -> Classes.result
+(** [output(P)] never shrinks at any process (the paper: suspected
+    processes are never removed). *)
+
+val check_perfect :
+  ?window:Time.t ->
+  pattern:Pattern.t ->
+  horizon:Time.t ->
+  Detector.suspicions History.t ->
+  (string * Classes.result) list
+(** The class-[P] checks on the emulated history. *)
+
+val check_emulation_run :
+  ('s, Pid.Set.t) Runner.result -> (string * Classes.result) list
+(** [monotone] plus {!check_perfect} over the run's own pattern and end
+    time. *)

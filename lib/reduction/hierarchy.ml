@@ -1,0 +1,73 @@
+open Rlfd_kernel
+open Rlfd_fd
+
+type row = {
+  detector : string;
+  claims_realistic : bool;
+  realism : Realism.verdict;
+  classes : Classes.cls list;
+}
+
+let zoo ~seed =
+  [
+    Perfect.canonical;
+    Perfect.delayed ~lag:5;
+    Perfect.staggered ~seed ~max_lag:4;
+    Ev_perfect.canonical ~stabilization:(Time.of_int 40) ~seed;
+    Strong.realistic;
+    Strong.clairvoyant;
+    Ev_strong.canonical ~seed ~noise:0.2;
+    Ev_strong.weakly_complete;
+    Scribe.as_suspicions;
+    Marabout.canonical;
+    Partial_perfect.canonical;
+  ]
+
+let sample_patterns ~n ~horizon ~seed ~samples =
+  let rng = Rng.derive ~seed ~salts:[ 0x21 ] in
+  let families = Pattern.Family.all in
+  List.init samples (fun i ->
+      let family = List.nth families (i mod List.length families) in
+      Pattern.Family.generate family ~n ~horizon:(Time.of_int (Time.to_int horizon / 2)) rng)
+
+let classes_on detector ~horizon patterns =
+  let window = Classes.default_window ~horizon in
+  List.filter
+    (fun cls ->
+      List.for_all
+        (fun pattern ->
+          let history = Detector.history detector pattern in
+          Classes.holds (Classes.member cls pattern ~horizon ~window history))
+        patterns)
+    Classes.all_classes
+
+let survey ~n ~horizon ~seed ~samples detectors =
+  let rng = Rng.derive ~seed ~salts:[ 0x22 ] in
+  let pairs = Realism.prefix_sharing_pairs ~n ~horizon ~count:samples rng in
+  let patterns = sample_patterns ~n ~horizon ~seed ~samples in
+  List.map
+    (fun d ->
+      {
+        detector = Detector.name d;
+        claims_realistic = Detector.claims_realistic d;
+        realism = Realism.check_suspicions d ~pairs;
+        classes = classes_on d ~horizon patterns;
+      })
+    detectors
+
+let collapse_holds rows =
+  List.for_all
+    (fun row ->
+      let has c = List.mem c row.classes in
+      let realistic = Realism.is_realistic row.realism in
+      (* realistic & S => P, and the same accuracy argument one level down:
+         realistic & W => Q *)
+      ((not (realistic && has Classes.Strong)) || has Classes.Perfect)
+      && ((not (realistic && has Classes.Weak)) || has Classes.Quasi_perfect))
+    rows
+
+let pp_row ppf row =
+  Format.fprintf ppf "%-18s realistic:%-5b verdict:%s classes:{%s}" row.detector
+    row.claims_realistic
+    (if Realism.is_realistic row.realism then "realistic" else "NOT-realistic")
+    (String.concat "," (List.map Classes.class_name row.classes))

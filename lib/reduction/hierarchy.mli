@@ -1,0 +1,45 @@
+(** The failure-detector hierarchy, and its collapse under realism
+    (paper, Sections 1.2, 3 and 6.3).
+
+    The survey classifies each detector of the zoo empirically: realism is
+    checked on prefix-sharing pattern pairs; class membership is checked on
+    a portfolio of sampled patterns (a detector is in a class only if its
+    properties hold on {e every} sampled pattern).  The expected picture:
+
+    - realistic members of [S] are also in [P] (the collapse
+      [S ∩ R = P]);
+    - the clairvoyant [S] member and the Marabout keep [S]-grade accuracy
+      only by reading the future, and fail the realism check;
+    - [P<] sits strictly below [P] (partial completeness only), and is
+      realistic. *)
+
+open Rlfd_kernel
+open Rlfd_fd
+
+type row = {
+  detector : string;
+  claims_realistic : bool;
+  realism : Realism.verdict;
+  classes : Classes.cls list; (** classes satisfied on every sampled pattern *)
+}
+
+val zoo : seed:int -> Detector.suspicions Detector.t list
+(** The canonical suspicion-range detectors studied in the paper:
+    [P], delayed [P], [◊P], realistic [S], clairvoyant [S], [◊S],
+    Scribe-as-suspicions, Marabout, [P<]. *)
+
+val survey :
+  n:int ->
+  horizon:Time.t ->
+  seed:int ->
+  samples:int ->
+  Detector.suspicions Detector.t list ->
+  row list
+
+val collapse_holds : row list -> bool
+(** Every surveyed detector that is realistic and in [S] is also in [P] —
+    and, one completeness level down, every realistic member of [W] is in
+    [Q]: under realism, weak accuracy cannot be weaker than strong
+    accuracy. *)
+
+val pp_row : Format.formatter -> row -> unit

@@ -1,0 +1,80 @@
+open Rlfd_kernel
+open Rlfd_sim
+open Rlfd_algo
+
+type msg = { inst : int; inner : int Trb.msg }
+
+type state = {
+  instance : int;
+  trb : int Trb.state;
+  emulated : Pid.Set.t;
+  stash : (int * Pid.t * int Trb.msg) list;
+  done_count : int;
+}
+
+let output_p st = st.emulated
+
+let instances_done st = st.done_count
+
+let sender_of_instance ~n k = Pid.of_int (((k - 1) mod n) + 1)
+
+let fresh_trb ~n ~self k = Trb.init ~self ~sender:(sender_of_instance ~n k) ~value:k
+
+let wrap inst sends = List.map (fun (dst, m) -> (dst, { inst; inner = m })) sends
+
+let rec drive ~n ~self st inner suspects sends outputs =
+  let effects = Trb.handle ~n ~self st.trb inner suspects in
+  let sends = sends @ wrap st.instance effects.Model.sends in
+  let st = { st with trb = effects.Model.state } in
+  match effects.Model.outputs with
+  | [] -> (st, sends, outputs)
+  | delivery :: _ ->
+    let st, outputs =
+      match delivery with
+      | Some _value -> (st, outputs)
+      | None ->
+        let emulated = Pid.Set.add (sender_of_instance ~n st.instance) st.emulated in
+        ({ st with emulated }, outputs @ [ emulated ])
+    in
+    next_instance ~n ~self st suspects sends outputs
+
+and next_instance ~n ~self st suspects sends outputs =
+  let instance = st.instance + 1 in
+  let replay, stash = List.partition (fun (k, _, _) -> k = instance) st.stash in
+  let st =
+    { st with instance; trb = fresh_trb ~n ~self instance; stash;
+      done_count = st.done_count + 1 }
+  in
+  List.fold_left
+    (fun (st, sends, outputs) (k, src, m) ->
+      if st.instance = k then
+        drive ~n ~self st (Some { Model.src; dst = self; payload = m }) suspects sends
+          outputs
+      else (st, sends, outputs))
+    (st, sends, outputs) replay
+
+let handle ~n ~self st envelope suspects =
+  let st, sends, outputs =
+    match envelope with
+    | None -> drive ~n ~self st None suspects [] []
+    | Some { Model.payload = { inst; inner }; src; _ } ->
+      if inst < st.instance then (st, [], [])
+      else if inst > st.instance then
+        ({ st with stash = (inst, src, inner) :: st.stash }, [], [])
+      else
+        drive ~n ~self st (Some { Model.src = src; dst = self; payload = inner })
+          suspects [] []
+  in
+  { Model.state = st; sends; outputs }
+
+let automaton =
+  Model.make ~name:"T(TRB->P)"
+    ~initial:(fun ~n self ->
+      {
+        instance = 1;
+        trb = fresh_trb ~n ~self 1;
+        emulated = Pid.Set.empty;
+        stash = [];
+        done_count = 0;
+      })
+    ~step:(fun ~n ~self st envelope suspects -> handle ~n ~self st envelope suspects)

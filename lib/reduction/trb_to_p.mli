@@ -1,0 +1,32 @@
+(** Emulating a Perfect failure detector from terminating reliable broadcast
+    (paper, Section 5, Proposition 5.1, necessity direction).
+
+    Processes run an unbounded sequence of TRB instances, the sender
+    rotating round-robin: instance [k]'s sender is [p_{((k-1) mod n) + 1}].
+    Whenever a process delivers [nil] for an instance whose sender is
+    [p_i], it adds [p_i] to [output(P)].
+
+    Completeness: a crashed sender can never supply a value for instances
+    started after its crash, so its later instances deliver [nil]
+    everywhere.  Accuracy: with a {e realistic} detector inside TRB, [nil]
+    is only decided when some process actually suspected the sender, which
+    by strong accuracy means it had crashed — the paper stresses that this
+    step is exactly where realism is needed. *)
+
+open Rlfd_kernel
+open Rlfd_fd
+open Rlfd_sim
+
+type state
+
+type msg
+
+val output_p : state -> Pid.Set.t
+
+val instances_done : state -> int
+
+val sender_of_instance : n:int -> int -> Pid.t
+
+val automaton : (state, msg, Detector.suspicions, Pid.Set.t) Model.t
+(** Outputs the successive values of [output(P)], recorded at each [nil]
+    delivery. *)

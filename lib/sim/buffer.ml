@@ -1,0 +1,37 @@
+open Rlfd_kernel
+
+type id = int
+
+type 'a t = {
+  mutable next_id : id;
+  (* newest-first; pending_for reverses.  Messages are few per destination
+     at any instant in the algorithms under study, so the linear scans are
+     cheap and keep the structure obviously correct. *)
+  mutable items : (id * 'a) list;
+}
+
+let create () = { next_id = 0; items = [] }
+
+let add t x =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  t.items <- (id, x) :: t.items;
+  id
+
+let find t id = List.assoc_opt id t.items
+
+let remove t id =
+  match find t id with
+  | None -> None
+  | Some x ->
+    t.items <- List.filter (fun (i, _) -> i <> id) t.items;
+    Some x
+
+let pending_for t ~dst ~keep =
+  List.fold_left
+    (fun acc (id, x) -> if Pid.equal (keep x) dst then (id, x) :: acc else acc)
+    [] t.items
+
+let size t = List.length t.items
+
+let iter t f = List.iter (fun (id, x) -> f id x) (List.rev t.items)

@@ -1,0 +1,31 @@
+(** The message buffer (paper, Section 2.3).
+
+    A multiset of messages in transit.  Each message gets a unique,
+    monotonically increasing identifier when added; identifiers give the
+    deterministic "oldest first" order that the fair scheduler uses to make
+    every message to a correct process eventually received. *)
+
+open Rlfd_kernel
+
+type 'a t
+
+type id = int
+
+val create : unit -> 'a t
+
+val add : 'a t -> 'a -> id
+
+val remove : 'a t -> id -> 'a option
+(** Removes and returns the message; [None] if the id is absent (already
+    consumed). *)
+
+val find : 'a t -> id -> 'a option
+
+val pending_for : 'a t -> dst:Pid.t -> keep:('a -> Pid.t) -> (id * 'a) list
+(** Messages currently destined to [dst] (per the [keep] projection), oldest
+    first. *)
+
+val size : 'a t -> int
+
+val iter : 'a t -> (id -> 'a -> unit) -> unit
+(** In increasing id order. *)

@@ -1,0 +1,144 @@
+open Rlfd_kernel
+open Rlfd_fd
+
+type 'o outputs = (Pid.t * 'o) list
+
+type 'o violation = {
+  at_step : int;
+  trail : (Pid.t * Pid.t option) list;
+  outputs : 'o outputs;
+  reason : string;
+}
+
+type 'o report = {
+  nodes_explored : int;
+  complete : bool;
+  deepest : int;
+  violations : 'o violation list;
+}
+
+let pp_report ppf r =
+  Format.fprintf ppf "explored %d nodes (%s), depth %d, %d violation(s)"
+    r.nodes_explored
+    (if r.complete then "complete" else "budget exhausted")
+    r.deepest (List.length r.violations)
+
+(* A purely functional configuration: immutable maps everywhere so branches
+   share structure. *)
+type ('s, 'm) config = {
+  step_no : int;
+  states : 's Pid.Map.t;
+  buffer : (int * Pid.t * Pid.t * 'm) list; (* id, src, dst, payload; newest first *)
+  next_id : int;
+}
+
+let run ?(max_steps = 12) ?(max_nodes = 200_000) ?(max_violations = 5) ~pattern
+    ~detector ~check (algo : _ Model.t) =
+  let n = Pattern.n pattern in
+  let nodes = ref 0 and deepest = ref 0 and truncated = ref false in
+  let violations = ref [] in
+  let add_violation v =
+    if List.length !violations < max_violations then violations := v :: !violations
+  in
+  let initial =
+    {
+      step_no = 0;
+      states =
+        List.fold_left
+          (fun acc p -> Pid.Map.add p (algo.Model.initial ~n p) acc)
+          Pid.Map.empty (Pid.all ~n);
+      buffer = [];
+      next_id = 0;
+    }
+  in
+  (* All choices available in [config]: each alive process may take a lambda
+     step or receive any one pending message addressed to it. *)
+  let choices config =
+    let now = Time.of_int config.step_no in
+    Pid.all ~n
+    |> List.filter (fun p -> Pattern.is_alive pattern p now)
+    |> List.concat_map (fun p ->
+           (p, None)
+           :: List.filter_map
+                (fun (id, src, dst, _) ->
+                  if Pid.equal dst p then Some (p, Some (id, src)) else None)
+                config.buffer)
+  in
+  let apply config (p, receive) =
+    let now = Time.of_int config.step_no in
+    let envelope, buffer =
+      match receive with
+      | None -> (None, config.buffer)
+      | Some (id, _src) ->
+        let rec extract acc = function
+          | [] -> (None, List.rev acc)
+          | (id', src, dst, payload) :: rest when id' = id ->
+            (Some { Model.src; dst; payload }, List.rev_append acc rest)
+          | other :: rest -> extract (other :: acc) rest
+        in
+        extract [] config.buffer
+    in
+    let seen = Detector.query detector pattern p now in
+    let effects = algo.Model.step ~n ~self:p (Pid.Map.find p config.states) envelope seen in
+    let buffer, next_id =
+      List.fold_left
+        (fun (buffer, next_id) (dst, payload) ->
+          ((next_id, p, dst, payload) :: buffer, next_id + 1))
+        (buffer, config.next_id) effects.Model.sends
+    in
+    ( {
+        step_no = config.step_no + 1;
+        states = Pid.Map.add p effects.Model.state config.states;
+        buffer;
+        next_id;
+      },
+      effects.Model.outputs )
+  in
+  let rec dfs config outputs trail =
+    incr nodes;
+    if config.step_no > !deepest then deepest := config.step_no;
+    if !nodes >= max_nodes then truncated := true
+    else if config.step_no < max_steps then
+      List.iter
+        (fun ((p, receive) as choice) ->
+          if (not !truncated) && List.length !violations < max_violations then begin
+            let config', outs = apply config choice in
+            let outputs' = outputs @ List.map (fun o -> (p, o)) outs in
+            let trail' = trail @ [ (p, Option.map snd receive) ] in
+            (match (outs, check outputs') with
+            | _ :: _, Some reason ->
+              add_violation
+                { at_step = config'.step_no; trail = trail'; outputs = outputs'; reason }
+            | _ -> ());
+            dfs config' outputs' trail'
+          end)
+        (choices config)
+  in
+  dfs initial [] [];
+  {
+    nodes_explored = !nodes;
+    complete = not !truncated;
+    deepest = !deepest;
+    violations = List.rev !violations;
+  }
+
+let agreement_check ~equal outputs =
+  match outputs with
+  | [] -> None
+  | (p0, v0) :: rest -> (
+    match List.find_opt (fun (_, v) -> not (equal v0 v)) rest with
+    | None -> None
+    | Some (p, _) ->
+      Some
+        (Format.asprintf "agreement: %a and %a decided differently" Pid.pp p0 Pid.pp p))
+
+let validity_check ~n ~proposals ~equal outputs =
+  let proposed = List.map proposals (Pid.all ~n) in
+  match
+    List.find_opt (fun (_, v) -> not (List.exists (equal v) proposed)) outputs
+  with
+  | None -> None
+  | Some (p, _) ->
+    Some (Format.asprintf "validity: %a decided a value nobody proposed" Pid.pp p)
+
+let both a b outputs = match a outputs with Some r -> Some r | None -> b outputs

@@ -1,0 +1,70 @@
+(** Bounded-exhaustive exploration of schedules.
+
+    The sampled runs of {!Runner} can miss adversarial interleavings; this
+    module enumerates them.  For a fixed failure pattern and detector it
+    explores {e every} schedule choice — which alive process steps, and
+    which (if any) pending message it receives — up to a step bound, and
+    evaluates a safety predicate on every node of the execution tree.
+
+    This is small-scope model checking: with [n = 3] and a dozen steps the
+    tree is millions of nodes, so callers bound both depth and node budget.
+    A found violation is a concrete schedule; exhausting the tree within
+    the bounds is a proof of the property for that scope (pattern, bound) —
+    a stronger statement than any number of random runs, and the right tool
+    for safety clauses of Lemma 4.1 and the agreement properties. *)
+
+open Rlfd_kernel
+open Rlfd_fd
+
+type 'o outputs = (Pid.t * 'o) list
+(** Decisions emitted so far, in emission order. *)
+
+type 'o violation = {
+  at_step : int;
+  trail : (Pid.t * Pid.t option) list;
+      (** the schedule: (process, sender of received message) per step *)
+  outputs : 'o outputs;
+  reason : string;
+}
+
+type 'o report = {
+  nodes_explored : int;
+  complete : bool; (** the whole tree fit within the budgets *)
+  deepest : int;
+  violations : 'o violation list; (** at most [max_violations] *)
+}
+
+val pp_report : Format.formatter -> 'o report -> unit
+
+val run :
+  ?max_steps:int ->
+  ?max_nodes:int ->
+  ?max_violations:int ->
+  pattern:Pattern.t ->
+  detector:'d Detector.t ->
+  check:('o outputs -> string option) ->
+  ('s, 'm, 'd, 'o) Model.t ->
+  'o report
+(** [run ~pattern ~detector ~check automaton] walks the full choice tree
+    (default [max_steps] 12, [max_nodes] 200_000, [max_violations] 5).
+    [check] is evaluated after every step on the outputs emitted so far and
+    must be prefix-closed (a violated safety property stays violated).
+    Time advances by one tick per step, exactly as in {!Runner}. *)
+
+val agreement_check : equal:('o -> 'o -> bool) -> 'o outputs -> string option
+(** Ready-made [check]: all emitted decisions are equal (uniform
+    agreement). *)
+
+val validity_check :
+  n:int ->
+  proposals:(Pid.t -> 'o) ->
+  equal:('o -> 'o -> bool) ->
+  'o outputs ->
+  string option
+(** Ready-made [check]: every decision was somebody's proposal. *)
+
+val both :
+  ('o outputs -> string option) ->
+  ('o outputs -> string option) ->
+  'o outputs ->
+  string option

@@ -1,0 +1,73 @@
+(** Run executor (paper, Sections 2.4–2.5).
+
+    Executes an algorithm against a failure pattern, a failure detector and
+    a scheduler, producing the finite prefix of a run:
+    [R = <F, H, C, S, T>] with one clock tick per scheduled step.  The
+    executor enforces the validity conditions of the model: only alive
+    processes step, a step receives at most one buffered message destined to
+    it, and the detector value seen is [H(p, t)] for the step's own time.
+
+    The executor transparently tags every message with the sender's
+    heard-from set and vector clock, so the {e causal chain} of every event
+    is available afterwards — this is what the totality checker (Lemma 4.1)
+    and the alive-tagging reduction (Section 4.3) consume. *)
+
+open Rlfd_kernel
+open Rlfd_fd
+
+(** Causal metadata carried by every in-flight message. *)
+type 'm tagged = { payload : 'm; hf : Pid.Set.t; vc : Vclock.t }
+
+(** One scheduled step. *)
+type 'o event = {
+  time : Time.t;
+  pid : Pid.t;
+  received : Pid.t option; (** sender of the received message; [None] = lambda *)
+  sent_to : Pid.t list;
+  outputs : 'o list;
+  heard_from : Pid.Set.t;
+      (** processes having a message in this event's causal chain (includes
+          the stepping process itself) *)
+  vclock : Vclock.t;
+}
+
+type ('s, 'o) result = {
+  n : int;
+  pattern : Pattern.t;
+  algorithm : string;
+  events : 'o event list; (** chronological *)
+  outputs : (Time.t * Pid.t * 'o) list; (** chronological *)
+  final_states : 's Pid.Map.t; (** last state of every process, crashed included *)
+  steps : int;
+  idle_ticks : int;
+  sent : int;
+  delivered : int;
+  end_time : Time.t;
+  stopped_early : bool; (** the [until] predicate fired before the horizon *)
+}
+
+val run :
+  ?until:((Time.t * Pid.t * 'o) list -> bool) ->
+  ?record_events:bool ->
+  pattern:Pattern.t ->
+  detector:'d Detector.t ->
+  scheduler:'m tagged Scheduler.t ->
+  horizon:Time.t ->
+  ('s, 'm, 'd, 'o) Model.t ->
+  ('s, 'o) result
+(** [until] sees the outputs emitted so far, {e most recent first}; the run
+    stops as soon as it returns [true].  [record_events] (default [true])
+    can be switched off for long benchmark runs.  Raises [Invalid_argument]
+    if the scheduler steps a crashed process or delivers a message to a
+    process other than its destination. *)
+
+val outputs_of : ('s, 'o) result -> Pid.t -> (Time.t * 'o) list
+(** Chronological outputs of one process. *)
+
+val first_output : ('s, 'o) result -> Pid.t -> (Time.t * 'o) option
+
+val all_correct_output : ('s, 'o) result -> bool
+(** Every correct process of the pattern emitted at least one output. *)
+
+val stop_when_all_correct_output : Pattern.t -> (Time.t * Pid.t * 'o) list -> bool
+(** Ready-made [until]: stop once every correct process has output. *)

@@ -1,0 +1,55 @@
+open Rlfd_kernel
+
+let legend =
+  "legend: '.' lambda step, '<k' received from pk, '*' output emitted, 'X' crashed"
+
+let cell_width = 6
+
+let pad s =
+  if String.length s >= cell_width then String.sub s 0 cell_width
+  else s ^ String.make (cell_width - String.length s) ' '
+
+let render ?(max_rows = 60) ?pp_output (r : _ Runner.result) =
+  let buffer = Stdlib.Buffer.create 1024 in
+  let add fmt = Format.kasprintf (Stdlib.Buffer.add_string buffer) fmt in
+  let n = r.Runner.n in
+  let pids = Pid.all ~n in
+  (* header *)
+  add "%s" (pad "t");
+  List.iter (fun p -> add "%s" (pad (Pid.to_string p))) pids;
+  Stdlib.Buffer.add_string buffer "\n";
+  let events = r.Runner.events in
+  let shown = List.filteri (fun i _ -> i < max_rows) events in
+  List.iter
+    (fun (e : _ Runner.event) ->
+      add "%s" (pad (string_of_int (Time.to_int e.Runner.time)));
+      List.iter
+        (fun p ->
+          let cell =
+            if Pid.equal p e.Runner.pid then begin
+              let action =
+                match e.Runner.received with
+                | Some src -> Format.asprintf "<%d" (Pid.to_int src)
+                | None -> "."
+              in
+              let mark = if e.Runner.outputs <> [] then "*" else "" in
+              action ^ mark
+            end
+            else if Rlfd_fd.Pattern.is_crashed r.Runner.pattern p e.Runner.time then "X"
+            else ""
+          in
+          add "%s" (pad cell))
+        pids;
+      (match (pp_output, e.Runner.outputs) with
+      | Some pp, o :: _ -> add " %a" pp o
+      | _ -> ());
+      Stdlib.Buffer.add_string buffer "\n")
+    shown;
+  let hidden = List.length events - List.length shown in
+  if hidden > 0 then add "... %d more steps elided ...\n" hidden;
+  Stdlib.Buffer.add_string buffer legend;
+  Stdlib.Buffer.add_string buffer "\n";
+  Stdlib.Buffer.contents buffer
+
+let print ?max_rows ?pp_output r =
+  print_string (render ?max_rows ?pp_output r)

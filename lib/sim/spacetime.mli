@@ -1,0 +1,22 @@
+(** ASCII space–time diagrams of runs.
+
+    Renders a recorded run as one column per process and one row per step:
+    lambda steps, receive events (annotated with the sender), outputs
+    (decisions/deliveries, marked [*]), and crashes ([X] from the crash
+    time on).  Used by the [fdsim] CLI and handy in tests when a property
+    fails and the schedule needs eyeballing. *)
+
+
+val render :
+  ?max_rows:int ->
+  ?pp_output:(Format.formatter -> 'o -> unit) ->
+  ('s, 'o) Runner.result ->
+  string
+(** [render r] is the diagram; rows beyond [max_rows] (default 60) are
+    elided with a summary line.  Requires the run to have recorded events
+    (the default). *)
+
+val print : ?max_rows:int -> ?pp_output:(Format.formatter -> 'o -> unit) ->
+  ('s, 'o) Runner.result -> unit
+
+val legend : string

@@ -1,0 +1,72 @@
+(* Shared helpers for the test suites. *)
+
+open Rlfd_kernel
+open Rlfd_fd
+
+let pid = Pid.of_int
+
+let time = Time.of_int
+
+let pids = List.map pid
+
+let pattern ~n crashes =
+  Pattern.make ~n (List.map (fun (p, t) -> (pid p, time t)) crashes)
+
+let check_holds what result =
+  Alcotest.(check bool)
+    (Format.asprintf "%s (%a)" what Classes.pp_result result)
+    true (Classes.holds result)
+
+let check_violated what result =
+  Alcotest.(check bool)
+    (Format.asprintf "%s should be violated" what)
+    false (Classes.holds result)
+
+let check_all_hold what checks =
+  List.iter (fun (name, result) -> check_holds (what ^ ": " ^ name) result) checks
+
+(* A deterministic consensus workload. *)
+let proposals p = 1000 + Pid.to_int p
+
+let suite name cases = (name, cases)
+
+let test name f = Alcotest.test_case name `Quick f
+
+let slow_test name f = Alcotest.test_case name `Slow f
+
+let contains_substring ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec scan i = i + nl <= hl && (String.sub haystack i nl = needle || scan (i + 1)) in
+  nl = 0 || scan 0
+
+let qtest ?(count = 50) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count gen prop)
+
+(* Run a consensus-style automaton to completion. *)
+let run_consensus ?(horizon = 6000) ?(scheduler = `Fair) ~detector ~pattern automaton =
+  let scheduler =
+    match scheduler with
+    | `Fair -> Rlfd_sim.Scheduler.fair ()
+    | `Random seed -> Rlfd_sim.Scheduler.random ~seed ~lambda_bias:0.3
+  in
+  Rlfd_sim.Runner.run ~pattern ~detector ~scheduler ~horizon:(time horizon)
+    ~until:(Rlfd_sim.Runner.stop_when_all_correct_output pattern)
+    automaton
+
+let decision_values r =
+  List.map (fun (_, _, v) -> v) r.Rlfd_sim.Runner.outputs
+
+(* Sampled patterns for property tests: a pattern family index and a seed. *)
+let arb_pattern ~n ~horizon =
+  let open QCheck in
+  let families = Pattern.Family.all in
+  let gen =
+    Gen.map2
+      (fun fam_idx seed ->
+        let family = List.nth families (fam_idx mod List.length families) in
+        let rng = Rng.derive ~seed ~salts:[ 0x7E57 ] in
+        Pattern.Family.generate family ~n ~horizon:(time horizon) rng)
+      (Gen.int_bound (List.length families - 1))
+      (Gen.int_bound 1_000_000)
+  in
+  make ~print:(Format.asprintf "%a" Pattern.pp) gen

@@ -1,0 +1,89 @@
+(* The implemented-detector bridge: a heartbeat detector recorded on the
+   timed network drives the FLP-model consensus. *)
+
+open Rlfd_kernel
+open Rlfd_fd
+open Rlfd_sim
+open Rlfd_algo
+open Rlfd_net
+open Helpers
+
+let n = 4
+
+let crash_net = 600
+
+let net_pattern = pattern ~n [ (3, crash_net) ]
+
+let sync = Link.Synchronous { delta = 10 }
+
+let record model style =
+  Netsim.run ~n ~pattern:net_pattern ~model ~seed:21 ~horizon:8000
+    (Heartbeat.node style)
+
+let perfect_style =
+  Heartbeat.Fixed
+    { period = 20; timeout = Option.get (Heartbeat.perfect_timeout sync ~period:20) }
+
+let bridge_tests =
+  [
+    test "scaled pattern divides crash times" (fun () ->
+        let r = record sync perfect_style in
+        let scaled = Bridge.scaled_pattern ~scale:10 r in
+        Alcotest.(check (option int)) "crash at 60" (Some (crash_net / 10))
+          (Option.map Time.to_int (Pattern.crash_time scaled (pid 3))));
+    test "the recorded detector replays the suspicion timeline" (fun () ->
+        let r = record sync perfect_style in
+        let d = Bridge.detector_of_run ~scale:1 r in
+        let p = Bridge.scaled_pattern ~scale:1 r in
+        Alcotest.(check bool) "nothing early" true
+          (Pid.Set.is_empty (Detector.query d p (pid 1) (time 100)));
+        Alcotest.(check bool) "p3 suspected late" true
+          (Pid.Set.mem (pid 3) (Detector.query d p (pid 1) (time 7000))));
+    test "a recorded synchronous detector passes the class-P checks" (fun () ->
+        let r = record sync perfect_style in
+        let d = Bridge.detector_of_run ~scale:1 r in
+        let p = Bridge.scaled_pattern ~scale:1 r in
+        let horizon = time 7500 in
+        let window = Classes.default_window ~horizon in
+        check_holds "P member"
+          (Classes.member Classes.Perfect p ~horizon ~window (Detector.history d p)));
+    test "querying on a different pattern is rejected" (fun () ->
+        let r = record sync perfect_style in
+        let d = Bridge.detector_of_run r in
+        let other = pattern ~n [ (2, 5) ] in
+        Alcotest.check_raises "mismatch"
+          (Failure "Bridge.detector_of_run: queried on a different pattern than recorded")
+          (fun () -> ignore (Detector.query d other (pid 1) (time 0))));
+    test "consensus over the implemented detector (end-to-end)" (fun () ->
+        (* the full story: a synchronous network implements P by timeouts;
+           the recorded P drives the Chandra-Toueg algorithm in the abstract
+           model; the consensus spec holds *)
+        let r = record sync perfect_style in
+        let scale = 5 in
+        let d = Bridge.detector_of_run ~scale r in
+        let p = Bridge.scaled_pattern ~scale r in
+        let result =
+          Runner.run ~pattern:p ~detector:d ~scheduler:(Scheduler.fair ())
+            ~horizon:(time 1500)
+            ~until:(Runner.stop_when_all_correct_output p)
+            (Ct_strong.automaton ~proposals)
+        in
+        check_all_hold "consensus over recorded P"
+          (Properties.check_consensus ~uniform:true ~proposals ~equal:Int.equal result);
+        Alcotest.(check bool) "total, too" true (Totality.is_total result));
+    test "a lossy-link recording is NOT Perfect, and consensus may suffer" (fun () ->
+        (* the same stack over an asynchronous link: the detector makes
+           mistakes; the class checks catch it *)
+        let style = Heartbeat.Fixed { period = 20; timeout = 31 } in
+        let r =
+          record (Link.Asynchronous { mean = 15.; spike_every = 10; spike = 400 }) style
+        in
+        let d = Bridge.detector_of_run ~scale:1 r in
+        let p = Bridge.scaled_pattern ~scale:1 r in
+        let horizon = time 7500 in
+        let window = Classes.default_window ~horizon in
+        check_violated "not P"
+          (Classes.strong_accuracy p ~horizon ~window (Detector.history d p)));
+  ]
+
+let () = Alcotest.run "bridge" [ suite "net-to-model" bridge_tests ]

@@ -1,0 +1,246 @@
+(* EXP-10: reliable, uniform reliable, and atomic broadcast. *)
+
+open Rlfd_kernel
+open Rlfd_fd
+open Rlfd_sim
+open Rlfd_algo
+open Helpers
+
+let n = 4
+
+let to_broadcast p = List.init 2 (fun k -> (Pid.to_int p * 10) + k)
+
+let nothing _ = []
+
+let run_bcast ?(scheduler = `Fair) ?(horizon = 8000) ~detector ~pattern automaton =
+  let scheduler =
+    match scheduler with
+    | `Fair -> Scheduler.fair ()
+    | `Random seed -> Scheduler.random ~seed ~lambda_bias:0.3
+  in
+  Runner.run ~pattern ~detector ~scheduler ~horizon:(time horizon) automaton
+
+let item_tests =
+  [
+    test "sort_batch dedups and orders" (fun () ->
+        let i o s = Broadcast.item ~origin:(pid o) ~seq:s 0 in
+        let batch = [ i 2 1; i 1 0; i 2 1; i 1 1 ] in
+        let sorted = Broadcast.sort_batch batch in
+        Alcotest.(check int) "three unique" 3 (List.length sorted);
+        let ids = List.map (fun it -> (Pid.to_int it.Broadcast.origin, it.Broadcast.seq)) sorted in
+        Alcotest.(check (list (pair int int))) "order" [ (1, 0); (1, 1); (2, 1) ] ids);
+    test "workload tags sequence numbers" (fun () ->
+        let items = Broadcast.workload to_broadcast (pid 3) in
+        Alcotest.(check (list int)) "seqs" [ 0; 1 ]
+          (List.map (fun i -> i.Broadcast.seq) items);
+        Alcotest.(check (list int)) "data" [ 30; 31 ]
+          (List.map (fun i -> i.Broadcast.data) items));
+    test "same_id ignores payload" (fun () ->
+        let a = Broadcast.item ~origin:(pid 1) ~seq:0 5 in
+        let b = Broadcast.item ~origin:(pid 1) ~seq:0 9 in
+        Alcotest.(check bool) "same id" true (Broadcast.same_id a b));
+  ]
+
+let rbcast_tests =
+  [
+    test "failure-free: everyone delivers everything" (fun () ->
+        let pattern = Pattern.failure_free ~n in
+        let r =
+          run_bcast ~detector:Perfect.canonical ~pattern
+            (Rbcast.automaton ~to_broadcast)
+        in
+        check_holds "validity" (Properties.broadcast_validity ~to_broadcast r);
+        check_holds "agreement" (Properties.broadcast_agreement r);
+        check_holds "no-dup" (Properties.broadcast_no_duplication r);
+        check_holds "no-creation"
+          (Properties.broadcast_no_creation ~to_broadcast ~equal:Int.equal r));
+    test "broadcaster crash mid-flood still reaches all or none… of the correct" (fun () ->
+        let pattern = pattern ~n [ (1, 1) ] in
+        let r =
+          run_bcast ~detector:Perfect.canonical ~pattern
+            (Rbcast.automaton ~to_broadcast)
+        in
+        (* agreement among correct processes is the contract *)
+        check_holds "agreement" (Properties.broadcast_agreement r);
+        check_holds "no-dup" (Properties.broadcast_no_duplication r));
+    qtest ~count:25 "rbcast agreement across the environment"
+      (arb_pattern ~n ~horizon:60)
+      (fun pattern ->
+        let r =
+          run_bcast ~detector:Perfect.canonical ~pattern
+            (Rbcast.automaton ~to_broadcast)
+        in
+        Classes.holds (Properties.broadcast_agreement r)
+        && Classes.holds (Properties.broadcast_no_duplication r)
+        && Classes.holds (Properties.broadcast_validity ~to_broadcast r));
+    test "no broadcasts, no deliveries" (fun () ->
+        let pattern = Pattern.failure_free ~n in
+        let r =
+          run_bcast ~horizon:300 ~detector:Perfect.canonical ~pattern
+            (Rbcast.automaton ~to_broadcast:nothing)
+        in
+        Alcotest.(check int) "silence" 0 (List.length r.Runner.outputs));
+  ]
+
+let urbcast_tests =
+  [
+    test "failure-free uniform delivery" (fun () ->
+        let pattern = Pattern.failure_free ~n in
+        let r =
+          run_bcast ~detector:Perfect.canonical ~pattern
+            (Urbcast.automaton ~to_broadcast)
+        in
+        check_holds "validity" (Properties.broadcast_validity ~to_broadcast r);
+        check_holds "agreement" (Properties.broadcast_agreement r);
+        check_holds "no-dup" (Properties.broadcast_no_duplication r));
+    test "uniform agreement: any delivery binds the correct" (fun () ->
+        let pattern = pattern ~n [ (1, 8); (2, 40) ] in
+        let r =
+          run_bcast ~detector:Perfect.canonical ~pattern
+            (Urbcast.automaton ~to_broadcast)
+        in
+        (* whatever any process (even faulty) delivered must be delivered by
+           every correct process *)
+        let correct = Pattern.correct pattern in
+        let delivered_by p = List.map snd (Runner.outputs_of r p) in
+        List.iter
+          (fun p ->
+            List.iter
+              (fun item ->
+                Pid.Set.iter
+                  (fun q ->
+                    Alcotest.(check bool)
+                      (Format.asprintf "%a's delivery reaches %a" Pid.pp p Pid.pp q)
+                      true
+                      (List.exists (Broadcast.same_id item) (delivered_by q)))
+                  correct)
+              (delivered_by p))
+          (Pid.all ~n));
+    qtest ~count:20 "uniform agreement across the environment"
+      (arb_pattern ~n ~horizon:60)
+      (fun pattern ->
+        let r =
+          run_bcast ~detector:Perfect.canonical ~pattern
+            (Urbcast.automaton ~to_broadcast)
+        in
+        let correct = Pattern.correct pattern in
+        let delivered_by p = List.map snd (Runner.outputs_of r p) in
+        List.for_all
+          (fun p ->
+            List.for_all
+              (fun item ->
+                Pid.Set.for_all
+                  (fun q -> List.exists (Broadcast.same_id item) (delivered_by q))
+                  correct)
+              (delivered_by p))
+          (Pid.all ~n));
+  ]
+
+let abcast_tests =
+  [
+    test "failure-free total order" (fun () ->
+        let pattern = Pattern.failure_free ~n in
+        let r =
+          run_bcast ~detector:Perfect.canonical ~pattern
+            (Abcast.automaton ~to_broadcast)
+        in
+        check_all_hold "failure-free"
+          (Properties.check_abcast ~to_broadcast ~equal:Int.equal r));
+    test "crashes do not disturb the order" (fun () ->
+        let pattern = pattern ~n [ (2, 30); (4, 90) ] in
+        let r =
+          run_bcast ~detector:Perfect.canonical ~pattern
+            (Abcast.automaton ~to_broadcast)
+        in
+        check_holds "total order" (Properties.total_order r);
+        check_holds "agreement" (Properties.broadcast_agreement r);
+        check_holds "no-dup" (Properties.broadcast_no_duplication r);
+        check_holds "no-creation"
+          (Properties.broadcast_no_creation ~to_broadcast ~equal:Int.equal r));
+    test "unbounded crashes with P (the paper's environment)" (fun () ->
+        let pattern = pattern ~n [ (1, 20); (2, 50); (3, 80) ] in
+        let r =
+          run_bcast ~detector:Perfect.canonical ~pattern
+            (Abcast.automaton ~to_broadcast)
+        in
+        check_holds "total order" (Properties.total_order r);
+        check_holds "agreement" (Properties.broadcast_agreement r));
+    qtest ~count:15 "total order across the environment"
+      (arb_pattern ~n ~horizon:80)
+      (fun pattern ->
+        let r =
+          run_bcast ~detector:Perfect.canonical ~pattern
+            (Abcast.automaton ~to_broadcast)
+        in
+        Classes.holds (Properties.total_order r)
+        && Classes.holds (Properties.broadcast_agreement r)
+        && Classes.holds (Properties.broadcast_no_duplication r));
+    qtest ~count:10 "total order under random schedules"
+      QCheck.(pair (arb_pattern ~n ~horizon:80) small_int)
+      (fun (pattern, seed) ->
+        let r =
+          run_bcast ~scheduler:(`Random seed) ~detector:Perfect.canonical ~pattern
+            (Abcast.automaton ~to_broadcast)
+        in
+        Classes.holds (Properties.total_order r)
+        && Classes.holds (Properties.broadcast_agreement r));
+    test "deliveries happen (liveness)" (fun () ->
+        let pattern = Pattern.failure_free ~n in
+        let r =
+          run_bcast ~detector:Perfect.canonical ~pattern
+            (Abcast.automaton ~to_broadcast)
+        in
+        let expected = n * 2 in
+        List.iter
+          (fun p ->
+            Alcotest.(check int)
+              (Format.asprintf "%a delivered all" Pid.pp p)
+              expected
+              (List.length (Runner.outputs_of r p)))
+          (Pid.all ~n));
+    test "instance counter advances" (fun () ->
+        let pattern = Pattern.failure_free ~n in
+        let r =
+          run_bcast ~detector:Perfect.canonical ~pattern
+            (Abcast.automaton ~to_broadcast)
+        in
+        Pid.Map.iter
+          (fun p st ->
+            Alcotest.(check bool)
+              (Format.asprintf "%a decided instances" Pid.pp p)
+              true
+              (Abcast.instances_decided st >= 1))
+          r.Runner.final_states);
+  ]
+
+(* a tiny replicated state machine on abcast: the KV example's core claim *)
+let rsm_tests =
+  [
+    test "replicated accumulator converges" (fun () ->
+        let pattern = pattern ~n [ (3, 60) ] in
+        let r =
+          run_bcast ~detector:Perfect.canonical ~pattern
+            (Abcast.automaton ~to_broadcast)
+        in
+        (* apply deliveries as non-commutative state updates *)
+        let apply acc item = (acc * 31) + item.Broadcast.data in
+        let states =
+          Pid.Set.elements (Pattern.correct pattern)
+          |> List.map (fun p ->
+                 List.fold_left apply 17 (List.map snd (Runner.outputs_of r p)))
+        in
+        match states with
+        | [] -> Alcotest.fail "no correct processes"
+        | s :: rest ->
+          List.iter (fun s' -> Alcotest.(check int) "same state" s s') rest);
+  ]
+
+let () =
+  Alcotest.run "broadcast"
+    [
+      suite "items" item_tests;
+      suite "reliable" rbcast_tests;
+      suite "uniform-reliable" urbcast_tests;
+      suite "atomic" abcast_tests;
+      suite "replicated-state-machine" rsm_tests;
+    ]

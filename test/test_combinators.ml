@@ -1,0 +1,109 @@
+(* Detector combinators: class algebra and realism preservation. *)
+
+open Rlfd_kernel
+open Rlfd_fd
+open Helpers
+
+let n = 5
+
+let horizon = time 100
+
+let window = Classes.default_window ~horizon
+
+let two_crashes = pattern ~n [ (2, 10); (4, 35) ]
+
+let member cls d p = Classes.member cls p ~horizon ~window (Detector.history d p)
+
+let noisy = Ev_perfect.canonical ~stabilization:(time 50) ~seed:7
+
+let algebra_tests =
+  [
+    test "union of P with itself is P" (fun () ->
+        check_holds "P|P"
+          (member Classes.Perfect (Combinators.union Perfect.canonical Perfect.canonical)
+             two_crashes));
+    test "union with a noisy detector loses accuracy" (fun () ->
+        let d = Combinators.union Perfect.canonical noisy in
+        check_violated "accuracy lost"
+          (Classes.strong_accuracy two_crashes ~horizon ~window (Detector.history d two_crashes));
+        check_holds "completeness kept"
+          (Classes.strong_completeness two_crashes ~horizon ~window
+             (Detector.history d two_crashes)));
+    test "intersection with a noisy detector keeps accuracy" (fun () ->
+        let d = Combinators.intersect Perfect.canonical noisy in
+        check_holds "accuracy kept"
+          (Classes.strong_accuracy two_crashes ~horizon ~window (Detector.history d two_crashes));
+        check_holds "completeness kept (both complete)"
+          (Classes.strong_completeness two_crashes ~horizon ~window
+             (Detector.history d two_crashes)));
+    test "intersection with an empty detector is empty" (fun () ->
+        let empty = Detector.make ~name:"empty" ~claims_realistic:true (fun _ _ _ -> Pid.Set.empty) in
+        let d = Combinators.intersect Perfect.canonical empty in
+        check_violated "completeness gone"
+          (Classes.strong_completeness two_crashes ~horizon ~window
+             (Detector.history d two_crashes)));
+    test "lag preserves P" (fun () ->
+        check_holds "lagged P"
+          (member Classes.Perfect (Combinators.lag 7 Perfect.canonical) two_crashes));
+    test "lag shifts knowledge" (fun () ->
+        let d = Combinators.lag 7 Perfect.canonical in
+        Alcotest.(check bool) "unknown at 12" true
+          (Pid.Set.is_empty (Detector.query d two_crashes (pid 1) (time 12)));
+        Alcotest.(check bool) "known at 17" true
+          (Pid.Set.mem (pid 2) (Detector.query d two_crashes (pid 1) (time 17))));
+    test "lag rejects negatives" (fun () ->
+        Alcotest.check_raises "neg" (Invalid_argument "Combinators.lag: negative lag")
+          (fun () -> ignore (Combinators.lag (-1) Perfect.canonical)));
+    test "restrict_below of P is exactly P<" (fun () ->
+        let carved = Combinators.restrict_below Perfect.canonical in
+        List.iter
+          (fun t ->
+            List.iter
+              (fun p ->
+                Alcotest.(check bool) "pointwise equal" true
+                  (Pid.Set.equal
+                     (Detector.query carved two_crashes p (time t))
+                     (Detector.query Partial_perfect.canonical two_crashes p (time t))))
+              (Pid.all ~n))
+          [ 0; 10; 11; 35; 60; 99 ]);
+    test "restrict_below drops full completeness" (fun () ->
+        check_violated "not P"
+          (member Classes.Perfect (Combinators.restrict_below Perfect.canonical) two_crashes);
+        check_holds "still P<"
+          (member Classes.Partially_perfect (Combinators.restrict_below Perfect.canonical)
+             two_crashes));
+    test "mask blinds the detector to chosen processes" (fun () ->
+        let d = Combinators.mask (Pid.Set.of_ints [ 2 ]) Perfect.canonical in
+        Alcotest.(check bool) "p2 invisible" false
+          (Pid.Set.mem (pid 2) (Detector.query d two_crashes (pid 1) (time 50)));
+        check_violated "completeness broken for p2"
+          (Classes.strong_completeness two_crashes ~horizon ~window
+             (Detector.history d two_crashes)));
+  ]
+
+let realism_tests =
+  let pairs seed =
+    Realism.prefix_sharing_pairs ~n ~horizon:(time 60) ~count:40
+      (Rng.derive ~seed ~salts:[ 0xC0 ])
+  in
+  [
+    test "combinators of realistic detectors stay realistic" (fun () ->
+        List.iter
+          (fun d ->
+            Alcotest.(check bool) (Detector.name d) true
+              (Realism.is_realistic (Realism.check_suspicions d ~pairs:(pairs 3))))
+          [ Combinators.union Perfect.canonical noisy;
+            Combinators.intersect Perfect.canonical noisy;
+            Combinators.lag 5 Perfect.canonical;
+            Combinators.restrict_below Perfect.canonical;
+            Combinators.mask (Pid.Set.of_ints [ 1 ]) Perfect.canonical ]);
+    test "combinators over Marabout inherit its future-guessing" (fun () ->
+        let d = Combinators.union Perfect.canonical Marabout.canonical in
+        Alcotest.(check bool) "claims" false (Detector.claims_realistic d);
+        Alcotest.(check bool) "refuted" false
+          (Realism.is_realistic (Realism.check_suspicions d ~pairs:(pairs 4))));
+  ]
+
+let () =
+  Alcotest.run "combinators"
+    [ suite "class-algebra" algebra_tests; suite "realism" realism_tests ]

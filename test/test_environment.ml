@@ -1,0 +1,88 @@
+(* Environments (Section 2.1): sets of failure patterns, first-class. *)
+
+open Rlfd_kernel
+open Rlfd_fd
+open Helpers
+
+let n = 5
+
+let horizon = time 80
+
+let rng seed = Rng.derive ~seed ~salts:[ 0xEE ]
+
+let membership_tests =
+  [
+    test "unbounded contains everything" (fun () ->
+        List.iter
+          (fun p -> Alcotest.(check bool) "in" true (Environment.contains Environment.unbounded p))
+          [ Pattern.failure_free ~n; pattern ~n [ (1, 0) ];
+            pattern ~n [ (1, 0); (2, 1); (3, 2); (4, 3) ] ]);
+    test "majority-correct rejects heavy crashes" (fun () ->
+        Alcotest.(check bool) "2 of 5 ok" true
+          (Environment.contains Environment.majority_correct (pattern ~n [ (1, 0); (2, 1) ]));
+        Alcotest.(check bool) "3 of 5 rejected" false
+          (Environment.contains Environment.majority_correct
+             (pattern ~n [ (1, 0); (2, 1); (3, 2) ])));
+    test "f_bounded counts crashes" (fun () ->
+        let env = Environment.f_bounded 1 in
+        Alcotest.(check bool) "one ok" true (Environment.contains env (pattern ~n [ (1, 0) ]));
+        Alcotest.(check bool) "two rejected" false
+          (Environment.contains env (pattern ~n [ (1, 0); (2, 0) ])));
+    test "failure_free" (fun () ->
+        Alcotest.(check bool) "clean ok" true
+          (Environment.contains Environment.failure_free (Pattern.failure_free ~n));
+        Alcotest.(check bool) "crash rejected" false
+          (Environment.contains Environment.failure_free (pattern ~n [ (1, 0) ])));
+    test "names" (fun () ->
+        Alcotest.(check string) "unbounded" "unbounded" (Environment.name Environment.unbounded);
+        Alcotest.(check string) "bounded" "at-most-2-crashes"
+          (Environment.name (Environment.f_bounded 2)));
+  ]
+
+let sampling_tests =
+  [
+    qtest ~count:40 "samples stay inside their environment" QCheck.small_int (fun seed ->
+        List.for_all
+          (fun env ->
+            let p = Environment.sample env ~n ~horizon (rng seed) in
+            Environment.contains env p)
+          [ Environment.unbounded; Environment.majority_correct;
+            Environment.f_bounded 1; Environment.failure_free ]);
+    qtest ~count:40 "unbounded sampling reaches heavy-crash corners" QCheck.small_int
+      (fun seed ->
+        (* over 20 samples, at least one pattern with >= n/2 crashes appears
+           often enough that seeds rarely miss; accept any single sample *)
+        let g = rng seed in
+        let samples =
+          List.init 20 (fun _ -> Environment.sample Environment.unbounded ~n ~horizon g)
+        in
+        List.exists (fun p -> Pattern.num_faulty p >= n / 2) samples
+        || List.for_all (fun p -> Pattern.num_faulty p < n) samples);
+    test "custom environment filters" (fun () ->
+        let env =
+          Environment.custom ~name:"p1-survives"
+            ~contains:(fun p -> Pid.Set.mem (pid 1) (Pattern.correct p))
+            ~base:Pattern.Family.all
+        in
+        let g = rng 4 in
+        List.iter
+          (fun _ ->
+            let p = Environment.sample env ~n ~horizon g in
+            Alcotest.(check bool) "p1 correct" true (Pid.Set.mem (pid 1) (Pattern.correct p)))
+          (List.init 20 Fun.id));
+    test "impossible environment fails loudly" (fun () ->
+        let env =
+          Environment.custom ~name:"impossible"
+            ~contains:(fun _ -> false)
+            ~base:[ Pattern.Family.failure_free ]
+        in
+        Alcotest.(check bool) "raises" true
+          (try
+             ignore (Environment.sample env ~n ~horizon (rng 1));
+             false
+           with Failure _ -> true));
+  ]
+
+let () =
+  Alcotest.run "environment"
+    [ suite "membership" membership_tests; suite "sampling" sampling_tests ]

@@ -1,0 +1,97 @@
+(* Bounded-exhaustive schedule exploration: small-scope model checking of
+   the safety clauses. *)
+
+open Rlfd_kernel
+open Rlfd_fd
+open Rlfd_sim
+open Rlfd_algo
+open Helpers
+
+let n = 3
+
+let agreement = Explore.agreement_check ~equal:Int.equal
+
+let validity = Explore.validity_check ~n ~proposals ~equal:Int.equal
+
+let safety = Explore.both agreement validity
+
+let explorer_tests =
+  [
+    test "a correct algorithm survives the whole tree (ct-strong, no crash)" (fun () ->
+        let report =
+          Explore.run ~max_steps:9 ~max_nodes:400_000
+            ~pattern:(Pattern.failure_free ~n) ~detector:Perfect.canonical
+            ~check:safety (Ct_strong.automaton ~proposals)
+        in
+        Alcotest.(check int)
+          (Format.asprintf "%a" Explore.pp_report report)
+          0
+          (List.length report.Explore.violations);
+        Alcotest.(check bool) "explored a lot" true (report.Explore.nodes_explored > 10_000));
+    test "ct-strong with P survives crashes exhaustively" (fun () ->
+        let report =
+          Explore.run ~max_steps:9 ~max_nodes:400_000
+            ~pattern:(pattern ~n [ (1, 2) ])
+            ~detector:Perfect.canonical ~check:safety (Ct_strong.automaton ~proposals)
+        in
+        Alcotest.(check int) "no violations" 0 (List.length report.Explore.violations));
+    test "rank consensus with P< survives exhaustively (correct-restricted)" (fun () ->
+        (* correct-restricted agreement: filter decisions of the faulty p1 *)
+        let faulty = pid 1 in
+        let check outputs =
+          agreement (List.filter (fun (p, _) -> not (Pid.equal p faulty)) outputs)
+        in
+        let report =
+          Explore.run ~max_steps:10 ~max_nodes:400_000
+            ~pattern:(pattern ~n [ (1, 1) ])
+            ~detector:Partial_perfect.canonical ~check
+            (Rank_consensus.automaton ~proposals)
+        in
+        Alcotest.(check int) "no violations" 0 (List.length report.Explore.violations));
+    test "rank consensus is NOT uniformly safe: the explorer finds the witness" (fun () ->
+        let report =
+          Explore.run ~max_steps:10 ~max_nodes:400_000
+            ~pattern:(pattern ~n [ (1, 1) ])
+            ~detector:Partial_perfect.canonical ~check:agreement
+            (Rank_consensus.automaton ~proposals)
+        in
+        match report.Explore.violations with
+        | [] -> Alcotest.fail "expected a uniform-agreement violation"
+        | v :: _ ->
+          Alcotest.(check bool) "witness has a schedule" true (v.Explore.trail <> []);
+          Alcotest.(check bool) "two different decisions" true
+            (List.length v.Explore.outputs >= 2));
+    test "the Marabout algorithm with P is unsafe: witness found" (fun () ->
+        let report =
+          Explore.run ~max_steps:8 ~max_nodes:400_000
+            ~pattern:(pattern ~n [ (1, 1) ])
+            ~detector:Perfect.canonical ~check:agreement
+            (Marabout_consensus.automaton ~proposals)
+        in
+        Alcotest.(check bool) "violations found" true (report.Explore.violations <> []));
+    test "the same algorithm with Marabout itself is exhaustively safe" (fun () ->
+        let report =
+          Explore.run ~max_steps:8 ~max_nodes:400_000
+            ~pattern:(pattern ~n [ (1, 1) ])
+            ~detector:Marabout.canonical ~check:safety
+            (Marabout_consensus.automaton ~proposals)
+        in
+        Alcotest.(check int) "no violations" 0 (List.length report.Explore.violations));
+    test "node budget truncates honestly" (fun () ->
+        let report =
+          Explore.run ~max_steps:12 ~max_nodes:500
+            ~pattern:(Pattern.failure_free ~n) ~detector:Perfect.canonical
+            ~check:safety (Ct_strong.automaton ~proposals)
+        in
+        Alcotest.(check bool) "not complete" false report.Explore.complete);
+    test "depth bound is respected" (fun () ->
+        let report =
+          Explore.run ~max_steps:4 ~max_nodes:400_000
+            ~pattern:(Pattern.failure_free ~n) ~detector:Perfect.canonical
+            ~check:safety (Ct_strong.automaton ~proposals)
+        in
+        Alcotest.(check bool) "deepest <= 4" true (report.Explore.deepest <= 4);
+        Alcotest.(check bool) "complete" true report.Explore.complete);
+  ]
+
+let () = Alcotest.run "explore" [ suite "small-scope-model-checking" explorer_tests ]

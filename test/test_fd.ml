@@ -1,0 +1,301 @@
+open Rlfd_kernel
+open Rlfd_fd
+open Helpers
+
+let n = 5
+
+let horizon = time 100
+
+let window = Classes.default_window ~horizon
+
+let member cls detector pattern =
+  Classes.member cls pattern ~horizon ~window (Detector.history detector pattern)
+
+let check_member what cls detector pattern = check_holds what (member cls detector pattern)
+
+let check_not_member what cls detector pattern =
+  check_violated what (member cls detector pattern)
+
+let two_crashes = pattern ~n [ (2, 10); (4, 35) ]
+
+let heavy = pattern ~n [ (1, 5); (2, 10); (3, 20); (4, 30) ]
+
+let none = Pattern.failure_free ~n
+
+(* ---------- canonical Perfect ---------- *)
+
+let perfect_tests =
+  [
+    test "P outputs exactly the crashed set" (fun () ->
+        let out = Detector.query Perfect.canonical two_crashes (pid 1) (time 12) in
+        Alcotest.(check string) "at 12" "{p2}" (Format.asprintf "%a" Pid.Set.pp out));
+    test "P is Perfect on two crashes" (fun () ->
+        check_member "P in P" Classes.Perfect Perfect.canonical two_crashes);
+    test "P is Perfect under heavy crashes" (fun () ->
+        check_member "P in P" Classes.Perfect Perfect.canonical heavy);
+    test "P is Perfect on failure-free" (fun () ->
+        check_member "P in P" Classes.Perfect Perfect.canonical none);
+    test "P is also Strong and Eventually-*" (fun () ->
+        check_member "S" Classes.Strong Perfect.canonical two_crashes;
+        check_member "<>P" Classes.Eventually_perfect Perfect.canonical two_crashes;
+        check_member "<>S" Classes.Eventually_strong Perfect.canonical two_crashes);
+    test "delayed P is still Perfect" (fun () ->
+        check_member "P(lag)" Classes.Perfect (Perfect.delayed ~lag:7) two_crashes);
+    test "delayed P rejects negative lag" (fun () ->
+        Alcotest.check_raises "lag" (Invalid_argument "Perfect.delayed: negative lag")
+          (fun () -> ignore (Perfect.delayed ~lag:(-1))));
+    test "staggered P is Perfect" (fun () ->
+        check_member "P(staggered)" Classes.Perfect
+          (Perfect.staggered ~seed:3 ~max_lag:6) two_crashes);
+    test "staggered lags differ per observer" (fun () ->
+        let d = Perfect.staggered ~seed:3 ~max_lag:20 in
+        (* at some instant shortly after the crash, observers with different
+           notification lags must disagree *)
+        let disagreement_at t =
+          let sets =
+            List.map (fun q -> Detector.query d two_crashes q (time t)) (Pid.all ~n)
+          in
+          not (List.for_all (Pid.Set.equal (List.hd sets)) sets)
+        in
+        Alcotest.(check bool) "observers disagree transiently" true
+          (List.exists disagreement_at (List.init 25 (fun i -> 10 + i))));
+  ]
+
+(* ---------- Eventually Perfect ---------- *)
+
+let ev_perfect_tests =
+  let d = Ev_perfect.canonical ~stabilization:(time 50) ~seed:9 in
+  [
+    test "noisy before stabilization" (fun () ->
+        let wrong_somewhere =
+          List.exists
+            (fun t ->
+              List.exists
+                (fun q ->
+                  let out = Detector.query d two_crashes q (time t) in
+                  not
+                    (Pid.Set.subset out (Pattern.crashed_by two_crashes (time t))))
+                (Pid.all ~n))
+            (List.init 50 Fun.id)
+        in
+        Alcotest.(check bool) "false suspicions exist" true wrong_somewhere);
+    test "exact after stabilization" (fun () ->
+        List.iter
+          (fun t ->
+            List.iter
+              (fun q ->
+                let out = Detector.query d two_crashes q (time t) in
+                Alcotest.(check bool) "equals crashed" true
+                  (Pid.Set.equal out (Pattern.crashed_by two_crashes (time t))))
+              (Pid.all ~n))
+          [ 50; 60; 99 ]);
+    test "<>P member but not P" (fun () ->
+        check_member "<>P" Classes.Eventually_perfect d two_crashes;
+        check_not_member "not P" Classes.Perfect d two_crashes);
+    test "noise bounds validated" (fun () ->
+        Alcotest.check_raises "noise" (Invalid_argument "Ev_perfect.noisy: noise out of [0,1]")
+          (fun () -> ignore (Ev_perfect.noisy ~stabilization:(time 1) ~noise:1.5 ~seed:0)));
+  ]
+
+(* ---------- Strong ---------- *)
+
+let strong_tests =
+  [
+    test "realistic S is Perfect (the collapse)" (fun () ->
+        check_member "S(realistic) in P" Classes.Perfect Strong.realistic heavy);
+    test "clairvoyant S is Strong" (fun () ->
+        check_member "S(clairvoyant) in S" Classes.Strong Strong.clairvoyant heavy);
+    test "clairvoyant S is not Perfect" (fun () ->
+        check_not_member "accuracy broken" Classes.Perfect Strong.clairvoyant heavy);
+    test "clairvoyant trusts the smallest correct process" (fun () ->
+        (* in [heavy], p5 is the only correct process *)
+        let out = Detector.query Strong.clairvoyant heavy (pid 1) (time 0) in
+        Alcotest.(check bool) "p5 unsuspected" false (Pid.Set.mem (pid 5) out);
+        Alcotest.(check bool) "p2 suspected at t=0" true (Pid.Set.mem (pid 2) out));
+  ]
+
+(* ---------- Eventually Strong ---------- *)
+
+let ev_strong_tests =
+  let d = Ev_strong.canonical ~seed:4 ~noise:0.3 in
+  [
+    test "<>S member" (fun () -> check_member "<>S" Classes.Eventually_strong d two_crashes);
+    test "not Perfect (false suspicions)" (fun () ->
+        check_not_member "not P" Classes.Perfect d two_crashes);
+    test "trusted process is smallest alive" (fun () ->
+        Alcotest.(check (option int)) "before crash" (Some 1)
+          (Option.map Pid.to_int (Ev_strong.trusted heavy (time 0)));
+        Alcotest.(check (option int)) "after p1 crash" (Some 2)
+          (Option.map Pid.to_int (Ev_strong.trusted heavy (time 5)));
+        Alcotest.(check (option int)) "eventually p5" (Some 5)
+          (Option.map Pid.to_int (Ev_strong.trusted heavy (time 50))));
+    test "never suspects the trusted process" (fun () ->
+        List.iter
+          (fun t ->
+            match Ev_strong.trusted two_crashes (time t) with
+            | None -> ()
+            | Some trusted ->
+              List.iter
+                (fun q ->
+                  let out = Detector.query d two_crashes q (time t) in
+                  Alcotest.(check bool) "trusted unsuspected" false
+                    (Pid.Set.mem trusted out))
+                (Pid.all ~n))
+          (List.init 100 Fun.id));
+  ]
+
+(* ---------- Omega, Scribe, Marabout, P< ---------- *)
+
+let other_tests =
+  [
+    test "Omega leader is smallest alive" (fun () ->
+        Alcotest.(check int) "t=0" 1
+          (Pid.to_int (Detector.query Omega.canonical heavy (pid 3) (time 0)));
+        Alcotest.(check int) "t=40" 5
+          (Pid.to_int (Detector.query Omega.canonical heavy (pid 3) (time 40))));
+    test "Omega as suspicions trusts only the leader" (fun () ->
+        let out = Detector.query (Omega.as_suspicions ~n) heavy (pid 2) (time 40) in
+        Alcotest.(check string) "all but p5" "{p1,p2,p3,p4}"
+          (Format.asprintf "%a" Pid.Set.pp out));
+    test "Scribe output is the full prefix" (fun () ->
+        let prefix = Detector.query Scribe.canonical two_crashes (pid 1) (time 20) in
+        Alcotest.(check int) "one event" 1 (List.length (Pattern.prefix_events prefix)));
+    test "Scribe projected to suspicions is Perfect" (fun () ->
+        check_member "C in P" Classes.Perfect Scribe.as_suspicions heavy);
+    test "Marabout outputs the faulty set from time 0" (fun () ->
+        let out = Detector.query Marabout.canonical two_crashes (pid 1) Time.zero in
+        Alcotest.(check string) "future crashes" "{p2,p4}"
+          (Format.asprintf "%a" Pid.Set.pp out));
+    test "Marabout is Strong but not Perfect" (fun () ->
+        check_member "M in S" Classes.Strong Marabout.canonical two_crashes;
+        check_not_member "M not P (real-time accuracy)" Classes.Perfect Marabout.canonical
+          two_crashes);
+    test "P< is Partially Perfect" (fun () ->
+        check_member "P< in P<" Classes.Partially_perfect Partial_perfect.canonical heavy);
+    test "P< is not Perfect (no completeness upward)" (fun () ->
+        (* two_crashes leaves p1 correct, and p1 can never suspect p2 *)
+        check_not_member "P< not P" Classes.Perfect Partial_perfect.canonical two_crashes);
+    test "P< looks Perfect when only the top rank survives" (fun () ->
+        (* in [heavy] the only correct process is p5, which sees every crash
+           below it: the partial completeness gap is invisible *)
+        check_member "P< ~ P here" Classes.Perfect Partial_perfect.canonical heavy);
+    test "P< tells p_j only about lower indices" (fun () ->
+        let out = Detector.query Partial_perfect.canonical heavy (pid 3) (time 50) in
+        Alcotest.(check string) "only below 3" "{p1,p2}"
+          (Format.asprintf "%a" Pid.Set.pp out);
+        let out1 = Detector.query Partial_perfect.canonical heavy (pid 1) (time 50) in
+        Alcotest.(check bool) "p1 knows nothing" true (Pid.Set.is_empty out1));
+    test "delayed P< is still Partially Perfect" (fun () ->
+        check_member "P<(lag)" Classes.Partially_perfect (Partial_perfect.delayed ~lag:4)
+          heavy);
+  ]
+
+(* ---------- class checkers on synthetic histories ---------- *)
+
+let synthetic_tests =
+  let constant set = History.of_fun (fun _ _ -> set) in
+  [
+    test "strong accuracy rejects early suspicion" (fun () ->
+        let h = constant (Pid.Set.of_ints [ 2 ]) in
+        (* p2 crashes at 10, suspected from 0: accuracy violated *)
+        check_violated "early suspicion"
+          (Classes.strong_accuracy two_crashes ~horizon ~window h));
+    test "strong completeness rejects ignoring a crash" (fun () ->
+        let h = constant Pid.Set.empty in
+        check_violated "no suspicion"
+          (Classes.strong_completeness two_crashes ~horizon ~window h));
+    test "weak completeness accepts one observer" (fun () ->
+        (* only p1 suspects the crashed ones *)
+        let h =
+          History.of_fun (fun q t ->
+              if Pid.equal q (pid 1) then Pattern.crashed_by two_crashes t
+              else Pid.Set.empty)
+        in
+        check_holds "one observer suffices"
+          (Classes.weak_completeness two_crashes ~horizon ~window h);
+        check_violated "strong needs all"
+          (Classes.strong_completeness two_crashes ~horizon ~window h));
+    test "weak accuracy needs one untouched correct process" (fun () ->
+        let h = constant (Pid.Set.of_ints [ 1; 2; 3; 4 ]) in
+        (* p5 never suspected: weak accuracy holds *)
+        check_holds "p5 spared" (Classes.weak_accuracy two_crashes ~horizon ~window h);
+        let h_all = constant (Pid.Set.of_ints [ 1; 2; 3; 4; 5 ]) in
+        check_violated "nobody spared"
+          (Classes.weak_accuracy two_crashes ~horizon ~window h_all));
+    test "eventual accuracy forgives a noisy prefix" (fun () ->
+        let h =
+          History.of_fun (fun _q t ->
+              if Time.(t < time 60) then Pid.Set.of_ints [ 1; 2; 3; 4; 5 ]
+              else Pattern.crashed_by two_crashes t)
+        in
+        check_holds "eventual strong accuracy"
+          (Classes.eventual_strong_accuracy two_crashes ~horizon ~window h);
+        check_violated "not plain accuracy"
+          (Classes.strong_accuracy two_crashes ~horizon ~window h));
+    test "partial completeness ignores higher observers" (fun () ->
+        (* p5 crashes; nobody above it exists, so partial completeness is
+           vacuous even though no one suspects it *)
+        let f = pattern ~n [ (5, 10) ] in
+        let h = constant Pid.Set.empty in
+        check_holds "vacuous at the top"
+          (Classes.partial_completeness f ~horizon ~window h);
+        check_violated "strong completeness still fails"
+          (Classes.strong_completeness f ~horizon ~window h));
+    test "classify finds all classes of canonical P" (fun () ->
+        let classes =
+          Classes.classify two_crashes ~horizon ~window
+            (Detector.history Perfect.canonical two_crashes)
+        in
+        Alcotest.(check int) "all nine" (List.length Classes.all_classes)
+          (List.length classes));
+    test "weak-completeness-only detector is Q (and W) but not P or S" (fun () ->
+        let d = Ev_strong.weakly_complete in
+        check_member "in Q" Classes.Quasi_perfect d two_crashes;
+        check_member "in W" Classes.Weak d two_crashes;
+        check_not_member "not P" Classes.Perfect d two_crashes;
+        check_not_member "not S" Classes.Strong d two_crashes);
+  ]
+
+(* ---------- History.Recorder ---------- *)
+
+let recorder_tests =
+  [
+    test "history is a step function" (fun () ->
+        let r = History.Recorder.create ~n ~init:0 in
+        History.Recorder.record r (pid 1) (time 5) 10;
+        History.Recorder.record r (pid 1) (time 9) 20;
+        let h = History.Recorder.history r in
+        Alcotest.(check int) "before" 0 (h (pid 1) (time 4));
+        Alcotest.(check int) "at 5" 10 (h (pid 1) (time 5));
+        Alcotest.(check int) "between" 10 (h (pid 1) (time 8));
+        Alcotest.(check int) "after" 20 (h (pid 1) (time 100)));
+    test "record rejects time travel" (fun () ->
+        let r = History.Recorder.create ~n ~init:0 in
+        History.Recorder.record r (pid 1) (time 5) 1;
+        Alcotest.check_raises "backwards"
+          (Invalid_argument "History.Recorder.record: time went backwards") (fun () ->
+            History.Recorder.record r (pid 1) (time 4) 2));
+    test "last" (fun () ->
+        let r = History.Recorder.create ~n ~init:7 in
+        Alcotest.(check int) "init" 7 (History.Recorder.last r (pid 2));
+        History.Recorder.record r (pid 2) (time 3) 9;
+        Alcotest.(check int) "after" 9 (History.Recorder.last r (pid 2)));
+    test "agree_upto finds first difference" (fun () ->
+        let a = History.of_fun (fun _ t -> Time.to_int t) in
+        let b = History.of_fun (fun _ t -> if Time.(t < time 7) then Time.to_int t else 0) in
+        match History.agree_upto a b ~n ~upto:(time 20) ~equal:Int.equal with
+        | Some (_, t) -> Alcotest.(check int) "t=7" 7 (Time.to_int t)
+        | None -> Alcotest.fail "expected a difference");
+  ]
+
+let () =
+  Alcotest.run "fd"
+    [
+      suite "perfect" perfect_tests;
+      suite "eventually-perfect" ev_perfect_tests;
+      suite "strong" strong_tests;
+      suite "eventually-strong" ev_strong_tests;
+      suite "other-detectors" other_tests;
+      suite "class-checkers" synthetic_tests;
+      suite "history-recorder" recorder_tests;
+    ]

@@ -1,0 +1,296 @@
+open Rlfd_kernel
+open Helpers
+
+(* ---------- Pid ---------- *)
+
+let pid_tests =
+  [
+    test "of_int/to_int roundtrip" (fun () ->
+        Alcotest.(check int) "p7" 7 (Pid.to_int (pid 7)));
+    test "of_int rejects zero" (fun () ->
+        Alcotest.check_raises "0 invalid"
+          (Invalid_argument "Pid.of_int: process indices are 1-based") (fun () ->
+            ignore (pid 0)));
+    test "all ~n lists 1..n" (fun () ->
+        Alcotest.(check (list int)) "1..4" [ 1; 2; 3; 4 ]
+          (List.map Pid.to_int (Pid.all ~n:4)));
+    test "all rejects n=0" (fun () ->
+        Alcotest.check_raises "n=0" (Invalid_argument "Pid.all: n must be positive")
+          (fun () -> ignore (Pid.all ~n:0)));
+    test "lower_than" (fun () ->
+        Alcotest.(check (list int)) "below p3" [ 1; 2 ]
+          (List.map Pid.to_int (Pid.lower_than (pid 3))));
+    test "lower_than p1 is empty" (fun () ->
+        Alcotest.(check (list int)) "below p1" [] (List.map Pid.to_int (Pid.lower_than (pid 1))));
+    test "ordering is index order" (fun () ->
+        Alcotest.(check bool) "p2 < p10" true (Pid.compare (pid 2) (pid 10) < 0));
+    test "universe" (fun () ->
+        Alcotest.(check int) "5 processes" 5 (Pid.Set.cardinal (Pid.universe ~n:5)));
+    test "set pretty-printing" (fun () ->
+        Alcotest.(check string) "render" "{p1,p3}"
+          (Format.asprintf "%a" Pid.Set.pp (Pid.Set.of_ints [ 3; 1 ])));
+  ]
+
+(* ---------- Time ---------- *)
+
+let time_tests =
+  [
+    test "zero and succ" (fun () ->
+        Alcotest.(check int) "succ zero" 1 (Time.to_int (Time.succ Time.zero)));
+    test "of_int rejects negatives" (fun () ->
+        Alcotest.check_raises "negative"
+          (Invalid_argument "Time.of_int: time is a natural number") (fun () ->
+            ignore (time (-1))));
+    test "add" (fun () -> Alcotest.(check int) "3+4" 7 (Time.to_int (Time.add (time 3) 4)));
+    test "comparisons" (fun () ->
+        Alcotest.(check bool) "3 < 4" true Time.(time 3 < time 4);
+        Alcotest.(check bool) "4 <= 4" true Time.(time 4 <= time 4);
+        Alcotest.(check bool) "5 > 4" true Time.(time 5 > time 4));
+    test "range inclusive" (fun () ->
+        Alcotest.(check (list int)) "2..5" [ 2; 3; 4; 5 ]
+          (List.map Time.to_int (Time.range (time 2) (time 5))));
+    test "range empty when reversed" (fun () ->
+        Alcotest.(check int) "empty" 0 (List.length (Time.range (time 5) (time 2))));
+  ]
+
+(* ---------- Rng ---------- *)
+
+let rng_tests =
+  [
+    test "deterministic from seed" (fun () ->
+        let a = Rng.make 42 and b = Rng.make 42 in
+        let xs = List.init 20 (fun _ -> Rng.int a 1000) in
+        let ys = List.init 20 (fun _ -> Rng.int b 1000) in
+        Alcotest.(check (list int)) "same stream" xs ys);
+    test "different seeds differ" (fun () ->
+        let a = Rng.make 1 and b = Rng.make 2 in
+        let xs = List.init 20 (fun _ -> Rng.int a 1_000_000) in
+        let ys = List.init 20 (fun _ -> Rng.int b 1_000_000) in
+        Alcotest.(check bool) "streams differ" false (xs = ys));
+    test "split is independent of parent draws" (fun () ->
+        let parent = Rng.make 7 in
+        let child1 = Rng.split parent 1 in
+        ignore (Rng.int parent 10);
+        (* splitting depends only on state at split time; re-split from a
+           fresh generator with same history must agree *)
+        let parent2 = Rng.make 7 in
+        let child2 = Rng.split parent2 1 in
+        Alcotest.(check int) "same child stream" (Rng.int child1 1_000_000)
+          (Rng.int child2 1_000_000));
+    test "derive is pure" (fun () ->
+        let a = Rng.derive ~seed:9 ~salts:[ 1; 2; 3 ] in
+        let b = Rng.derive ~seed:9 ~salts:[ 1; 2; 3 ] in
+        Alcotest.(check int) "equal" (Rng.int a 1_000_000) (Rng.int b 1_000_000));
+    test "int rejects non-positive bound" (fun () ->
+        Alcotest.check_raises "bound 0" (Invalid_argument "Rng.int: bound must be positive")
+          (fun () -> ignore (Rng.int (Rng.make 1) 0)));
+    test "pick rejects empty" (fun () ->
+        Alcotest.check_raises "empty" (Invalid_argument "Rng.pick: empty list") (fun () ->
+            ignore (Rng.pick (Rng.make 1) ([] : int list))));
+    qtest "int stays in bounds"
+      QCheck.(pair small_int (int_range 1 1000))
+      (fun (seed, bound) ->
+        let g = Rng.make seed in
+        let v = Rng.int g bound in
+        v >= 0 && v < bound);
+    qtest "int_in stays in interval"
+      QCheck.(triple small_int (int_range 0 100) (int_range 0 100))
+      (fun (seed, a, b) ->
+        let lo = min a b and hi = max a b in
+        let v = Rng.int_in (Rng.make seed) lo hi in
+        v >= lo && v <= hi);
+    qtest "float stays in bounds" QCheck.small_int (fun seed ->
+        let v = Rng.float (Rng.make seed) 1.0 in
+        v >= 0.0 && v < 1.0);
+    qtest "shuffle is a permutation" QCheck.(pair small_int (list small_int))
+      (fun (seed, xs) ->
+        let shuffled = Rng.shuffle (Rng.make seed) xs in
+        List.sort compare shuffled = List.sort compare xs);
+    qtest "subset is a sublist" QCheck.(pair small_int (list small_int))
+      (fun (seed, xs) ->
+        let sub = Rng.subset (Rng.make seed) ~p:0.5 xs in
+        List.for_all (fun x -> List.mem x xs) sub);
+    test "int is roughly uniform" (fun () ->
+        let g = Rng.make 123 in
+        let buckets = Array.make 10 0 in
+        for _ = 1 to 10_000 do
+          let v = Rng.int g 10 in
+          buckets.(v) <- buckets.(v) + 1
+        done;
+        Array.iter
+          (fun c ->
+            Alcotest.(check bool)
+              (Format.asprintf "bucket count %d in [800,1200]" c)
+              true
+              (c > 800 && c < 1200))
+          buckets);
+    test "exponential has the requested mean" (fun () ->
+        let g = Rng.make 5 in
+        let samples = List.init 20_000 (fun _ -> Rng.exponential g ~mean:10.0) in
+        let mean = Stats.mean samples in
+        Alcotest.(check bool)
+          (Format.asprintf "mean %.2f near 10" mean)
+          true
+          (mean > 9.0 && mean < 11.0));
+  ]
+
+(* ---------- Pqueue ---------- *)
+
+let pqueue_tests =
+  [
+    test "pop empty" (fun () ->
+        let q : int Pqueue.t = Pqueue.create () in
+        Alcotest.(check bool) "none" true (Pqueue.pop q = None));
+    test "min-first" (fun () ->
+        let q = Pqueue.create () in
+        List.iter (fun p -> Pqueue.add q ~prio:p p) [ 5; 1; 4; 2; 3 ];
+        let order = List.init 5 (fun _ -> match Pqueue.pop q with Some (p, _) -> p | None -> -1) in
+        Alcotest.(check (list int)) "sorted" [ 1; 2; 3; 4; 5 ] order);
+    test "ties break by insertion order" (fun () ->
+        let q = Pqueue.create () in
+        List.iter (fun v -> Pqueue.add q ~prio:7 v) [ "a"; "b"; "c" ];
+        let order =
+          List.init 3 (fun _ -> match Pqueue.pop q with Some (_, v) -> v | None -> "?")
+        in
+        Alcotest.(check (list string)) "fifo" [ "a"; "b"; "c" ] order);
+    test "peek does not remove" (fun () ->
+        let q = Pqueue.create () in
+        Pqueue.add q ~prio:3 "x";
+        ignore (Pqueue.peek q);
+        Alcotest.(check int) "still one" 1 (Pqueue.length q));
+    test "to_list snapshot preserves queue" (fun () ->
+        let q = Pqueue.create () in
+        List.iter (fun p -> Pqueue.add q ~prio:p p) [ 3; 1; 2 ];
+        let snapshot = List.map fst (Pqueue.to_list q) in
+        Alcotest.(check (list int)) "snapshot sorted" [ 1; 2; 3 ] snapshot;
+        Alcotest.(check int) "queue intact" 3 (Pqueue.length q));
+    qtest "pops in sorted order" QCheck.(list (int_range 0 1000)) (fun prios ->
+        let q = Pqueue.create () in
+        List.iter (fun p -> Pqueue.add q ~prio:p p) prios;
+        let rec drain acc =
+          match Pqueue.pop q with None -> List.rev acc | Some (p, _) -> drain (p :: acc)
+        in
+        drain [] = List.sort compare prios);
+    test "clear" (fun () ->
+        let q = Pqueue.create () in
+        Pqueue.add q ~prio:1 1;
+        Pqueue.clear q;
+        Alcotest.(check bool) "empty" true (Pqueue.is_empty q));
+  ]
+
+(* ---------- Vclock ---------- *)
+
+let vclock_tests =
+  [
+    test "empty has zero everywhere" (fun () ->
+        Alcotest.(check int) "zero" 0 (Vclock.get Vclock.empty (pid 3)));
+    test "tick increments" (fun () ->
+        let vc = Vclock.tick (Vclock.tick Vclock.empty (pid 2)) (pid 2) in
+        Alcotest.(check int) "two" 2 (Vclock.get vc (pid 2)));
+    test "merge takes max" (fun () ->
+        let a = Vclock.tick (Vclock.tick Vclock.empty (pid 1)) (pid 1) in
+        let b = Vclock.tick Vclock.empty (pid 2) in
+        let m = Vclock.merge a b in
+        Alcotest.(check int) "p1" 2 (Vclock.get m (pid 1));
+        Alcotest.(check int) "p2" 1 (Vclock.get m (pid 2)));
+    test "leq reflexive" (fun () ->
+        let a = Vclock.tick Vclock.empty (pid 1) in
+        Alcotest.(check bool) "a <= a" true (Vclock.leq a a));
+    test "concurrent clocks" (fun () ->
+        let a = Vclock.tick Vclock.empty (pid 1) in
+        let b = Vclock.tick Vclock.empty (pid 2) in
+        Alcotest.(check bool) "concurrent" true (Vclock.concurrent a b));
+    test "merge dominates both" (fun () ->
+        let a = Vclock.tick Vclock.empty (pid 1) in
+        let b = Vclock.tick Vclock.empty (pid 2) in
+        let m = Vclock.merge a b in
+        Alcotest.(check bool) "a <= m" true (Vclock.leq a m);
+        Alcotest.(check bool) "b <= m" true (Vclock.leq b m));
+    qtest "merge is commutative" QCheck.(pair (list (int_range 1 6)) (list (int_range 1 6)))
+      (fun (xs, ys) ->
+        let clock = List.fold_left (fun vc i -> Vclock.tick vc (pid i)) Vclock.empty in
+        let a = clock xs and b = clock ys in
+        Vclock.equal (Vclock.merge a b) (Vclock.merge b a));
+    qtest "merge is associative" QCheck.(triple (list (int_range 1 6)) (list (int_range 1 6)) (list (int_range 1 6)))
+      (fun (xs, ys, zs) ->
+        let clock = List.fold_left (fun vc i -> Vclock.tick vc (pid i)) Vclock.empty in
+        let a = clock xs and b = clock ys and c = clock zs in
+        Vclock.equal (Vclock.merge a (Vclock.merge b c)) (Vclock.merge (Vclock.merge a b) c));
+    qtest "merge is idempotent" QCheck.(list (int_range 1 6)) (fun xs ->
+        let a = List.fold_left (fun vc i -> Vclock.tick vc (pid i)) Vclock.empty xs in
+        Vclock.equal (Vclock.merge a a) a);
+    qtest "leq is antisymmetric up to equality" QCheck.(pair (list (int_range 1 6)) (list (int_range 1 6)))
+      (fun (xs, ys) ->
+        let clock = List.fold_left (fun vc i -> Vclock.tick vc (pid i)) Vclock.empty in
+        let a = clock xs and b = clock ys in
+        (not (Vclock.leq a b && Vclock.leq b a)) || Vclock.equal a b);
+    test "support lists contributors" (fun () ->
+        let vc = Vclock.merge (Vclock.singleton (pid 1)) (Vclock.singleton (pid 4)) in
+        Alcotest.(check string) "support" "{p1,p4}"
+          (Format.asprintf "%a" Pid.Set.pp (Vclock.support vc)));
+  ]
+
+(* ---------- Stats ---------- *)
+
+let stats_tests =
+  [
+    test "mean of empty is 0" (fun () -> Alcotest.(check (float 1e-9)) "0" 0. (Stats.mean []));
+    test "mean" (fun () ->
+        Alcotest.(check (float 1e-9)) "2.5" 2.5 (Stats.mean [ 1.; 2.; 3.; 4. ]));
+    test "stddev of constant is 0" (fun () ->
+        Alcotest.(check (float 1e-9)) "0" 0. (Stats.stddev [ 5.; 5.; 5. ]));
+    test "median" (fun () ->
+        Alcotest.(check (float 1e-9)) "3" 3. (Stats.median [ 5.; 1.; 3.; 2.; 4. ]));
+    test "percentile bounds" (fun () ->
+        let xs = List.init 100 (fun i -> float_of_int (i + 1)) in
+        Alcotest.(check (float 1e-9)) "p99" 99. (Stats.percentile xs 0.99);
+        Alcotest.(check (float 1e-9)) "p100" 100. (Stats.percentile xs 1.0));
+    test "percentile rejects empty" (fun () ->
+        Alcotest.check_raises "empty" (Invalid_argument "Stats.percentile: empty data")
+          (fun () -> ignore (Stats.percentile [] 0.5)));
+    test "min/max" (fun () ->
+        Alcotest.(check (float 1e-9)) "min" 1. (Stats.minimum [ 3.; 1.; 2. ]);
+        Alcotest.(check (float 1e-9)) "max" 3. (Stats.maximum [ 3.; 1.; 2. ]));
+    test "histogram covers all samples" (fun () ->
+        let xs = List.init 50 (fun i -> float_of_int i) in
+        let hist = Stats.histogram ~buckets:5 xs in
+        let total = List.fold_left (fun acc (_, _, c) -> acc + c) 0 hist in
+        Alcotest.(check int) "total" 50 total);
+    test "histogram of empty" (fun () ->
+        Alcotest.(check int) "empty" 0 (List.length (Stats.histogram ~buckets:4 [])));
+  ]
+
+(* ---------- Table ---------- *)
+
+let table_tests =
+  [
+    test "renders header and rows" (fun () ->
+        let t = Table.create ~title:"demo" ~columns:[ "a"; "bb" ] in
+        Table.add_row t [ "1"; "2" ];
+        let s = Format.asprintf "%a" Table.pp t in
+        Alcotest.(check bool) "has title" true
+          (String.length s > 0 && String.sub s 0 2 = "==");
+        Alcotest.(check bool) "mentions column" true
+          (contains_substring ~needle:"bb" s));
+    test "rejects ragged rows" (fun () ->
+        let t = Table.create ~title:"x" ~columns:[ "a"; "b" ] in
+        Alcotest.check_raises "ragged" (Invalid_argument "Table.add_row: row width mismatch")
+          (fun () -> Table.add_row t [ "only-one" ]));
+    test "cell helpers" (fun () ->
+        Alcotest.(check string) "int" "42" (Table.cell_int 42);
+        Alcotest.(check string) "float" "3.14" (Table.cell_float 3.14159);
+        Alcotest.(check string) "bool" "yes" (Table.cell_bool true);
+        Alcotest.(check string) "pct" "25.0%" (Table.cell_pct 0.25));
+  ]
+
+let () =
+  Alcotest.run "kernel"
+    [
+      suite "pid" pid_tests;
+      suite "time" time_tests;
+      suite "rng" rng_tests;
+      suite "pqueue" pqueue_tests;
+      suite "vclock" vclock_tests;
+      suite "stats" stats_tests;
+      suite "table" table_tests;
+    ]

@@ -1,0 +1,132 @@
+(* EXP-11: the group membership service emulating P (Section 1.3). *)
+
+open Rlfd_kernel
+open Rlfd_fd
+open Rlfd_net
+open Rlfd_membership
+open Helpers
+
+let n = 5
+
+let run ?(config = Gms.default_config) ?(seed = 11) ?(horizon = 4000) ~model pattern =
+  Netsim.run ~n ~pattern ~model ~seed ~horizon (Gms.node config)
+
+let sync = Link.Synchronous { delta = 8 }
+
+let psync = Link.Partially_synchronous { gst = 900; delta = 8; wild_max = 100 }
+
+let emulation_tests =
+  [
+    test "failure-free: view never changes" (fun () ->
+        let r = run ~model:sync (Pattern.failure_free ~n) in
+        Alcotest.(check int) "no view changes" 0 (List.length r.Netsim.outputs);
+        check_holds "final views" (Gms.final_views_agree r));
+    test "one crash: members converge on the new view" (fun () ->
+        let r = run ~model:sync (pattern ~n [ (2, 500) ]) in
+        check_all_hold "P emulation" (Gms.check_emulates_p r);
+        check_holds "final views" (Gms.final_views_agree r);
+        (* all four survivors installed view 1 without p2 *)
+        let installs =
+          List.filter
+            (fun (_, _, ev) -> match ev with Gms.View_installed _ -> true | _ -> false)
+            r.Netsim.outputs
+        in
+        Alcotest.(check int) "four installs" 4 (List.length installs));
+    test "two staggered crashes" (fun () ->
+        let r = run ~model:sync (pattern ~n [ (2, 500); (5, 1200) ]) in
+        check_all_hold "P emulation" (Gms.check_emulates_p r);
+        check_holds "final views" (Gms.final_views_agree r));
+    test "coordinator crash: leadership moves down the view" (fun () ->
+        let r = run ~model:sync (pattern ~n [ (1, 400) ]) in
+        check_all_hold "P emulation" (Gms.check_emulates_p r);
+        check_holds "final views" (Gms.final_views_agree r));
+    test "simultaneous crash of a majority" (fun () ->
+        let r = run ~model:sync (pattern ~n [ (1, 300); (2, 300); (3, 300) ]) in
+        check_all_hold "P emulation" (Gms.check_emulates_p r);
+        check_holds "final views" (Gms.final_views_agree r));
+    test "no spurious exclusions on a synchronous link" (fun () ->
+        let r = run ~model:sync (pattern ~n [ (4, 600) ]) in
+        Alcotest.(check int) "nobody halted" 0 (List.length r.Netsim.halted));
+    qtest ~count:15 "P emulation across seeds and crash times"
+      QCheck.(pair small_int (int_range 100 1500))
+      (fun (seed, crash_at) ->
+        let r = run ~seed ~model:sync (pattern ~n [ (3, crash_at) ]) in
+        Gms.check_emulates_p r |> List.for_all (fun (_, res) -> Classes.holds res));
+  ]
+
+let failstop_tests =
+  [
+    test "false suspicion under partial synchrony forces a halt" (fun () ->
+        let r = run ~model:psync (pattern ~n [ (2, 500) ]) in
+        (* pre-GST wildness typically excludes someone who is alive; the
+           victim must actually halt, making the exclusion accurate *)
+        check_all_hold "P emulation against effective pattern" (Gms.check_emulates_p r);
+        check_holds "final views" (Gms.final_views_agree r));
+    test "every halted process was excluded first" (fun () ->
+        let r = run ~model:psync (pattern ~n [ (2, 500) ]) in
+        let excluded_events =
+          List.filter_map
+            (fun (t, p, ev) -> match ev with Gms.Excluded_self -> Some (t, p) | _ -> None)
+            r.Netsim.outputs
+        in
+        List.iter
+          (fun (ht, hp) ->
+            Alcotest.(check bool)
+              (Format.asprintf "halt of %a matches an exclusion" Pid.pp hp)
+              true
+              (List.exists (fun (t, p) -> Pid.equal p hp && t <= ht) excluded_events))
+          r.Netsim.halted);
+    test "effective pattern subsumes real crashes" (fun () ->
+        let injected = pattern ~n [ (2, 500) ] in
+        let r = run ~model:psync injected in
+        let effective = Gms.effective_pattern r in
+        Pid.Set.iter
+          (fun p ->
+            Alcotest.(check bool)
+              (Format.asprintf "%a still faulty" Pid.pp p)
+              true
+              (Pid.Set.mem p (Pattern.faulty effective)))
+          (Pattern.faulty injected));
+    test "emulated history reflects exclusions" (fun () ->
+        let r = run ~model:sync (pattern ~n [ (2, 500) ]) in
+        let h = Gms.emulated_history r in
+        let survivor = Pid.of_int 1 in
+        Alcotest.(check bool) "suspected at the end" true
+          (Pid.Set.mem (Pid.of_int 2) (h survivor (Time.of_int r.Netsim.end_time)));
+        Alcotest.(check bool) "not suspected at the start" false
+          (Pid.Set.mem (Pid.of_int 2) (h survivor Time.zero)));
+  ]
+
+let config_tests =
+  [
+    test "longer timeouts just slow detection down" (fun () ->
+        let config = { Gms.period = 20; timeout = 200 } in
+        let r = run ~config ~model:sync (pattern ~n [ (3, 400) ]) in
+        check_all_hold "P emulation" (Gms.check_emulates_p r);
+        let first_install =
+          List.find_map
+            (fun (t, _, ev) -> match ev with Gms.View_installed _ -> Some t | _ -> None)
+            r.Netsim.outputs
+        in
+        match first_install with
+        | Some t -> Alcotest.(check bool) "after timeout" true (t >= 400 + 200)
+        | None -> Alcotest.fail "no view installed");
+    test "current_view accessor" (fun () ->
+        let r = run ~model:sync (pattern ~n [ (2, 500) ]) in
+        Pid.Map.iter
+          (fun p st ->
+            if Pid.Set.mem p (Pattern.correct r.Netsim.pattern) then begin
+              let id, members = Gms.current_view st in
+              Alcotest.(check int) (Format.asprintf "%a at view 1" Pid.pp p) 1 id;
+              Alcotest.(check bool) "p2 excluded" false (Pid.Set.mem (Pid.of_int 2) members)
+            end)
+          r.Netsim.final_states);
+  ]
+
+let () =
+  Alcotest.run "membership"
+    [
+      suite "p-emulation" emulation_tests;
+      suite "fail-stop" failstop_tests;
+      suite "configuration" config_tests;
+    ]

@@ -1,0 +1,110 @@
+(* Non-blocking atomic commitment with P (the paper's [8]/[10] lineage). *)
+
+open Rlfd_kernel
+open Rlfd_fd
+open Rlfd_sim
+open Rlfd_algo
+open Helpers
+
+let n = 5
+
+let all_yes _ = Nbac.Yes
+
+let one_no p = if Pid.to_int p = 3 then Nbac.No else Nbac.Yes
+
+let run_nbac ?(detector = Perfect.canonical) ?(scheduler = `Fair) ~votes pattern =
+  let scheduler =
+    match scheduler with
+    | `Fair -> Scheduler.fair ()
+    | `Random seed -> Scheduler.random ~seed ~lambda_bias:0.3
+  in
+  Runner.run ~pattern ~detector ~scheduler ~horizon:(time 6000)
+    ~until:(Runner.stop_when_all_correct_output pattern)
+    (Nbac.automaton ~votes)
+
+let outcomes r = List.map (fun (_, _, o) -> o) r.Rlfd_sim.Runner.outputs
+
+let spec_tests =
+  [
+    test "unanimous yes, failure-free: commit" (fun () ->
+        let r = run_nbac ~votes:all_yes (Pattern.failure_free ~n) in
+        check_all_hold "all yes" (Nbac.check ~votes:all_yes r);
+        List.iter
+          (fun o -> Alcotest.(check bool) "commit" true (o = Nbac.Commit))
+          (outcomes r));
+    test "one no vote: abort" (fun () ->
+        let r = run_nbac ~votes:one_no (Pattern.failure_free ~n) in
+        check_all_hold "one no" (Nbac.check ~votes:one_no r);
+        List.iter
+          (fun o -> Alcotest.(check bool) "abort" true (o = Nbac.Abort))
+          (outcomes r));
+    test "a crash excuses an abort" (fun () ->
+        let r = run_nbac ~votes:all_yes (pattern ~n [ (2, 0) ]) in
+        check_all_hold "crash" (Nbac.check ~votes:all_yes r);
+        (* p2 voted (locally) yes but crashed before sending: nobody can
+           assemble a full ballot box, so the outcome is abort *)
+        List.iter
+          (fun o -> Alcotest.(check bool) "abort" true (o = Nbac.Abort))
+          (outcomes r));
+    test "votes racing a crash still decide uniformly" (fun () ->
+        let r = run_nbac ~votes:all_yes (pattern ~n [ (1, 2) ]) in
+        check_all_hold "race" (Nbac.check ~votes:all_yes r));
+    test "unbounded crashes: the lone survivor decides" (fun () ->
+        let r = run_nbac ~votes:all_yes (pattern ~n [ (1, 4); (2, 8); (3, 12); (4, 16) ]) in
+        check_all_hold "n-1 crashes" (Nbac.check ~votes:all_yes r);
+        Alcotest.(check bool) "p5 decided" true
+          (Runner.first_output r (pid 5) <> None));
+    qtest ~count:30 "spec holds across the environment (all-yes votes)"
+      (arb_pattern ~n ~horizon:100)
+      (fun pattern ->
+        let r = run_nbac ~votes:all_yes pattern in
+        Nbac.check ~votes:all_yes r |> List.for_all (fun (_, res) -> Classes.holds res));
+    qtest ~count:30 "spec holds across the environment (mixed votes)"
+      QCheck.(pair (arb_pattern ~n ~horizon:100) small_int)
+      (fun (pattern, vote_seed) ->
+        let votes p =
+          if Rng.bool (Rng.derive ~seed:vote_seed ~salts:[ Pid.to_int p ]) then Nbac.Yes
+          else Nbac.No
+        in
+        let r = run_nbac ~votes pattern in
+        Nbac.check ~votes r |> List.for_all (fun (_, res) -> Classes.holds res));
+    qtest ~count:20 "spec holds under random schedules"
+      QCheck.(pair (arb_pattern ~n ~horizon:100) small_int)
+      (fun (pattern, seed) ->
+        let r = run_nbac ~scheduler:(`Random seed) ~votes:all_yes pattern in
+        Nbac.check ~votes:all_yes r |> List.for_all (fun (_, res) -> Classes.holds res));
+  ]
+
+let adversarial_tests =
+  [
+    test "slow voter is waited for, not aborted on (strong accuracy)" (fun () ->
+        let scheduler =
+          Scheduler.constrained ~base:(Scheduler.fair ())
+            [ Scheduler.delay_from (pid 4) ~until:(time 500) ]
+        in
+        let pattern = Pattern.failure_free ~n in
+        let r =
+          Runner.run ~pattern ~detector:Perfect.canonical ~scheduler
+            ~horizon:(time 8000)
+            ~until:(Runner.stop_when_all_correct_output pattern)
+            (Nbac.automaton ~votes:all_yes)
+        in
+        check_all_hold "slow voter" (Nbac.check ~votes:all_yes r);
+        (* with a Perfect detector nobody may invent an excuse: commit *)
+        List.iter
+          (fun o -> Alcotest.(check bool) "commit" true (o = Nbac.Commit))
+          (outcomes r));
+    test "decision state accessor" (fun () ->
+        let r = run_nbac ~votes:all_yes (Pattern.failure_free ~n) in
+        Pid.Map.iter
+          (fun p st ->
+            Alcotest.(check bool)
+              (Format.asprintf "%a" Pid.pp p)
+              true
+              (Nbac.decision st = Some Nbac.Commit))
+          r.Runner.final_states);
+  ]
+
+let () =
+  Alcotest.run "nbac"
+    [ suite "specification" spec_tests; suite "adversarial" adversarial_tests ]

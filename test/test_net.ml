@@ -1,0 +1,225 @@
+(* EXP-12: the timed network, heartbeat detector implementations, QoS. *)
+
+open Rlfd_kernel
+open Rlfd_fd
+open Rlfd_net
+open Helpers
+
+let n = 4
+
+(* ---------- link models ---------- *)
+
+let link_tests =
+  [
+    qtest "synchronous delays are within (0, delta]" QCheck.small_int (fun seed ->
+        let model = Link.Synchronous { delta = 10 } in
+        let rng = Rng.make seed in
+        List.for_all
+          (fun _ ->
+            let d = Link.delay model rng ~now:0 in
+            d >= 1 && d <= 10 + 1)
+          (List.init 100 Fun.id));
+    qtest "partially synchronous delays are bounded after gst" QCheck.small_int
+      (fun seed ->
+        let model = Link.Partially_synchronous { gst = 100; delta = 5; wild_max = 50 } in
+        let rng = Rng.make seed in
+        List.for_all
+          (fun _ -> Link.delay model rng ~now:200 <= 6)
+          (List.init 100 Fun.id));
+    test "asynchronous delays can spike" (fun () ->
+        let model = Link.Asynchronous { mean = 5.; spike_every = 3; spike = 500 } in
+        let rng = Rng.make 3 in
+        let delays = List.init 200 (fun _ -> Link.delay model rng ~now:0) in
+        Alcotest.(check bool) "spikes seen" true (List.exists (fun d -> d > 400) delays));
+    test "bound_after_gst" (fun () ->
+        Alcotest.(check (option int)) "sync" (Some 7)
+          (Link.bound_after_gst (Link.Synchronous { delta = 7 }));
+        Alcotest.(check (option int)) "async" None
+          (Link.bound_after_gst
+             (Link.Asynchronous { mean = 1.; spike_every = 0; spike = 0 })));
+  ]
+
+(* ---------- netsim engine ---------- *)
+
+(* ping-pong: p1 sends a token; each receiver forwards to the next pid;
+   outputs the hop number. *)
+let ring_node : (unit, int, int) Netsim.node =
+  let next ~n self = Pid.of_int ((Pid.to_int self mod n) + 1) in
+  {
+    Netsim.node_name = "ring";
+    init =
+      (fun ~n ~self ->
+        if Pid.to_int self = 1 then ((), [ Netsim.Send (next ~n (Pid.of_int 1), 1) ])
+        else ((), []));
+    on_message =
+      (fun ~n ~self ~now:_ () ~src:_ hops ->
+        if hops >= 3 * n then ((), [], [ hops ])
+        else ((), [ Netsim.Send (next ~n self, hops + 1) ], [ hops ]));
+    on_timer = (fun ~n:_ ~self:_ ~now:_ () ~tag:_ -> ((), [], []));
+  }
+
+let netsim_tests =
+  [
+    test "token circulates deterministically" (fun () ->
+        let run () =
+          Netsim.run ~n ~pattern:(Pattern.failure_free ~n)
+            ~model:(Link.Synchronous { delta = 5 })
+            ~seed:4 ~horizon:10_000 ring_node
+        in
+        let a = run () and b = run () in
+        Alcotest.(check int) "same outputs" (List.length a.Netsim.outputs)
+          (List.length b.Netsim.outputs);
+        Alcotest.(check bool) "token moved" true (List.length a.Netsim.outputs >= (3 * n)));
+    test "crash stops the token" (fun () ->
+        let pattern = pattern ~n [ (2, 1) ] in
+        let r =
+          Netsim.run ~n ~pattern ~model:(Link.Synchronous { delta = 5 }) ~seed:4
+            ~horizon:10_000 ring_node
+        in
+        (* p2 crashes before the token reaches it: the hop count stalls *)
+        Alcotest.(check bool) "few outputs" true (List.length r.Netsim.outputs <= 1));
+    test "timers fire and reschedule" (fun () ->
+        let counter_node : (int, unit, int) Netsim.node =
+          {
+            Netsim.node_name = "counter";
+            init = (fun ~n:_ ~self:_ -> (0, [ Netsim.Set_timer { delay = 10; tag = 0 } ]));
+            on_message = (fun ~n:_ ~self:_ ~now:_ st ~src:_ () -> (st, [], []));
+            on_timer =
+              (fun ~n:_ ~self:_ ~now:_ st ~tag:_ ->
+                (st + 1, [ Netsim.Set_timer { delay = 10; tag = 0 } ], [ st + 1 ]));
+          }
+        in
+        let r =
+          Netsim.run ~n:1 ~pattern:(Pattern.failure_free ~n:1)
+            ~model:(Link.Synchronous { delta = 1 })
+            ~seed:1 ~horizon:105 counter_node
+        in
+        Alcotest.(check int) "ten ticks" 10 (List.length r.Netsim.outputs));
+    test "halt silences a node" (fun () ->
+        let suicidal : (unit, unit, int) Netsim.node =
+          {
+            Netsim.node_name = "suicidal";
+            init = (fun ~n:_ ~self:_ -> ((), [ Netsim.Set_timer { delay = 5; tag = 0 } ]));
+            on_message = (fun ~n:_ ~self:_ ~now:_ () ~src:_ () -> ((), [], []));
+            on_timer =
+              (fun ~n:_ ~self ~now:_ () ~tag:_ ->
+                if Pid.to_int self = 1 then
+                  ((), [ Netsim.Halt; Netsim.Set_timer { delay = 5; tag = 0 } ], [ 0 ])
+                else ((), [ Netsim.Set_timer { delay = 5; tag = 0 } ], [ 0 ]));
+          }
+        in
+        let r =
+          Netsim.run ~n:2 ~pattern:(Pattern.failure_free ~n:2)
+            ~model:(Link.Synchronous { delta = 1 })
+            ~seed:1 ~horizon:100 suicidal
+        in
+        let p1_outputs = List.length (Netsim.outputs_of r (Pid.of_int 1)) in
+        let p2_outputs = List.length (Netsim.outputs_of r (Pid.of_int 2)) in
+        Alcotest.(check int) "p1 output once then halted" 1 p1_outputs;
+        Alcotest.(check bool) "p2 kept going" true (p2_outputs > 10);
+        Alcotest.(check int) "halt recorded" 1 (List.length r.Netsim.halted));
+    test "until stops the simulation" (fun () ->
+        let r =
+          Netsim.run
+            ~until:(fun outputs -> List.length outputs >= 2)
+            ~n ~pattern:(Pattern.failure_free ~n)
+            ~model:(Link.Synchronous { delta = 5 })
+            ~seed:4 ~horizon:10_000 ring_node
+        in
+        Alcotest.(check bool) "stopped early" true (List.length r.Netsim.outputs <= 3));
+  ]
+
+(* ---------- heartbeat QoS ---------- *)
+
+let crashpat = pattern ~n [ (3, 700) ]
+
+let run_hb model style =
+  Netsim.run ~n ~pattern:crashpat ~model ~seed:42 ~horizon:3000 (Heartbeat.node style)
+
+let heartbeat_tests =
+  [
+    test "synchronous + safe timeout = Perfect grade" (fun () ->
+        let model = Link.Synchronous { delta = 10 } in
+        let timeout = Option.get (Heartbeat.perfect_timeout model ~period:20) in
+        let report = Qos.analyze (run_hb model (Heartbeat.Fixed { period = 20; timeout })) in
+        Alcotest.(check bool) "complete" true report.Qos.complete;
+        Alcotest.(check bool) "accurate" true report.Qos.accurate;
+        Alcotest.(check bool) "perfect grade" true (Qos.perfect_grade report));
+    test "detection latency is bounded by timeout + period" (fun () ->
+        let model = Link.Synchronous { delta = 10 } in
+        let timeout = Option.get (Heartbeat.perfect_timeout model ~period:20) in
+        let report = Qos.analyze (run_hb model (Heartbeat.Fixed { period = 20; timeout })) in
+        List.iter
+          (fun latency ->
+            Alcotest.(check bool)
+              (Format.asprintf "latency %.0f bounded" latency)
+              true
+              (latency <= float_of_int (timeout + 20 + 1)))
+          report.Qos.detection_latencies);
+    test "partial synchrony breaks the fixed timeout (false suspicions)" (fun () ->
+        let model = Link.Partially_synchronous { gst = 1000; delta = 10; wild_max = 120 } in
+        let report = Qos.analyze (run_hb model (Heartbeat.Fixed { period = 20; timeout = 31 })) in
+        Alcotest.(check bool) "not accurate" false report.Qos.accurate;
+        Alcotest.(check bool) "still complete" true report.Qos.complete);
+    test "adaptive timeouts reduce mistakes" (fun () ->
+        let model = Link.Partially_synchronous { gst = 1000; delta = 10; wild_max = 120 } in
+        let fixed = Qos.analyze (run_hb model (Heartbeat.Fixed { period = 20; timeout = 31 })) in
+        let adaptive =
+          Qos.analyze
+            (run_hb model (Heartbeat.Adaptive { period = 20; initial_timeout = 31; backoff = 30 }))
+        in
+        Alcotest.(check bool)
+          (Format.asprintf "adaptive %d < fixed %d" adaptive.Qos.false_episodes
+             fixed.Qos.false_episodes)
+          true
+          (adaptive.Qos.false_episodes < fixed.Qos.false_episodes));
+    test "adaptive detector is eventually accurate (no mistakes after GST settles)" (fun () ->
+        let gst = 800 in
+        let model = Link.Partially_synchronous { gst; delta = 10; wild_max = 120 } in
+        let r =
+          Netsim.run ~n ~pattern:(Pattern.failure_free ~n) ~model ~seed:17 ~horizon:6000
+            (Heartbeat.node (Heartbeat.Adaptive { period = 20; initial_timeout = 31; backoff = 40 }))
+        in
+        (* after some settling period past gst, no correct process should be
+           suspected any more *)
+        let settle = gst + 2000 in
+        List.iter
+          (fun observer ->
+            List.iter
+              (fun subject ->
+                if not (Pid.equal observer subject) then begin
+                  let intervals = Qos.suspicion_intervals r ~observer ~subject in
+                  List.iter
+                    (fun (start, _) ->
+                      Alcotest.(check bool)
+                        (Format.asprintf "suspicion at %d before settle" start)
+                        true (start < settle))
+                    intervals
+                end)
+              (Pid.all ~n))
+          (Pid.all ~n));
+    test "no timeout is Perfect on asynchronous links" (fun () ->
+        let model = Link.Asynchronous { mean = 15.; spike_every = 15; spike = 400 } in
+        Alcotest.(check (option int)) "no perfect timeout" None
+          (Heartbeat.perfect_timeout model ~period:20);
+        let report = Qos.analyze (run_hb model (Heartbeat.Fixed { period = 20; timeout = 60 })) in
+        Alcotest.(check bool) "mistakes happen" false report.Qos.accurate);
+    test "suspicion intervals reconstruct the timeline" (fun () ->
+        let model = Link.Synchronous { delta = 10 } in
+        let timeout = Option.get (Heartbeat.perfect_timeout model ~period:20) in
+        let r = run_hb model (Heartbeat.Fixed { period = 20; timeout }) in
+        let observer = Pid.of_int 1 and subject = Pid.of_int 3 in
+        match Qos.suspicion_intervals r ~observer ~subject with
+        | [ (start, None) ] ->
+          Alcotest.(check bool) "starts after the crash" true (start >= 700)
+        | other ->
+          Alcotest.failf "expected one open interval, got %d" (List.length other));
+  ]
+
+let () =
+  Alcotest.run "net"
+    [
+      suite "links" link_tests;
+      suite "netsim" netsim_tests;
+      suite "heartbeat-qos" heartbeat_tests;
+    ]

@@ -1,0 +1,130 @@
+(* Omega-based, majority-quorum consensus (Paxos style): the other side of
+   the hierarchy story - safe always, live only with a correct majority. *)
+
+open Rlfd_kernel
+open Rlfd_fd
+open Rlfd_sim
+open Rlfd_algo
+open Helpers
+
+let n = 5
+
+let omega = Omega.canonical
+
+let run_paxos ?(detector = omega) ?(scheduler = `Fair) ?(horizon = 8000) pattern =
+  let scheduler =
+    match scheduler with
+    | `Fair -> Scheduler.fair ()
+    | `Random seed -> Scheduler.random ~seed ~lambda_bias:0.3
+  in
+  Runner.run ~pattern ~detector ~scheduler ~horizon:(time horizon)
+    ~until:(Runner.stop_when_all_correct_output pattern)
+    (Paxos.automaton ~proposals)
+
+let check_spec what r =
+  check_all_hold what
+    (Properties.check_consensus ~uniform:true ~proposals ~equal:Int.equal r)
+
+let liveness_tests =
+  [
+    test "failure-free: the first leader decides" (fun () ->
+        let r = run_paxos (Pattern.failure_free ~n) in
+        check_spec "failure-free" r;
+        List.iter (fun v -> Alcotest.(check int) "p1's value" 1001 v) (decision_values r));
+    test "leader crash: the next leader takes over" (fun () ->
+        let r = run_paxos (pattern ~n [ (1, 10) ]) in
+        check_spec "leader crash" r);
+    test "two crashes (still a majority)" (fun () ->
+        let r = run_paxos (pattern ~n [ (1, 10); (3, 30) ]) in
+        check_spec "two crashes" r);
+    test "random schedules" (fun () ->
+        List.iter
+          (fun seed ->
+            let r = run_paxos ~scheduler:(`Random seed) (pattern ~n [ (2, 12) ]) in
+            check_spec (Format.asprintf "seed %d" seed) r)
+          [ 1; 2; 3; 4; 5 ]);
+    qtest ~count:25 "spec holds in the majority-correct environment"
+      QCheck.(pair small_int small_int)
+      (fun (pattern_seed, sched_seed) ->
+        let pattern =
+          Environment.sample Environment.majority_correct ~n ~horizon:(time 80)
+            (Rng.derive ~seed:pattern_seed ~salts:[ 0xA1 ])
+        in
+        let r = run_paxos ~scheduler:(`Random sched_seed) pattern in
+        Properties.check_consensus ~uniform:true ~proposals ~equal:Int.equal r
+        |> List.for_all (fun (_, res) -> Classes.holds res));
+  ]
+
+let majority_gap_tests =
+  [
+    test "majority crashed: blocks, safely (the paper's environment gap)" (fun () ->
+        let r = run_paxos ~horizon:3000 (pattern ~n [ (1, 10); (2, 15); (3, 20) ]) in
+        check_violated "termination must fail" (Properties.termination r);
+        check_holds "agreement intact" (Properties.uniform_agreement ~equal:Int.equal r);
+        check_holds "validity intact" (Properties.validity ~proposals ~equal:Int.equal r));
+    qtest ~count:15 "never unsafe even with majority crashes" QCheck.small_int
+      (fun seed ->
+        let rng = Rng.derive ~seed ~salts:[ 0xA2 ] in
+        let pattern =
+          Pattern.Family.generate Pattern.Family.majority_crashes ~n
+            ~horizon:(time 80) rng
+        in
+        let r = run_paxos ~scheduler:(`Random seed) ~horizon:2000 pattern in
+        Classes.holds (Properties.uniform_agreement ~equal:Int.equal r)
+        && Classes.holds (Properties.validity ~proposals ~equal:Int.equal r));
+    test "adversarial leader flapping stays safe" (fun () ->
+        (* delay the stable leader's messages so later ballots interleave
+           with stale ones: quorum intersection must still protect safety *)
+        let pattern = pattern ~n [ (1, 40) ] in
+        let scheduler =
+          Scheduler.constrained ~base:(Scheduler.random ~seed:9 ~lambda_bias:0.25)
+            [ Scheduler.delay_from (pid 2) ~until:(time 300) ]
+        in
+        let r =
+          Runner.run ~pattern ~detector:omega ~scheduler ~horizon:(time 9000)
+            ~until:(Runner.stop_when_all_correct_output pattern)
+            (Paxos.automaton ~proposals)
+        in
+        check_holds "agreement" (Properties.uniform_agreement ~equal:Int.equal r);
+        check_holds "validity" (Properties.validity ~proposals ~equal:Int.equal r));
+    test "ballots grow under contention" (fun () ->
+        let r = run_paxos ~horizon:2500 (pattern ~n [ (1, 10); (2, 15); (3, 20) ]) in
+        (* the surviving self-styled leader keeps retrying *)
+        let grew =
+          Pid.Map.exists
+            (fun p st ->
+              Pattern.is_alive r.Runner.pattern p (time 100000)
+              && Paxos.ballot_of st > n)
+            r.Runner.final_states
+        in
+        Alcotest.(check bool) "ballot retries happened" true grew);
+  ]
+
+let small_scope_tests =
+  [
+    slow_test "exhaustive safety at n=3 (every schedule, crash of p1)" (fun () ->
+        let n = 3 in
+        let proposals p = 10 + Pid.to_int p in
+        let report =
+          Explore.run ~max_steps:8 ~max_nodes:2_000_000
+            ~pattern:(Pattern.make ~n [ (Pid.of_int 1, Time.of_int 2) ])
+            ~detector:Omega.canonical
+            ~check:
+              (Explore.both
+                 (Explore.agreement_check ~equal:Int.equal)
+                 (Explore.validity_check ~n ~proposals ~equal:Int.equal))
+            (Paxos.automaton ~proposals)
+        in
+        Alcotest.(check int)
+          (Format.asprintf "%a" Explore.pp_report report)
+          0
+          (List.length report.Explore.violations));
+  ]
+
+let () =
+  Alcotest.run "paxos"
+    [
+      suite "liveness-with-majority" liveness_tests;
+      suite "the-majority-gap" majority_gap_tests;
+      suite "small-scope" small_scope_tests;
+    ]

@@ -1,0 +1,149 @@
+(* EXP-5 / EXP-6: the realism condition (Section 3) as an executable check. *)
+
+open Rlfd_kernel
+open Rlfd_fd
+open Rlfd_reduction
+open Helpers
+
+let n = 5
+
+let horizon = time 60
+
+let pairs ~seed ~count =
+  Realism.prefix_sharing_pairs ~n ~horizon ~count (Rng.derive ~seed ~salts:[ 0x99 ])
+
+let check_realistic name d =
+  test name (fun () ->
+      let verdict = Realism.check_suspicions d ~pairs:(pairs ~seed:5 ~count:60) in
+      Alcotest.(check bool)
+        (Format.asprintf "%a" Realism.pp_verdict verdict)
+        true (Realism.is_realistic verdict))
+
+let check_refuted name d =
+  test name (fun () ->
+      let verdict = Realism.check_suspicions d ~pairs:(pairs ~seed:5 ~count:60) in
+      Alcotest.(check bool) "refuted" false (Realism.is_realistic verdict))
+
+let verdict_tests =
+  [
+    check_realistic "canonical P is realistic" Perfect.canonical;
+    check_realistic "delayed P is realistic" (Perfect.delayed ~lag:5);
+    check_realistic "staggered P is realistic" (Perfect.staggered ~seed:3 ~max_lag:5);
+    check_realistic "<>P is realistic"
+      (Ev_perfect.canonical ~stabilization:(time 30) ~seed:8);
+    check_realistic "realistic S is realistic" Strong.realistic;
+    check_realistic "<>S is realistic" (Ev_strong.canonical ~seed:2 ~noise:0.25);
+    check_realistic "Scribe is realistic" Scribe.as_suspicions;
+    check_realistic "P< is realistic" Partial_perfect.canonical;
+    check_refuted "Marabout is refuted" Marabout.canonical;
+    check_refuted "clairvoyant S is refuted" Strong.clairvoyant;
+  ]
+
+let paper_example_tests =
+  [
+    test "Marabout fails on the paper's own F1/F2 pair" (fun () ->
+        let f1, f2, witness = Marabout.paper_example ~n in
+        let verdict = Realism.check_suspicions Marabout.canonical ~pairs:[ (f1, f2) ] in
+        match verdict with
+        | Realism.Realistic_on_samples _ -> Alcotest.fail "Marabout passed F1/F2"
+        | Realism.Not_realistic c ->
+          Alcotest.(check bool) "difference is before divergence" true
+            Time.(c.Realism.time < c.Realism.diverge_at);
+          Alcotest.(check bool) "witness covers T=9" true
+            Time.(c.Realism.time <= witness));
+    test "the Scribe passes F1/F2" (fun () ->
+        let f1, f2, _ = Marabout.paper_example ~n in
+        let verdict =
+          Realism.check
+            ~equal:Pattern.prefix_equal
+            ~pp:Pattern.pp_prefix Scribe.canonical
+            ~pairs:[ (f1, f2) ]
+        in
+        Alcotest.(check bool) "realistic" true (Realism.is_realistic verdict));
+    test "the Omega leader oracle is realistic" (fun () ->
+        let f1, f2, _ = Marabout.paper_example ~n in
+        let verdict =
+          Realism.check ~equal:Pid.equal ~pp:Pid.pp Omega.canonical ~pairs:[ (f1, f2) ]
+        in
+        Alcotest.(check bool) "realistic" true (Realism.is_realistic verdict));
+    test "counterexample pretty-prints" (fun () ->
+        let f1, f2, _ = Marabout.paper_example ~n in
+        match Realism.check_suspicions Marabout.canonical ~pairs:[ (f1, f2) ] with
+        | Realism.Not_realistic c ->
+          let s = Format.asprintf "%a" Realism.pp_counterexample c in
+          Alcotest.(check bool) "mentions patterns" true
+            (contains_substring ~needle:"patterns agree" s)
+        | Realism.Realistic_on_samples _ -> Alcotest.fail "expected refutation");
+  ]
+
+let pair_generator_tests =
+  [
+    qtest ~count:30 "generated pairs share a nontrivial prefix" QCheck.small_int
+      (fun seed ->
+        pairs ~seed ~count:10
+        |> List.for_all (fun (a, b) ->
+               match Pattern.divergence_time a b with
+               | None -> true (* identical is allowed, vacuous *)
+               | Some d -> Time.(d > Time.zero)));
+    qtest ~count:30 "identical-prefix check is vacuous on equal patterns"
+      QCheck.small_int (fun seed ->
+        let f =
+          Pattern.Family.generate Pattern.Family.uniform ~n ~horizon
+            (Rng.derive ~seed ~salts:[ 3 ])
+        in
+        Realism.is_realistic (Realism.check_suspicions Marabout.canonical ~pairs:[ (f, f) ]));
+  ]
+
+let survey_tests =
+  [
+    slow_test "hierarchy survey: collapse holds and claims are honest" (fun () ->
+        let rows =
+          Hierarchy.survey ~n ~horizon:(time 150) ~seed:11 ~samples:15
+            (Hierarchy.zoo ~seed:11)
+        in
+        Alcotest.(check bool) "collapse" true (Hierarchy.collapse_holds rows);
+        List.iter
+          (fun row ->
+            Alcotest.(check bool)
+              (Format.asprintf "claim matches verdict for %s" row.Hierarchy.detector)
+              row.Hierarchy.claims_realistic
+              (Realism.is_realistic row.Hierarchy.realism))
+          rows);
+    slow_test "every realistic S member in the zoo is in P" (fun () ->
+        let rows =
+          Hierarchy.survey ~n ~horizon:(time 150) ~seed:13 ~samples:15
+            (Hierarchy.zoo ~seed:13)
+        in
+        List.iter
+          (fun row ->
+            if
+              Realism.is_realistic row.Hierarchy.realism
+              && List.mem Classes.Strong row.Hierarchy.classes
+            then
+              Alcotest.(check bool)
+                (row.Hierarchy.detector ^ " should be in P")
+                true
+                (List.mem Classes.Perfect row.Hierarchy.classes))
+          rows);
+    slow_test "P< is surveyed as strictly below P" (fun () ->
+        let rows =
+          Hierarchy.survey ~n ~horizon:(time 150) ~seed:17 ~samples:15
+            [ Partial_perfect.canonical ]
+        in
+        match rows with
+        | [ row ] ->
+          Alcotest.(check bool) "in P<" true
+            (List.mem Classes.Partially_perfect row.Hierarchy.classes);
+          Alcotest.(check bool) "not in P" false
+            (List.mem Classes.Perfect row.Hierarchy.classes)
+        | _ -> Alcotest.fail "one row expected");
+  ]
+
+let () =
+  Alcotest.run "realism"
+    [
+      suite "verdicts" verdict_tests;
+      suite "paper-example" paper_example_tests;
+      suite "pair-generation" pair_generator_tests;
+      suite "hierarchy-survey" survey_tests;
+    ]

@@ -1,0 +1,252 @@
+(* EXP-2 / EXP-4b: the T(D->P) transformation (Lemma 4.2) and the TRB-based
+   emulation (Proposition 5.1). *)
+
+open Rlfd_kernel
+open Rlfd_fd
+open Rlfd_sim
+open Rlfd_reduction
+open Helpers
+
+let n = 4
+
+let horizon = time 5000
+
+let run_reduction ?(scheduler = `Fair) ~detector ~pattern impl =
+  let scheduler =
+    match scheduler with
+    | `Fair -> Scheduler.fair ()
+    | `Random seed -> Scheduler.random ~seed ~lambda_bias:0.3
+  in
+  Runner.run ~pattern ~detector ~scheduler ~horizon
+    (Consensus_to_p.automaton ~impl)
+
+let emulation_all_hold what r = check_all_hold what (Emulation.check_emulation_run r)
+
+let consensus_to_p_tests =
+  [
+    test "failure-free: nobody ever suspected" (fun () ->
+        let pattern = Pattern.failure_free ~n in
+        let r = run_reduction ~detector:Perfect.canonical ~pattern Consensus_to_p.ct_strong_impl in
+        emulation_all_hold "failure-free" r;
+        Alcotest.(check int) "no suspicion output changes" 0
+          (List.length
+             (List.filter (fun (_, _, s) -> not (Pid.Set.is_empty s)) r.Runner.outputs));
+        (* many instances must have completed *)
+        Pid.Map.iter
+          (fun p st ->
+            Alcotest.(check bool)
+              (Format.asprintf "%a ran instances" Pid.pp p)
+              true
+              (Consensus_to_p.instances_decided st > 5))
+          r.Runner.final_states);
+    test "single crash: emulated P catches it" (fun () ->
+        let pattern = pattern ~n [ (2, 60) ] in
+        let r = run_reduction ~detector:Perfect.canonical ~pattern Consensus_to_p.ct_strong_impl in
+        emulation_all_hold "single crash" r;
+        Pid.Map.iter
+          (fun p st ->
+            if Pattern.is_alive pattern p (time 100000) then
+              Alcotest.(check string)
+                (Format.asprintf "output(P) at %a" Pid.pp p)
+                "{p2}"
+                (Format.asprintf "%a" Pid.Set.pp (Consensus_to_p.output_p st)))
+          r.Runner.final_states);
+    test "three crashes: all eventually suspected" (fun () ->
+        let pattern = pattern ~n [ (1, 40); (2, 80); (3, 120) ] in
+        let r = run_reduction ~detector:Perfect.canonical ~pattern Consensus_to_p.ct_strong_impl in
+        emulation_all_hold "three crashes" r);
+    test "crash at time 0" (fun () ->
+        let pattern = pattern ~n [ (3, 0) ] in
+        let r = run_reduction ~detector:Perfect.canonical ~pattern Consensus_to_p.ct_strong_impl in
+        emulation_all_hold "crash at 0" r);
+    test "works from a realistic Strong detector" (fun () ->
+        let pattern = pattern ~n [ (4, 70) ] in
+        let r = run_reduction ~detector:Strong.realistic ~pattern Consensus_to_p.ct_strong_impl in
+        emulation_all_hold "from S-realistic" r);
+    test "works from the Scribe" (fun () ->
+        let pattern = pattern ~n [ (1, 50) ] in
+        let r = run_reduction ~detector:Scribe.as_suspicions ~pattern Consensus_to_p.ct_strong_impl in
+        emulation_all_hold "from Scribe" r);
+    test "works from a delayed P" (fun () ->
+        let pattern = pattern ~n [ (2, 50) ] in
+        let r =
+          run_reduction ~detector:(Perfect.delayed ~lag:10) ~pattern
+            Consensus_to_p.ct_strong_impl
+        in
+        emulation_all_hold "from delayed P" r);
+    qtest ~count:20 "emulation holds over the sampled environment"
+      (arb_pattern ~n ~horizon:120)
+      (fun pattern ->
+        let r = run_reduction ~detector:Perfect.canonical ~pattern Consensus_to_p.ct_strong_impl in
+        Emulation.check_emulation_run r |> List.for_all (fun (_, res) -> Classes.holds res));
+    qtest ~count:12 "emulation holds under random schedules"
+      QCheck.(pair (arb_pattern ~n ~horizon:120) small_int)
+      (fun (pattern, seed) ->
+        let r =
+          run_reduction ~scheduler:(`Random seed) ~detector:Perfect.canonical ~pattern
+            Consensus_to_p.ct_strong_impl
+        in
+        Emulation.check_emulation_run r |> List.for_all (fun (_, res) -> Classes.holds res));
+    test "output(P) is monotone at every process" (fun () ->
+        let pattern = pattern ~n [ (1, 30); (4, 90) ] in
+        let r = run_reduction ~detector:Perfect.canonical ~pattern Consensus_to_p.ct_strong_impl in
+        check_holds "monotone" (Emulation.monotone r));
+  ]
+
+let negative_tests =
+  [
+    test "non-total algorithm breaks the emulated accuracy (EXP-2b)" (fun () ->
+        let pattern = Pattern.failure_free ~n in
+        let r =
+          run_reduction ~detector:Partial_perfect.canonical ~pattern
+            Consensus_to_p.rank_impl
+        in
+        let checks = Emulation.check_emulation_run r in
+        check_violated "strong accuracy"
+          (List.assoc "strong accuracy" checks));
+    test "Marabout-based reduction also breaks accuracy" (fun () ->
+        (* the Marabout algorithm consults only the leader, so everyone else
+           is falsely added to output(P) at each decision *)
+        let pattern = Pattern.failure_free ~n in
+        let r =
+          run_reduction ~detector:Marabout.canonical ~pattern Consensus_to_p.marabout_impl
+        in
+        let checks = Emulation.check_emulation_run r in
+        check_violated "strong accuracy" (List.assoc "strong accuracy" checks));
+  ]
+
+(* ---------- TRB -> P ---------- *)
+
+let run_trb_reduction ?(detector = Perfect.canonical) pattern =
+  Runner.run ~pattern ~detector ~scheduler:(Scheduler.fair ()) ~horizon
+    Trb_to_p.automaton
+
+let trb_to_p_tests =
+  [
+    test "sender rotation is round-robin" (fun () ->
+        Alcotest.(check (list int)) "senders" [ 1; 2; 3; 4; 1 ]
+          (List.map
+             (fun k -> Pid.to_int (Trb_to_p.sender_of_instance ~n k))
+             [ 1; 2; 3; 4; 5 ]));
+    test "failure-free: no nil, no suspicion" (fun () ->
+        let r = run_trb_reduction (Pattern.failure_free ~n) in
+        Alcotest.(check int) "no outputs" 0 (List.length r.Runner.outputs);
+        Pid.Map.iter
+          (fun p st ->
+            Alcotest.(check bool)
+              (Format.asprintf "%a empty" Pid.pp p)
+              true
+              (Pid.Set.is_empty (Trb_to_p.output_p st));
+            Alcotest.(check bool)
+              (Format.asprintf "%a progressed" Pid.pp p)
+              true
+              (Trb_to_p.instances_done st > 4))
+          r.Runner.final_states);
+    test "crashed process gets suspected via nil deliveries" (fun () ->
+        let pattern = pattern ~n [ (2, 50) ] in
+        let r = run_trb_reduction pattern in
+        emulation_all_hold "crash of p2" r);
+    test "multiple crashes" (fun () ->
+        let pattern = pattern ~n [ (1, 30); (3, 70) ] in
+        let r = run_trb_reduction pattern in
+        emulation_all_hold "two crashes" r);
+    qtest ~count:15 "emulation holds over the sampled environment"
+      (arb_pattern ~n ~horizon:100)
+      (fun pattern ->
+        let r = run_trb_reduction pattern in
+        Emulation.check_emulation_run r |> List.for_all (fun (_, res) -> Classes.holds res));
+  ]
+
+(* ---------- recorded history machinery ---------- *)
+
+let machinery_tests =
+  [
+    test "recorded_history replays the records" (fun () ->
+        let h =
+          Emulation.recorded_history ~n
+            [ (time 5, pid 1, Pid.Set.of_ints [ 2 ]);
+              (time 9, pid 1, Pid.Set.of_ints [ 2; 3 ]) ]
+        in
+        Alcotest.(check string) "before" "{}" (Format.asprintf "%a" Pid.Set.pp (h (pid 1) (time 2)));
+        Alcotest.(check string) "mid" "{p2}" (Format.asprintf "%a" Pid.Set.pp (h (pid 1) (time 7)));
+        Alcotest.(check string) "after" "{p2,p3}"
+          (Format.asprintf "%a" Pid.Set.pp (h (pid 1) (time 50))));
+    test "check_perfect flags a fabricated bad history" (fun () ->
+        let f = pattern ~n [ (2, 50) ] in
+        (* history suspects p1 (alive forever): accuracy must fail *)
+        let h = History.of_fun (fun _ _ -> Pid.Set.of_ints [ 1 ]) in
+        let checks =
+          Emulation.check_perfect ~pattern:f ~horizon:(time 100) h
+        in
+        check_violated "strong accuracy" (List.assoc "strong accuracy" checks));
+  ]
+
+(* ---------- the CT96 weak-to-strong completeness transformation ---------- *)
+
+let weak_to_strong_tests =
+  let run_transform ?(gossip_every = 3) ~detector pattern =
+    Runner.run ~pattern ~detector ~scheduler:(Scheduler.fair ()) ~horizon:(time 2000)
+      (Weak_to_strong.automaton ~gossip_every)
+  in
+  let emulated_history r = Emulation.of_run r in
+  let window_checks r =
+    let horizon = r.Runner.end_time in
+    let window = Classes.default_window ~horizon in
+    (horizon, window)
+  in
+  [
+    test "the raw weakly-complete detector fails strong completeness" (fun () ->
+        let f = pattern ~n [ (2, 50) ] in
+        let horizon = time 500 in
+        check_violated "raw detector"
+          (Classes.strong_completeness f ~horizon
+             ~window:(Classes.default_window ~horizon)
+             (Detector.history Ev_strong.weakly_complete f)));
+    test "the transformation restores strong completeness" (fun () ->
+        let f = pattern ~n [ (2, 50) ] in
+        let r = run_transform ~detector:Ev_strong.weakly_complete f in
+        let horizon, window = window_checks r in
+        check_holds "strong completeness"
+          (Classes.strong_completeness f ~horizon ~window (emulated_history r));
+        check_holds "strong accuracy preserved"
+          (Classes.strong_accuracy f ~horizon ~window (emulated_history r)));
+    test "multiple crashes, including the roving observer" (fun () ->
+        (* crash low-index processes so the observer role moves *)
+        let f = pattern ~n [ (1, 40); (2, 80) ] in
+        let r = run_transform ~detector:Ev_strong.weakly_complete f in
+        let horizon, window = window_checks r in
+        check_holds "strong completeness"
+          (Classes.strong_completeness f ~horizon ~window (emulated_history r)));
+    test "feeding a fully Perfect detector changes nothing" (fun () ->
+        let f = pattern ~n [ (3, 60) ] in
+        let r = run_transform ~detector:Perfect.canonical f in
+        let horizon, window = window_checks r in
+        check_holds "still Perfect-grade: completeness"
+          (Classes.strong_completeness f ~horizon ~window (emulated_history r));
+        check_holds "still Perfect-grade: accuracy"
+          (Classes.strong_accuracy f ~horizon ~window (emulated_history r)));
+    qtest ~count:15 "transformation works across the environment"
+      (arb_pattern ~n ~horizon:80)
+      (fun f ->
+        let r = run_transform ~detector:Ev_strong.weakly_complete f in
+        let horizon = r.Runner.end_time in
+        let window = Classes.default_window ~horizon in
+        Classes.holds
+          (Classes.strong_completeness f ~horizon ~window (emulated_history r))
+        && Classes.holds
+             (Classes.strong_accuracy f ~horizon ~window (emulated_history r)));
+    test "gossip_every is validated" (fun () ->
+        Alcotest.check_raises "zero"
+          (Invalid_argument "Weak_to_strong.automaton: gossip_every must be >= 1")
+          (fun () -> ignore (Weak_to_strong.automaton ~gossip_every:0)));
+  ]
+
+let () =
+  Alcotest.run "reduction"
+    [
+      suite "consensus-to-P" consensus_to_p_tests;
+      suite "needs-totality" negative_tests;
+      suite "trb-to-P" trb_to_p_tests;
+      suite "machinery" machinery_tests;
+      suite "weak-to-strong" weak_to_strong_tests;
+    ]

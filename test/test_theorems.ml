@@ -1,0 +1,62 @@
+(* Integration: every claim of the paper, end to end, via the Theorems
+   facade - the same checks the benchmark harness and CLI report. *)
+
+open Rlfd_core
+open Helpers
+
+let cfg = { Theorems.default_config with trials = 8 }
+
+let outcome_test check =
+  let o = check cfg in
+  Alcotest.test_case o.Theorems.id `Slow (fun () ->
+      Alcotest.(check bool) (Format.asprintf "%a" Theorems.pp_outcome o) true
+        o.Theorems.pass)
+
+let individual =
+  List.map outcome_test
+    [
+      Theorems.lemma_4_1_totality;
+      Theorems.lemma_4_1_needs_realism;
+      Theorems.lemma_4_2_reduction;
+      Theorems.reduction_needs_totality;
+      Theorems.prop_4_3_sufficiency;
+      Theorems.prop_5_1_trb;
+      Theorems.prop_5_1_reduction;
+      Theorems.collapse_s_and_p;
+      Theorems.marabout_solves_consensus;
+      Theorems.marabout_algorithm_unsound_realistically;
+      Theorems.uniform_harder_than_consensus;
+      Theorems.ev_strong_needs_majority;
+      Theorems.abcast_equivalence;
+      Theorems.membership_emulates_p;
+      Theorems.nbac_with_p;
+      Theorems.exhaustive_small_scope;
+    ]
+
+let scaling =
+  [
+    slow_test "claims survive a different system size (n=6)" (fun () ->
+        let cfg = { cfg with Theorems.n = 6; trials = 5 } in
+        List.iter
+          (fun check ->
+            let o = check cfg in
+            Alcotest.(check bool)
+              (Format.asprintf "%a" Theorems.pp_outcome o)
+              true o.Theorems.pass)
+          [ Theorems.lemma_4_1_totality; Theorems.lemma_4_2_reduction;
+            Theorems.prop_4_3_sufficiency; Theorems.uniform_harder_than_consensus ]);
+    slow_test "claims survive a different seed" (fun () ->
+        let cfg = { cfg with Theorems.seed = 77; trials = 5 } in
+        List.iter
+          (fun check ->
+            let o = check cfg in
+            Alcotest.(check bool)
+              (Format.asprintf "%a" Theorems.pp_outcome o)
+              true o.Theorems.pass)
+          [ Theorems.lemma_4_1_totality; Theorems.lemma_4_1_needs_realism;
+            Theorems.prop_5_1_trb; Theorems.collapse_s_and_p ]);
+  ]
+
+let () =
+  Alcotest.run "theorems"
+    [ suite "paper-claims" individual; suite "robustness" scaling ]

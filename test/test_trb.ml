@@ -1,0 +1,147 @@
+(* EXP-4: terminating reliable broadcast (Section 5) - the crash-stop
+   Byzantine Generals. *)
+
+open Rlfd_kernel
+open Rlfd_fd
+open Rlfd_sim
+open Rlfd_algo
+open Helpers
+
+let n = 5
+
+let value = 7777
+
+let run_trb ?(detector = Perfect.canonical) ?(scheduler = `Fair) ?(sender = 1) pattern =
+  let scheduler =
+    match scheduler with
+    | `Fair -> Scheduler.fair ()
+    | `Random seed -> Scheduler.random ~seed ~lambda_bias:0.3
+  in
+  Runner.run ~pattern ~detector ~scheduler ~horizon:(time 6000)
+    ~until:(Runner.stop_when_all_correct_output pattern)
+    (Trb.automaton ~sender:(pid sender) ~value)
+
+let check_trb ?(sender = 1) what r =
+  check_all_hold what (Properties.trb_check ~sender:(pid sender) ~value ~equal:Int.equal r)
+
+let deliveries r =
+  List.map (fun (_, p, d) -> (Pid.to_int p, d)) r.Rlfd_sim.Runner.outputs
+
+let spec_tests =
+  [
+    test "correct sender: everyone delivers the value" (fun () ->
+        let r = run_trb (Pattern.failure_free ~n) in
+        check_trb "failure-free" r;
+        List.iter
+          (fun (_, d) -> Alcotest.(check (option int)) "the value" (Some value) d)
+          (deliveries r));
+    test "sender crashed at time 0: everyone delivers nil" (fun () ->
+        let r = run_trb (pattern ~n [ (1, 0) ]) in
+        check_trb "dead sender" r;
+        Alcotest.(check bool) "some deliveries" true (deliveries r <> []);
+        List.iter
+          (fun (_, d) -> Alcotest.(check (option int)) "nil" None d)
+          (deliveries r));
+    test "sender crashes mid-broadcast: uniform outcome" (fun () ->
+        let r = run_trb (pattern ~n [ (1, 2) ]) in
+        check_trb "mid-broadcast crash" r;
+        match deliveries r with
+        | [] -> Alcotest.fail "no deliveries"
+        | (_, first) :: rest ->
+          List.iter
+            (fun (_, d) -> Alcotest.(check (option int)) "all equal" first d)
+            rest);
+    test "non-sender crashes: the value still goes through" (fun () ->
+        let r = run_trb (pattern ~n [ (3, 5) ]) in
+        check_trb "bystander crash" r;
+        List.iter
+          (fun (_, d) -> Alcotest.(check (option int)) "the value" (Some value) d)
+          (deliveries r));
+    test "sender other than p1" (fun () ->
+        let r = run_trb ~sender:4 (pattern ~n [ (1, 3) ]) in
+        check_trb ~sender:4 "sender p4" r);
+    test "heavy crashes around a correct sender" (fun () ->
+        let r = run_trb ~sender:5 (pattern ~n [ (1, 4); (2, 8); (3, 12) ]) in
+        check_trb ~sender:5 "three crashes" r;
+        List.iter
+          (fun (_, d) -> Alcotest.(check (option int)) "the value" (Some value) d)
+          (deliveries r));
+    qtest ~count:30 "TRB spec across the environment"
+      QCheck.(pair (arb_pattern ~n ~horizon:100) (int_range 1 n))
+      (fun (pattern, sender) ->
+        let r = run_trb ~sender pattern in
+        Properties.trb_check ~sender:(pid sender) ~value ~equal:Int.equal r
+        |> List.for_all (fun (_, res) -> Classes.holds res));
+    qtest ~count:20 "TRB spec under random schedules"
+      QCheck.(triple (arb_pattern ~n ~horizon:100) (int_range 1 n) small_int)
+      (fun (pattern, sender, seed) ->
+        let r = run_trb ~scheduler:(`Random seed) ~sender pattern in
+        Properties.trb_check ~sender:(pid sender) ~value ~equal:Int.equal r
+        |> List.for_all (fun (_, res) -> Classes.holds res));
+  ]
+
+let adversarial_tests =
+  [
+    test "slow sender is waited for, not nil'd (strong accuracy)" (fun () ->
+        (* the sender's messages are delayed a long time; with a Perfect
+           detector nobody may propose nil for a correct sender *)
+        let scheduler =
+          Scheduler.constrained ~base:(Scheduler.fair ())
+            [ Scheduler.delay_from (pid 1) ~until:(time 400) ]
+        in
+        let pattern = Pattern.failure_free ~n in
+        let r =
+          Runner.run ~pattern ~detector:Perfect.canonical ~scheduler
+            ~horizon:(time 8000)
+            ~until:(Runner.stop_when_all_correct_output pattern)
+            (Trb.automaton ~sender:(pid 1) ~value)
+        in
+        check_trb "slow sender" r;
+        List.iter
+          (fun (_, d) -> Alcotest.(check (option int)) "the value" (Some value) d)
+          (deliveries r));
+    test "value racing the crash notification" (fun () ->
+        (* sender crashes just after sending; its Value messages are delayed
+           past the suspicion: mixed Some/None proposals, consensus must
+           still produce one uniform outcome *)
+        let scheduler =
+          Scheduler.constrained ~base:(Scheduler.fair ())
+            [ Scheduler.delay_from (pid 1) ~until:(time 300) ]
+        in
+        let pattern = pattern ~n [ (1, 2) ] in
+        let r =
+          Runner.run ~pattern ~detector:Perfect.canonical ~scheduler
+            ~horizon:(time 8000)
+            ~until:(Runner.stop_when_all_correct_output pattern)
+            (Trb.automaton ~sender:(pid 1) ~value)
+        in
+        check_trb "race" r);
+    test "with a delayed P, slow suspicion only delays the outcome" (fun () ->
+        let r =
+          run_trb ~detector:(Perfect.delayed ~lag:30) (pattern ~n [ (1, 0) ])
+        in
+        check_trb "delayed suspicion" r);
+  ]
+
+(* state-accessor coverage *)
+let state_tests =
+  [
+    test "delivery accessor reflects the outcome" (fun () ->
+        let r = run_trb (Pattern.failure_free ~n) in
+        Pid.Map.iter
+          (fun p st ->
+            if Pid.Set.mem p (Pattern.correct r.Runner.pattern) then
+              Alcotest.(check bool)
+                (Format.asprintf "%a delivered" Pid.pp p)
+                true
+                (Trb.delivery st = Some (Some value)))
+          r.Runner.final_states);
+  ]
+
+let () =
+  Alcotest.run "trb"
+    [
+      suite "specification" spec_tests;
+      suite "adversarial" adversarial_tests;
+      suite "state" state_tests;
+    ]

@@ -1,0 +1,140 @@
+(* EXP-8: Section 6.2 - uniform consensus is strictly harder than
+   (correct-restricted) consensus; P< suffices for the latter. *)
+
+open Rlfd_kernel
+open Rlfd_fd
+open Rlfd_sim
+open Rlfd_algo
+open Helpers
+
+let n = 5
+
+let run_rank ?(detector = Partial_perfect.canonical) ?(scheduler = `Fair) pattern =
+  run_consensus ~scheduler ~detector ~pattern (Rank_consensus.automaton ~proposals)
+
+let check_nonuniform what r =
+  check_all_hold what
+    (Properties.check_consensus ~uniform:false ~proposals ~equal:Int.equal r)
+
+let rank_positive_tests =
+  [
+    test "failure-free: everyone follows p1" (fun () ->
+        let r = run_rank (Pattern.failure_free ~n) in
+        check_nonuniform "failure-free" r;
+        List.iter (fun v -> Alcotest.(check int) "p1's value" 1001 v) (decision_values r));
+    test "p1 crashed from the start: p2 leads" (fun () ->
+        let r = run_rank (pattern ~n [ (1, 0) ]) in
+        check_nonuniform "p1 dead" r;
+        let correct_decisions =
+          List.filter_map
+            (fun (_, p, v) -> if Pid.to_int p > 1 then Some v else None)
+            r.Runner.outputs
+        in
+        List.iter (fun v -> Alcotest.(check int) "p2's value" 1002 v) correct_decisions);
+    test "chain of crashes" (fun () ->
+        let r = run_rank (pattern ~n [ (1, 10); (2, 20); (3, 30) ]) in
+        check_nonuniform "three crashes" r);
+    test "works with delayed P<" (fun () ->
+        let r =
+          run_rank ~detector:(Partial_perfect.delayed ~lag:15) (pattern ~n [ (2, 9) ])
+        in
+        check_nonuniform "delayed P<" r);
+    qtest ~count:40 "correct-restricted spec across the environment"
+      (arb_pattern ~n ~horizon:120)
+      (fun pattern ->
+        let r = run_rank pattern in
+        Properties.check_consensus ~uniform:false ~proposals ~equal:Int.equal r
+        |> List.for_all (fun (_, res) -> Classes.holds res));
+    qtest ~count:25 "correct-restricted spec under random schedules"
+      QCheck.(pair (arb_pattern ~n ~horizon:120) small_int)
+      (fun (pattern, seed) ->
+        let r = run_rank ~scheduler:(`Random seed) pattern in
+        Properties.check_consensus ~uniform:false ~proposals ~equal:Int.equal r
+        |> List.for_all (fun (_, res) -> Classes.holds res));
+    qtest ~count:25 "adversarial delays cannot split the correct processes"
+      QCheck.(pair small_int (int_range 2 n))
+      (fun (seed, victim) ->
+        (* crash one process early, delay its outgoing messages long past
+           everyone's suspicion: survivors must still agree *)
+        let victim = pid victim in
+        let pattern = Pattern.crash (Pattern.failure_free ~n) victim (time 1) in
+        let scheduler =
+          Scheduler.constrained
+            ~base:(Scheduler.random ~seed ~lambda_bias:0.2)
+            [ Scheduler.delay_from victim ~until:(time 1000) ]
+        in
+        let r =
+          Runner.run ~pattern ~detector:Partial_perfect.canonical ~scheduler
+            ~horizon:(time 8000)
+            ~until:(Runner.stop_when_all_correct_output pattern)
+            (Rank_consensus.automaton ~proposals)
+        in
+        Classes.holds (Properties.agreement ~equal:Int.equal r)
+        && Classes.holds (Properties.termination r));
+  ]
+
+let uniformity_witness_tests =
+  [
+    test "the witness run: p1 decides alone and differently" (fun () ->
+        let p1 = pid 1 in
+        let pattern = pattern ~n [ (1, 1) ] in
+        let scheduler =
+          Scheduler.constrained ~base:(Scheduler.fair ())
+            [ Scheduler.delay_from p1 ~until:(time 3000) ]
+        in
+        let r =
+          Runner.run ~pattern ~detector:Partial_perfect.canonical ~scheduler
+            ~horizon:(time 8000)
+            ~until:(Runner.stop_when_all_correct_output pattern)
+            (Rank_consensus.automaton ~proposals)
+        in
+        (* p1 decided its own value at t=0, then crashed *)
+        Alcotest.(check (option int)) "p1's lonely decision" (Some 1001)
+          (Option.map snd (Runner.first_output r p1));
+        (* the correct processes agree among themselves... *)
+        check_holds "correct-restricted agreement"
+          (Properties.agreement ~equal:Int.equal r);
+        (* ...but not with the dead p1 *)
+        check_violated "uniform agreement"
+          (Properties.uniform_agreement ~equal:Int.equal r));
+    test "the same run with full P is uniform (ct-strong)" (fun () ->
+        (* contrast: the total algorithm with a Perfect detector survives the
+           same adversary with uniform agreement intact *)
+        let p1 = pid 1 in
+        let pattern = pattern ~n [ (1, 1) ] in
+        let scheduler =
+          Scheduler.constrained ~base:(Scheduler.fair ())
+            [ Scheduler.delay_from p1 ~until:(time 3000) ]
+        in
+        let r =
+          Runner.run ~pattern ~detector:Perfect.canonical ~scheduler
+            ~horizon:(time 9000)
+            ~until:(Runner.stop_when_all_correct_output pattern)
+            (Ct_strong.automaton ~proposals)
+        in
+        check_holds "uniform agreement" (Properties.uniform_agreement ~equal:Int.equal r);
+        check_holds "termination" (Properties.termination r));
+    test "rank consensus is not total (p1 consults nobody)" (fun () ->
+        let r = run_rank (Pattern.failure_free ~n) in
+        Alcotest.(check bool) "not total" false (Totality.is_total r));
+    test "P< genuinely lacks upward knowledge: p1 cannot detect anyone" (fun () ->
+        (* all but p1 crash; rank consensus still terminates for p1 (it waits
+           on nobody), but a hypothetical wait on higher processes would hang:
+           we check the detector output stays empty at p1 *)
+        let pattern = pattern ~n [ (2, 5); (3, 5); (4, 5); (5, 5) ] in
+        List.iter
+          (fun t ->
+            Alcotest.(check bool) "p1 sees nothing" true
+              (Pid.Set.is_empty
+                 (Detector.query Partial_perfect.canonical pattern (pid 1) (time t))))
+          [ 0; 10; 100; 1000 ];
+        let r = run_rank pattern in
+        check_nonuniform "p1 alone survives" r);
+  ]
+
+let () =
+  Alcotest.run "uniformity"
+    [
+      suite "rank-consensus-positive" rank_positive_tests;
+      suite "uniformity-separation" uniformity_witness_tests;
+    ]

@@ -1,0 +1,116 @@
+(* View-synchronous multicast: the virtual-synchrony guarantees of the
+   group-communication systems the paper's Section 1.3 points at. *)
+
+open Rlfd_kernel
+open Rlfd_fd
+open Rlfd_net
+open Rlfd_membership
+open Helpers
+
+let n = 5
+
+let payloads p = List.init 4 (fun k -> (Pid.to_int p * 100) + k)
+
+let run ?(config = Vsync.default_config) ?(seed = 11) ?(horizon = 6000) ~model pattern =
+  Netsim.run ~n ~pattern ~model ~seed ~horizon (Vsync.node config ~to_send:payloads)
+
+let sync = Link.Synchronous { delta = 8 }
+
+let psync = Link.Partially_synchronous { gst = 900; delta = 8; wild_max = 100 }
+
+let count_delivered r p =
+  List.length
+    (List.filter
+       (fun (_, q, ev) ->
+         Pid.equal p q && match ev with Vsync.Delivered _ -> true | _ -> false)
+       r.Netsim.outputs)
+
+let stable_tests =
+  [
+    test "failure-free: everyone delivers everything in view 0" (fun () ->
+        let r = run ~model:sync (Pattern.failure_free ~n) in
+        check_all_hold "vsync" (Vsync.check r);
+        List.iter
+          (fun p ->
+            Alcotest.(check int)
+              (Format.asprintf "%a got all" Pid.pp p)
+              (n * 4) (count_delivered r p))
+          (Pid.all ~n);
+        (* no view change should have happened *)
+        Alcotest.(check bool) "still view 0" true
+          (Pid.Map.for_all (fun _ st -> fst (Vsync.current_view st) = 0)
+             r.Netsim.final_states));
+    test "one crash: flush closes the view consistently" (fun () ->
+        let r = run ~model:sync (pattern ~n [ (2, 700) ]) in
+        check_all_hold "vsync" (Vsync.check r);
+        (* survivors end in view 1 without p2 *)
+        Pid.Map.iter
+          (fun p st ->
+            if Pattern.is_alive r.Netsim.pattern p (Time.of_int 100000) then begin
+              let id, members = Vsync.current_view st in
+              Alcotest.(check int) (Format.asprintf "%a view" Pid.pp p) 1 id;
+              Alcotest.(check bool) "p2 out" false (Pid.Set.mem (pid 2) members)
+            end)
+          r.Netsim.final_states);
+    test "coordinator crash: the flush is re-led" (fun () ->
+        let r = run ~model:sync (pattern ~n [ (1, 600) ]) in
+        check_all_hold "vsync" (Vsync.check r);
+        Pid.Map.iter
+          (fun p st ->
+            if Pattern.is_alive r.Netsim.pattern p (Time.of_int 100000) then
+              Alcotest.(check bool)
+                (Format.asprintf "%a moved on" Pid.pp p)
+                true
+                (fst (Vsync.current_view st) >= 1))
+          r.Netsim.final_states);
+    test "two staggered crashes: two view changes" (fun () ->
+        let r = run ~model:sync (pattern ~n [ (2, 600); (4, 2500) ]) in
+        check_all_hold "vsync" (Vsync.check r);
+        Pid.Map.iter
+          (fun p st ->
+            if Pattern.is_alive r.Netsim.pattern p (Time.of_int 100000) then begin
+              let _, members = Vsync.current_view st in
+              Alcotest.(check string)
+                (Format.asprintf "%a final members" Pid.pp p)
+                "{p1,p3,p5}"
+                (Format.asprintf "%a" Pid.Set.pp members)
+            end)
+          r.Netsim.final_states);
+    qtest ~count:12 "virtual synchrony across seeds and crash times"
+      QCheck.(pair small_int (int_range 200 2000))
+      (fun (seed, crash_at) ->
+        let r = run ~seed ~model:sync (pattern ~n [ (3, crash_at) ]) in
+        Vsync.check r |> List.for_all (fun (_, res) -> Classes.holds res));
+  ]
+
+let adversity_tests =
+  [
+    test "partial synchrony: exclusions still close views consistently" (fun () ->
+        let r = run ~model:psync (pattern ~n [ (2, 700) ]) in
+        check_all_hold "vsync under psync" (Vsync.check r);
+        (* any falsely excluded member must have halted *)
+        let excluded =
+          List.filter_map
+            (fun (t, p, ev) ->
+              match ev with Vsync.Excluded_self -> Some (t, p) | _ -> None)
+            r.Netsim.outputs
+        in
+        List.iter
+          (fun (_, p) ->
+            Alcotest.(check bool)
+              (Format.asprintf "%a halted" Pid.pp p)
+              true
+              (List.exists (fun (_, q) -> Pid.equal p q) r.Netsim.halted
+              || Pid.Set.mem p (Pattern.faulty r.Netsim.pattern)))
+          excluded);
+    test "messages sent in a view are delivered in that view" (fun () ->
+        let r = run ~model:sync (pattern ~n [ (2, 700) ]) in
+        check_holds "one view per item" (Vsync.delivery_in_sending_view r));
+    test "simultaneous crash of two members" (fun () ->
+        let r = run ~model:sync (pattern ~n [ (2, 600); (3, 600) ]) in
+        check_all_hold "double crash" (Vsync.check r));
+  ]
+
+let () =
+  Alcotest.run "vsync"
+    [ suite "stable-groups" stable_tests; suite "adversity" adversity_tests ]
