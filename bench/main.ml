@@ -18,6 +18,14 @@ open Rlfd_reduction
 open Rlfd_net
 open Rlfd_membership
 module Theorems = Rlfd_core.Theorems
+module Obs = Rlfd_obs
+
+(* One profiler and one metrics registry span the whole harness run; both
+   are dumped to BENCH_obs.json at the end so perf trajectories are
+   machine-readable across commits. *)
+let profiler = Obs.Profile.create ()
+
+let registry = Obs.Metrics.create ()
 
 let seed = 2002
 
@@ -76,7 +84,7 @@ let table_hierarchy () =
 let run_with ~n ~detector ~pattern automaton =
   Runner.run ~pattern ~detector ~scheduler:(Scheduler.fair ()) ~horizon:(time 8000)
     ~until:(Runner.stop_when_all_correct_output pattern)
-    automaton
+    ~metrics:registry automaton
   |> fun r -> ignore n; r
 
 let table_solvability () =
@@ -346,8 +354,12 @@ let table_qos () =
           "perfect-grade" ]
   in
   let run model style =
-    let r = Netsim.run ~n ~pattern ~model ~seed ~horizon:4000 (Heartbeat.node style) in
+    let r =
+      Netsim.run ~n ~pattern ~model ~seed ~horizon:4000 ~metrics:registry
+        (Heartbeat.node ~metrics:registry style)
+    in
     let report = Qos.analyze r in
+    Qos.observe registry report;
     Table.add_row t
       [ Link.name model;
         Format.asprintf "%a" Heartbeat.pp_style style;
@@ -809,35 +821,53 @@ let run_benchmarks () =
 
 (* ---------------------------------------------------------------- *)
 
+(* Every table runs under a named profiling span; the spans (plus the
+   registry populated by run_with / table_qos) become BENCH_obs.json. *)
 let tables () =
-  table_claims ();
-  table_hierarchy ();
-  table_solvability ();
-  table_grid ();
-  table_consensus_cost ();
-  table_lag_ablation ();
-  table_majority_crossover ();
-  table_reduction_overhead ();
-  table_qos ();
-  table_qos_timeout_sweep ();
-  table_membership ();
-  table_vsync ();
-  table_nbac ();
-  table_explore ();
-  table_channel ();
-  table_ordered_broadcast ();
-  table_abcast_scaling ()
+  let timed name f = Obs.Profile.time profiler name f in
+  timed "T1.claims" table_claims;
+  timed "T2.hierarchy" table_hierarchy;
+  timed "T3.solvability" table_solvability;
+  timed "T3b.grid" table_grid;
+  timed "T4.consensus-cost" table_consensus_cost;
+  timed "T4b.lag-ablation" table_lag_ablation;
+  timed "T5.majority-crossover" table_majority_crossover;
+  timed "T6.reduction-overhead" table_reduction_overhead;
+  timed "T7.qos" table_qos;
+  timed "T7b.qos-timeout-sweep" table_qos_timeout_sweep;
+  timed "T8.membership" table_membership;
+  timed "T8b.vsync" table_vsync;
+  timed "T9.nbac" table_nbac;
+  timed "T10.explore" table_explore;
+  timed "T11.channel" table_channel;
+  timed "T12.ordered-broadcast" table_ordered_broadcast;
+  timed "T13.abcast-scaling" table_abcast_scaling
+
+let write_obs_json () =
+  let json =
+    Obs.Json.Obj
+      [ ("schema_version", Obs.Json.Int Obs.Trace.schema_version);
+        ("profile", Obs.Profile.to_json profiler);
+        ("metrics", Obs.Metrics.to_json registry) ]
+  in
+  let oc = open_out "BENCH_obs.json" in
+  output_string oc (Obs.Json.to_string json);
+  output_char oc '\n';
+  close_out oc;
+  Format.printf "@.wall-clock profile:@.%a@.wrote BENCH_obs.json@." Obs.Profile.pp
+    profiler
 
 let () =
   let mode = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
   Format.printf
     "A Realistic Look At Failure Detectors (DSN 2002) - experiment harness@.@.";
-  match mode with
+  (match mode with
   | "tables" -> tables ()
-  | "bench" -> run_benchmarks ()
+  | "bench" -> Obs.Profile.time profiler "bechamel" run_benchmarks
   | "all" ->
     tables ();
-    run_benchmarks ()
+    Obs.Profile.time profiler "bechamel" run_benchmarks
   | other ->
     Format.printf "unknown mode %S (expected: tables | bench | all)@." other;
-    exit 1
+    exit 1);
+  write_obs_json ()

@@ -11,7 +11,8 @@
      fdsim vsync ...                   view-synchronous multicast
      fdsim paxos ...                   Omega-based majority consensus
      fdsim nbac --no 3 ...             non-blocking atomic commitment
-     fdsim explore --algo rank ...     exhaustive schedule exploration *)
+     fdsim explore --algo rank ...     exhaustive schedule exploration
+     fdsim metrics --json ...          run a scenario, dump the metrics registry *)
 
 open Rlfd_kernel
 open Rlfd_fd
@@ -21,6 +22,7 @@ open Rlfd_reduction
 open Rlfd_net
 open Rlfd_membership
 module Theorems = Rlfd_core.Theorems
+module Obs = Rlfd_obs
 open Cmdliner
 
 let proposals p = 100 + Pid.to_int p
@@ -57,6 +59,35 @@ let crashes_arg =
 
 let trace_arg =
   Arg.(value & flag & info [ "trace" ] ~doc:"Print the full step-by-step trace.")
+
+let trace_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:
+          "Archive the run trace as JSON Lines (one event per line) to \
+           $(docv); '-' writes to stdout.")
+
+(* Both --trace and --trace-out feed off one sink, so the printed trace and
+   the JSONL archive are two renderings of the same event stream and cannot
+   diverge.  Returns (sink, memory-sink, close). *)
+let trace_sink ~trace ~trace_out =
+  let mem = if trace then Obs.Trace.memory () else Obs.Trace.null in
+  let jsonl, close =
+    match trace_out with
+    | None -> (Obs.Trace.null, fun () -> ())
+    | Some "-" -> (Obs.Trace.to_channel stdout, fun () -> flush stdout)
+    | Some file ->
+      let oc =
+        try open_out file
+        with Sys_error msg ->
+          Format.eprintf "fdsim: cannot open trace file: %s@." msg;
+          exit 2
+      in
+      (Obs.Trace.to_channel oc, fun () -> close_out oc)
+  in
+  (Obs.Trace.tee mem jsonl, mem, close)
 
 let pattern_of ~n crashes =
   Pattern.make ~n
@@ -120,23 +151,13 @@ let print_verdicts what checks =
     checks;
   List.for_all (fun (_, res) -> Classes.holds res) checks
 
-let print_trace (r : _ Runner.result) pp_output =
-  Format.printf "@.trace (%d steps):@." r.Runner.steps;
+(* The only step-trace printer: renders the events captured by the memory
+   sink through Trace.render, the same renderer backing the JSONL schema. *)
+let print_trace mem steps =
+  Format.printf "@.trace (%d steps):@." steps;
   List.iter
-    (fun (e : _ Runner.event) ->
-      Format.printf "  %a %a %s%s%s@." Time.pp e.Runner.time Pid.pp e.Runner.pid
-        (match e.Runner.received with
-        | Some src -> Format.asprintf "recv<-%a" Pid.pp src
-        | None -> "lambda")
-        (if e.Runner.sent_to = [] then ""
-         else
-           Format.asprintf " send->{%s}"
-             (String.concat "," (List.map Pid.to_string e.Runner.sent_to)))
-        (match e.Runner.outputs with
-        | [] -> ""
-        | outs ->
-          Format.asprintf " OUTPUT %s" (String.concat "; " (List.map pp_output outs))))
-    r.Runner.events
+    (fun e -> Format.printf "  %s@." (Obs.Trace.render e))
+    (Obs.Trace.contents mem)
 
 let print_run_header ~algo ~detector ~pattern =
   Format.printf "algorithm: %s@.detector:  %s@.pattern:   %a@." algo detector
@@ -203,17 +224,21 @@ let algo_arg =
              (String.concat ", " (List.map fst algo_names))))
 
 let run_cmd =
-  let run n seed horizon crashes algo fd sched trace diagram =
+  let run n seed horizon crashes algo fd sched trace trace_out diagram =
     let pattern = pattern_of ~n crashes in
     let detector = make_detector ~seed fd in
     let finish : type s m. (s, m, Detector.suspicions, int) Model.t -> int =
      fun automaton ->
       let scheduler = make_scheduler ~seed sched in
+      let sink, mem, close_trace = trace_sink ~trace ~trace_out in
       let r =
         Runner.run ~pattern ~detector ~scheduler ~horizon:(Time.of_int horizon)
           ~until:(Runner.stop_when_all_correct_output pattern)
+          ~sink ~pp_output:string_of_int
+          ~pp_seen:(Format.asprintf "%a" Pid.Set.pp)
           automaton
       in
+      close_trace ();
       print_run_header ~algo:r.Runner.algorithm ~detector:(Detector.name detector)
         ~pattern;
       Format.printf "steps: %d  messages: %d  end: %a@." r.Runner.steps r.Runner.sent
@@ -221,7 +246,7 @@ let run_cmd =
       List.iter
         (fun (t, p, v) -> Format.printf "  %a %a decided %d@." Time.pp t Pid.pp p v)
         r.Runner.outputs;
-      if trace then print_trace r string_of_int;
+      if trace then print_trace mem r.Runner.steps;
       if diagram then
         Format.printf "@.%s@." (Spacetime.render ~pp_output:Format.pp_print_int r);
       let ok =
@@ -245,20 +270,25 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Run one consensus instance and check the specification.")
     Term.(
       const run $ n_arg $ seed_arg $ horizon_arg $ crashes_arg $ algo_arg
-      $ detector_arg $ scheduler_arg $ trace_arg $ diagram_arg)
+      $ detector_arg $ scheduler_arg $ trace_arg $ trace_out_arg $ diagram_arg)
 
 (* ---------- fdsim trb ---------- *)
 
 let trb_cmd =
-  let run n seed horizon crashes sender value fd trace =
+  let run n seed horizon crashes sender value fd trace trace_out =
     let pattern = pattern_of ~n crashes in
     let detector = make_detector ~seed fd in
+    let sink, mem, close_trace = trace_sink ~trace ~trace_out in
     let r =
       Runner.run ~pattern ~detector ~scheduler:(Scheduler.fair ())
         ~horizon:(Time.of_int horizon)
         ~until:(Runner.stop_when_all_correct_output pattern)
+        ~sink
+        ~pp_output:(function Some v -> string_of_int v | None -> "nil")
+        ~pp_seen:(Format.asprintf "%a" Pid.Set.pp)
         (Trb.automaton ~sender:(Pid.of_int sender) ~value)
     in
+    close_trace ();
     print_run_header ~algo:"terminating-reliable-broadcast"
       ~detector:(Detector.name detector) ~pattern;
     List.iter
@@ -266,8 +296,7 @@ let trb_cmd =
         Format.printf "  %a %a delivered %s@." Time.pp t Pid.pp p
           (match d with Some v -> string_of_int v | None -> "nil"))
       r.Runner.outputs;
-    if trace then
-      print_trace r (function Some v -> string_of_int v | None -> "nil");
+    if trace then print_trace mem r.Runner.steps;
     let ok =
       print_verdicts "TRB specification"
         (Properties.trb_check ~sender:(Pid.of_int sender) ~value ~equal:Int.equal r)
@@ -284,7 +313,7 @@ let trb_cmd =
     (Cmd.info "trb" ~doc:"Run one terminating reliable broadcast instance.")
     Term.(
       const run $ n_arg $ seed_arg $ horizon_arg $ crashes_arg $ sender $ value
-      $ detector_arg $ trace_arg)
+      $ detector_arg $ trace_arg $ trace_out_arg)
 
 (* ---------- fdsim reduce ---------- *)
 
@@ -576,6 +605,71 @@ let explore_cmd =
       const run $ Arg.(value & opt int 3 & info [ "n" ]) $ seed_arg $ crashes_arg
       $ algo_arg $ detector_arg $ max_steps $ max_nodes $ uniform)
 
+(* ---------- fdsim metrics ---------- *)
+
+let metrics_cmd =
+  let run n seed horizon crashes model fd json =
+    let registry = Obs.Metrics.create () in
+    (* Phase 1: a heartbeat detector under the message-passing simulator.
+       The QoS analysis feeds the detection_latency / mistake_duration
+       histograms, so we default to one crash when none is requested. *)
+    let crashes = if crashes = [] then [ (2, horizon / 4) ] else crashes in
+    let pattern = pattern_of ~n crashes in
+    let link = make_model model in
+    let style = Heartbeat.Fixed { period = 20; timeout = 31 } in
+    let r_net =
+      Netsim.run ~n ~pattern ~model:link ~seed ~horizon ~metrics:registry
+        (Heartbeat.node ~metrics:registry style)
+    in
+    Qos.observe registry (Qos.analyze r_net);
+    (* Phase 2: consensus over the abstract-step simulator, with the
+       detector wrapped so every module query is counted and suspicion
+       flips are tallied. *)
+    let detector = make_detector ~seed fd in
+    let last_seen : (Pid.t, Pid.Set.t) Hashtbl.t = Hashtbl.create 16 in
+    let observed =
+      Detector.observed detector ~on_query:(fun _f p _t seen ->
+          Obs.Metrics.incr registry "detector_queries";
+          let prev =
+            Option.value (Hashtbl.find_opt last_seen p) ~default:Pid.Set.empty
+          in
+          let flips =
+            Pid.Set.cardinal (Pid.Set.diff seen prev)
+            + Pid.Set.cardinal (Pid.Set.diff prev seen)
+          in
+          if flips > 0 then
+            Obs.Metrics.incr ~by:flips registry "suspicion_transitions";
+          Hashtbl.replace last_seen p seen)
+    in
+    let (_ : (_, _) Runner.result) =
+      Runner.run ~pattern ~detector:observed
+        ~scheduler:(make_scheduler ~seed `Fair)
+        ~horizon:(Time.of_int horizon) ~metrics:registry
+        ~until:(Runner.stop_when_all_correct_output pattern)
+        (Ct_strong.automaton ~proposals)
+    in
+    if json then print_endline (Obs.Json.to_string (Obs.Metrics.to_json registry))
+    else begin
+      Format.printf "scenario: heartbeat %a + ct-strong/%s@.link:     %a@.pattern:  %a@.@."
+        Heartbeat.pp_style style (Detector.name detector) Link.pp link
+        Pattern.pp pattern;
+      Format.printf "%a@." Obs.Metrics.pp registry
+    end;
+    exit_ok true
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Print the registry as JSON.")
+  in
+  Cmd.v
+    (Cmd.info "metrics"
+       ~doc:
+         "Run a representative scenario (heartbeat QoS, then consensus) and \
+          dump the populated metrics registry.")
+    Term.(
+      const run $ n_arg $ seed_arg
+      $ Arg.(value & opt int 4000 & info [ "horizon" ])
+      $ crashes_arg $ model_arg $ detector_arg $ json)
+
 (* ---------- main ---------- *)
 
 let () =
@@ -586,4 +680,4 @@ let () =
     (Cmd.eval'
        (Cmd.group ~default info
           [ check_cmd; survey_cmd; run_cmd; paxos_cmd; trb_cmd; reduce_cmd;
-            qos_cmd; gms_cmd; vsync_cmd; nbac_cmd; explore_cmd ]))
+            qos_cmd; gms_cmd; vsync_cmd; nbac_cmd; explore_cmd; metrics_cmd ]))

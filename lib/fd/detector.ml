@@ -20,6 +20,14 @@ let map ~name g d =
   { name; claims_realistic = d.claims_realistic;
     output = (fun f p t -> g (d.output f p t)) }
 
+let observed ~on_query d =
+  { d with
+    output =
+      (fun f p t ->
+        let seen = d.output f p t in
+        on_query f p t seen;
+        seen) }
+
 type suspicions = Pid.Set.t
 
 let suspects d f q t p = Pid.Set.mem p (query d f q t)

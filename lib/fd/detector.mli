@@ -35,6 +35,14 @@ val map : name:string -> ('d -> 'e) -> 'd t -> 'e t
 (** Transform the range pointwise; preserves the realism claim (a pointwise
     function of a prefix-determined output is prefix-determined). *)
 
+val observed :
+  on_query:(Pattern.t -> Pid.t -> Time.t -> 'd -> unit) -> 'd t -> 'd t
+(** A transparent observation tap: the wrapped detector behaves
+    identically (same name, same claim, same outputs) but invokes
+    [on_query] on every {!query} with the value returned.  This is how the
+    observability layer counts detector queries and suspicion transitions
+    without the detector zoo depending on it. *)
+
 type suspicions = Pid.Set.t
 (** The range of the classical Chandra–Toueg detectors: the set of processes
     currently suspected. *)

@@ -1,13 +1,17 @@
-let mean = function
-  | [] -> 0.
-  | xs -> List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs)
+let count = List.length
 
-let stddev = function
+let sum = List.fold_left ( +. ) 0.
+
+let mean = function [] -> 0. | xs -> sum xs /. float_of_int (count xs)
+
+let variance = function
   | [] | [ _ ] -> 0.
   | xs ->
     let m = mean xs in
     let sq = List.fold_left (fun acc x -> acc +. ((x -. m) ** 2.)) 0. xs in
-    sqrt (sq /. float_of_int (List.length xs - 1))
+    sq /. float_of_int (count xs - 1)
+
+let stddev xs = sqrt (variance xs)
 
 let percentile xs q =
   if xs = [] then invalid_arg "Stats.percentile: empty data";

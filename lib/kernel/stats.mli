@@ -1,10 +1,20 @@
 (** Small statistics helpers for the benchmark harness and the failure
     detector quality-of-service experiments. *)
 
+val count : float list -> int
+
+val sum : float list -> float
+(** 0. on the empty list. *)
+
 val mean : float list -> float
 (** 0. on the empty list. *)
 
+val variance : float list -> float
+(** Sample (Bessel-corrected) variance; 0. on the empty and the singleton
+    list. *)
+
 val stddev : float list -> float
+(** [sqrt (variance xs)]. *)
 
 val percentile : float list -> float -> float
 (** [percentile xs q] with [q] in [\[0,1\]]; nearest-rank on the sorted data.

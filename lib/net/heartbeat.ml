@@ -31,7 +31,7 @@ let params = function
   | Fixed { period; timeout } -> (period, timeout, None)
   | Adaptive { period; initial_timeout; backoff } -> (period, initial_timeout, Some backoff)
 
-let node style =
+let node ?(sink = Rlfd_obs.Trace.null) ?metrics style =
   let period, timeout0, backoff = params style in
   let init ~n ~self =
     let peers = List.filter (fun p -> not (Pid.equal p self)) (Pid.all ~n) in
@@ -40,10 +40,33 @@ let node style =
     ( { period; backoff; last_heard; timeouts; suspects = Pid.Set.empty },
       [ Netsim.Broadcast Beat; Netsim.Set_timer { delay = period; tag = tick_tag } ] )
   in
-  let emit_if_changed old_suspects st =
-    if Pid.Set.equal old_suspects st.suspects then [] else [ st.suspects ]
+  let observe_transitions ~self ~now old_suspects suspects =
+    let flipped on subject =
+      if not (Rlfd_obs.Trace.is_null sink) then
+        Rlfd_obs.Trace.(
+          emit sink
+            (Suspect
+               {
+                 time = now;
+                 observer = Pid.to_int self;
+                 subject = Pid.to_int subject;
+                 on;
+               }));
+      match metrics with
+      | None -> ()
+      | Some m -> Rlfd_obs.Metrics.incr m "suspicion_transitions"
+    in
+    Pid.Set.iter (flipped true) (Pid.Set.diff suspects old_suspects);
+    Pid.Set.iter (flipped false) (Pid.Set.diff old_suspects suspects)
   in
-  let on_message ~n:_ ~self:_ ~now st ~src Beat =
+  let emit_if_changed ~self ~now old_suspects st =
+    if Pid.Set.equal old_suspects st.suspects then []
+    else begin
+      observe_transitions ~self ~now old_suspects st.suspects;
+      [ st.suspects ]
+    end
+  in
+  let on_message ~n:_ ~self ~now st ~src Beat =
     let st = { st with last_heard = Pid.Map.add src now st.last_heard } in
     if Pid.Set.mem src st.suspects then begin
       (* premature suspicion: trust again and, if adaptive, learn. *)
@@ -56,11 +79,11 @@ let node style =
             st.timeouts
       in
       let st' = { st with suspects = Pid.Set.remove src st.suspects; timeouts } in
-      (st', [], emit_if_changed st.suspects st')
+      (st', [], emit_if_changed ~self ~now st.suspects st')
     end
     else (st, [], [])
   in
-  let on_timer ~n:_ ~self:_ ~now st ~tag:_ =
+  let on_timer ~n:_ ~self ~now st ~tag:_ =
     let overdue q last =
       let timeout = match Pid.Map.find_opt q st.timeouts with Some t -> t | None -> timeout0 in
       now - last > timeout
@@ -73,7 +96,7 @@ let node style =
     let st' = { st with suspects } in
     ( st',
       [ Netsim.Broadcast Beat; Netsim.Set_timer { delay = st.period; tag = tick_tag } ],
-      emit_if_changed st.suspects st' )
+      emit_if_changed ~self ~now st.suspects st' )
   in
   { Netsim.node_name = Format.asprintf "heartbeat-%a" pp_style style; init; on_message; on_timer }
 

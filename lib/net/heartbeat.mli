@@ -34,8 +34,14 @@ val suspected : state -> Pid.Set.t
 val timeout_of : state -> Pid.t -> int
 (** Current timeout applied to a peer (grows under {!Adaptive}). *)
 
-val node : style -> (state, msg, Pid.Set.t) Netsim.node
-(** Outputs the new suspicion set at every change. *)
+val node :
+  ?sink:Rlfd_obs.Trace.sink ->
+  ?metrics:Rlfd_obs.Metrics.t ->
+  style ->
+  (state, msg, Pid.Set.t) Netsim.node
+(** Outputs the new suspicion set at every change.  [sink] additionally
+    receives one {!Rlfd_obs.Trace.Suspect} event per on/off suspicion
+    transition, and [metrics] counts them as [suspicion_transitions]. *)
 
 val perfect_timeout : Link.t -> period:int -> int option
 (** The timeout that makes {!Fixed} Perfect on the given link model:

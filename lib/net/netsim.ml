@@ -32,21 +32,48 @@ type ('s, 'o) result = {
 
 type 'm pending = Message of { src : Pid.t; dst : Pid.t; payload : 'm } | Timer of { pid : Pid.t; tag : int }
 
-let run ?(until = fun _ -> false) ~n ~pattern ~model ~seed ~horizon node =
+let run ?(until = fun _ -> false) ?(sink = Rlfd_obs.Trace.null) ?metrics ~n
+    ~pattern ~model ~seed ~horizon node =
   if Pattern.n pattern <> n then invalid_arg "Netsim.run: pattern size mismatch";
   let idx p = Pid.to_int p - 1 in
+  let tracing = not (Rlfd_obs.Trace.is_null sink) in
+  let temit e = if tracing then Rlfd_obs.Trace.emit sink e in
+  let mincr ?by name =
+    match metrics with
+    | None -> ()
+    | Some m -> Rlfd_obs.Metrics.incr ?by m name
+  in
   let rng = Rng.derive ~seed ~salts:[ 0x4E ] in
   let queue : 'm pending Pqueue.t = Pqueue.create () in
   let states = Array.make n None in
   let halted = Array.make n false in
+  let crash_noted = Array.make n false in
   let halts = ref [] in
   let outputs = ref [] in
   let processed = ref 0 and delivered = ref 0 in
   let crashed p now = Pattern.is_crashed pattern p (Time.of_int (Stdlib.min now (1 lsl 29))) in
+  let note_crash p now =
+    if not crash_noted.(idx p) then begin
+      crash_noted.(idx p) <- true;
+      let at =
+        match Pattern.crash_time pattern p with
+        | Some t -> Time.to_int t
+        | None -> now
+      in
+      temit (Rlfd_obs.Trace.Crash { time = at; pid = Pid.to_int p });
+      mincr "crashes"
+    end
+  in
   let post src dst payload now =
     match Link.transmit model rng ~now with
-    | None -> () (* dropped by a lossy link *)
-    | Some delay -> Pqueue.add queue ~prio:(now + delay) (Message { src; dst; payload })
+    | None ->
+      (* dropped by a lossy link *)
+      temit (Rlfd_obs.Trace.Drop { time = now; src = Pid.to_int src; dst = Pid.to_int dst });
+      mincr "messages_dropped"
+    | Some delay ->
+      temit (Rlfd_obs.Trace.Send { time = now; src = Pid.to_int src; dst = Pid.to_int dst });
+      mincr "messages_sent";
+      Pqueue.add queue ~prio:(now + delay) (Message { src; dst; payload })
   in
   let apply_commands self now commands =
     List.iter
@@ -58,10 +85,17 @@ let run ?(until = fun _ -> false) ~n ~pattern ~model ~seed ~horizon node =
             (fun dst -> if not (Pid.equal dst self) then post self dst payload now)
             (Pid.all ~n)
         | Set_timer { delay; tag } ->
-          Pqueue.add queue ~prio:(now + Stdlib.max 1 delay) (Timer { pid = self; tag })
+          let fires_at = now + Stdlib.max 1 delay in
+          temit
+            (Rlfd_obs.Trace.Timer_set
+               { time = now; pid = Pid.to_int self; tag; fires_at });
+          mincr "timers_set";
+          Pqueue.add queue ~prio:fires_at (Timer { pid = self; tag })
         | Halt ->
           if not halted.(idx self) then begin
             halted.(idx self) <- true;
+            temit (Rlfd_obs.Trace.Halt { time = now; pid = Pid.to_int self });
+            mincr "halts";
             halts := (now, self) :: !halts
           end)
       commands
@@ -83,7 +117,8 @@ let run ?(until = fun _ -> false) ~n ~pattern ~model ~seed ~horizon node =
       else begin
         now := t;
         let dispatch pid handler =
-          if (not (crashed pid t)) && not halted.(idx pid) then begin
+          if crashed pid t then note_crash pid t
+          else if not halted.(idx pid) then begin
             match states.(idx pid) with
             | None -> ()
             | Some st ->
@@ -92,14 +127,22 @@ let run ?(until = fun _ -> false) ~n ~pattern ~model ~seed ~horizon node =
               apply_commands pid t commands;
               List.iter (fun o -> outputs := (t, pid, o) :: !outputs) outs;
               incr processed;
+              mincr "events_processed";
               if outs <> [] && until !outputs then stop := true
           end
         in
         match pending with
         | Message { src; dst; payload } ->
           incr delivered;
+          temit
+            (Rlfd_obs.Trace.Deliver
+               { time = t; src = Pid.to_int src; dst = Pid.to_int dst });
+          mincr "messages_delivered";
           dispatch dst (fun st -> node.on_message ~n ~self:dst ~now:t st ~src payload)
         | Timer { pid; tag } ->
+          temit
+            (Rlfd_obs.Trace.Timer_fire { time = t; pid = Pid.to_int pid; tag });
+          mincr "timers_fired";
           dispatch pid (fun st -> node.on_timer ~n ~self:pid ~now:t st ~tag)
       end
   done;

@@ -46,6 +46,8 @@ type ('s, 'o) result = {
 
 val run :
   ?until:((time * Pid.t * 'o) list -> bool) ->
+  ?sink:Rlfd_obs.Trace.sink ->
+  ?metrics:Rlfd_obs.Metrics.t ->
   n:int ->
   pattern:Pattern.t ->
   model:Link.t ->
@@ -54,6 +56,14 @@ val run :
   ('s, 'm, 'o) node ->
   ('s, 'o) result
 (** The pattern's {!Rlfd_kernel.Time.t} values are read as network time.
-    [until] sees the outputs emitted so far, most recent first. *)
+    [until] sees the outputs emitted so far, most recent first.
+
+    {b Observability} (off by default, free when off): [sink] receives the
+    full message lifecycle ({!Rlfd_obs.Trace.Send} / [Deliver] / [Drop]),
+    timer events ([Timer_set] / [Timer_fire]), [Crash] (emitted once, the
+    first time the crash suppresses an event) and [Halt]; [metrics] gets
+    the matching counters [messages_sent], [messages_delivered],
+    [messages_dropped], [timers_set], [timers_fired], [events_processed],
+    [crashes] and [halts]. *)
 
 val outputs_of : ('s, 'o) result -> Pid.t -> (time * 'o) list

@@ -76,6 +76,13 @@ let analyze (r : _ Netsim.result) =
 
 let perfect_grade report = report.complete && report.accurate
 
+let observe metrics report =
+  let open Rlfd_obs.Metrics in
+  List.iter (observe metrics "detection_latency") report.detection_latencies;
+  List.iter (observe metrics "mistake_duration") report.mistake_durations;
+  incr ~by:report.false_episodes metrics "false_suspicion_episodes";
+  incr ~by:report.undetected metrics "undetected_crash_pairs"
+
 let pp_report ppf report =
   Format.fprintf ppf
     "@[<v>detection: %a@ undetected pairs: %d@ false episodes: %d@ mistake durations: %a@ messages: %d@ perfect-grade: %b@]"

@@ -31,6 +31,12 @@ val analyze : ('s, Pid.Set.t) Netsim.result -> report
 val perfect_grade : report -> bool
 (** [complete && accurate]. *)
 
+val observe : Rlfd_obs.Metrics.t -> report -> unit
+(** Push the report into a metrics registry: the [detection_latency] and
+    [mistake_duration] histograms (detection-latency samples exist {e only}
+    for crashed processes, by construction of {!analyze}) and the
+    [false_suspicion_episodes] / [undetected_crash_pairs] counters. *)
+
 val pp_report : Format.formatter -> report -> unit
 
 (** {1 Timeline reconstruction} *)

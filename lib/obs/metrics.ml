@@ -1,0 +1,121 @@
+open Rlfd_kernel
+
+type metric =
+  | Counter of int ref
+  | Gauge of float ref
+  | Histogram of float list ref  (* newest first *)
+
+type t = (string, metric) Hashtbl.t
+
+let create () : t = Hashtbl.create 32
+
+let kind_name = function
+  | Counter _ -> "counter"
+  | Gauge _ -> "gauge"
+  | Histogram _ -> "histogram"
+
+let find_or_create registry name make expect =
+  match Hashtbl.find_opt registry name with
+  | Some m ->
+    if kind_name m <> expect then
+      invalid_arg
+        (Printf.sprintf "Metrics: %S is a %s, used as a %s" name (kind_name m)
+           expect);
+    m
+  | None ->
+    let m = make () in
+    Hashtbl.add registry name m;
+    m
+
+let incr ?(by = 1) registry name =
+  match find_or_create registry name (fun () -> Counter (ref 0)) "counter" with
+  | Counter r -> r := !r + by
+  | _ -> assert false
+
+let set_gauge registry name v =
+  match find_or_create registry name (fun () -> Gauge (ref v)) "gauge" with
+  | Gauge r -> r := v
+  | _ -> assert false
+
+let observe registry name sample =
+  match
+    find_or_create registry name (fun () -> Histogram (ref [])) "histogram"
+  with
+  | Histogram r -> r := sample :: !r
+  | _ -> assert false
+
+let counter_value registry name =
+  match Hashtbl.find_opt registry name with Some (Counter r) -> !r | _ -> 0
+
+let gauge_value registry name =
+  match Hashtbl.find_opt registry name with
+  | Some (Gauge r) -> Some !r
+  | _ -> None
+
+let samples registry name =
+  match Hashtbl.find_opt registry name with
+  | Some (Histogram r) -> List.rev !r
+  | _ -> []
+
+let names registry =
+  Hashtbl.fold (fun name _ acc -> name :: acc) registry []
+  |> List.sort String.compare
+
+let is_empty registry = Hashtbl.length registry = 0
+
+let sorted registry =
+  List.map (fun name -> (name, Hashtbl.find registry name)) (names registry)
+
+let to_json ?(buckets = 8) registry =
+  let open Json in
+  let counters = ref [] and gauges = ref [] and histograms = ref [] in
+  List.iter
+    (fun (name, metric) ->
+      match metric with
+      | Counter r -> counters := (name, Int !r) :: !counters
+      | Gauge r -> gauges := (name, Float !r) :: !gauges
+      | Histogram r ->
+        let xs = List.rev !r in
+        let summary =
+          if xs = [] then [ ("count", Int 0) ]
+          else
+            [ ("count", Int (Stats.count xs));
+              ("sum", Float (Stats.sum xs));
+              ("mean", Float (Stats.mean xs));
+              ("p50", Float (Stats.median xs));
+              ("p99", Float (Stats.percentile xs 0.99));
+              ("max", Float (Stats.maximum xs));
+              ("buckets",
+               List
+                 (List.map
+                    (fun (lo, hi, count) ->
+                      List [ Float lo; Float hi; Int count ])
+                    (Stats.histogram ~buckets xs))) ]
+        in
+        histograms := (name, Obj summary) :: !histograms)
+    (sorted registry);
+  Obj
+    [ ("counters", Obj (List.rev !counters));
+      ("gauges", Obj (List.rev !gauges));
+      ("histograms", Obj (List.rev !histograms)) ]
+
+let pp ppf registry =
+  if is_empty registry then Format.pp_print_string ppf "(no metrics recorded)"
+  else begin
+    let rows = sorted registry in
+    let width =
+      List.fold_left (fun acc (name, _) -> Stdlib.max acc (String.length name))
+        0 rows
+    in
+    Format.pp_open_vbox ppf 0;
+    List.iteri
+      (fun i (name, metric) ->
+        if i > 0 then Format.pp_print_cut ppf ();
+        Format.fprintf ppf "%-*s  %-9s " width name (kind_name metric);
+        match metric with
+        | Counter r -> Format.fprintf ppf "%d" !r
+        | Gauge r -> Format.fprintf ppf "%.2f" !r
+        | Histogram r -> Stats.pp_summary ppf (List.rev !r))
+      rows;
+    Format.pp_close_box ppf ()
+  end

@@ -1,0 +1,66 @@
+(** A named-metrics registry: counters, gauges and histograms.
+
+    One registry instance collects everything a scenario produces —
+    messages sent and delivered, idle ticks, suspicion transitions,
+    detection latencies — under stable, documented names, so experiments
+    can be regressed against numbers instead of eyeballed logs.  Metrics
+    are created on first use; re-using a name with a different kind is a
+    programming error and raises.
+
+    Histograms keep their raw samples (these runs are finite), so summary
+    statistics come straight from {!Rlfd_kernel.Stats} and bucketing is
+    done once at export time by {!Rlfd_kernel.Stats.histogram}.
+
+    Registry names used across the stack:
+    - ["steps"], ["idle_ticks"], ["outputs"] — {!Rlfd_sim.Runner}
+    - ["messages_sent"], ["messages_delivered"] — {!Rlfd_sim.Runner} and
+      {!Rlfd_net.Netsim}
+    - ["messages_dropped"], ["timers_set"], ["timers_fired"],
+      ["events_processed"] — {!Rlfd_net.Netsim}
+    - ["suspicion_transitions"] — {!Rlfd_net.Heartbeat}
+    - ["detection_latency"], ["mistake_duration"] (histograms),
+      ["false_suspicion_episodes"], ["undetected_crash_pairs"] —
+      {!Rlfd_net.Qos.observe}
+    - ["explore_nodes"], ["explore_nodes_per_sec"] — {!Rlfd_sim.Explore} *)
+
+type t
+
+val create : unit -> t
+
+(** {1 Recording} *)
+
+val incr : ?by:int -> t -> string -> unit
+(** Bump a counter (created at 0).  Raises [Invalid_argument] if the name
+    is already a gauge or histogram. *)
+
+val set_gauge : t -> string -> float -> unit
+(** Last-write-wins instantaneous value. *)
+
+val observe : t -> string -> float -> unit
+(** Append one sample to a histogram. *)
+
+(** {1 Reading} *)
+
+val counter_value : t -> string -> int
+(** 0 for an absent name. *)
+
+val gauge_value : t -> string -> float option
+
+val samples : t -> string -> float list
+(** Chronological histogram samples; [[]] for an absent name. *)
+
+val names : t -> string list
+(** Every registered name, sorted. *)
+
+val is_empty : t -> bool
+
+(** {1 Export} *)
+
+val to_json : ?buckets:int -> t -> Json.t
+(** [{"counters": {..}, "gauges": {..}, "histograms": {..}}].  Each
+    histogram reports [count]/[sum]/[mean]/[p50]/[p99]/[max] plus
+    [buckets] (default 8) rows of [[lo, hi, count]]. *)
+
+val pp : Format.formatter -> t -> unit
+(** The registry as an aligned table: one row per metric, histograms as
+    their {!Rlfd_kernel.Stats.pp_summary} one-liner. *)

@@ -1,0 +1,39 @@
+(** Wall-clock span timers for profiling phases of a run.
+
+    A profile is an ordered collection of named spans; timing the same name
+    repeatedly accumulates samples, so per-phase totals and means are both
+    available.  Used by [bench/main.exe] to report wall-time per table and
+    to emit the machine-readable [BENCH_obs.json] perf trajectory.
+
+    Spans use {!now}, a monotonic-enough wall clock; resolution is whatever
+    [Unix.gettimeofday] provides (microseconds on every platform this
+    builds on). *)
+
+type t
+
+val create : unit -> t
+
+val now : unit -> float
+(** Seconds since an arbitrary epoch; only differences are meaningful. *)
+
+val time : t -> string -> (unit -> 'a) -> 'a
+(** [time p name f] runs [f], records its duration under [name]
+    (exceptions still record the span, then re-raise), and returns [f ()]. *)
+
+val record : t -> string -> float -> unit
+(** Record an externally-measured duration (seconds). *)
+
+val spans : t -> (string * float list) list
+(** First-use order; samples of each span chronological. *)
+
+val total : t -> string -> float
+(** Sum of the span's samples (0. if absent). *)
+
+val grand_total : t -> float
+
+val pp : Format.formatter -> t -> unit
+(** One aligned row per span: calls, total, mean, share of grand total. *)
+
+val to_json : t -> Json.t
+(** [{"spans": [{"name", "calls", "total_s", "mean_s"}...],
+    "total_s": ...}]. *)

@@ -32,13 +32,20 @@ type ('s, 'm) config = {
   next_id : int;
 }
 
-let run ?(max_steps = 12) ?(max_nodes = 200_000) ?(max_violations = 5) ~pattern
-    ~detector ~check (algo : _ Model.t) =
+let run ?(max_steps = 12) ?(max_nodes = 200_000) ?(max_violations = 5)
+    ?(sink = Rlfd_obs.Trace.null) ?metrics ~pattern ~detector ~check
+    (algo : _ Model.t) =
   let n = Pattern.n pattern in
+  let started_at = Rlfd_obs.Profile.now () in
   let nodes = ref 0 and deepest = ref 0 and truncated = ref false in
   let violations = ref [] in
   let add_violation v =
-    if List.length !violations < max_violations then violations := v :: !violations
+    if List.length !violations < max_violations then begin
+      violations := v :: !violations;
+      if not (Rlfd_obs.Trace.is_null sink) then
+        Rlfd_obs.Trace.(
+          emit sink (Violation { time = v.at_step; reason = v.reason }))
+    end
   in
   let initial =
     {
@@ -115,6 +122,15 @@ let run ?(max_steps = 12) ?(max_nodes = 200_000) ?(max_violations = 5) ~pattern
         (choices config)
   in
   dfs initial [] [];
+  (match metrics with
+  | None -> ()
+  | Some m ->
+    let elapsed = Rlfd_obs.Profile.now () -. started_at in
+    Rlfd_obs.Metrics.incr ~by:!nodes m "explore_nodes";
+    Rlfd_obs.Metrics.incr ~by:(List.length !violations) m "explore_violations";
+    if elapsed > 0. then
+      Rlfd_obs.Metrics.set_gauge m "explore_nodes_per_sec"
+        (float_of_int !nodes /. elapsed));
   {
     nodes_explored = !nodes;
     complete = not !truncated;

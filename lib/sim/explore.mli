@@ -40,6 +40,8 @@ val run :
   ?max_steps:int ->
   ?max_nodes:int ->
   ?max_violations:int ->
+  ?sink:Rlfd_obs.Trace.sink ->
+  ?metrics:Rlfd_obs.Metrics.t ->
   pattern:Pattern.t ->
   detector:'d Detector.t ->
   check:('o outputs -> string option) ->
@@ -49,7 +51,11 @@ val run :
     (default [max_steps] 12, [max_nodes] 200_000, [max_violations] 5).
     [check] is evaluated after every step on the outputs emitted so far and
     must be prefix-closed (a violated safety property stays violated).
-    Time advances by one tick per step, exactly as in {!Runner}. *)
+    Time advances by one tick per step, exactly as in {!Runner}.
+
+    [sink] receives one {!Rlfd_obs.Trace.Violation} event per recorded
+    violation; [metrics] gets the [explore_nodes] and [explore_violations]
+    counters and the [explore_nodes_per_sec] throughput gauge. *)
 
 val agreement_check : equal:('o -> 'o -> bool) -> 'o outputs -> string option
 (** Ready-made [check]: all emitted decisions are equal (uniform

@@ -28,9 +28,17 @@ type ('s, 'o) result = {
   stopped_early : bool;
 }
 
-let run ?(until = fun _ -> false) ?(record_events = true) ~pattern ~detector
-    ~scheduler ~horizon (algo : _ Model.t) =
+let run ?(until = fun _ -> false) ?(record_events = true)
+    ?(sink = Rlfd_obs.Trace.null) ?metrics ?(trace_idle = false)
+    ?(pp_output = fun _ -> "_") ?pp_seen ~pattern ~detector ~scheduler ~horizon
+    (algo : _ Model.t) =
   let n = Pattern.n pattern in
+  let tracing = not (Rlfd_obs.Trace.is_null sink) in
+  let mincr ?by name =
+    match metrics with
+    | None -> ()
+    | Some m -> Rlfd_obs.Metrics.incr ?by m name
+  in
   let idx p = Pid.to_int p - 1 in
   let states = Array.of_list (List.map (fun p -> algo.initial ~n p) (Pid.all ~n)) in
   let hfs = Array.of_list (List.map Pid.Set.singleton (Pid.all ~n)) in
@@ -57,7 +65,11 @@ let run ?(until = fun _ -> false) ?(record_events = true) ~pattern ~detector
       }
     in
     (match Scheduler.choose scheduler view with
-    | Scheduler.Idle -> incr idle
+    | Scheduler.Idle ->
+      incr idle;
+      mincr "idle_ticks";
+      if tracing && trace_idle then
+        Rlfd_obs.Trace.(emit sink (Idle { time = Time.to_int now }))
     | Scheduler.Step { pid; receive } ->
       if Pattern.is_crashed pattern pid now then
         invalid_arg "Runner.run: scheduler stepped a crashed process";
@@ -72,6 +84,7 @@ let run ?(until = fun _ -> false) ?(record_events = true) ~pattern ~detector
             if not (Pid.equal e.Model.dst pid) then
               invalid_arg "Runner.run: scheduler misdelivered a message";
             incr delivered;
+            mincr "messages_delivered";
             Some e)
       in
       (match envelope with
@@ -97,6 +110,24 @@ let run ?(until = fun _ -> false) ?(record_events = true) ~pattern ~detector
         effects.Model.sends;
       List.iter (fun o -> outputs := (now, pid, o) :: !outputs) effects.Model.outputs;
       incr steps;
+      mincr "steps";
+      mincr ~by:(List.length effects.Model.sends) "messages_sent";
+      mincr ~by:(List.length effects.Model.outputs) "outputs";
+      if tracing then
+        Rlfd_obs.Trace.(
+          emit sink
+            (Step
+               {
+                 time = Time.to_int now;
+                 pid = Pid.to_int pid;
+                 received_from =
+                   Option.map
+                     (fun (e : _ Model.envelope) -> Pid.to_int e.Model.src)
+                     envelope;
+                 sent_to = List.map (fun (dst, _) -> Pid.to_int dst) effects.Model.sends;
+                 outputs = List.map pp_output effects.Model.outputs;
+                 seen = Option.map (fun f -> f seen) pp_seen;
+               }));
       if record_events then begin
         let ev =
           {

@@ -49,6 +49,11 @@ type ('s, 'o) result = {
 val run :
   ?until:((Time.t * Pid.t * 'o) list -> bool) ->
   ?record_events:bool ->
+  ?sink:Rlfd_obs.Trace.sink ->
+  ?metrics:Rlfd_obs.Metrics.t ->
+  ?trace_idle:bool ->
+  ?pp_output:('o -> string) ->
+  ?pp_seen:('d -> string) ->
   pattern:Pattern.t ->
   detector:'d Detector.t ->
   scheduler:'m tagged Scheduler.t ->
@@ -59,7 +64,17 @@ val run :
     stops as soon as it returns [true].  [record_events] (default [true])
     can be switched off for long benchmark runs.  Raises [Invalid_argument]
     if the scheduler steps a crashed process or delivers a message to a
-    process other than its destination. *)
+    process other than its destination.
+
+    {b Observability} (all off by default and free when off):
+    - [sink] receives exactly one {!Rlfd_obs.Trace.Step} event per
+      scheduled step — so a JSONL export has as many lines as the run has
+      [steps] — plus {!Rlfd_obs.Trace.Idle} events when [trace_idle] is
+      set.  [pp_output] renders algorithm outputs into the event (default
+      ["_"]); [pp_seen] (off by default) renders the failure-detector
+      value the step saw.
+    - [metrics] gets the counters [steps], [idle_ticks], [messages_sent],
+      [messages_delivered] and [outputs]. *)
 
 val outputs_of : ('s, 'o) result -> Pid.t -> (Time.t * 'o) list
 (** Chronological outputs of one process. *)

@@ -1,0 +1,36 @@
+#!/bin/sh
+# Formatting gate for CI (and local use): the project pins no ocamlformat,
+# so this checks the invariants the codebase does maintain — no tab
+# characters, no trailing whitespace, and a final newline — across every
+# OCaml source and dune file.  Exits non-zero listing offenders.
+set -u
+
+cd "$(dirname "$0")/.."
+
+status=0
+
+files=$(find bin lib test bench examples doc -type f \
+  \( -name '*.ml' -o -name '*.mli' -o -name '*.mld' -o -name 'dune' \) \
+  2>/dev/null | sort)
+
+for f in $files; do
+  if grep -qP '\t' "$f"; then
+    echo "format: tab character in $f" >&2
+    grep -nP '\t' "$f" | head -3 >&2
+    status=1
+  fi
+  if grep -qE ' +$' "$f"; then
+    echo "format: trailing whitespace in $f" >&2
+    grep -nE ' +$' "$f" | head -3 >&2
+    status=1
+  fi
+  if [ -s "$f" ] && [ "$(tail -c 1 "$f")" != "" ]; then
+    echo "format: missing final newline in $f" >&2
+    status=1
+  fi
+done
+
+if [ "$status" -eq 0 ]; then
+  echo "format: OK ($(echo "$files" | wc -l | tr -d ' ') files checked)"
+fi
+exit "$status"

@@ -258,6 +258,34 @@ let stats_tests =
         Alcotest.(check int) "total" 50 total);
     test "histogram of empty" (fun () ->
         Alcotest.(check int) "empty" 0 (List.length (Stats.histogram ~buckets:4 [])));
+    test "histogram rejects non-positive buckets" (fun () ->
+        Alcotest.check_raises "zero buckets"
+          (Invalid_argument "Stats.histogram: buckets must be positive") (fun () ->
+            ignore (Stats.histogram ~buckets:0 [ 1.; 2. ]));
+        Alcotest.check_raises "negative buckets"
+          (Invalid_argument "Stats.histogram: buckets must be positive") (fun () ->
+            ignore (Stats.histogram ~buckets:(-3) [])));
+    test "histogram of a single element" (fun () ->
+        let hist = Stats.histogram ~buckets:3 [ 7. ] in
+        Alcotest.(check int) "three buckets" 3 (List.length hist);
+        let total = List.fold_left (fun acc (_, _, c) -> acc + c) 0 hist in
+        Alcotest.(check int) "sample counted once" 1 total);
+    test "count/sum on empty and singleton" (fun () ->
+        Alcotest.(check int) "count []" 0 (Stats.count []);
+        Alcotest.(check (float 1e-9)) "sum []" 0. (Stats.sum []);
+        Alcotest.(check int) "count [x]" 1 (Stats.count [ 3. ]);
+        Alcotest.(check (float 1e-9)) "sum [x]" 3. (Stats.sum [ 3. ]));
+    test "sum" (fun () ->
+        Alcotest.(check (float 1e-9)) "10" 10. (Stats.sum [ 1.; 2.; 3.; 4. ]));
+    test "variance edges" (fun () ->
+        Alcotest.(check (float 1e-9)) "variance []" 0. (Stats.variance []);
+        Alcotest.(check (float 1e-9)) "variance [x]" 0. (Stats.variance [ 42. ]));
+    test "variance is squared stddev" (fun () ->
+        let xs = [ 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. ] in
+        Alcotest.(check (float 1e-9)) "consistent" (Stats.stddev xs ** 2.)
+          (Stats.variance xs));
+    qtest "variance is non-negative" QCheck.(list (float_bound_exclusive 100.))
+      (fun xs -> Stats.variance xs >= 0.);
   ]
 
 (* ---------- Table ---------- *)

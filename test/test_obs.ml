@@ -1,0 +1,361 @@
+(* The observability layer: the hand-rolled JSON codec, the trace schema
+   round-trip (in-memory events vs the JSONL export of the same run), the
+   metrics registry and its cross-layer invariants, and profiling spans. *)
+
+open Rlfd_kernel
+open Rlfd_fd
+open Rlfd_sim
+open Rlfd_algo
+open Rlfd_net
+open Helpers
+module Json = Rlfd_obs.Json
+module Trace = Rlfd_obs.Trace
+module Metrics = Rlfd_obs.Metrics
+module Profile = Rlfd_obs.Profile
+
+let event = Alcotest.testable Trace.pp ( = )
+
+let ok_exn = function
+  | Ok v -> v
+  | Error msg -> Alcotest.failf "unexpected parse error: %s" msg
+
+(* ---------- Json ---------- *)
+
+let sample_json =
+  Json.Obj
+    [ ("a", Json.Int 3); ("b", Json.List [ Json.Bool true; Json.Null ]);
+      ("c", Json.Obj [ ("nested", Json.Float 2.5) ]);
+      ("s", Json.String "quote \" backslash \\ newline \n tab \t") ]
+
+let json_tests =
+  [
+    test "to_string/of_string round-trips nesting and escapes" (fun () ->
+        let reparsed = ok_exn (Json.of_string (Json.to_string sample_json)) in
+        Alcotest.(check string) "fixpoint" (Json.to_string sample_json)
+          (Json.to_string reparsed));
+    test "of_string rejects trailing garbage and malformed input" (fun () ->
+        List.iter
+          (fun s ->
+            match Json.of_string s with
+            | Ok _ -> Alcotest.failf "accepted %S" s
+            | Error _ -> ())
+          [ "{\"a\":1} x"; "{"; "[1,]"; "nul"; "\"unterminated"; "" ]);
+    test "accessors are total and shape-checked" (fun () ->
+        let v = ok_exn (Json.of_string {|{"i":7,"f":1.5,"l":[1],"s":"x"}|}) in
+        Alcotest.(check (option int)) "int" (Some 7)
+          (Option.bind (Json.member "i" v) Json.to_int_opt);
+        Alcotest.(check (option int)) "int of integral float" (Some 2)
+          (Json.to_int_opt (Json.Float 2.0));
+        Alcotest.(check (option int)) "no int from 1.5" None
+          (Option.bind (Json.member "f" v) Json.to_int_opt);
+        Alcotest.(check bool) "float accepts int" true
+          (Option.bind (Json.member "i" v) Json.to_float_opt = Some 7.);
+        Alcotest.(check (option string)) "missing member" None
+          (Option.map Json.to_string (Json.member "zz" v));
+        Alcotest.(check bool) "list" true
+          (Option.bind (Json.member "l" v) Json.to_list_opt = Some [ Json.Int 1 ]));
+    test "non-finite floats degrade to null" (fun () ->
+        Alcotest.(check string) "nan" "null" (Json.to_string (Json.Float nan));
+        Alcotest.(check string) "inf" "null"
+          (Json.to_string (Json.Float infinity)));
+  ]
+
+(* ---------- trace schema ---------- *)
+
+let all_constructors =
+  [ Trace.Step
+      { time = 3; pid = 1; received_from = Some 2; sent_to = [ 2; 3 ];
+        outputs = [ "42" ]; seen = Some "{p2}" };
+    Trace.Step
+      { time = 0; pid = 4; received_from = None; sent_to = []; outputs = [];
+        seen = None };
+    Trace.Idle { time = 9 };
+    Trace.Send { time = 1; src = 1; dst = 2 };
+    Trace.Deliver { time = 5; src = 1; dst = 2 };
+    Trace.Drop { time = 5; src = 3; dst = 2 };
+    Trace.Timer_set { time = 2; pid = 1; tag = 7; fires_at = 22 };
+    Trace.Timer_fire { time = 22; pid = 1; tag = 7 };
+    Trace.Suspect { time = 30; observer = 1; subject = 3; on = true };
+    Trace.Suspect { time = 31; observer = 1; subject = 3; on = false };
+    Trace.Output { time = 12; pid = 2; value = "decided 7" };
+    Trace.Crash { time = 40; pid = 3 };
+    Trace.Halt { time = 41; pid = 4 };
+    Trace.Violation { time = 6; reason = "disagreement: 1 vs 2" };
+    Trace.Note { time = 0; label = "hello \"world\"" } ]
+
+let trace_tests =
+  [
+    test "every constructor round-trips through JSON" (fun () ->
+        List.iter
+          (fun e ->
+            let back = ok_exn (Trace.of_json (Trace.to_json e)) in
+            Alcotest.check event (Trace.render e) e back)
+          all_constructors);
+    test "parse_line is the inverse of the JSONL rendering" (fun () ->
+        List.iter
+          (fun e ->
+            let line = Json.to_string (Trace.to_json e) in
+            Alcotest.check event line e (ok_exn (Trace.parse_line line)))
+          all_constructors);
+    test "of_json rejects unknown tags and missing fields" (fun () ->
+        List.iter
+          (fun s ->
+            match Trace.of_json (ok_exn (Json.of_string s)) with
+            | Ok _ -> Alcotest.failf "accepted %s" s
+            | Error _ -> ())
+          [ {|{"ev":"warp","t":1}|}; {|{"t":1}|}; {|{"ev":"send","t":1,"src":2}|} ]);
+    test "tee reaches both sinks; null absorbs" (fun () ->
+        let m1 = Trace.memory () and m2 = Trace.memory () in
+        let s = Trace.tee m1 (Trace.tee Trace.null m2) in
+        Alcotest.(check bool) "not null" false (Trace.is_null s);
+        Trace.emit s (Trace.Idle { time = 1 });
+        Alcotest.(check (list event)) "m1" [ Trace.Idle { time = 1 } ]
+          (Trace.contents m1);
+        Alcotest.(check (list event)) "m2" [ Trace.Idle { time = 1 } ]
+          (Trace.contents m2);
+        Alcotest.(check bool) "null tee collapses" true
+          (Trace.is_null (Trace.tee Trace.null Trace.null)));
+  ]
+
+(* ---------- a real run: JSONL export vs in-memory events ---------- *)
+
+let traced_run () =
+  let n = 4 in
+  let pattern = pattern ~n [ (2, 8) ] in
+  (* [Buffer] here is the message buffer of [Rlfd_sim]; we want stdlib's. *)
+  let buf = Stdlib.Buffer.create 4096 in
+  let mem = Trace.memory () in
+  let metrics = Metrics.create () in
+  let r =
+    Runner.run ~pattern ~detector:Perfect.canonical
+      ~scheduler:(Scheduler.fair ()) ~horizon:(time 6000)
+      ~until:(Runner.stop_when_all_correct_output pattern)
+      ~sink:(Trace.tee mem (Trace.to_buffer buf))
+      ~metrics ~pp_output:string_of_int
+      ~pp_seen:(Format.asprintf "%a" Pid.Set.pp)
+      (Ct_strong.automaton ~proposals)
+  in
+  (r, Stdlib.Buffer.contents buf, Trace.contents mem, metrics)
+
+let parse_jsonl text =
+  String.split_on_char '\n' text
+  |> List.filter (fun l -> l <> "")
+  |> List.map (fun l -> ok_exn (Trace.parse_line l))
+
+let run_tests =
+  [
+    test "JSONL line count equals the run's steps" (fun () ->
+        let r, jsonl, _, _ = traced_run () in
+        Alcotest.(check int) "lines = steps" r.Runner.steps
+          (List.length (parse_jsonl jsonl)));
+    test "emit -> JSONL -> parse equals the in-memory event stream" (fun () ->
+        let _, jsonl, mem_events, _ = traced_run () in
+        Alcotest.(check (list event)) "round-trip" mem_events (parse_jsonl jsonl));
+    test "trace Step events mirror Runner.events field by field" (fun () ->
+        let r, jsonl, _, _ = traced_run () in
+        let steps = parse_jsonl jsonl in
+        Alcotest.(check int) "same length" (List.length r.Runner.events)
+          (List.length steps);
+        List.iter2
+          (fun (ev : _ Runner.event) traced ->
+            match traced with
+            | Trace.Step { time; pid; received_from; sent_to; outputs; seen } ->
+              Alcotest.(check int) "time" (Time.to_int ev.Runner.time) time;
+              Alcotest.(check int) "pid" (Pid.to_int ev.Runner.pid) pid;
+              Alcotest.(check (option int)) "received"
+                (Option.map Pid.to_int ev.Runner.received)
+                received_from;
+              Alcotest.(check (list int)) "sent_to"
+                (List.map Pid.to_int ev.Runner.sent_to)
+                sent_to;
+              Alcotest.(check (list string)) "outputs"
+                (List.map string_of_int ev.Runner.outputs)
+                outputs;
+              Alcotest.(check bool) "seen rendered" true (seen <> None)
+            | other -> Alcotest.failf "not a Step: %s" (Trace.render other))
+          r.Runner.events steps);
+    test "runner metrics: sent >= delivered, steps match" (fun () ->
+        let r, _, _, m = traced_run () in
+        Alcotest.(check int) "steps" r.Runner.steps (Metrics.counter_value m "steps");
+        Alcotest.(check int) "sent" r.Runner.sent
+          (Metrics.counter_value m "messages_sent");
+        Alcotest.(check bool) "sent >= delivered" true
+          (Metrics.counter_value m "messages_sent"
+          >= Metrics.counter_value m "messages_delivered"));
+    test "the null sink changes nothing (zero-cost when off)" (fun () ->
+        let n = 4 in
+        let pattern = pattern ~n [ (2, 8) ] in
+        let go sink =
+          Runner.run ~pattern ~detector:Perfect.canonical
+            ~scheduler:(Scheduler.fair ()) ~horizon:(time 6000)
+            ~until:(Runner.stop_when_all_correct_output pattern)
+            ?sink (Ct_strong.automaton ~proposals)
+        in
+        let plain = go None and nulled = go (Some Trace.null) in
+        Alcotest.(check int) "steps" plain.Runner.steps nulled.Runner.steps;
+        Alcotest.(check bool) "same outputs" true
+          (plain.Runner.outputs = nulled.Runner.outputs);
+        Alcotest.(check bool) "same events" true
+          (plain.Runner.events = nulled.Runner.events));
+  ]
+
+(* ---------- netsim + heartbeat + qos invariants ---------- *)
+
+let heartbeat_run ~crashes =
+  let n = 4 in
+  let pattern = pattern ~n crashes in
+  let mem = Trace.memory () in
+  let metrics = Metrics.create () in
+  let r =
+    Netsim.run ~n ~pattern ~model:(Link.Synchronous { delta = 10 }) ~seed:7
+      ~horizon:3000 ~sink:mem ~metrics
+      (Heartbeat.node ~sink:mem ~metrics
+         (Heartbeat.Fixed { period = 20; timeout = 31 }))
+  in
+  Qos.observe metrics (Qos.analyze r);
+  (r, Trace.contents mem, metrics)
+
+let net_tests =
+  [
+    test "netsim metrics: sent >= delivered, crashes counted once" (fun () ->
+        let _, events, m = heartbeat_run ~crashes:[ (3, 700) ] in
+        Alcotest.(check bool) "sent >= delivered" true
+          (Metrics.counter_value m "messages_sent"
+          >= Metrics.counter_value m "messages_delivered");
+        Alcotest.(check int) "one crash event" 1
+          (List.length
+             (List.filter (function Trace.Crash _ -> true | _ -> false) events));
+        Alcotest.(check int) "crashes counter" 1 (Metrics.counter_value m "crashes"));
+    test "suspicion transitions: events and counter agree" (fun () ->
+        let _, events, m = heartbeat_run ~crashes:[ (3, 700) ] in
+        let suspect_events =
+          List.filter (function Trace.Suspect _ -> true | _ -> false) events
+        in
+        Alcotest.(check int) "counter = event count"
+          (List.length suspect_events)
+          (Metrics.counter_value m "suspicion_transitions");
+        Alcotest.(check bool) "someone starts suspecting p3" true
+          (List.exists
+             (function
+               | Trace.Suspect { subject = 3; on = true; _ } -> true
+               | _ -> false)
+             events));
+    test "detection latencies only for crashed subjects" (fun () ->
+        let _, _, with_crash = heartbeat_run ~crashes:[ (3, 700) ] in
+        let _, _, no_crash = heartbeat_run ~crashes:[] in
+        let lat = Metrics.samples with_crash "detection_latency" in
+        Alcotest.(check bool) "crash run has samples" true (lat <> []);
+        Alcotest.(check bool) "all non-negative" true
+          (List.for_all (fun x -> x >= 0.) lat);
+        Alcotest.(check int) "one observer-crash pair per correct process"
+          3 (List.length lat);
+        Alcotest.(check (list (float 0.))) "failure-free run has none" []
+          (Metrics.samples no_crash "detection_latency"));
+  ]
+
+(* ---------- metrics registry ---------- *)
+
+let metrics_tests =
+  [
+    test "counters accumulate; absent names read 0" (fun () ->
+        let m = Metrics.create () in
+        Alcotest.(check int) "absent" 0 (Metrics.counter_value m "x");
+        Metrics.incr m "x";
+        Metrics.incr ~by:4 m "x";
+        Alcotest.(check int) "5" 5 (Metrics.counter_value m "x"));
+    test "gauges are last-write-wins" (fun () ->
+        let m = Metrics.create () in
+        Alcotest.(check (option (float 0.))) "absent" None (Metrics.gauge_value m "g");
+        Metrics.set_gauge m "g" 1.5;
+        Metrics.set_gauge m "g" 2.5;
+        Alcotest.(check (option (float 0.))) "last" (Some 2.5)
+          (Metrics.gauge_value m "g"));
+    test "histogram samples stay chronological" (fun () ->
+        let m = Metrics.create () in
+        List.iter (Metrics.observe m "h") [ 3.; 1.; 2. ];
+        Alcotest.(check (list (float 0.))) "order" [ 3.; 1.; 2. ]
+          (Metrics.samples m "h"));
+    test "reusing a name with a different kind raises" (fun () ->
+        let m = Metrics.create () in
+        Metrics.incr m "x";
+        Alcotest.check_raises "counter as histogram"
+          (Invalid_argument "Metrics: \"x\" is a counter, used as a histogram")
+          (fun () -> Metrics.observe m "x" 1.));
+    test "to_json exposes the three sections with summaries" (fun () ->
+        let m = Metrics.create () in
+        Metrics.incr ~by:2 m "c";
+        Metrics.set_gauge m "g" 0.5;
+        List.iter (Metrics.observe m "h") [ 1.; 2.; 3.; 4. ];
+        let j = Metrics.to_json ~buckets:2 m in
+        let get path =
+          List.fold_left (fun acc k -> Option.bind acc (Json.member k)) (Some j) path
+        in
+        Alcotest.(check (option int)) "counter" (Some 2)
+          (Option.bind (get [ "counters"; "c" ]) Json.to_int_opt);
+        Alcotest.(check bool) "gauge" true
+          (Option.bind (get [ "gauges"; "g" ]) Json.to_float_opt = Some 0.5);
+        Alcotest.(check (option int)) "hist count" (Some 4)
+          (Option.bind (get [ "histograms"; "h"; "count" ]) Json.to_int_opt);
+        Alcotest.(check bool) "hist sum" true
+          (Option.bind (get [ "histograms"; "h"; "sum" ]) Json.to_float_opt
+          = Some 10.);
+        Alcotest.(check bool) "buckets present" true
+          (match Option.bind (get [ "histograms"; "h"; "buckets" ]) Json.to_list_opt with
+          | Some l -> List.length l = 2
+          | None -> false));
+    test "names are sorted; is_empty flips on first use" (fun () ->
+        let m = Metrics.create () in
+        Alcotest.(check bool) "empty" true (Metrics.is_empty m);
+        Metrics.incr m "zz";
+        Metrics.incr m "aa";
+        Alcotest.(check (list string)) "sorted" [ "aa"; "zz" ] (Metrics.names m));
+  ]
+
+(* ---------- profiling spans ---------- *)
+
+let profile_tests =
+  [
+    test "time records and returns; spans keep first-use order" (fun () ->
+        let p = Profile.create () in
+        Alcotest.(check int) "result" 7 (Profile.time p "b" (fun () -> 7));
+        Profile.time p "a" (fun () -> ());
+        Profile.time p "b" (fun () -> ());
+        Alcotest.(check (list string)) "order" [ "b"; "a" ]
+          (List.map fst (Profile.spans p));
+        Alcotest.(check int) "b has two samples" 2
+          (List.length (List.assoc "b" (Profile.spans p))));
+    test "record feeds totals; grand_total sums everything" (fun () ->
+        let p = Profile.create () in
+        Profile.record p "x" 1.0;
+        Profile.record p "x" 2.0;
+        Profile.record p "y" 0.5;
+        Alcotest.(check (float 1e-9)) "total x" 3.0 (Profile.total p "x");
+        Alcotest.(check (float 1e-9)) "grand" 3.5 (Profile.grand_total p));
+    test "a raising thunk still records its span" (fun () ->
+        let p = Profile.create () in
+        (try Profile.time p "boom" (fun () -> failwith "no") with Failure _ -> ());
+        Alcotest.(check int) "recorded" 1
+          (List.length (List.assoc "boom" (Profile.spans p))));
+    test "to_json lists spans with calls and totals" (fun () ->
+        let p = Profile.create () in
+        Profile.record p "x" 1.0;
+        let j = Profile.to_json p in
+        match Option.bind (Json.member "spans" j) Json.to_list_opt with
+        | Some [ span ] ->
+          Alcotest.(check (option string)) "name" (Some "x")
+            (Option.bind (Json.member "name" span) Json.to_string_opt);
+          Alcotest.(check (option int)) "calls" (Some 1)
+            (Option.bind (Json.member "calls" span) Json.to_int_opt)
+        | _ -> Alcotest.fail "expected one span");
+  ]
+
+let () =
+  Alcotest.run "obs"
+    [
+      suite "json" json_tests;
+      suite "trace" trace_tests;
+      suite "runner-roundtrip" run_tests;
+      suite "netsim-invariants" net_tests;
+      suite "metrics" metrics_tests;
+      suite "profile" profile_tests;
+    ]
