@@ -713,6 +713,76 @@ let table_abcast_scaling () =
      with the quadratic message complexity of each instance.@.@."
 
 (* ---------------------------------------------------------------- *)
+(* Table 14: campaign engine - serial vs parallel sweep               *)
+(* ---------------------------------------------------------------- *)
+
+(* The same campaign-backed grid sweep (EXP-1a: 5 detectors x trials) at
+   one worker and at the machine's recommended domain count.  Outcomes are
+   deterministic, so the two rows must agree on everything but wall time;
+   the speedup is recorded in BENCH_campaign.json together with the core
+   count, since a single-core machine cannot show one. *)
+let table_campaign () =
+  let cores = Domain.recommended_domain_count () in
+  let cfg = { Theorems.default_config with trials = 12 } in
+  let jobs = 5 * cfg.Theorems.trials in
+  let time_run workers =
+    let t0 = Obs.Profile.now () in
+    let o = Theorems.lemma_4_1_totality { cfg with Theorems.workers } in
+    (o, Obs.Profile.now () -. t0)
+  in
+  let o_serial, serial_s = time_run 1 in
+  let parallel_workers = Stdlib.max 2 cores in
+  let o_parallel, parallel_s = time_run parallel_workers in
+  let identical =
+    o_serial.Theorems.observed = o_parallel.Theorems.observed
+    && o_serial.Theorems.pass = o_parallel.Theorems.pass
+  in
+  let speedup = serial_s /. parallel_s in
+  let t =
+    Table.create
+      ~title:
+        (Format.asprintf
+           "T14: campaign engine - EXP-1a sweep, serial vs parallel (%d jobs, \
+            %d cores)"
+           jobs cores)
+      ~columns:[ "workers"; "wall (s)"; "jobs/s"; "pass"; "observed" ]
+  in
+  let row workers wall o =
+    Table.add_row t
+      [ Table.cell_int workers;
+        Table.cell_float ~decimals:3 wall;
+        Table.cell_float (float_of_int jobs /. Stdlib.max 1e-9 wall);
+        Table.cell_bool o.Theorems.pass; o.Theorems.observed ]
+  in
+  row 1 serial_s o_serial;
+  row parallel_workers parallel_s o_parallel;
+  Table.print t;
+  Format.printf "serial/parallel outcomes identical: %b  speedup: %.2fx@.@."
+    identical speedup;
+  let side workers wall =
+    Obs.Json.Obj
+      [ ("workers", Obs.Json.Int workers);
+        ("wall_s", Obs.Json.Float wall);
+        ("jobs_per_sec",
+         Obs.Json.Float (float_of_int jobs /. Stdlib.max 1e-9 wall)) ]
+  in
+  let json =
+    Obs.Json.Obj
+      [ ("schema_version", Obs.Json.Int Obs.Trace.schema_version);
+        ("cores", Obs.Json.Int cores);
+        ("jobs", Obs.Json.Int jobs);
+        ("serial", side 1 serial_s);
+        ("parallel", side parallel_workers parallel_s);
+        ("speedup", Obs.Json.Float speedup);
+        ("identical", Obs.Json.Bool identical) ]
+  in
+  let oc = open_out "BENCH_campaign.json" in
+  output_string oc (Obs.Json.to_string json);
+  output_char oc '\n';
+  close_out oc;
+  Format.printf "wrote BENCH_campaign.json@.@."
+
+(* ---------------------------------------------------------------- *)
 (* Bechamel micro-benchmarks                                          *)
 (* ---------------------------------------------------------------- *)
 
@@ -841,7 +911,8 @@ let tables () =
   timed "T10.explore" table_explore;
   timed "T11.channel" table_channel;
   timed "T12.ordered-broadcast" table_ordered_broadcast;
-  timed "T13.abcast-scaling" table_abcast_scaling
+  timed "T13.abcast-scaling" table_abcast_scaling;
+  timed "T14.campaign" table_campaign
 
 let write_obs_json () =
   let json =

@@ -12,7 +12,8 @@
      fdsim paxos ...                   Omega-based majority consensus
      fdsim nbac --no 3 ...             non-blocking atomic commitment
      fdsim explore --algo rank ...     exhaustive schedule exploration
-     fdsim metrics --json ...          run a scenario, dump the metrics registry *)
+     fdsim metrics --json ...          run a scenario, dump the metrics registry
+     fdsim campaign --jobs 4 ...       sharded multicore experiment campaign *)
 
 open Rlfd_kernel
 open Rlfd_fd
@@ -23,6 +24,7 @@ open Rlfd_net
 open Rlfd_membership
 module Theorems = Rlfd_core.Theorems
 module Obs = Rlfd_obs
+module Campaign = Rlfd_campaign
 open Cmdliner
 
 let proposals p = 100 + Pid.to_int p
@@ -167,10 +169,18 @@ let exit_ok ok = if ok then 0 else 1
 
 (* ---------- fdsim check ---------- *)
 
+let jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "jobs" ] ~docv:"N"
+        ~doc:
+          "Worker domains for campaign-backed sweeps.  Results are \
+           identical at any value; only wall time changes.")
+
 let check_cmd =
-  let run n seed trials =
+  let run n seed trials jobs =
     let cfg =
-      { Theorems.default_config with n; seed; trials }
+      { Theorems.default_config with n; seed; trials; workers = jobs }
     in
     let outcomes = Theorems.all cfg in
     List.iter (fun o -> Format.printf "%a@.@." Theorems.pp_outcome o) outcomes;
@@ -184,7 +194,7 @@ let check_cmd =
   in
   Cmd.v
     (Cmd.info "check" ~doc:"Execute every claim of the paper and report pass/fail.")
-    Term.(const run $ n_arg $ seed_arg $ trials)
+    Term.(const run $ n_arg $ seed_arg $ trials $ jobs_arg)
 
 (* ---------- fdsim survey ---------- *)
 
@@ -670,6 +680,214 @@ let metrics_cmd =
       $ Arg.(value & opt int 4000 & info [ "horizon" ])
       $ crashes_arg $ model_arg $ detector_arg $ json)
 
+(* ---------- fdsim campaign ---------- *)
+
+type campaign_result = {
+  cr_pass : bool;
+  cr_steps : int;
+  cr_sent : int;
+  cr_decisions : int;
+  cr_violations : int;
+}
+
+let campaign_codec =
+  let open Obs.Json in
+  {
+    Campaign.Engine.encode =
+      (fun r ->
+        Obj
+          [ ("pass", Bool r.cr_pass); ("steps", Int r.cr_steps);
+            ("sent", Int r.cr_sent); ("decisions", Int r.cr_decisions);
+            ("violations", Int r.cr_violations) ]);
+    decode =
+      (fun j ->
+        match
+          ( Option.bind (member "pass" j) to_bool_opt,
+            Option.bind (member "steps" j) to_int_opt,
+            Option.bind (member "sent" j) to_int_opt,
+            Option.bind (member "decisions" j) to_int_opt,
+            Option.bind (member "violations" j) to_int_opt )
+        with
+        | Some cr_pass, Some cr_steps, Some cr_sent, Some cr_decisions,
+          Some cr_violations ->
+          Ok { cr_pass; cr_steps; cr_sent; cr_decisions; cr_violations }
+        | _ -> Error "not a campaign result");
+  }
+
+(* One campaign job: generate the pattern from (family, replicate seed) —
+   so every detector and scheduler sees the same pattern at the same seed,
+   making grid points paired — then run ct-strong consensus and check the
+   uniform spec plus Lemma 4.1 totality. *)
+let campaign_job ~n ~horizon job =
+  let axis = Campaign.Spec.value job in
+  let seed = job.Campaign.Spec.seed in
+  let family =
+    List.find
+      (fun f -> f.Pattern.Family.name = axis "family")
+      Pattern.Family.all
+  in
+  let detector =
+    make_detector ~seed (List.assoc (axis "fd") detector_names)
+  in
+  let scheduler =
+    make_scheduler ~seed (if axis "sched" = "fair" then `Fair else `Random)
+  in
+  let crash_horizon = Time.of_int (Stdlib.min 300 (horizon / 4)) in
+  let pattern_rng = Rng.derive ~seed ~salts:[ 0x7A ] in
+  let pattern =
+    Pattern.Family.generate family ~n ~horizon:crash_horizon pattern_rng
+  in
+  let r =
+    Runner.run ~pattern ~detector ~scheduler ~horizon:(Time.of_int horizon)
+      ~until:(Runner.stop_when_all_correct_output pattern)
+      (Ct_strong.automaton ~proposals)
+  in
+  let consensus_ok =
+    Properties.check_consensus ~uniform:true ~proposals ~equal:Int.equal r
+    |> List.for_all (fun (_, res) -> Classes.holds res)
+  in
+  let violations = List.length (Totality.check r) in
+  {
+    cr_pass = consensus_ok && violations = 0;
+    cr_steps = r.Runner.steps;
+    cr_sent = r.Runner.sent;
+    cr_decisions = List.length r.Runner.outputs;
+    cr_violations = violations;
+  }
+
+let campaign_cmd =
+  let run n seed horizon seeds families fds scheds jobs shard_size checkpoint
+      resume out =
+    let invalid what v known =
+      Format.eprintf "fdsim: unknown %s %S (expected one of: %s)@." what v
+        (String.concat ", " known);
+      exit 2
+    in
+    let validate what values known =
+      List.iter (fun v -> if not (List.mem v known) then invalid what v known)
+        values
+    in
+    let family_names = List.map (fun f -> f.Pattern.Family.name) Pattern.Family.all in
+    let families = if families = [] then family_names else families in
+    let fds = if fds = [] then [ "P"; "P-delayed"; "S" ] else fds in
+    let scheds = if scheds = [] then [ "fair"; "random" ] else scheds in
+    validate "pattern family" families family_names;
+    validate "detector" fds (List.map fst detector_names);
+    validate "scheduler" scheds [ "fair"; "random" ];
+    if resume && checkpoint = None then begin
+      Format.eprintf "fdsim: --resume requires --checkpoint@.";
+      exit 2
+    end;
+    let spec =
+      Campaign.Spec.make ~name:"fdsim-campaign"
+        ~axes:[ ("family", families); ("fd", fds); ("sched", scheds) ]
+        ~seeds:(List.init seeds (fun i -> seed + i))
+        ()
+    in
+    let progress ~done_ ~total =
+      Printf.eprintf "campaign: %d/%d jobs\n%!" done_ total
+    in
+    let report =
+      Campaign.Engine.run_spec ~workers:jobs ?shard_size ?checkpoint ~resume
+        ~codec:campaign_codec ~progress ~seed spec
+        (fun ~rng:_ ~metrics:_ job -> campaign_job ~n ~horizon job)
+    in
+    let lines = Campaign.Engine.report_lines campaign_codec report in
+    (match out with
+    | None -> ()
+    | Some "-" -> List.iter print_endline lines
+    | Some file ->
+      let oc = open_out file in
+      List.iter (fun l -> output_string oc l; output_char oc '\n') lines;
+      close_out oc);
+    let passed =
+      List.length
+        (List.filter
+           (fun o -> o.Campaign.Engine.value.cr_pass)
+           report.Campaign.Engine.outcomes)
+    in
+    Format.printf
+      "campaign %s: %d jobs (%d resumed, %d duplicate, %d skipped lines), \
+       %d/%d pass, workers=%d, shard=%d, %.2fs@."
+      report.Campaign.Engine.campaign report.Campaign.Engine.total
+      report.Campaign.Engine.resumed report.Campaign.Engine.duplicates
+      report.Campaign.Engine.skipped passed report.Campaign.Engine.total
+      report.Campaign.Engine.workers report.Campaign.Engine.shard_size
+      report.Campaign.Engine.wall_s;
+    exit_ok (passed = report.Campaign.Engine.total)
+  in
+  let seeds =
+    Arg.(
+      value & opt int 3
+      & info [ "seeds" ] ~docv:"K"
+          ~doc:"Replicate seeds per grid point: seed, seed+1, ..., seed+K-1.")
+  in
+  let families =
+    Arg.(
+      value & opt_all string []
+      & info [ "family" ] ~docv:"FAMILY"
+          ~doc:"Pattern family axis value (repeatable; default: all).")
+  in
+  let fds =
+    Arg.(
+      value & opt_all string []
+      & info [ "fd" ] ~docv:"DETECTOR"
+          ~doc:"Detector axis value (repeatable; default: P, P-delayed, S).")
+  in
+  let scheds =
+    Arg.(
+      value & opt_all string []
+      & info [ "sched" ] ~docv:"SCHED"
+          ~doc:"Scheduler axis value: fair or random (repeatable; default both).")
+  in
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "jobs" ] ~docv:"N"
+          ~doc:
+            "Worker domains.  The report is byte-identical at any value — \
+             every job derives its own random stream from the campaign seed \
+             and its index alone.")
+  in
+  let shard_size =
+    Arg.(
+      value & opt (some int) None
+      & info [ "shard-size" ] ~docv:"K" ~doc:"Jobs per work-queue shard.")
+  in
+  let checkpoint =
+    Arg.(
+      value & opt (some string) None
+      & info [ "checkpoint" ] ~docv:"FILE"
+          ~doc:
+            "Append one JSONL entry per finished job to $(docv); a killed \
+             campaign can restart from it with --resume.")
+  in
+  let resume =
+    Arg.(
+      value & flag
+      & info [ "resume" ]
+          ~doc:
+            "Load the --checkpoint file and run only the missing jobs; \
+             never re-runs or duplicates a recorded job id.")
+  in
+  let out =
+    Arg.(
+      value & opt (some string) None
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:
+            "Write the aggregated report as sorted JSONL (one job per line, \
+             timing-free) to $(docv); '-' writes to stdout.")
+  in
+  Cmd.v
+    (Cmd.info "campaign"
+       ~doc:
+         "Run a (family x detector x scheduler x seed) consensus campaign on \
+          a pool of worker domains, with deterministic per-job streams, \
+          checkpoint/resume and an aggregated report.")
+    Term.(
+      const run $ n_arg $ seed_arg $ horizon_arg $ seeds $ families $ fds
+      $ scheds $ jobs $ shard_size $ checkpoint $ resume $ out)
+
 (* ---------- main ---------- *)
 
 let () =
@@ -680,4 +898,5 @@ let () =
     (Cmd.eval'
        (Cmd.group ~default info
           [ check_cmd; survey_cmd; run_cmd; paxos_cmd; trb_cmd; reduce_cmd;
-            qos_cmd; gms_cmd; vsync_cmd; nbac_cmd; explore_cmd; metrics_cmd ]))
+            qos_cmd; gms_cmd; vsync_cmd; nbac_cmd; explore_cmd; metrics_cmd;
+            campaign_cmd ]))

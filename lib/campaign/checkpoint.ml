@@ -1,0 +1,83 @@
+open Rlfd_obs
+
+let schema_version = 1
+
+type header = { name : string; seed : int; total : int }
+
+type entry = {
+  job : int;
+  label : string;
+  elapsed_s : float;
+  value : Json.t;
+}
+
+let header_to_json h =
+  Json.Obj
+    [ ("campaign", Json.String h.name);
+      ("seed", Json.Int h.seed);
+      ("jobs", Json.Int h.total);
+      ("schema_version", Json.Int schema_version) ]
+
+let header_of_json j =
+  match
+    ( Option.bind (Json.member "campaign" j) Json.to_string_opt,
+      Option.bind (Json.member "seed" j) Json.to_int_opt,
+      Option.bind (Json.member "jobs" j) Json.to_int_opt )
+  with
+  | Some name, Some seed, Some total -> Ok { name; seed; total }
+  | _ -> Error "not a campaign checkpoint header"
+
+let entry_to_json e =
+  Json.Obj
+    [ ("job", Json.Int e.job);
+      ("label", Json.String e.label);
+      ("elapsed_s", Json.Float e.elapsed_s);
+      ("result", e.value) ]
+
+let entry_of_json j =
+  match
+    ( Option.bind (Json.member "job" j) Json.to_int_opt,
+      Option.bind (Json.member "label" j) Json.to_string_opt,
+      Json.member "result" j )
+  with
+  | Some job, Some label, Some value ->
+    let elapsed_s =
+      Option.value ~default:0.
+        (Option.bind (Json.member "elapsed_s" j) Json.to_float_opt)
+    in
+    Ok { job; label; elapsed_s; value }
+  | _ -> Error "not a checkpoint entry"
+
+let write_line oc json =
+  output_string oc (Json.to_string json);
+  output_char oc '\n';
+  flush oc
+
+let write_header oc h = write_line oc (header_to_json h)
+
+let write_entry oc e = write_line oc (entry_to_json e)
+
+let load path =
+  match open_in path with
+  | exception Sys_error msg -> Error msg
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        match input_line ic with
+        | exception End_of_file -> Error (path ^ ": empty checkpoint")
+        | first -> (
+          match Result.bind (Json.of_string first) header_of_json with
+          | Error msg -> Error (Printf.sprintf "%s: line 1: %s" path msg)
+          | Ok header ->
+            let entries = ref [] and skipped = ref 0 in
+            (try
+               while true do
+                 let line = input_line ic in
+                 if String.trim line <> "" then
+                   match Result.bind (Json.of_string line) entry_of_json with
+                   | Ok e -> entries := e :: !entries
+                   | Error _ -> incr skipped
+               done
+             with End_of_file -> ());
+            Ok (header, List.rev !entries, !skipped)))

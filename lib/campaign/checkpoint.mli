@@ -1,0 +1,33 @@
+(** Campaign checkpoint files: an append-only JSONL completion log.
+
+    Line 1 is a header identifying the campaign (name, campaign seed, job
+    count, schema version); every further line records one completed job
+    with its encoded result.  Because the file is append-only and flushed
+    per entry, whatever a killed campaign leaves behind is a valid prefix —
+    possibly ending in a torn partial line, which {!load} skips and counts
+    rather than rejects.  Resuming therefore never redoes a completed job
+    and never produces a duplicate job id. *)
+
+val schema_version : int
+
+type header = { name : string; seed : int; total : int }
+
+type entry = {
+  job : int;
+  label : string;
+  elapsed_s : float;
+  value : Rlfd_obs.Json.t;  (** the encoded job result *)
+}
+
+val write_header : out_channel -> header -> unit
+(** One JSON object line; flushes. *)
+
+val write_entry : out_channel -> entry -> unit
+(** One JSON object line; flushes, so a kill loses at most the line being
+    written. *)
+
+val load : string -> (header * entry list * int, string) result
+(** [load path] parses the checkpoint: the header, the well-formed entries
+    in file order (duplicates included — the engine dedupes), and the count
+    of skipped lines (torn tails, foreign garbage).  [Error] if the file is
+    unreadable, empty, or its first line is not a campaign header. *)

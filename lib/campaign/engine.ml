@@ -1,0 +1,273 @@
+open Rlfd_obs
+
+type 'r codec = {
+  encode : 'r -> Json.t;
+  decode : Json.t -> ('r, string) result;
+}
+
+type 'r outcome = {
+  job : int;
+  label : string;
+  elapsed_s : float;
+  resumed : bool;
+  value : 'r;
+}
+
+type 'r report = {
+  campaign : string;
+  seed : int;
+  total : int;
+  outcomes : 'r outcome list;
+  resumed : int;
+  duplicates : int;
+  skipped : int;
+  metrics : Metrics.t;
+  workers : int;
+  shard_size : int;
+  wall_s : float;
+}
+
+(* Resume: load the checkpoint, keep the first entry per in-range job id,
+   and count everything else.  Decode failures just mean the job re-runs. *)
+let load_resume codec ~name ~seed ~total path =
+  if not (Sys.file_exists path) then ([], 0, 0)
+  else
+    match Checkpoint.load path with
+    | Error msg -> failwith (Printf.sprintf "campaign resume: %s" msg)
+    | Ok (header, entries, torn) ->
+      if
+        header.Checkpoint.name <> name || header.seed <> seed
+        || header.total <> total
+      then
+        failwith
+          (Printf.sprintf
+             "campaign resume: %s holds campaign %S (seed %d, %d jobs), not \
+              %S (seed %d, %d jobs)"
+             path header.name header.seed header.total name seed total);
+      let seen = Hashtbl.create 64 in
+      let duplicates = ref 0 and skipped = ref torn in
+      let recovered =
+        List.filter_map
+          (fun (e : Checkpoint.entry) ->
+            if e.job < 0 || e.job >= total then begin
+              incr skipped;
+              None
+            end
+            else if Hashtbl.mem seen e.job then begin
+              incr duplicates;
+              None
+            end
+            else
+              match codec.decode e.value with
+              | Error _ ->
+                incr skipped;
+                None
+              | Ok value ->
+                Hashtbl.add seen e.job ();
+                Some
+                  {
+                    job = e.job;
+                    label = e.label;
+                    elapsed_s = e.elapsed_s;
+                    resumed = true;
+                    value;
+                  })
+          entries
+      in
+      (recovered, !duplicates, !skipped)
+
+(* One work-queue item: the inclusive-exclusive pending-array slice
+   [lo, hi).  Shards are claimed with an atomic counter and their results
+   parked under their own index, so the final fold over shards is in shard
+   order no matter which worker finished when. *)
+let run ?(workers = 1) ?shard_size ?checkpoint ?(resume = false) ?codec
+    ?progress ~name ~seed ~total ~label f =
+  if total < 0 then invalid_arg "Engine.run: total < 0";
+  if workers < 1 then invalid_arg "Engine.run: workers < 1";
+  if (checkpoint <> None || resume) && codec = None then
+    invalid_arg "Engine.run: ~checkpoint and ~resume require ~codec";
+  if resume && checkpoint = None then
+    invalid_arg "Engine.run: ~resume requires ~checkpoint";
+  let t0 = Profile.now () in
+  let recovered, duplicates, skipped =
+    match (resume, checkpoint, codec) with
+    | true, Some path, Some codec -> load_resume codec ~name ~seed ~total path
+    | _ -> ([], 0, 0)
+  in
+  let done_jobs = Hashtbl.create 64 in
+  List.iter (fun o -> Hashtbl.replace done_jobs o.job ()) recovered;
+  let pending =
+    Array.of_list
+      (List.filter
+         (fun i -> not (Hashtbl.mem done_jobs i))
+         (List.init total Fun.id))
+  in
+  let n_pending = Array.length pending in
+  let shard_size =
+    match shard_size with
+    | Some k ->
+      if k < 1 then invalid_arg "Engine.run: shard_size < 1";
+      k
+    | None -> max 1 (total / (workers * 4))
+  in
+  let n_shards = (n_pending + shard_size - 1) / shard_size in
+  let shard_results = Array.make (max n_shards 1) None in
+  (* The checkpoint is rewritten, not appended to: a killed run can leave a
+     torn final line with no newline, and appending after it would corrupt
+     the first new entry.  Rewriting also compacts away duplicates and
+     garbage, so the file always holds the header plus one well-formed line
+     per completed job. *)
+  let oc =
+    Option.map
+      (fun path ->
+        let oc =
+          open_out_gen [ Open_wronly; Open_creat; Open_trunc ] 0o644 path
+        in
+        Checkpoint.write_header oc { Checkpoint.name; seed; total };
+        (match codec with
+        | Some codec ->
+          List.iter
+            (fun o ->
+              Checkpoint.write_entry oc
+                {
+                  Checkpoint.job = o.job;
+                  label = o.label;
+                  elapsed_s = o.elapsed_s;
+                  value = codec.encode o.value;
+                })
+            recovered
+        | None -> ());
+        oc)
+      checkpoint
+  in
+  let mutex = Mutex.create () in
+  let next_shard = Atomic.make 0 in
+  let completed = ref (List.length recovered) in
+  let failure = ref None in
+  let notify () =
+    match progress with
+    | None -> ()
+    | Some p -> p ~done_:!completed ~total
+  in
+  let run_job idx =
+    let rng = Rlfd_kernel.Rng.of_path ~seed [ idx ] in
+    fun metrics ->
+      let start = Profile.now () in
+      let value = f ~rng ~metrics idx in
+      let elapsed_s = Profile.now () -. start in
+      Metrics.incr metrics "campaign_jobs";
+      Metrics.observe metrics "campaign_job_seconds" elapsed_s;
+      { job = idx; label = label idx; elapsed_s; resumed = false; value }
+  in
+  let worker () =
+    let continue = ref true in
+    while !continue do
+      let shard = Atomic.fetch_and_add next_shard 1 in
+      if shard >= n_shards || !failure <> None then continue := false
+      else begin
+        match
+          let metrics = Metrics.create () in
+          let lo = shard * shard_size in
+          let hi = min n_pending (lo + shard_size) in
+          let outcomes = ref [] in
+          for k = hi - 1 downto lo do
+            outcomes := run_job pending.(k) metrics :: !outcomes
+          done;
+          (!outcomes, metrics)
+        with
+        | outcomes, metrics ->
+          Mutex.protect mutex (fun () ->
+              shard_results.(shard) <- Some (outcomes, metrics);
+              completed := !completed + List.length outcomes;
+              (match (oc, codec) with
+              | Some oc, Some codec ->
+                List.iter
+                  (fun o ->
+                    Checkpoint.write_entry oc
+                      {
+                        Checkpoint.job = o.job;
+                        label = o.label;
+                        elapsed_s = o.elapsed_s;
+                        value = codec.encode o.value;
+                      })
+                  outcomes
+              | _ -> ());
+              notify ())
+        | exception exn ->
+          let bt = Printexc.get_raw_backtrace () in
+          Mutex.protect mutex (fun () ->
+              if !failure = None then failure := Some (exn, bt));
+          continue := false
+      end
+    done
+  in
+  Mutex.protect mutex notify;
+  if workers = 1 || n_shards <= 1 then worker ()
+  else begin
+    let domains =
+      List.init (min workers n_shards) (fun _ -> Domain.spawn worker)
+    in
+    List.iter Domain.join domains
+  end;
+  Option.iter close_out oc;
+  (match !failure with
+  | Some (exn, bt) -> Printexc.raise_with_backtrace exn bt
+  | None -> ());
+  let metrics = Metrics.create () in
+  let fresh = ref [] in
+  Array.iter
+    (function
+      | None -> ()
+      | Some (outcomes, shard_metrics) ->
+        Metrics.merge ~into:metrics shard_metrics;
+        fresh := List.rev_append outcomes !fresh)
+    shard_results;
+  let outcomes =
+    List.sort
+      (fun a b -> compare a.job b.job)
+      (List.rev_append recovered !fresh)
+  in
+  {
+    campaign = name;
+    seed;
+    total;
+    outcomes;
+    resumed = List.length recovered;
+    duplicates;
+    skipped;
+    metrics;
+    workers;
+    shard_size;
+    wall_s = Profile.now () -. t0;
+  }
+
+let report_lines codec report =
+  List.map
+    (fun o ->
+      Json.to_string
+        (Json.Obj
+           [ ("job", Json.Int o.job);
+             ("label", Json.String o.label);
+             ("result", codec.encode o.value) ]))
+    report.outcomes
+
+let report_to_json ?buckets report =
+  Json.Obj
+    [ ("campaign", Json.String report.campaign);
+      ("schema_version", Json.Int Checkpoint.schema_version);
+      ("seed", Json.Int report.seed);
+      ("jobs", Json.Int report.total);
+      ("resumed", Json.Int report.resumed);
+      ("duplicates", Json.Int report.duplicates);
+      ("skipped", Json.Int report.skipped);
+      ("workers", Json.Int report.workers);
+      ("shard_size", Json.Int report.shard_size);
+      ("wall_s", Json.Float report.wall_s);
+      ("metrics", Metrics.to_json ?buckets report.metrics) ]
+
+let run_spec ?workers ?shard_size ?checkpoint ?resume ?codec ?progress ~seed
+    spec f =
+  run ?workers ?shard_size ?checkpoint ?resume ?codec ?progress
+    ~name:(Spec.name spec) ~seed ~total:(Spec.size spec)
+    ~label:(fun i -> Spec.label (Spec.job spec i))
+    (fun ~rng ~metrics i -> f ~rng ~metrics (Spec.job spec i))

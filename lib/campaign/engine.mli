@@ -1,0 +1,118 @@
+(** The sharded multicore campaign engine.
+
+    [run] turns any (job index → result) function into a campaign: the job
+    range is cut into shards, a fixed pool of OCaml 5 domains pulls shards
+    from an atomic work queue, and every job gets a private deterministic
+    random stream derived from the campaign seed and its own index
+    ([Rlfd_kernel.Rng.of_path ~seed [index]]).  Because a job's stream,
+    inputs and identity depend only on its index — never on which worker
+    runs it or when — the aggregated report is identical at any worker
+    count, which {!report_lines} makes checkable byte-for-byte.
+
+    Aggregation is deterministic too: outcomes are sorted by job index and
+    per-shard metric registries are folded with {!Rlfd_obs.Metrics.merge}
+    in shard-index order, not completion order.
+
+    With [~checkpoint] the engine appends one {!Checkpoint} entry per
+    finished job (flushed, so a kill loses at most one in-flight line);
+    with [~resume] it first loads that file and re-runs only the missing
+    jobs.  A resumed campaign therefore completes with no duplicate job
+    ids, and its {!report_lines} equal an uninterrupted run's. *)
+
+type 'r codec = {
+  encode : 'r -> Rlfd_obs.Json.t;
+  decode : Rlfd_obs.Json.t -> ('r, string) result;
+}
+(** How results cross the checkpoint file.  [decode] failures on resume are
+    harmless: the job is simply re-run (and counted in [skipped]). *)
+
+type 'r outcome = {
+  job : int;
+  label : string;
+  elapsed_s : float;
+  resumed : bool;  (** [true] if taken from the checkpoint, not re-run *)
+  value : 'r;
+}
+
+type 'r report = {
+  campaign : string;
+  seed : int;
+  total : int;
+  outcomes : 'r outcome list;  (** sorted by job index; length = [total] *)
+  resumed : int;  (** jobs recovered from the checkpoint *)
+  duplicates : int;  (** checkpoint entries for an already-seen job id *)
+  skipped : int;  (** malformed / torn / undecodable / out-of-range lines *)
+  metrics : Rlfd_obs.Metrics.t;  (** per-shard registries, shard order *)
+  workers : int;
+  shard_size : int;
+  wall_s : float;
+}
+
+val run :
+  ?workers:int ->
+  ?shard_size:int ->
+  ?checkpoint:string ->
+  ?resume:bool ->
+  ?codec:'r codec ->
+  ?progress:(done_:int -> total:int -> unit) ->
+  name:string ->
+  seed:int ->
+  total:int ->
+  label:(int -> string) ->
+  (rng:Rlfd_kernel.Rng.t -> metrics:Rlfd_obs.Metrics.t -> int -> 'r) ->
+  'r report
+(** [run ~name ~seed ~total ~label f] executes jobs [0 .. total - 1].
+
+    [f ~rng ~metrics index] gets a stream private to [index] and the
+    registry of the shard it happens to run in; anything recorded there
+    surfaces merged in the report's [metrics].
+
+    - [workers] (default 1): domains in the pool.  [1] runs inline on the
+      calling domain — no spawn, same results.
+    - [shard_size] (default [total / (workers * 4)], at least 1): jobs per
+      work-queue item.  Any value yields the same report lines.
+    - [checkpoint]: keep a completion log here (requires [codec]): the
+      header is written once, then one flushed entry per finished job.
+    - [resume] (default false): load [checkpoint] first and only run what
+      is missing (requires both [checkpoint] and [codec]).  The file is
+      then rewritten compacted — recovered entries first, torn lines and
+      duplicates dropped — before new entries are appended, so a resumed
+      file never carries a corrupt tail forward.  A missing file is a
+      fresh start, but a file whose header disagrees with
+      [name]/[seed]/[total] raises [Failure] — it belongs to a different
+      campaign.
+    - [progress]: called (serialised) after each shard and once at start.
+
+    If [f] raises, remaining shards are abandoned and the first exception
+    is re-raised after all workers join.  Raises [Invalid_argument] on
+    [total < 0], [workers < 1], or checkpoint/resume without the options
+    they require. *)
+
+val report_lines : 'r codec -> 'r report -> string list
+(** One compact JSON object per job, sorted by index:
+    [{"job": i, "label": "...", "result": ...}].  Deliberately excludes
+    timing and worker information, so two runs of the same campaign at
+    different worker counts — or one interrupted and resumed — produce
+    byte-identical lines. *)
+
+val report_to_json : ?buckets:int -> 'r report -> Rlfd_obs.Json.t
+(** The run summary: campaign identity, job counts, resume statistics,
+    worker configuration, wall time and merged metrics
+    ([?buckets] as {!Rlfd_obs.Metrics.to_json}).  Timing fields included —
+    this is the human-facing side, not the determinism-checked one. *)
+
+val run_spec :
+  ?workers:int ->
+  ?shard_size:int ->
+  ?checkpoint:string ->
+  ?resume:bool ->
+  ?codec:'r codec ->
+  ?progress:(done_:int -> total:int -> unit) ->
+  seed:int ->
+  Spec.t ->
+  (rng:Rlfd_kernel.Rng.t -> metrics:Rlfd_obs.Metrics.t -> Spec.job -> 'r) ->
+  'r report
+(** {!run} over a {!Spec}: [total = Spec.size spec], labels from
+    {!Spec.label}, and [f] receives the decoded {!Spec.job}.  [seed] is the
+    campaign seed (stream derivation), distinct from the per-job [seed]
+    coordinate the spec enumerates. *)

@@ -1,0 +1,77 @@
+type t = {
+  name : string;
+  axes : (string * string array) array;  (* slowest-varying first *)
+  seeds : int array;
+}
+
+type job = {
+  index : int;
+  coords : (string * string) list;
+  seed : int;
+}
+
+let make ?(name = "campaign") ~axes ~seeds () =
+  if seeds = [] then invalid_arg "Spec.make: empty seed list";
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun (axis, values) ->
+      if values = [] then
+        invalid_arg (Printf.sprintf "Spec.make: axis %S is empty" axis);
+      if Hashtbl.mem seen axis then
+        invalid_arg (Printf.sprintf "Spec.make: duplicate axis %S" axis);
+      Hashtbl.add seen axis ())
+    axes;
+  {
+    name;
+    axes = Array.of_list (List.map (fun (a, vs) -> (a, Array.of_list vs)) axes);
+    seeds = Array.of_list seeds;
+  }
+
+let name spec = spec.name
+
+let size spec =
+  Array.fold_left
+    (fun acc (_, values) -> acc * Array.length values)
+    (Array.length spec.seeds) spec.axes
+
+let job spec index =
+  if index < 0 || index >= size spec then
+    invalid_arg
+      (Printf.sprintf "Spec.job: index %d out of range [0, %d)" index (size spec));
+  (* mixed-radix decode, seeds as the least-significant digit *)
+  let n_seeds = Array.length spec.seeds in
+  let seed = spec.seeds.(index mod n_seeds) in
+  let rest = ref (index / n_seeds) in
+  let coords = ref [] in
+  for a = Array.length spec.axes - 1 downto 0 do
+    let axis, values = spec.axes.(a) in
+    let k = Array.length values in
+    coords := (axis, values.(!rest mod k)) :: !coords;
+    rest := !rest / k
+  done;
+  { index; coords = !coords; seed }
+
+let jobs spec = List.init (size spec) (job spec)
+
+let value j axis =
+  match List.assoc_opt axis j.coords with
+  | Some v -> v
+  | None -> invalid_arg (Printf.sprintf "Spec.value: unknown axis %S" axis)
+
+let label j =
+  String.concat "/"
+    (List.map snd j.coords @ [ Printf.sprintf "seed=%d" j.seed ])
+
+let to_json spec =
+  let open Rlfd_obs.Json in
+  Obj
+    [ ("name", String spec.name);
+      ("axes",
+       Obj
+         (Array.to_list
+            (Array.map
+               (fun (axis, values) ->
+                 (axis, List (Array.to_list (Array.map (fun v -> String v) values))))
+               spec.axes)));
+      ("seeds", List (Array.to_list (Array.map (fun s -> Int s) spec.seeds)));
+      ("jobs", Int (size spec)) ]

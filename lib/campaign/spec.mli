@@ -1,0 +1,52 @@
+(** Campaign job spaces: the cartesian product of named axes and seeds.
+
+    Every empirical check in this repository sweeps some product of
+    (pattern family × detector × scheduler × seed); a [Spec.t] names those
+    axes once and gives each point of the product a stable integer index.
+    The index is the {e only} identity a job needs: the campaign engine
+    derives the job's private random stream from it
+    ([Rlfd_kernel.Rng.of_path ~seed [index]]), the checkpoint file records
+    it, and the aggregated report is sorted by it — which is what makes a
+    campaign's output independent of worker count and interruption.
+
+    Axes hold rendered string values; interpreting a value (building the
+    actual detector, family or scheduler) is the caller's business, so this
+    module — and the whole campaign layer — depends only on the kernel. *)
+
+type t
+
+type job = {
+  index : int;
+  coords : (string * string) list;  (** (axis name, chosen value), axis order *)
+  seed : int;
+}
+
+val make :
+  ?name:string -> axes:(string * string list) list -> seeds:int list -> unit -> t
+(** [make ~axes ~seeds ()] is the product of the axes (slowest-varying
+    first) with [seeds] as the fastest-varying final axis.  Raises
+    [Invalid_argument] on an empty axis, an empty seed list, or a duplicate
+    axis name. *)
+
+val name : t -> string
+
+val size : t -> int
+(** The number of jobs: the product of all axis lengths times the number of
+    seeds. *)
+
+val job : t -> int -> job
+(** [job spec i] decodes index [i] (mixed-radix, [0 <= i < size spec]).
+    Raises [Invalid_argument] out of range. *)
+
+val jobs : t -> job list
+(** All jobs in index order. *)
+
+val value : job -> string -> string
+(** [value job axis] is the job's coordinate on the named axis.  Raises
+    [Invalid_argument] for an unknown axis. *)
+
+val label : job -> string
+(** ["v1/v2/.../seed=s"] — compact, stable, unique within the spec. *)
+
+val to_json : t -> Rlfd_obs.Json.t
+(** The axes and seeds, for embedding in reports and checkpoints. *)

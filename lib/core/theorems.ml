@@ -19,9 +19,16 @@ let pp_outcome ppf o =
     (if o.pass then "PASS" else "FAIL")
     o.claim o.expected o.observed
 
-type config = { n : int; seed : int; trials : int; horizon : Time.t }
+type config = {
+  n : int;
+  seed : int;
+  trials : int;
+  horizon : Time.t;
+  workers : int;
+}
 
-let default_config = { n = 5; seed = 2002; trials = 30; horizon = Time.of_int 6000 }
+let default_config =
+  { n = 5; seed = 2002; trials = 30; horizon = Time.of_int 6000; workers = 1 }
 
 (* ---------- shared workload machinery ---------- *)
 
@@ -63,18 +70,31 @@ let realistic_detectors cfg =
     Scribe.as_suspicions ]
 
 let totality_runs cfg detectors =
-  let patterns = sample_patterns cfg ~count:cfg.trials in
-  List.concat_map
-    (fun detector ->
-      List.mapi
-        (fun trial pattern ->
-          let r =
-            run_consensus cfg ~trial ~detector ~pattern
-              (Ct_strong.automaton ~proposals)
-          in
-          (detector, pattern, r))
-        patterns)
-    detectors
+  (* The (detector × trial) grid is a campaign: job index [d * trials + t]
+     runs detector [d] on trial pattern [t].  Patterns are regenerated
+     inside each job from the seeded stream, so a job's inputs depend only
+     on its index and the report is identical at any worker count. *)
+  let detectors = Array.of_list detectors in
+  let report =
+    Rlfd_campaign.Engine.run ~workers:cfg.workers ~name:"totality-runs"
+      ~seed:cfg.seed
+      ~total:(Array.length detectors * cfg.trials)
+      ~label:(fun i ->
+        Printf.sprintf "detector=%d/trial=%d" (i / cfg.trials)
+          (i mod cfg.trials))
+      (fun ~rng:_ ~metrics:_ i ->
+        let detector = detectors.(i / cfg.trials) in
+        let trial = i mod cfg.trials in
+        let pattern = List.nth (sample_patterns cfg ~count:cfg.trials) trial in
+        let r =
+          run_consensus cfg ~trial ~detector ~pattern
+            (Ct_strong.automaton ~proposals)
+        in
+        (detector, pattern, r))
+  in
+  List.map
+    (fun o -> o.Rlfd_campaign.Engine.value)
+    report.Rlfd_campaign.Engine.outcomes
 
 let lemma_4_1_totality cfg =
   let runs = totality_runs cfg (realistic_detectors cfg) in
@@ -512,19 +532,33 @@ let exhaustive_small_scope cfg =
       (Explore.agreement_check ~equal:Int.equal)
       (Explore.validity_check ~n ~proposals ~equal:Int.equal)
   in
-  let positive =
-    Explore.run ~max_steps:9 ~max_nodes:2_000_000
-      ~pattern:(Pattern.make ~n [ (Pid.of_int 1, Time.of_int 2) ])
-      ~detector:Perfect.canonical ~check:safety (Ct_strong.automaton ~proposals)
+  (* Two independent exhaustive scopes; running them as a 2-job campaign
+     lets [cfg.workers > 1] explore both trees at once. *)
+  let scopes =
+    [| (fun () ->
+         Explore.run ~max_steps:9 ~max_nodes:2_000_000
+           ~pattern:(Pattern.make ~n [ (Pid.of_int 1, Time.of_int 2) ])
+           ~detector:Perfect.canonical ~check:safety
+           (Ct_strong.automaton ~proposals));
+       (fun () ->
+         Explore.run ~max_steps:10 ~max_nodes:400_000
+           ~pattern:(Pattern.make ~n [ (Pid.of_int 1, Time.of_int 1) ])
+           ~detector:Partial_perfect.canonical
+           ~check:(Explore.agreement_check ~equal:Int.equal)
+           (Rank_consensus.automaton ~proposals))
+    |]
   in
-  let negative =
-    Explore.run ~max_steps:10 ~max_nodes:400_000
-      ~pattern:(Pattern.make ~n [ (Pid.of_int 1, Time.of_int 1) ])
-      ~detector:Partial_perfect.canonical
-      ~check:(Explore.agreement_check ~equal:Int.equal)
-      (Rank_consensus.automaton ~proposals)
+  let report =
+    Rlfd_campaign.Engine.run ~workers:cfg.workers ~name:"small-scope"
+      ~seed:cfg.seed ~total:2
+      ~label:(fun i -> if i = 0 then "ct-strong+P" else "rank+P<")
+      (fun ~rng:_ ~metrics:_ i -> scopes.(i) ())
   in
-  ignore cfg;
+  let positive, negative =
+    match report.Rlfd_campaign.Engine.outcomes with
+    | [ a; b ] -> (a.value, b.value)
+    | _ -> assert false
+  in
   outcome ~id:"EXP-14"
     ~claim:"small-scope exhaustive check: safety of the total algorithm, witness for P<"
     ~expected:"0 violations for ct-strong+P over the whole tree; a uniformity witness for rank+P<"

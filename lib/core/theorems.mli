@@ -21,10 +21,19 @@ type outcome = {
 
 val pp_outcome : Format.formatter -> outcome -> unit
 
-type config = { n : int; seed : int; trials : int; horizon : Time.t }
+type config = {
+  n : int;
+  seed : int;
+  trials : int;
+  horizon : Time.t;
+  workers : int;
+      (** domains used by the campaign-backed sweeps ({!lemma_4_1_totality},
+          {!lemma_4_1_needs_realism}, {!exhaustive_small_scope}); every
+          outcome is identical at any value, only wall time changes *)
+}
 
 val default_config : config
-(** [n = 5], [seed = 2002], [trials = 30], [horizon = 6000]. *)
+(** [n = 5], [seed = 2002], [trials = 30], [horizon = 6000], [workers = 1]. *)
 
 val lemma_4_1_totality : config -> outcome
 (** EXP-1a: consensus with realistic detectors is total — zero totality

@@ -23,6 +23,15 @@ val derive : seed:int -> salts:int list -> t
 (** [derive ~seed ~salts] is the pure stream identified by the seed and the
     salt path; equal inputs give equal streams. *)
 
+val of_path : seed:int -> int list -> t
+(** [of_path ~seed path] is the pure stream at [path] in the split tree
+    rooted at [seed] — e.g. [of_path ~seed:campaign [job]] is job [job]'s
+    private stream of campaign [campaign].  Unlike {!derive}, each path
+    segment also derives a fresh SplitMix64 gamma (increment), so sibling
+    streams ([of_path ~seed [i]] for different [i]) are statistically
+    independent: same results at any worker count, no cross-job
+    correlation.  Equal inputs give equal streams. *)
+
 val bits64 : t -> int64
 
 val int : t -> int -> int

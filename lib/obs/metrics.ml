@@ -66,6 +66,23 @@ let is_empty registry = Hashtbl.length registry = 0
 let sorted registry =
   List.map (fun name -> (name, Hashtbl.find registry name)) (names registry)
 
+let merge ~into src =
+  List.iter
+    (fun (name, metric) ->
+      match metric with
+      | Counter r -> incr ~by:!r into name
+      | Gauge r -> set_gauge into name !r
+      | Histogram r -> (
+        match
+          find_or_create into name (fun () -> Histogram (ref [])) "histogram"
+        with
+        | Histogram dst ->
+          (* both sides are newest-first; [src]'s samples come chronologically
+             after [into]'s, so they go in front *)
+          dst := !r @ !dst
+        | _ -> assert false))
+    (sorted src)
+
 let to_json ?(buckets = 8) registry =
   let open Json in
   let counters = ref [] and gauges = ref [] and histograms = ref [] in

@@ -39,6 +39,18 @@ val set_gauge : t -> string -> float -> unit
 val observe : t -> string -> float -> unit
 (** Append one sample to a histogram. *)
 
+val merge : into:t -> t -> unit
+(** [merge ~into src] folds [src] into [into]: counters add, gauges take the
+    source's value (last-write-wins, treating [src] as the later writer),
+    histograms concatenate with [src]'s samples after [into]'s.  The source
+    is not modified.  Re-using a name with a different kind raises
+    [Invalid_argument], exactly as the recording operations do.  Addition
+    and multiset-concatenation are commutative and associative, so a
+    campaign reducer merging per-shard registries gets the same aggregate
+    whatever the completion order; only gauge values and histogram sample
+    {e order} depend on merge order, which is why the campaign engine's
+    reducer merges per-shard registries in shard-index order. *)
+
 (** {1 Reading} *)
 
 val counter_value : t -> string -> int

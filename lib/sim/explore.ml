@@ -101,23 +101,30 @@ let run ?(max_steps = 12) ?(max_nodes = 200_000) ?(max_violations = 5)
       },
       effects.Model.outputs )
   in
+  (* Every call counts its node (the root included).  The budget is checked
+     per {e child}: [truncated] is set only when an unexplored child exists
+     with the budget already spent, so a tree of exactly [max_nodes] nodes
+     still reports [complete = true], and any mid-branch cut reports
+     [complete = false]. *)
   let rec dfs config outputs trail =
     incr nodes;
     if config.step_no > !deepest then deepest := config.step_no;
-    if !nodes >= max_nodes then truncated := true
-    else if config.step_no < max_steps then
+    if config.step_no < max_steps then
       List.iter
         (fun ((p, receive) as choice) ->
           if (not !truncated) && List.length !violations < max_violations then begin
-            let config', outs = apply config choice in
-            let outputs' = outputs @ List.map (fun o -> (p, o)) outs in
-            let trail' = trail @ [ (p, Option.map snd receive) ] in
-            (match (outs, check outputs') with
-            | _ :: _, Some reason ->
-              add_violation
-                { at_step = config'.step_no; trail = trail'; outputs = outputs'; reason }
-            | _ -> ());
-            dfs config' outputs' trail'
+            if !nodes >= max_nodes then truncated := true
+            else begin
+              let config', outs = apply config choice in
+              let outputs' = outputs @ List.map (fun o -> (p, o)) outs in
+              let trail' = trail @ [ (p, Option.map snd receive) ] in
+              (match (outs, check outputs') with
+              | _ :: _, Some reason ->
+                add_violation
+                  { at_step = config'.step_no; trail = trail'; outputs = outputs'; reason }
+              | _ -> ());
+              dfs config' outputs' trail'
+            end
           end)
         (choices config)
   in

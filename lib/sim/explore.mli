@@ -28,8 +28,11 @@ type 'o violation = {
 }
 
 type 'o report = {
-  nodes_explored : int;
-  complete : bool; (** the whole tree fit within the budgets *)
+  nodes_explored : int; (** every visited configuration, the root included *)
+  complete : bool;
+      (** the whole tree fit within the budgets: [false] exactly when
+          [max_nodes] left at least one reachable child unexplored, so a
+          tree of exactly [max_nodes] nodes is still [complete] *)
   deepest : int;
   violations : 'o violation list; (** at most [max_violations] *)
 }

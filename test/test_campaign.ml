@@ -1,0 +1,287 @@
+(* The campaign subsystem: job-space decoding, checkpoint round-trips, and
+   the engine's worker-count-independence and resume guarantees. *)
+
+open Helpers
+module Spec = Rlfd_campaign.Spec
+module Checkpoint = Rlfd_campaign.Checkpoint
+module Engine = Rlfd_campaign.Engine
+module Json = Rlfd_obs.Json
+module Metrics = Rlfd_obs.Metrics
+
+let int_codec =
+  {
+    Engine.encode = (fun v -> Json.Int v);
+    decode =
+      (fun j ->
+        match Json.to_int_opt j with
+        | Some v -> Ok v
+        | None -> Error "not an int");
+  }
+
+let spec2 () =
+  Spec.make ~name:"unit"
+    ~axes:[ ("fd", [ "P"; "S" ]); ("sched", [ "fair"; "random"; "chaos" ]) ]
+    ~seeds:[ 7; 8 ] ()
+
+(* A deterministic workload whose value encodes everything a job was given,
+   so any cross-worker or resume confusion shows up in the result itself. *)
+let fingerprint ~rng ~metrics i =
+  Metrics.incr metrics "jobs_seen";
+  Metrics.observe metrics "draws" (float_of_int (Rlfd_kernel.Rng.int rng 1000));
+  (i * 1_000_003) + Rlfd_kernel.Rng.int rng 1_000_000
+
+let run_fingerprint ?workers ?shard_size ?checkpoint ?resume ?codec ~total () =
+  Engine.run ?workers ?shard_size ?checkpoint ?resume ?codec
+    ~name:"fingerprint" ~seed:2002 ~total ~label:string_of_int fingerprint
+
+let tmp_file name =
+  let path = Filename.concat (Filename.get_temp_dir_name ()) name in
+  if Sys.file_exists path then Sys.remove path;
+  path
+
+(* ---------- Spec ---------- *)
+
+let spec_tests =
+  [
+    test "size is the product of axis lengths and seeds" (fun () ->
+        Alcotest.(check int) "2*3*2" 12 (Spec.size (spec2 ())));
+    test "decode covers every combination exactly once" (fun () ->
+        let spec = spec2 () in
+        let labels = List.map Spec.label (Spec.jobs spec) in
+        Alcotest.(check int) "all jobs" 12 (List.length labels);
+        Alcotest.(check int) "distinct labels" 12
+          (List.length (List.sort_uniq compare labels)));
+    test "index round-trips through the decoded job" (fun () ->
+        let spec = spec2 () in
+        List.iter
+          (fun (j : Spec.job) ->
+            Alcotest.(check int) "index" j.index (Spec.job spec j.index).index)
+          (Spec.jobs spec));
+    test "seeds vary fastest, first axis slowest" (fun () ->
+        let spec = spec2 () in
+        let j0 = Spec.job spec 0 and j1 = Spec.job spec 1 in
+        Alcotest.(check int) "seed of job 0" 7 j0.Spec.seed;
+        Alcotest.(check int) "seed of job 1" 8 j1.Spec.seed;
+        Alcotest.(check string) "job 0 fd" "P" (Spec.value j0 "fd");
+        Alcotest.(check string) "last job fd" "S"
+          (Spec.value (Spec.job spec 11) "fd"));
+    test "label shows coordinates and seed" (fun () ->
+        Alcotest.(check string) "label" "P/fair/seed=7"
+          (Spec.label (Spec.job (spec2 ()) 0)));
+    test "invalid specs are rejected" (fun () ->
+        let raises f =
+          match f () with
+          | exception Invalid_argument _ -> ()
+          | _ -> Alcotest.fail "expected Invalid_argument"
+        in
+        raises (fun () -> Spec.make ~axes:[ ("a", []) ] ~seeds:[ 1 ] ());
+        raises (fun () -> Spec.make ~axes:[] ~seeds:[] ());
+        raises (fun () ->
+            Spec.make ~axes:[ ("a", [ "x" ]); ("a", [ "y" ]) ] ~seeds:[ 1 ] ());
+        raises (fun () -> Spec.job (spec2 ()) 12));
+  ]
+
+(* ---------- Checkpoint ---------- *)
+
+let checkpoint_tests =
+  [
+    test "header and entries round-trip" (fun () ->
+        let path = tmp_file "rlfd-ck-roundtrip.jsonl" in
+        let oc = open_out path in
+        Checkpoint.write_header oc
+          { Checkpoint.name = "c"; seed = 5; total = 3 };
+        Checkpoint.write_entry oc
+          { Checkpoint.job = 0; label = "a"; elapsed_s = 0.5; value = Json.Int 1 };
+        Checkpoint.write_entry oc
+          { Checkpoint.job = 2; label = "b"; elapsed_s = 0.25; value = Json.Int 9 };
+        close_out oc;
+        (match Checkpoint.load path with
+        | Error e -> Alcotest.fail e
+        | Ok (h, entries, skipped) ->
+          Alcotest.(check string) "name" "c" h.Checkpoint.name;
+          Alcotest.(check int) "seed" 5 h.Checkpoint.seed;
+          Alcotest.(check int) "total" 3 h.Checkpoint.total;
+          Alcotest.(check int) "entries" 2 (List.length entries);
+          Alcotest.(check int) "skipped" 0 skipped;
+          Alcotest.(check int) "job ids" 2
+            (List.length
+               (List.filter
+                  (fun (e : Checkpoint.entry) -> e.job = 0 || e.job = 2)
+                  entries)));
+        Sys.remove path);
+    test "a torn final line is skipped and counted" (fun () ->
+        let path = tmp_file "rlfd-ck-torn.jsonl" in
+        let oc = open_out path in
+        Checkpoint.write_header oc
+          { Checkpoint.name = "c"; seed = 5; total = 3 };
+        Checkpoint.write_entry oc
+          { Checkpoint.job = 1; label = "a"; elapsed_s = 0.; value = Json.Int 1 };
+        output_string oc "{\"job\":2,\"label\":\"torn";
+        close_out oc;
+        (match Checkpoint.load path with
+        | Error e -> Alcotest.fail e
+        | Ok (_, entries, skipped) ->
+          Alcotest.(check int) "entries" 1 (List.length entries);
+          Alcotest.(check int) "skipped" 1 skipped);
+        Sys.remove path);
+    test "a non-checkpoint file is an error, not a crash" (fun () ->
+        let path = tmp_file "rlfd-ck-garbage.jsonl" in
+        let oc = open_out path in
+        output_string oc "not json at all\n";
+        close_out oc;
+        (match Checkpoint.load path with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "expected Error");
+        Sys.remove path);
+  ]
+
+(* ---------- Engine determinism ---------- *)
+
+let report_fingerprint report = Engine.report_lines int_codec report
+
+let engine_tests =
+  [
+    test "report lines are byte-identical at 1 and 4 workers" (fun () ->
+        let serial = run_fingerprint ~workers:1 ~total:23 () in
+        let parallel = run_fingerprint ~workers:4 ~total:23 () in
+        Alcotest.(check (list string))
+          "identical reports" (report_fingerprint serial)
+          (report_fingerprint parallel));
+    test "shard size does not change the report" (fun () ->
+        let a = run_fingerprint ~workers:3 ~shard_size:1 ~total:17 () in
+        let b = run_fingerprint ~workers:2 ~shard_size:7 ~total:17 () in
+        Alcotest.(check (list string))
+          "identical reports" (report_fingerprint a) (report_fingerprint b));
+    test "outcomes are sorted and complete" (fun () ->
+        let r = run_fingerprint ~workers:4 ~total:11 () in
+        Alcotest.(check (list int)) "job order" (List.init 11 Fun.id)
+          (List.map (fun o -> o.Engine.job) r.Engine.outcomes));
+    test "merged metrics count every job once at any worker count" (fun () ->
+        let count workers =
+          let r = run_fingerprint ~workers ~total:19 () in
+          ( Metrics.counter_value r.Engine.metrics "jobs_seen",
+            List.length (Metrics.samples r.Engine.metrics "draws") )
+        in
+        Alcotest.(check (pair int int)) "serial" (19, 19) (count 1);
+        Alcotest.(check (pair int int)) "parallel" (19, 19) (count 4));
+    test "total = 0 yields an empty report" (fun () ->
+        let r = run_fingerprint ~workers:2 ~total:0 () in
+        Alcotest.(check int) "outcomes" 0 (List.length r.Engine.outcomes));
+    test "more workers than jobs still covers every job" (fun () ->
+        let r = run_fingerprint ~workers:8 ~total:3 () in
+        Alcotest.(check int) "outcomes" 3 (List.length r.Engine.outcomes));
+    test "a job exception surfaces after the pool joins" (fun () ->
+        match
+          Engine.run ~workers:2 ~name:"boom" ~seed:1 ~total:8
+            ~label:string_of_int
+            (fun ~rng:_ ~metrics:_ i ->
+              if i = 5 then failwith "job 5 exploded" else i)
+        with
+        | exception Failure msg ->
+          Alcotest.(check string) "message" "job 5 exploded" msg
+        | _ -> Alcotest.fail "expected Failure");
+    test "checkpoint or resume without a codec is rejected" (fun () ->
+        match
+          Engine.run ~checkpoint:"/tmp/never-written.jsonl" ~name:"x" ~seed:1
+            ~total:1 ~label:string_of_int
+            (fun ~rng:_ ~metrics:_ i -> i)
+        with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "expected Invalid_argument");
+  ]
+
+(* ---------- Checkpoint / resume through the engine ---------- *)
+
+let resume_tests =
+  [
+    test "resume after truncation reproduces the uninterrupted report"
+      (fun () ->
+        let full = run_fingerprint ~workers:2 ~total:14 () in
+        let path = tmp_file "rlfd-ck-resume.jsonl" in
+        let _ =
+          run_fingerprint ~workers:1 ~checkpoint:path ~codec:int_codec
+            ~total:14 ()
+        in
+        (* keep the header + 5 entries, then simulate a kill mid-write *)
+        let ic = open_in path in
+        let kept = List.init 6 (fun _ -> input_line ic) in
+        close_in ic;
+        let oc = open_out path in
+        List.iter (fun l -> output_string oc l; output_char oc '\n') kept;
+        output_string oc "{\"job\":11,\"label\":\"torn";
+        close_out oc;
+        let resumed =
+          run_fingerprint ~workers:3 ~checkpoint:path ~resume:true
+            ~codec:int_codec ~total:14 ()
+        in
+        Alcotest.(check (list string))
+          "identical reports" (report_fingerprint full)
+          (report_fingerprint resumed);
+        Alcotest.(check int) "resumed jobs" 5 resumed.Engine.resumed;
+        Alcotest.(check int) "torn line skipped" 1 resumed.Engine.skipped;
+        (* the repaired checkpoint holds every job exactly once *)
+        (match Checkpoint.load path with
+        | Error e -> Alcotest.fail e
+        | Ok (_, entries, _) ->
+          let ids =
+            List.sort compare
+              (List.map (fun (e : Checkpoint.entry) -> e.job) entries)
+          in
+          Alcotest.(check (list int)) "no duplicates" (List.init 14 Fun.id) ids);
+        Sys.remove path);
+    test "resuming a finished campaign re-runs nothing" (fun () ->
+        let path = tmp_file "rlfd-ck-finished.jsonl" in
+        let first =
+          run_fingerprint ~workers:2 ~checkpoint:path ~codec:int_codec
+            ~total:9 ()
+        in
+        let again =
+          run_fingerprint ~workers:2 ~checkpoint:path ~resume:true
+            ~codec:int_codec ~total:9 ()
+        in
+        Alcotest.(check int) "all resumed" 9 again.Engine.resumed;
+        Alcotest.(check (list string))
+          "identical reports" (report_fingerprint first)
+          (report_fingerprint again);
+        Sys.remove path);
+    test "a mismatched header refuses to resume" (fun () ->
+        let path = tmp_file "rlfd-ck-mismatch.jsonl" in
+        let _ =
+          run_fingerprint ~workers:1 ~checkpoint:path ~codec:int_codec
+            ~total:4 ()
+        in
+        (match
+           run_fingerprint ~workers:1 ~checkpoint:path ~resume:true
+             ~codec:int_codec ~total:5 ()
+         with
+        | exception Failure _ -> ()
+        | _ -> Alcotest.fail "expected Failure on total mismatch");
+        Sys.remove path);
+  ]
+
+(* ---------- run_spec ---------- *)
+
+let run_spec_tests =
+  [
+    test "run_spec hands each job its decoded coordinates" (fun () ->
+        let spec = spec2 () in
+        let report =
+          Engine.run_spec ~workers:2 ~seed:2002 spec
+            (fun ~rng:_ ~metrics:_ job -> Spec.label job)
+        in
+        List.iter
+          (fun o ->
+            Alcotest.(check string) "label matches value" o.Engine.label
+              o.Engine.value)
+          report.Engine.outcomes);
+  ]
+
+let () =
+  Alcotest.run "campaign"
+    [
+      suite "spec" spec_tests;
+      suite "checkpoint" checkpoint_tests;
+      suite "engine" engine_tests;
+      suite "resume" resume_tests;
+      suite "run-spec" run_spec_tests;
+    ]

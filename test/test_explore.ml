@@ -77,6 +77,27 @@ let explorer_tests =
             (Marabout_consensus.automaton ~proposals)
         in
         Alcotest.(check int) "no violations" 0 (List.length report.Explore.violations));
+    test "budget boundary: a tree of exactly max_nodes nodes is complete" (fun () ->
+        (* Measure the exact tree size with a generous budget, then re-run
+           with the budget at, one above, and one below that size. *)
+        let explore ~max_nodes =
+          Explore.run ~max_steps:4 ~max_nodes
+            ~pattern:(Pattern.failure_free ~n) ~detector:Perfect.canonical
+            ~check:safety (Ct_strong.automaton ~proposals)
+        in
+        let total = (explore ~max_nodes:400_000).Explore.nodes_explored in
+        Alcotest.(check bool) "reference run is complete" true
+          (explore ~max_nodes:400_000).Explore.complete;
+        let exact = explore ~max_nodes:total in
+        Alcotest.(check int) "exact budget explores everything" total
+          exact.Explore.nodes_explored;
+        Alcotest.(check bool) "exact budget is complete" true exact.Explore.complete;
+        let above = explore ~max_nodes:(total + 1) in
+        Alcotest.(check bool) "budget + 1 is complete" true above.Explore.complete;
+        let below = explore ~max_nodes:(total - 1) in
+        Alcotest.(check bool) "budget - 1 truncates" false below.Explore.complete;
+        Alcotest.(check int) "budget - 1 explores max_nodes nodes" (total - 1)
+          below.Explore.nodes_explored);
     test "node budget truncates honestly" (fun () ->
         let report =
           Explore.run ~max_steps:12 ~max_nodes:500

@@ -110,6 +110,53 @@ let rng_tests =
       (fun (seed, xs) ->
         let sub = Rng.subset (Rng.make seed) ~p:0.5 xs in
         List.for_all (fun x -> List.mem x xs) sub);
+    test "of_path is pure and distinct per path" (fun () ->
+        let a = Rng.of_path ~seed:9 [ 4; 2 ] in
+        let b = Rng.of_path ~seed:9 [ 4; 2 ] in
+        Alcotest.(check int) "equal streams" (Rng.int a 1_000_000) (Rng.int b 1_000_000);
+        let c = Rng.of_path ~seed:9 [ 4; 3 ] in
+        let d = Rng.of_path ~seed:9 [ 4; 2 ] in
+        Alcotest.(check bool) "sibling paths differ" false
+          (List.init 8 (fun _ -> Rng.int c 1_000_000)
+          = List.init 8 (fun _ -> Rng.int d 1_000_000)));
+    test "of_path sibling streams don't correlate" (fun () ->
+        (* Pearson correlation of consecutive sibling job streams: the
+           campaign engine derives job i's stream as of_path [i], so
+           neighbouring jobs must look independent. *)
+        let draws g = List.init 1_000 (fun _ -> Rng.float g 1.0) in
+        let correlation xs ys =
+          let mx = Stats.mean xs and my = Stats.mean ys in
+          let cov =
+            List.fold_left2 (fun acc x y -> acc +. ((x -. mx) *. (y -. my))) 0. xs ys
+            /. float_of_int (List.length xs)
+          in
+          cov /. (Stats.stddev xs *. Stats.stddev ys)
+        in
+        List.iter
+          (fun i ->
+            let r =
+              correlation
+                (draws (Rng.of_path ~seed:2002 [ i ]))
+                (draws (Rng.of_path ~seed:2002 [ i + 1 ]))
+            in
+            Alcotest.(check bool)
+              (Format.asprintf "|corr(job %d, job %d)| = %.3f < 0.1" i (i + 1)
+                 (Float.abs r))
+              true
+              (Float.abs r < 0.1))
+          [ 0; 1; 2; 3; 4 ]);
+    test "of_path first draws are uniform across siblings" (fun () ->
+        let buckets = Array.make 10 0 in
+        for i = 0 to 1_999 do
+          let v = Rng.int (Rng.of_path ~seed:7 [ i ]) 10 in
+          buckets.(v) <- buckets.(v) + 1
+        done;
+        Array.iter
+          (fun c ->
+            Alcotest.(check bool)
+              (Format.asprintf "bucket count %d in [140,260]" c)
+              true (c > 140 && c < 260))
+          buckets);
     test "int is roughly uniform" (fun () ->
         let g = Rng.make 123 in
         let buckets = Array.make 10 0 in
