@@ -551,7 +551,7 @@ let nbac_cmd =
 (* ---------- fdsim explore ---------- *)
 
 let explore_cmd =
-  let run n seed crashes algo fd max_steps max_nodes uniform =
+  let run n seed crashes algo fd max_steps max_nodes uniform canon por cross =
     let pattern = pattern_of ~n crashes in
     let detector = make_detector ~seed fd in
     let agreement = Explore.agreement_check ~equal:Int.equal in
@@ -565,13 +565,8 @@ let explore_cmd =
           agreement (List.filter (fun (p, _) -> not (Pid.Set.mem p faulty)) outputs)
       end
     in
-    let finish : type s m. (s, m, Detector.suspicions, int) Model.t -> int =
-     fun automaton ->
-      let report =
-        Explore.run ~max_steps ~max_nodes ~pattern ~detector ~check automaton
-      in
-      Format.printf "pattern:  %a@.detector: %s@." Pattern.pp pattern
-        (Detector.name detector);
+    let d_equal = Pid.Set.equal in
+    let print_report report =
       Format.printf "%a@." Explore.pp_report report;
       List.iter
         (fun v ->
@@ -587,8 +582,34 @@ let explore_cmd =
           List.iter
             (fun (p, v) -> Format.printf "  output: %a decided %d@." Pid.pp p v)
             v.Explore.outputs)
-        report.Explore.violations;
-      exit_ok (report.Explore.violations = [])
+        report.Explore.violations
+    in
+    let finish : type s m. (s, m, Detector.suspicions, int) Model.t -> int =
+     fun automaton ->
+      Format.printf "pattern:  %a@.detector: %s@." Pattern.pp pattern
+        (Detector.name detector);
+      if cross then begin
+        let c =
+          Explore.cross_check ~max_steps ~max_nodes ~d_equal ~pattern ~detector
+            ~check automaton
+        in
+        Format.printf "unreduced: %a@." Explore.pp_report c.Explore.unreduced;
+        Format.printf "reduced:   %a@." Explore.pp_report c.Explore.reduced;
+        Format.printf
+          "cross-check: %s (%d decision state(s), %.1fx fewer nodes)@."
+          (if c.Explore.identical then "identical" else "MISMATCH")
+          (List.length c.Explore.reduced.Explore.decision_states)
+          c.Explore.node_factor;
+        exit_ok c.Explore.identical
+      end
+      else begin
+        let report =
+          Explore.run ~max_steps ~max_nodes ~canon ~por ~d_equal ~pattern
+            ~detector ~check automaton
+        in
+        print_report report;
+        exit_ok (report.Explore.violations = [])
+      end
     in
     match algo with
     | `Ct_strong -> finish (Ct_strong.automaton ~proposals)
@@ -608,12 +629,33 @@ let explore_cmd =
       & info [ "uniform" ] ~docv:"BOOL"
           ~doc:"Check uniform agreement (true) or correct-restricted (false).")
   in
+  let canon =
+    Arg.(
+      value & flag
+      & info [ "canon" ]
+          ~doc:"Canonicalize states and prune duplicates (visited set).")
+  in
+  let por =
+    Arg.(
+      value & flag
+      & info [ "por" ]
+          ~doc:"Sleep-set partial-order reduction over commuting deliveries.")
+  in
+  let cross =
+    Arg.(
+      value & flag
+      & info [ "cross-check" ]
+          ~doc:
+            "Run both reduced (--canon --por) and naive explorations and \
+             verify they reach identical decision-state sets.")
+  in
   Cmd.v
     (Cmd.info "explore"
        ~doc:"Exhaustively explore every schedule up to a bound (small n!).")
     Term.(
       const run $ Arg.(value & opt int 3 & info [ "n" ]) $ seed_arg $ crashes_arg
-      $ algo_arg $ detector_arg $ max_steps $ max_nodes $ uniform)
+      $ algo_arg $ detector_arg $ max_steps $ max_nodes $ uniform $ canon $ por
+      $ cross)
 
 (* ---------- fdsim metrics ---------- *)
 

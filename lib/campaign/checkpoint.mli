@@ -9,13 +9,16 @@
     and never produces a duplicate job id. *)
 
 val schema_version : int
+(** Version stamp written into every header; bumped on format changes. *)
 
+(** The identity line a checkpoint file opens with. *)
 type header = { name : string; seed : int; total : int }
 
+(** One completed-job line. *)
 type entry = {
-  job : int;
-  label : string;
-  elapsed_s : float;
+  job : int;  (** the job's index *)
+  label : string;  (** the label the campaign gave it *)
+  elapsed_s : float;  (** wall time the original run spent on it *)
   value : Rlfd_obs.Json.t;  (** the encoded job result *)
 }
 

@@ -26,14 +26,16 @@ type 'r codec = {
 (** How results cross the checkpoint file.  [decode] failures on resume are
     harmless: the job is simply re-run (and counted in [skipped]). *)
 
+(** One finished job. *)
 type 'r outcome = {
-  job : int;
-  label : string;
-  elapsed_s : float;
+  job : int;  (** the job's index in [0 .. total - 1] *)
+  label : string;  (** the label the campaign gave this index *)
+  elapsed_s : float;  (** wall time of this job alone *)
   resumed : bool;  (** [true] if taken from the checkpoint, not re-run *)
-  value : 'r;
+  value : 'r;  (** what the job function returned *)
 }
 
+(** The aggregated campaign result. *)
 type 'r report = {
   campaign : string;
   seed : int;
@@ -43,9 +45,9 @@ type 'r report = {
   duplicates : int;  (** checkpoint entries for an already-seen job id *)
   skipped : int;  (** malformed / torn / undecodable / out-of-range lines *)
   metrics : Rlfd_obs.Metrics.t;  (** per-shard registries, shard order *)
-  workers : int;
-  shard_size : int;
-  wall_s : float;
+  workers : int;  (** pool size the campaign ran with *)
+  shard_size : int;  (** jobs per work-queue item *)
+  wall_s : float;  (** end-to-end wall time *)
 }
 
 val run :

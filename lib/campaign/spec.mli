@@ -14,11 +14,13 @@
     module — and the whole campaign layer — depends only on the kernel. *)
 
 type t
+(** A named job space: axes × seeds. *)
 
+(** One point of the product. *)
 type job = {
-  index : int;
+  index : int;  (** the job's stable index in [0 .. size - 1] *)
   coords : (string * string) list;  (** (axis name, chosen value), axis order *)
-  seed : int;
+  seed : int;  (** the seed coordinate (fastest-varying axis) *)
 }
 
 val make :
@@ -29,6 +31,7 @@ val make :
     axis name. *)
 
 val name : t -> string
+(** The spec's display name (defaults to ["campaign"]). *)
 
 val size : t -> int
 (** The number of jobs: the product of all axis lengths times the number of

@@ -525,50 +525,124 @@ let nbac_with_p cfg =
 (* ---------- Small-scope model checking ---------- *)
 
 let exhaustive_small_scope cfg =
-  let n = 3 in
   let proposals p = 10 + Pid.to_int p in
-  let safety =
+  let safety ~n =
     Explore.both
       (Explore.agreement_check ~equal:Int.equal)
       (Explore.validity_check ~n ~proposals ~equal:Int.equal)
   in
-  (* Two independent exhaustive scopes; running them as a 2-job campaign
-     lets [cfg.workers > 1] explore both trees at once. *)
+  let d_equal = Pid.Set.equal in
+  let restricted pattern =
+    let faulty = Pattern.faulty pattern in
+    let agreement = Explore.agreement_check ~equal:Int.equal in
+    fun outputs ->
+      agreement (List.filter (fun (p, _) -> not (Pid.Set.mem p faulty)) outputs)
+  in
+  (* Three kinds of job, one campaign so [cfg.workers > 1] explores every
+     tree at once: the two PR-2 scopes re-run naively (continuity with the
+     seeded numbers), reduced-vs-naive cross-checks at n=3 over the
+     algorithm portfolio, and an n=4 grid that only canon+por reductions
+     make feasible (the naive n=4 trees run to hundreds of millions of
+     nodes). *)
+  let p3 crashes = Pattern.make ~n:3 crashes in
+  let p4 crashes = Pattern.make ~n:4 crashes in
+  let crash p t = (Pid.of_int p, Time.of_int t) in
+  let n4 pattern max_steps () =
+    `Report
+      (Explore.run ~max_steps ~max_nodes:4_000_000 ~canon:true ~por:true
+         ~d_equal ~pattern ~detector:Perfect.canonical ~check:(safety ~n:4)
+         (Ct_strong.automaton ~proposals))
+  in
   let scopes =
-    [| (fun () ->
-         Explore.run ~max_steps:9 ~max_nodes:2_000_000
-           ~pattern:(Pattern.make ~n [ (Pid.of_int 1, Time.of_int 2) ])
-           ~detector:Perfect.canonical ~check:safety
-           (Ct_strong.automaton ~proposals));
-       (fun () ->
-         Explore.run ~max_steps:10 ~max_nodes:400_000
-           ~pattern:(Pattern.make ~n [ (Pid.of_int 1, Time.of_int 1) ])
-           ~detector:Partial_perfect.canonical
-           ~check:(Explore.agreement_check ~equal:Int.equal)
-           (Rank_consensus.automaton ~proposals))
+    [| ( "ct-strong+P", fun () ->
+         `Report
+           (Explore.run ~max_steps:9 ~max_nodes:2_000_000
+              ~pattern:(p3 [ crash 1 2 ])
+              ~detector:Perfect.canonical ~check:(safety ~n:3)
+              (Ct_strong.automaton ~proposals)) );
+       ( "rank+P<", fun () ->
+         `Report
+           (Explore.run ~max_steps:10 ~max_nodes:400_000
+              ~pattern:(p3 [ crash 1 1 ])
+              ~detector:Partial_perfect.canonical
+              ~check:(Explore.agreement_check ~equal:Int.equal)
+              (Rank_consensus.automaton ~proposals)) );
+       ( "xcheck:ct-strong+P", fun () ->
+         `Cross
+           (Explore.cross_check ~max_steps:9 ~max_nodes:2_000_000 ~d_equal
+              ~pattern:(p3 [ crash 1 2 ])
+              ~detector:Perfect.canonical ~check:(safety ~n:3)
+              (Ct_strong.automaton ~proposals)) );
+       ( "xcheck:rank+P<", fun () ->
+         let pattern = p3 [ crash 1 1 ] in
+         `Cross
+           (Explore.cross_check ~max_steps:10 ~max_nodes:400_000 ~d_equal
+              ~pattern ~detector:Partial_perfect.canonical
+              ~check:(restricted pattern)
+              (Rank_consensus.automaton ~proposals)) );
+       ( "xcheck:marabout+M", fun () ->
+         `Cross
+           (Explore.cross_check ~max_steps:8 ~max_nodes:2_000_000 ~d_equal
+              ~pattern:(p3 []) ~detector:Marabout.canonical
+              ~check:(safety ~n:3)
+              (Marabout_consensus.automaton ~proposals)) );
+       ("n4:ct-strong+P", n4 (p4 []) 8);
+       ("n4:ct-strong+P:p1@2", n4 (p4 [ crash 1 2 ]) 9);
+       ("n4:ct-strong+P:p3@5", n4 (p4 [ crash 3 5 ]) 9);
+       ("n4:ct-strong+P:2crash", n4 (p4 [ crash 1 2; crash 2 4 ]) 9)
     |]
   in
   let report =
     Rlfd_campaign.Engine.run ~workers:cfg.workers ~name:"small-scope"
-      ~seed:cfg.seed ~total:2
-      ~label:(fun i -> if i = 0 then "ct-strong+P" else "rank+P<")
-      (fun ~rng:_ ~metrics:_ i -> scopes.(i) ())
+      ~seed:cfg.seed ~total:(Array.length scopes)
+      ~label:(fun i -> fst scopes.(i))
+      (fun ~rng:_ ~metrics:_ i -> snd scopes.(i) ())
   in
-  let positive, negative =
-    match report.Rlfd_campaign.Engine.outcomes with
-    | [ a; b ] -> (a.value, b.value)
-    | _ -> assert false
+  let value i = (List.nth report.Rlfd_campaign.Engine.outcomes i).value in
+  let positive = match value 0 with `Report r -> r | _ -> assert false in
+  let negative = match value 1 with `Report r -> r | _ -> assert false in
+  let crosses =
+    List.filter_map
+      (function `Cross c -> Some c | `Report _ -> None)
+      (List.map value [ 2; 3; 4 ])
+  in
+  let grid =
+    List.filter_map
+      (function `Report r -> Some r | `Cross _ -> None)
+      (List.map value [ 5; 6; 7; 8 ])
+  in
+  let crosses_ok = List.for_all (fun c -> c.Explore.identical) crosses in
+  let grid_ok =
+    List.for_all
+      (fun (r : _ Explore.report) -> r.Explore.complete && r.Explore.violations = [])
+      grid
   in
   outcome ~id:"EXP-14"
-    ~claim:"small-scope exhaustive check: safety of the total algorithm, witness for P<"
-    ~expected:"0 violations for ct-strong+P over the whole tree; a uniformity witness for rank+P<"
+    ~claim:
+      "small-scope exhaustive check: safety of the total algorithm, witness \
+       for P<; reductions preserve reachable decisions; n=4 grid complete"
+    ~expected:
+      "0 violations for ct-strong+P over the whole tree; a uniformity witness \
+       for rank+P<; 3 identical cross-checks; 4 complete violation-free n=4 \
+       scopes"
     ~observed:
-      (Format.asprintf "ct-strong: %a; rank: %d witness(es)" Explore.pp_report positive
-         (List.length negative.Explore.violations))
+      (Format.asprintf
+         "ct-strong: %a; rank: %d witness(es); cross-checks %s (up to %.0fx \
+          fewer nodes); n=4 grid %s (%d states max)"
+         Explore.pp_report positive
+         (List.length negative.Explore.violations)
+         (if crosses_ok then "identical" else "MISMATCH")
+         (List.fold_left (fun m c -> Float.max m c.Explore.node_factor) 0. crosses)
+         (if grid_ok then "complete" else "INCOMPLETE")
+         (List.fold_left
+            (fun m (r : _ Explore.report) -> Stdlib.max m r.Explore.distinct_states)
+            0 grid))
     ~pass:
       (positive.Explore.violations = []
       && positive.Explore.complete
-      && negative.Explore.violations <> [])
+      && negative.Explore.violations <> []
+      && List.length crosses = 3 && crosses_ok
+      && List.length grid = 4 && grid_ok)
 
 let all cfg =
   [

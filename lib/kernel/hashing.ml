@@ -1,0 +1,100 @@
+(* SplitMix64 finalizer (Steele, Lea, Flood 2014) — duplicated from Rng
+   rather than exposed by it so the two modules stay independently
+   readable; the constant set is the published one. *)
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let of_int i = mix64 (Int64.of_int i)
+
+(* FNV-1a 64-bit, finalized with mix64 for avalanche on short strings. *)
+let fnv_offset = 0xCBF29CE484222325L
+let fnv_prime = 0x100000001B3L
+
+let of_string s =
+  let h = ref fnv_offset in
+  for i = 0 to String.length s - 1 do
+    h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code s.[i]))) fnv_prime
+  done;
+  mix64 !h
+
+let combine acc h = mix64 (Int64.add (Int64.mul acc 0x9E3779B97F4A7C15L) h)
+
+let fold_ints acc xs = List.fold_left (fun acc x -> combine acc (of_int x)) acc xs
+
+module Table = struct
+  (* Open addressing, linear probing, no deletion.  A slot is empty iff
+     its key is the empty string AND its fingerprint is 0L — canonical
+     encodings are never empty, but guard anyway with a presence array. *)
+  type 'a t = {
+    mutable hashes : int64 array;
+    mutable keys : string array;
+    mutable values : 'a option array;
+    mutable used : int;
+    mutable mask : int;
+  }
+
+  let create ?(initial = 1024) () =
+    let cap =
+      let rec pow2 c = if c >= initial then c else pow2 (c * 2) in
+      Stdlib.max 8 (pow2 8)
+    in
+    {
+      hashes = Array.make cap 0L;
+      keys = Array.make cap "";
+      values = Array.make cap None;
+      used = 0;
+      mask = cap - 1;
+    }
+
+  let slot_of t key = Int64.to_int (Int64.logand key (Int64.of_int t.mask))
+
+  (* Index of [bytes] if present, else of the empty slot to insert at. *)
+  let probe t ~key bytes =
+    let rec go i =
+      match t.values.(i) with
+      | None -> i
+      | Some _ ->
+        if Int64.equal t.hashes.(i) key && String.equal t.keys.(i) bytes then i
+        else go ((i + 1) land t.mask)
+    in
+    go (slot_of t key)
+
+  let grow t =
+    let old_hashes = t.hashes and old_keys = t.keys and old_values = t.values in
+    let cap = (t.mask + 1) * 2 in
+    t.hashes <- Array.make cap 0L;
+    t.keys <- Array.make cap "";
+    t.values <- Array.make cap None;
+    t.mask <- cap - 1;
+    Array.iteri
+      (fun i v ->
+        match v with
+        | None -> ()
+        | Some _ ->
+          let j = probe t ~key:old_hashes.(i) old_keys.(i) in
+          t.hashes.(j) <- old_hashes.(i);
+          t.keys.(j) <- old_keys.(i);
+          t.values.(j) <- v)
+      old_values
+
+  let find t ~key bytes =
+    let i = probe t ~key bytes in
+    t.values.(i)
+
+  let set t ~key bytes v =
+    if t.used * 8 >= (t.mask + 1) * 7 then grow t;
+    let i = probe t ~key bytes in
+    (match t.values.(i) with
+    | None ->
+      t.hashes.(i) <- key;
+      t.keys.(i) <- bytes;
+      t.used <- t.used + 1
+    | Some _ -> ());
+    t.values.(i) <- Some v
+
+  let length t = t.used
+
+  let capacity t = t.mask + 1
+end

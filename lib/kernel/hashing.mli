@@ -1,0 +1,67 @@
+(** Fast 64-bit mixing and open-addressing visited-set storage.
+
+    The bounded-exhaustive explorer ({!Rlfd_sim.Explore}) canonicalizes
+    millions of simulator states and must decide "seen before?" for each at
+    hash-table speed without ever confusing two distinct states.  This
+    module supplies both halves: the SplitMix64 finalizer as a standalone
+    mixing primitive (the same bijective mixer {!Rng} builds its streams
+    from), and {!Table} — an open-addressing, linear-probing map from
+    canonical byte strings to values that compares full keys on probe
+    collisions, so equal 64-bit fingerprints alone never cause a false
+    merge.
+
+    Everything here is deterministic: no seeding, no randomized hashing.
+    Two runs over the same states produce the same fingerprints, which is
+    what lets explorer reports be compared byte-for-byte across
+    configurations and worker counts. *)
+
+val mix64 : int64 -> int64
+(** The SplitMix64 finalizer (Steele, Lea & Flood 2014): a bijective
+    avalanche mixer — every input bit affects every output bit.  The
+    building block of the other operations. *)
+
+val of_int : int -> int64
+(** Mix a native integer into a well-distributed 64-bit fingerprint. *)
+
+val of_string : string -> int64
+(** Fingerprint a byte string: FNV-1a over the bytes, finalized with
+    {!mix64}.  Used on the canonical encodings produced by
+    {!Rlfd_sim.Canon}. *)
+
+val combine : int64 -> int64 -> int64
+(** [combine acc h] folds [h] into the running fingerprint [acc].
+    Non-commutative, so sequences hash by position. *)
+
+val fold_ints : int64 -> int list -> int64
+(** [fold_ints acc xs] is [combine] over [of_int] of each element. *)
+
+(** Open-addressing storage for canonical encodings.
+
+    A mutable map from byte-string keys to values, probed linearly in a
+    power-of-two array and resized at 7/8 load.  Each entry keeps the
+    64-bit fingerprint {e and} the full key: lookups reject an entry
+    whose fingerprint matches but whose bytes differ, so the structure
+    never conflates two states whose canonical encodings differ — the
+    property the explorer's duplicate-pruning soundness rests on.
+    There is no deletion; the explorer only ever adds. *)
+module Table : sig
+  type 'a t
+
+  val create : ?initial:int -> unit -> 'a t
+  (** [initial] is a capacity hint (default 1024); the table grows as
+      needed regardless. *)
+
+  val find : 'a t -> key:int64 -> string -> 'a option
+  (** [find t ~key bytes] is the value stored under [bytes], where [key]
+      must be [of_string bytes] (callers cache it to hash once). *)
+
+  val set : 'a t -> key:int64 -> string -> 'a -> unit
+  (** Insert or replace. *)
+
+  val length : 'a t -> int
+  (** Number of distinct keys stored. *)
+
+  val capacity : 'a t -> int
+  (** Current slot-array size (diagnostics: load factor is
+      [length / capacity]). *)
+end

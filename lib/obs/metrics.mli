@@ -21,7 +21,10 @@
     - ["detection_latency"], ["mistake_duration"] (histograms),
       ["false_suspicion_episodes"], ["undetected_crash_pairs"] —
       {!Rlfd_net.Qos.observe}
-    - ["explore_nodes"], ["explore_nodes_per_sec"] — {!Rlfd_sim.Explore} *)
+    - ["explore_nodes"], ["explore_violations"],
+      ["explore_nodes_per_sec"], and — when the corresponding reduction is
+      enabled — ["explore_distinct_states"], ["explore_deduped"],
+      ["explore_por_pruned"] — {!Rlfd_sim.Explore} *)
 
 type t
 

@@ -8,24 +8,31 @@
 open Rlfd_kernel
 
 type 'a t
+(** A mutable buffer of in-transit messages of type ['a]. *)
 
 type id = int
+(** Message identifiers: unique within a buffer, assigned in increasing
+    order of {!add}. *)
 
 val create : unit -> 'a t
+(** An empty buffer; identifiers start at 0. *)
 
 val add : 'a t -> 'a -> id
+(** Put a message in transit and return its fresh identifier. *)
 
 val remove : 'a t -> id -> 'a option
 (** Removes and returns the message; [None] if the id is absent (already
     consumed). *)
 
 val find : 'a t -> id -> 'a option
+(** Like {!remove} but leaves the message in the buffer. *)
 
 val pending_for : 'a t -> dst:Pid.t -> keep:('a -> Pid.t) -> (id * 'a) list
 (** Messages currently destined to [dst] (per the [keep] projection), oldest
     first. *)
 
 val size : 'a t -> int
+(** Number of messages currently in transit. *)
 
 val iter : 'a t -> (id -> 'a -> unit) -> unit
 (** In increasing id order. *)

@@ -1,0 +1,59 @@
+(** Canonical, incrementally hashable encodings of global explorer states.
+
+    A global state of the bounded-exhaustive explorer ({!Explore}) is the
+    step count, the per-process automaton states, the multiset of in-flight
+    messages and the multiset of outputs emitted so far.  Two interleavings
+    that permute commuting steps reach states that differ only in
+    path-dependent bookkeeping — message identifiers, buffer order, output
+    emission order.  This module erases exactly that bookkeeping: it maps a
+    state to a byte string such that two states get equal bytes iff they are
+    equivalent for every future of the exploration (same enabled choices,
+    same reachable decisions, same safety verdicts).
+
+    The encoding is {e incremental}: each component (one process state, one
+    message, one output) is encoded once, when it is created, by
+    {!encode_value}; {!assemble} only sorts and concatenates the cached
+    fragments.  A step therefore costs one fresh [Marshal] of the stepped
+    process plus one per message it sends, never a re-serialization of the
+    whole configuration.
+
+    Fingerprints come from {!Rlfd_kernel.Hashing}; the full byte string is
+    kept alongside so the visited set ({!Rlfd_kernel.Hashing.Table}) can
+    reject fingerprint collisions exactly. *)
+
+type t
+(** One canonical encoding: the bytes and their 64-bit fingerprint. *)
+
+val key : t -> int64
+
+val bytes : t -> string
+
+val equal : t -> t -> bool
+(** Full equality — fingerprint first, then the bytes. *)
+
+val encode_value : 'a -> string
+(** Canonical bytes of one immutable component (an automaton state, a
+    message payload paired with its endpoints, an output paired with its
+    emitter).  Structurally equal values encode equally; values containing
+    functions or cycles are outside the contract (automaton state spaces
+    are first-order data). *)
+
+val multiset : string list -> string
+(** Order-insensitive encoding of a bag of pre-encoded items: sorted and
+    framed so distinct bags never alias.  Used for the reachable
+    decision-state sets that {!Explore}'s cross-check mode compares
+    byte-for-byte. *)
+
+val assemble :
+  step_no:int ->
+  states:string list ->
+  messages:string list ->
+  outputs:string list ->
+  t
+(** [assemble ~step_no ~states ~messages ~outputs] is the canonical
+    encoding of a global state.  [states] must be in ascending process
+    order (the explorer derives it from a {!Rlfd_kernel.Pid.Map}, which
+    iterates in order); [messages] and [outputs] are sorted internally —
+    their order is exactly the bookkeeping being erased.  [step_no] is part
+    of the state: detector outputs and crash events are functions of time,
+    so states at different depths are never merged. *)

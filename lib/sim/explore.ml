@@ -12,32 +12,78 @@ type 'o violation = {
 
 type 'o report = {
   nodes_explored : int;
+  distinct_states : int;
+  deduped : int;
+  por_pruned : int;
   complete : bool;
   deepest : int;
   violations : 'o violation list;
+  decision_states : string list;
 }
 
 let pp_report ppf r =
   Format.fprintf ppf "explored %d nodes (%s), depth %d, %d violation(s)"
     r.nodes_explored
     (if r.complete then "complete" else "budget exhausted")
-    r.deepest (List.length r.violations)
+    r.deepest (List.length r.violations);
+  if r.deduped > 0 || r.por_pruned > 0 then
+    Format.fprintf ppf " [%d distinct, %d deduped, %d por-pruned]"
+      r.distinct_states r.deduped r.por_pruned
 
 (* A purely functional configuration: immutable maps everywhere so branches
-   share structure. *)
+   share structure.  [state_encs] caches the canonical bytes of each process
+   state and each buffered message (computed once at creation), so hashing a
+   configuration never re-serializes components older than the last step. *)
 type ('s, 'm) config = {
   step_no : int;
   states : 's Pid.Map.t;
-  buffer : (int * Pid.t * Pid.t * 'm) list; (* id, src, dst, payload; newest first *)
+  state_encs : string Pid.Map.t; (* canonical bytes per process, when canon *)
+  buffer : (int * Pid.t * Pid.t * 'm * string) list;
+      (* id, src, dst, payload, canonical bytes; newest first *)
   next_id : int;
 }
 
+(* A schedule choice: which process steps, and which pending message (by
+   buffer id, with its sender) it receives — [None] is the null message. *)
+type choice = Pid.t * (int * Pid.t) option
+
+let same_choice ((p : Pid.t), ra) ((q : Pid.t), rb) =
+  Pid.equal p q
+  &&
+  match (ra, rb) with
+  | None, None -> true
+  | Some (i, _), Some (j, _) -> i = j
+  | _ -> false
+
+(* Sorted-int64-set helpers for the stored sleep sets. *)
+let sorted_descs l = List.sort_uniq Int64.compare l
+
+let rec desc_subset a b =
+  (* a ⊆ b, both sorted ascending *)
+  match (a, b) with
+  | [], _ -> true
+  | _, [] -> false
+  | x :: a', y :: b' ->
+    let c = Int64.compare x y in
+    if c = 0 then desc_subset a' b' else if c > 0 then desc_subset a b' else false
+
+let rec desc_inter a b =
+  match (a, b) with
+  | [], _ | _, [] -> []
+  | x :: a', y :: b' ->
+    let c = Int64.compare x y in
+    if c = 0 then x :: desc_inter a' b'
+    else if c < 0 then desc_inter a' b
+    else desc_inter a b'
+
 let run ?(max_steps = 12) ?(max_nodes = 200_000) ?(max_violations = 5)
+    ?(canon = false) ?(por = false) ?(d_equal = fun a b -> a = b)
     ?(sink = Rlfd_obs.Trace.null) ?metrics ~pattern ~detector ~check
     (algo : _ Model.t) =
   let n = Pattern.n pattern in
   let started_at = Rlfd_obs.Profile.now () in
   let nodes = ref 0 and deepest = ref 0 and truncated = ref false in
+  let deduped = ref 0 and por_pruned = ref 0 in
   let violations = ref [] in
   let add_violation v =
     if List.length !violations < max_violations then begin
@@ -47,13 +93,34 @@ let run ?(max_steps = 12) ?(max_nodes = 200_000) ?(max_violations = 5)
           emit sink (Violation { time = v.at_step; reason = v.reason }))
     end
   in
+  (* The visited set maps a canonical state to the (descriptor-hashed) sleep
+     set it was last expanded under; the reachable-decision set accumulates
+     the multiset encodings of the outputs emitted so far. *)
+  let visited : int64 list Hashing.Table.t =
+    Hashing.Table.create ~initial:4096 ()
+  in
+  let decisions : unit Hashing.Table.t = Hashing.Table.create ~initial:64 () in
+  let decision_list = ref [] in
+  let record_decision output_encs =
+    let enc = Canon.multiset output_encs in
+    let key = Hashing.of_string enc in
+    match Hashing.Table.find decisions ~key enc with
+    | Some () -> ()
+    | None ->
+      Hashing.Table.set decisions ~key enc ();
+      decision_list := enc :: !decision_list
+  in
   let initial =
+    let states =
+      List.fold_left
+        (fun acc p -> Pid.Map.add p (algo.Model.initial ~n p) acc)
+        Pid.Map.empty (Pid.all ~n)
+    in
     {
       step_no = 0;
-      states =
-        List.fold_left
-          (fun acc p -> Pid.Map.add p (algo.Model.initial ~n p) acc)
-          Pid.Map.empty (Pid.all ~n);
+      states;
+      state_encs =
+        (if canon then Pid.Map.map Canon.encode_value states else Pid.Map.empty);
       buffer = [];
       next_id = 0;
     }
@@ -67,11 +134,11 @@ let run ?(max_steps = 12) ?(max_nodes = 200_000) ?(max_violations = 5)
     |> List.concat_map (fun p ->
            (p, None)
            :: List.filter_map
-                (fun (id, src, dst, _) ->
+                (fun (id, src, dst, _, _) ->
                   if Pid.equal dst p then Some (p, Some (id, src)) else None)
                 config.buffer)
   in
-  let apply config (p, receive) =
+  let apply config ((p, receive) : choice) =
     let now = Time.of_int config.step_no in
     let envelope, buffer =
       match receive with
@@ -79,7 +146,7 @@ let run ?(max_steps = 12) ?(max_nodes = 200_000) ?(max_violations = 5)
       | Some (id, _src) ->
         let rec extract acc = function
           | [] -> (None, List.rev acc)
-          | (id', src, dst, payload) :: rest when id' = id ->
+          | (id', src, dst, payload, _) :: rest when id' = id ->
             (Some { Model.src; dst; payload }, List.rev_append acc rest)
           | other :: rest -> extract (other :: acc) rest
         in
@@ -90,59 +157,228 @@ let run ?(max_steps = 12) ?(max_nodes = 200_000) ?(max_violations = 5)
     let buffer, next_id =
       List.fold_left
         (fun (buffer, next_id) (dst, payload) ->
-          ((next_id, p, dst, payload) :: buffer, next_id + 1))
+          let enc =
+            if canon then Canon.encode_value (p, dst, payload) else ""
+          in
+          ((next_id, p, dst, payload, enc) :: buffer, next_id + 1))
         (buffer, config.next_id) effects.Model.sends
     in
     ( {
         step_no = config.step_no + 1;
         states = Pid.Map.add p effects.Model.state config.states;
+        state_encs =
+          (if canon then
+             Pid.Map.add p (Canon.encode_value effects.Model.state) config.state_encs
+           else config.state_encs);
         buffer;
         next_id;
       },
       effects.Model.outputs )
   in
-  (* Every call counts its node (the root included).  The budget is checked
-     per {e child}: [truncated] is set only when an unexplored child exists
-     with the budget already spent, so a tree of exactly [max_nodes] nodes
-     still reports [complete = true], and any mid-branch cut reports
-     [complete = false]. *)
-  let rec dfs config outputs trail =
+  let encode config output_encs =
+    Canon.assemble ~step_no:config.step_no
+      ~states:(List.rev (Pid.Map.fold (fun _ e acc -> e :: acc) config.state_encs []))
+      ~messages:(List.map (fun (_, _, _, _, e) -> e) config.buffer)
+      ~outputs:output_encs
+  in
+  (* Two choices are independent at a configuration iff they belong to
+     distinct processes that both survive the next tick and whose detector
+     modules return the same value at this tick and the next: then either
+     execution order yields canonically equal states (the receivers are
+     distinct, so neither consumes nor preempts the other's message, and
+     neither step's inputs change).  [stable]/[alive_next] memoize the
+     per-process conditions for the node being expanded. *)
+  let independence config =
+    let now = Time.of_int config.step_no in
+    let next = Time.of_int (config.step_no + 1) in
+    let stable = Array.make (n + 1) None in
+    let is_stable p =
+      let i = Pid.to_int p in
+      match stable.(i) with
+      | Some b -> b
+      | None ->
+        let b =
+          Pattern.is_alive pattern p next
+          && d_equal
+               (Detector.query detector pattern p now)
+               (Detector.query detector pattern p next)
+        in
+        stable.(i) <- Some b;
+        b
+    in
+    fun ((p, _) : choice) ((q, _) : choice) ->
+      (not (Pid.equal p q)) && is_stable p && is_stable q
+  in
+  (* A path-independent descriptor for a slept choice: the process plus the
+     canonical bytes of the received message (a tag for lambda), so sleep
+     sets reached along different paths compare meaningfully. *)
+  let descriptor config ((p, receive) : choice) =
+    match receive with
+    | None -> Hashing.combine (Hashing.of_int (Pid.to_int p)) 0x6C616D62L
+    | Some (id, _) ->
+      let enc =
+        match List.find_opt (fun (id', _, _, _, _) -> id' = id) config.buffer with
+        | Some (_, _, _, _, e) -> e
+        | None -> ""
+      in
+      Hashing.combine (Hashing.of_int (Pid.to_int p)) (Hashing.of_string enc)
+  in
+  (* Every call counts its expansion (the root included).  The budget is
+     checked per {e child}: [truncated] is set only when an unexplored,
+     non-duplicate child exists with the budget already spent, so a tree of
+     exactly [max_nodes] expanded nodes still reports [complete = true] and
+     a duplicate child never spends budget.
+
+     [sleep] carries the sleep set (choices whose exploration here would
+     only permute provably commuting steps of an already-explored sibling
+     branch); the visited set stores, per canonical state, the descriptor
+     hashes of the sleep set it was expanded under — a revisit is pruned
+     only when its own sleep set is a superset (everything skipped now was
+     skipped or covered then), and otherwise re-expands under the
+     intersection, the standard sound combination of sleep sets with state
+     caching. *)
+  let rec dfs config output_encs outputs trail sleep =
     incr nodes;
     if config.step_no > !deepest then deepest := config.step_no;
-    if config.step_no < max_steps then
+    if config.step_no < max_steps then begin
+      let cs = choices config in
+      let indep = if por then independence config else fun _ _ -> false in
+      let done_ = ref [] in
       List.iter
-        (fun ((p, receive) as choice) ->
+        (fun (a : choice) ->
           if (not !truncated) && List.length !violations < max_violations then begin
-            if !nodes >= max_nodes then truncated := true
+            if por && List.exists (fun (b, _) -> same_choice a b) sleep then
+              incr por_pruned
             else begin
-              let config', outs = apply config choice in
-              let outputs' = outputs @ List.map (fun o -> (p, o)) outs in
-              let trail' = trail @ [ (p, Option.map snd receive) ] in
-              (match (outs, check outputs') with
-              | _ :: _, Some reason ->
-                add_violation
-                  { at_step = config'.step_no; trail = trail'; outputs = outputs'; reason }
-              | _ -> ());
-              dfs config' outputs' trail'
+              let expand () =
+                let config', outs = apply config a in
+                let p, receive = a in
+                let outputs' = outputs @ List.map (fun o -> (p, o)) outs in
+                let output_encs' =
+                  if outs = [] then output_encs
+                  else
+                    List.fold_left
+                      (fun acc o -> Canon.encode_value (p, o) :: acc)
+                      output_encs outs
+                in
+                let trail' = trail @ [ (p, Option.map snd receive) ] in
+                let sleep' =
+                  if por then
+                    List.filter (fun (b, _) -> indep a b) (!done_ @ sleep)
+                  else []
+                in
+                let visit () =
+                  if outs <> [] then record_decision output_encs';
+                  (match (outs, check outputs') with
+                  | _ :: _, Some reason ->
+                    add_violation
+                      {
+                        at_step = config'.step_no;
+                        trail = trail';
+                        outputs = outputs';
+                        reason;
+                      }
+                  | _ -> ());
+                  dfs config' output_encs' outputs' trail' sleep'
+                in
+                if not canon then visit ()
+                else begin
+                  let c = encode config' output_encs' in
+                  let key = Canon.key c and bytes = Canon.bytes c in
+                  let descs = sorted_descs (List.map snd sleep') in
+                  match Hashing.Table.find visited ~key bytes with
+                  | Some stored when desc_subset stored descs -> incr deduped
+                  | prior ->
+                    let descs, sleep' =
+                      match prior with
+                      | None -> (descs, sleep')
+                      | Some stored ->
+                        let inter = desc_inter stored descs in
+                        ( inter,
+                          List.filter
+                            (fun (_, d) -> List.exists (Int64.equal d) inter)
+                            sleep' )
+                    in
+                    Hashing.Table.set visited ~key bytes descs;
+                    if !nodes >= max_nodes then truncated := true
+                    else begin
+                      if outs <> [] then record_decision output_encs';
+                      (match (outs, check outputs') with
+                      | _ :: _, Some reason ->
+                        add_violation
+                          {
+                            at_step = config'.step_no;
+                            trail = trail';
+                            outputs = outputs';
+                            reason;
+                          }
+                      | _ -> ());
+                      dfs config' output_encs' outputs' trail' sleep'
+                    end
+                end
+              in
+              if canon then expand ()
+              else if !nodes >= max_nodes then truncated := true
+              else expand ();
+              if por then done_ := (a, descriptor config a) :: !done_
             end
           end)
-        (choices config)
+        cs
+    end
   in
-  dfs initial [] [];
+  record_decision [];
+  dfs initial [] [] [] [];
   (match metrics with
   | None -> ()
   | Some m ->
     let elapsed = Rlfd_obs.Profile.now () -. started_at in
     Rlfd_obs.Metrics.incr ~by:!nodes m "explore_nodes";
     Rlfd_obs.Metrics.incr ~by:(List.length !violations) m "explore_violations";
+    if canon then begin
+      Rlfd_obs.Metrics.incr ~by:(Hashing.Table.length visited) m
+        "explore_distinct_states";
+      Rlfd_obs.Metrics.incr ~by:!deduped m "explore_deduped"
+    end;
+    if por then Rlfd_obs.Metrics.incr ~by:!por_pruned m "explore_por_pruned";
     if elapsed > 0. then
       Rlfd_obs.Metrics.set_gauge m "explore_nodes_per_sec"
         (float_of_int !nodes /. elapsed));
   {
     nodes_explored = !nodes;
+    distinct_states = (if canon then Hashing.Table.length visited else !nodes);
+    deduped = !deduped;
+    por_pruned = !por_pruned;
     complete = not !truncated;
     deepest = !deepest;
     violations = List.rev !violations;
+    decision_states = List.sort String.compare !decision_list;
+  }
+
+type 'o comparison = {
+  reduced : 'o report;
+  unreduced : 'o report;
+  identical : bool;
+  node_factor : float;
+}
+
+let cross_check ?max_steps ?max_nodes ?max_violations ?d_equal ?sink ?metrics
+    ~pattern ~detector ~check algo =
+  let run_with ~canon ~por =
+    run ?max_steps ?max_nodes ?max_violations ~canon ~por ?d_equal ?sink
+      ?metrics ~pattern ~detector ~check algo
+  in
+  let unreduced = run_with ~canon:false ~por:false in
+  let reduced = run_with ~canon:true ~por:true in
+  {
+    reduced;
+    unreduced;
+    identical =
+      unreduced.complete && reduced.complete
+      && List.equal String.equal unreduced.decision_states reduced.decision_states
+      && List.length unreduced.violations = List.length reduced.violations;
+    node_factor =
+      float_of_int unreduced.nodes_explored
+      /. float_of_int (Stdlib.max 1 reduced.nodes_explored);
   }
 
 let agreement_check ~equal outputs =

@@ -7,7 +7,34 @@
     evaluates a safety predicate on every node of the execution tree.
 
     This is small-scope model checking: with [n = 3] and a dozen steps the
-    tree is millions of nodes, so callers bound both depth and node budget.
+    naive tree is millions of nodes, so beyond depth and node budgets the
+    explorer offers two sound reductions:
+
+    {ul
+    {- {b Duplicate-state pruning} ([~canon:true]): every reached
+       configuration is canonicalized ({!Canon}) — message identifiers,
+       buffer order and output-emission order erased — and looked up in a
+       visited set ({!Rlfd_kernel.Hashing.Table}) that compares full
+       encodings, never just fingerprints.  A configuration reached twice
+       along different interleavings is expanded once.}
+    {- {b Partial-order reduction} ([~por:true]): sleep sets over provably
+       commuting choices.  Two choices commute at a node when they belong
+       to distinct processes that both survive the next tick and whose
+       detector outputs are unchanged across it ([d_equal]); after
+       exploring one order the explorer does not re-explore the other.
+       Combined with [canon], the visited set stores the sleep set each
+       state was expanded under and only prunes a revisit whose sleep set
+       subsumes the stored one (re-expanding under the intersection
+       otherwise) — the standard sound combination of sleep sets with
+       state caching.}}
+
+    Both reductions preserve the set of reachable {e decision states} (the
+    multiset of outputs emitted so far, canonically encoded): every pruned
+    branch is a permutation of commuting steps of an explored one, or
+    re-reaches an already-expanded state.  {!cross_check} verifies this
+    empirically by diffing the reduced against the unreduced sets
+    byte-for-byte.
+
     A found violation is a concrete schedule; exhausting the tree within
     the bounds is a proof of the property for that scope (pattern, bound) —
     a stronger statement than any number of random runs, and the right tool
@@ -28,13 +55,31 @@ type 'o violation = {
 }
 
 type 'o report = {
-  nodes_explored : int; (** every visited configuration, the root included *)
+  nodes_explored : int;
+      (** every {e expanded} configuration, the root included; a child
+          pruned as a duplicate or slept is not expanded *)
+  distinct_states : int;
+      (** size of the visited set; equals [nodes_explored] when [canon]
+          is off *)
+  deduped : int;
+      (** children pruned because their canonical state was already
+          expanded (0 unless [canon]) *)
+  por_pruned : int;
+      (** children never generated because they were in the sleep set
+          (0 unless [por]) *)
   complete : bool;
       (** the whole tree fit within the budgets: [false] exactly when
-          [max_nodes] left at least one reachable child unexplored, so a
-          tree of exactly [max_nodes] nodes is still [complete] *)
+          [max_nodes] left at least one reachable, non-duplicate child
+          unexplored, so a tree of exactly [max_nodes] expanded nodes is
+          still [complete] and duplicates never spend budget *)
   deepest : int;
   violations : 'o violation list; (** at most [max_violations] *)
+  decision_states : string list;
+      (** the reachable decision states: canonical multiset encodings
+          ({!Canon.multiset}) of the outputs emitted so far, one per
+          distinct multiset reached anywhere in the explored tree, sorted.
+          Invariant under [canon]/[por] when the run is [complete] — the
+          cross-check property. *)
 }
 
 val pp_report : Format.formatter -> 'o report -> unit
@@ -43,6 +88,9 @@ val run :
   ?max_steps:int ->
   ?max_nodes:int ->
   ?max_violations:int ->
+  ?canon:bool ->
+  ?por:bool ->
+  ?d_equal:('d -> 'd -> bool) ->
   ?sink:Rlfd_obs.Trace.sink ->
   ?metrics:Rlfd_obs.Metrics.t ->
   pattern:Pattern.t ->
@@ -52,17 +100,62 @@ val run :
   'o report
 (** [run ~pattern ~detector ~check automaton] walks the full choice tree
     (default [max_steps] 12, [max_nodes] 200_000, [max_violations] 5).
-    [check] is evaluated after every step on the outputs emitted so far and
-    must be prefix-closed (a violated safety property stays violated).
-    Time advances by one tick per step, exactly as in {!Runner}.
+    [check] is evaluated after every output-emitting step on the outputs
+    emitted so far and must be prefix-closed (a violated safety property
+    stays violated).  Time advances by one tick per step, exactly as in
+    {!Runner}.
+
+    [canon] (default [false]) enables duplicate-state pruning; [por]
+    (default [false]) enables sleep-set partial-order reduction; [d_equal]
+    (default structural equality) compares detector outputs when deciding
+    commutation — pass e.g. [Pid.Set.equal] for set-valued detectors.
+    With both off, behaviour is exactly the naive enumeration.  With
+    [canon] on, [check] must additionally be insensitive to the emission
+    order of outputs (a multiset property — {!agreement_check} and
+    {!validity_check} are), because a branch reaching an already-expanded
+    state is not re-checked.
+
+    States visited before a budget truncation stay in the visited set even
+    though their subtrees were cut short, so duplicate pruning is only a
+    completeness (not soundness) guarantee when [complete = false]: all
+    exhaustiveness claims attach to [complete = true] runs.
 
     [sink] receives one {!Rlfd_obs.Trace.Violation} event per recorded
     violation; [metrics] gets the [explore_nodes] and [explore_violations]
-    counters and the [explore_nodes_per_sec] throughput gauge. *)
+    counters, the [explore_distinct_states], [explore_deduped] and
+    [explore_por_pruned] counters when the corresponding reduction is
+    enabled, and the [explore_nodes_per_sec] throughput gauge. *)
+
+type 'o comparison = {
+  reduced : 'o report;  (** [canon:true por:true] *)
+  unreduced : 'o report;  (** [canon:false por:false] *)
+  identical : bool;
+      (** both runs complete, byte-identical [decision_states], same
+          violation count *)
+  node_factor : float;
+      (** [unreduced.nodes_explored / reduced.nodes_explored] *)
+}
+
+val cross_check :
+  ?max_steps:int ->
+  ?max_nodes:int ->
+  ?max_violations:int ->
+  ?d_equal:('d -> 'd -> bool) ->
+  ?sink:Rlfd_obs.Trace.sink ->
+  ?metrics:Rlfd_obs.Metrics.t ->
+  pattern:Pattern.t ->
+  detector:'d Detector.t ->
+  check:('o outputs -> string option) ->
+  ('s, 'm, 'd, 'o) Model.t ->
+  'o comparison
+(** Run the same scope twice — reduced ([canon]+[por]) and naive — and
+    compare the reachable decision-state sets byte-for-byte.  The soundness
+    regression gate for the reductions: [identical = true] certifies that
+    within this scope the reductions lost no reachable decision state. *)
 
 val agreement_check : equal:('o -> 'o -> bool) -> 'o outputs -> string option
 (** Ready-made [check]: all emitted decisions are equal (uniform
-    agreement). *)
+    agreement).  Order-insensitive, as [canon] requires. *)
 
 val validity_check :
   n:int ->
@@ -70,7 +163,8 @@ val validity_check :
   equal:('o -> 'o -> bool) ->
   'o outputs ->
   string option
-(** Ready-made [check]: every decision was somebody's proposal. *)
+(** Ready-made [check]: every decision was somebody's proposal.
+    Order-insensitive, as [canon] requires. *)
 
 val both :
   ('o outputs -> string option) ->

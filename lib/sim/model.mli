@@ -20,6 +20,7 @@ type 'm envelope = { src : Pid.t; dst : Pid.t; payload : 'm }
 
 val pp_envelope :
   (Format.formatter -> 'm -> unit) -> Format.formatter -> 'm envelope -> unit
+(** Pretty-print an envelope given a payload printer. *)
 
 (** The result of one step. *)
 type ('s, 'm, 'o) effects = {
@@ -29,6 +30,7 @@ type ('s, 'm, 'o) effects = {
 }
 
 val no_effects : 's -> ('s, 'm, 'o) effects
+(** Keep this state, send nothing, output nothing. *)
 
 val send_all : n:int -> ?but:Pid.t -> 'm -> (Pid.t * 'm) list
 (** Destination list for a broadcast (optionally excluding one process —
@@ -48,3 +50,4 @@ val make :
   initial:(n:int -> Pid.t -> 's) ->
   step:(n:int -> self:Pid.t -> 's -> 'm envelope option -> 'd -> ('s, 'm, 'o) effects) ->
   ('s, 'm, 'd, 'o) t
+(** Smart constructor for {!t}. *)

@@ -31,6 +31,7 @@ type 'o event = {
   vclock : Vclock.t;
 }
 
+(** The finite run prefix: everything the property checkers consume. *)
 type ('s, 'o) result = {
   n : int;
   pattern : Pattern.t;
@@ -80,6 +81,7 @@ val outputs_of : ('s, 'o) result -> Pid.t -> (Time.t * 'o) list
 (** Chronological outputs of one process. *)
 
 val first_output : ('s, 'o) result -> Pid.t -> (Time.t * 'o) option
+(** Earliest output of one process, if any. *)
 
 val all_correct_output : ('s, 'o) result -> bool
 (** Every correct process of the pattern emitted at least one output. *)

@@ -11,12 +11,13 @@
 
 open Rlfd_kernel
 
+(** What a scheduler sees when making a choice. *)
 type 'm view = {
-  n : int;
-  time : Time.t;
+  n : int;  (** number of processes *)
+  time : Time.t;  (** the tick being scheduled *)
   alive : Pid.t list; (** processes allowed to step now, ascending *)
   pending : Pid.t -> (Buffer.id * 'm Model.envelope) list; (** oldest first *)
-  steps_of : Pid.t -> int;
+  steps_of : Pid.t -> int;  (** steps the process has taken so far *)
 }
 
 type action =
@@ -25,10 +26,13 @@ type action =
   | Idle  (** nobody steps this tick (possible under adversarial blocking) *)
 
 type 'm t
+(** A scheduling policy over messages of type ['m]. *)
 
 val name : 'm t -> string
+(** Display name, used in run headers and reports. *)
 
 val choose : 'm t -> 'm view -> action
+(** One scheduling decision; called once per tick by {!Runner}. *)
 
 val fair : unit -> 'm t
 (** Round-robin over alive processes; each step receives the oldest pending
@@ -53,9 +57,12 @@ val scripted : (Pid.t * Pid.t option) list -> 'm t
     the tick is {!Idle} (time passes, nobody acts) — exactly the "no process
     takes any step until time t" device of the paper's proofs. *)
 
+(** One adversarial restriction; combined with {!constrained}. *)
 type 'm constraint_ = {
   blocks_step : 'm view -> Pid.t -> bool;
+      (** forbid this process from stepping now *)
   blocks_delivery : 'm view -> 'm Model.envelope -> bool;
+      (** forbid receiving this message now *)
 }
 
 val delay_from : Pid.t -> until:Time.t -> 'm constraint_
@@ -76,5 +83,8 @@ val freeze_all_except : Pid.t list -> until:Time.t -> 'm constraint_
 (** Every process outside the list is frozen before [until]. *)
 
 val constrained : base:'m t -> 'm constraint_ list -> 'm t
+(** [base]'s choices filtered through every constraint in the list; the
+    tick is {!Idle} when nothing permissible remains. *)
 
 val with_name : string -> 'm t -> 'm t
+(** Rename a scheduler (e.g. to label an adversarial construction). *)

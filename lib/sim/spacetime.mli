@@ -18,5 +18,7 @@ val render :
 
 val print : ?max_rows:int -> ?pp_output:(Format.formatter -> 'o -> unit) ->
   ('s, 'o) Runner.result -> unit
+(** {!render} to stdout. *)
 
 val legend : string
+(** One-line key to the diagram's symbols. *)

@@ -115,4 +115,150 @@ let explorer_tests =
         Alcotest.(check bool) "complete" true report.Explore.complete);
   ]
 
-let () = Alcotest.run "explore" [ suite "small-scope-model-checking" explorer_tests ]
+(* ---------- reductions: canon dedup + sleep-set POR ---------- *)
+
+let d_equal = Pid.Set.equal
+
+let reduction_tests =
+  [
+    test "cross-check: ct-strong+P reaches identical decision states reduced" (fun () ->
+        let c =
+          Explore.cross_check ~max_steps:9 ~max_nodes:2_000_000 ~d_equal
+            ~pattern:(pattern ~n [ (1, 2) ])
+            ~detector:Perfect.canonical ~check:safety
+            (Ct_strong.automaton ~proposals)
+        in
+        Alcotest.(check bool) "identical decision sets" true c.Explore.identical;
+        Alcotest.(check bool) "at least 5x fewer nodes" true
+          (c.Explore.node_factor >= 5.));
+    test "cross-check: rank+P< (correct-restricted) identical decision states" (fun () ->
+        let faulty = pid 1 in
+        let check outputs =
+          agreement (List.filter (fun (p, _) -> not (Pid.equal p faulty)) outputs)
+        in
+        let c =
+          Explore.cross_check ~max_steps:10 ~max_nodes:2_000_000 ~d_equal
+            ~pattern:(pattern ~n [ (1, 1) ])
+            ~detector:Partial_perfect.canonical ~check
+            (Rank_consensus.automaton ~proposals)
+        in
+        Alcotest.(check bool) "identical decision sets" true c.Explore.identical;
+        Alcotest.(check bool) "at least 5x fewer nodes" true
+          (c.Explore.node_factor >= 5.));
+    test "cross-check: marabout algorithm with its own detector identical" (fun () ->
+        let c =
+          Explore.cross_check ~max_steps:8 ~max_nodes:2_000_000 ~d_equal
+            ~pattern:(Pattern.failure_free ~n) ~detector:Marabout.canonical
+            ~check:safety
+            (Marabout_consensus.automaton ~proposals)
+        in
+        Alcotest.(check bool) "identical decision sets" true c.Explore.identical);
+    test "cross-check preserves the uniformity witnesses of rank+P<" (fun () ->
+        let c =
+          Explore.cross_check ~max_steps:10 ~max_nodes:2_000_000 ~d_equal
+            ~pattern:(pattern ~n [ (1, 1) ])
+            ~detector:Partial_perfect.canonical ~check:agreement
+            (Rank_consensus.automaton ~proposals)
+        in
+        Alcotest.(check bool) "reduced run still finds witnesses" true
+          (c.Explore.reduced.Explore.violations <> []);
+        Alcotest.(check bool) "identical" true c.Explore.identical);
+    test "canon alone changes no verdict and no decision set" (fun () ->
+        let explore ~canon =
+          Explore.run ~max_steps:8 ~max_nodes:2_000_000 ~canon
+            ~pattern:(pattern ~n [ (1, 2) ])
+            ~detector:Perfect.canonical ~check:safety
+            (Ct_strong.automaton ~proposals)
+        in
+        let naive = explore ~canon:false and dedup = explore ~canon:true in
+        Alcotest.(check (list string)) "same decision states"
+          naive.Explore.decision_states dedup.Explore.decision_states;
+        Alcotest.(check bool) "both complete" true
+          (naive.Explore.complete && dedup.Explore.complete);
+        Alcotest.(check bool) "dedup did something" true
+          (dedup.Explore.deduped > 0);
+        Alcotest.(check bool) "fewer nodes expanded" true
+          (dedup.Explore.nodes_explored < naive.Explore.nodes_explored));
+    test "the visited set never prunes states whose encodings differ" (fun () ->
+        (* Distinct per-process states, message multisets, output multisets
+           and step counts must all produce distinct canonical encodings —
+           equal encodings are the only thing the explorer ever prunes on. *)
+        let enc = Canon.encode_value in
+        let base =
+          Canon.assemble ~step_no:3 ~states:[ enc 1; enc 2 ]
+            ~messages:[ enc "m1" ] ~outputs:[ enc 10 ]
+        in
+        let variants =
+          [ Canon.assemble ~step_no:4 ~states:[ enc 1; enc 2 ]
+              ~messages:[ enc "m1" ] ~outputs:[ enc 10 ];
+            Canon.assemble ~step_no:3 ~states:[ enc 1; enc 3 ]
+              ~messages:[ enc "m1" ] ~outputs:[ enc 10 ];
+            Canon.assemble ~step_no:3 ~states:[ enc 1; enc 2 ]
+              ~messages:[ enc "m1"; enc "m1" ] ~outputs:[ enc 10 ];
+            Canon.assemble ~step_no:3 ~states:[ enc 1; enc 2 ]
+              ~messages:[ enc "m2" ] ~outputs:[ enc 10 ];
+            Canon.assemble ~step_no:3 ~states:[ enc 1; enc 2 ]
+              ~messages:[ enc "m1" ] ~outputs:[ enc 10; enc 10 ];
+            Canon.assemble ~step_no:3 ~states:[ enc 1 ] ~messages:[ enc "m1" ]
+              ~outputs:[ enc 10 ] ]
+        in
+        List.iteri
+          (fun i v ->
+            Alcotest.(check bool)
+              (Printf.sprintf "variant %d differs from base" i)
+              false (Canon.equal base v))
+          variants;
+        (* and order of the multiset sections is erased: *)
+        let ab =
+          Canon.assemble ~step_no:3 ~states:[ enc 1; enc 2 ]
+            ~messages:[ enc "a"; enc "b" ] ~outputs:[]
+        in
+        let ba =
+          Canon.assemble ~step_no:3 ~states:[ enc 1; enc 2 ]
+            ~messages:[ enc "b"; enc "a" ] ~outputs:[]
+        in
+        Alcotest.(check bool) "message order erased" true (Canon.equal ab ba));
+    test "budget boundary still exact with canon pruning enabled" (fun () ->
+        let explore ~max_nodes =
+          Explore.run ~max_steps:4 ~max_nodes ~canon:true ~por:true ~d_equal
+            ~pattern:(Pattern.failure_free ~n) ~detector:Perfect.canonical
+            ~check:safety (Ct_strong.automaton ~proposals)
+        in
+        let total = (explore ~max_nodes:400_000).Explore.nodes_explored in
+        let exact = explore ~max_nodes:total in
+        Alcotest.(check int) "exact budget explores everything" total
+          exact.Explore.nodes_explored;
+        Alcotest.(check bool) "exact budget is complete" true exact.Explore.complete;
+        Alcotest.(check bool) "budget + 1 is complete" true
+          (explore ~max_nodes:(total + 1)).Explore.complete;
+        let below = explore ~max_nodes:(total - 1) in
+        Alcotest.(check bool) "budget - 1 truncates" false below.Explore.complete;
+        Alcotest.(check int) "budget - 1 explores max_nodes nodes" (total - 1)
+          below.Explore.nodes_explored);
+    test "reduced exploration of an n=4 scope completes in budget" (fun () ->
+        let proposals4 p = 10 + Pid.to_int p in
+        let report =
+          Explore.run ~max_steps:6 ~max_nodes:400_000 ~canon:true ~por:true
+            ~d_equal
+            ~pattern:(Pattern.make ~n:4 [ (pid 1, time 2) ])
+            ~detector:Perfect.canonical
+            ~check:
+              (Explore.both
+                 (Explore.agreement_check ~equal:Int.equal)
+                 (Explore.validity_check ~n:4 ~proposals:proposals4
+                    ~equal:Int.equal))
+            (Ct_strong.automaton ~proposals:proposals4)
+        in
+        Alcotest.(check bool) "complete" true report.Explore.complete;
+        Alcotest.(check int) "no violations" 0
+          (List.length report.Explore.violations);
+        Alcotest.(check bool) "pruning engaged" true
+          (report.Explore.deduped > 0 && report.Explore.por_pruned > 0));
+  ]
+
+let () =
+  Alcotest.run "explore"
+    [
+      suite "small-scope-model-checking" explorer_tests;
+      suite "reductions" reduction_tests;
+    ]
