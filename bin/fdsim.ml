@@ -12,6 +12,9 @@
      fdsim paxos ...                   Omega-based majority consensus
      fdsim nbac --no 3 ...             non-blocking atomic commitment
      fdsim explore --algo rank ...     exhaustive schedule exploration
+     fdsim replay trace.jsonl          re-execute a flight recording, verify it
+     fdsim shrink trace.jsonl          minimize a recorded violation schedule
+     fdsim render trace.jsonl          spacetime diagram of a recording
      fdsim metrics --json ...          run a scenario, dump the metrics registry
      fdsim campaign --jobs 4 ...       sharded multicore experiment campaign *)
 
@@ -233,54 +236,196 @@ let algo_arg =
           (Format.asprintf "Consensus algorithm: %s."
              (String.concat ", " (List.map fst algo_names))))
 
+(* ---------- flight recorder plumbing ----------
+
+   Shared by run/explore (recording) and replay/shrink/render (playback).
+   The artifact's scope JSON is written here and only interpreted here: the
+   libraries treat it as an opaque blob. *)
+
+type algo_consumer = {
+  consume : 's 'm. ('s, 'm, Detector.suspicions, int) Model.t -> int;
+}
+
+let with_algo algo k =
+  match algo with
+  | `Ct_strong -> k.consume (Ct_strong.automaton ~proposals)
+  | `Ct_ev_strong -> k.consume (Ct_ev_strong.automaton ~proposals)
+  | `Marabout -> k.consume (Marabout_consensus.automaton ~proposals)
+  | `Rank -> k.consume (Rank_consensus.automaton ~proposals)
+
+let pp_seen_set = Format.asprintf "%a" Pid.Set.pp
+
+(* The explorer, the replayer and the shrinker must ask the same question,
+   or a recorded violation is not reproducible. *)
+let consensus_explore_check ~n ~uniform pattern =
+  let agreement = Explore.agreement_check ~equal:Int.equal in
+  if uniform then
+    Explore.both agreement (Explore.validity_check ~n ~proposals ~equal:Int.equal)
+  else begin
+    let faulty = Pattern.faulty pattern in
+    fun outputs ->
+      agreement (List.filter (fun (p, _) -> not (Pid.Set.mem p faulty)) outputs)
+  end
+
+let scope_name value names = fst (List.find (fun (_, v) -> v = value) names)
+
+let make_scope ~cmd ~n ~seed ~crashes ~algo ~fd extra =
+  let open Obs.Json in
+  Obj
+    ([ ("cmd", String cmd); ("n", Int n); ("seed", Int seed);
+       ( "crashes",
+         List (Stdlib.List.map (fun (p, t) -> List [ Int p; Int t ]) crashes) );
+       ("algo", String (scope_name algo algo_names));
+       ("fd", String (scope_name fd detector_names)) ]
+    @ extra)
+
+(* What playback rebuilds out of an artifact's scope JSON. *)
+type artifact_scope = {
+  sc_n : int;
+  sc_uniform : bool;
+  sc_horizon : int;
+  sc_pattern : Pattern.t;
+  sc_detector : Detector.suspicions Detector.t;
+  sc_algo : algo_consumer -> int;
+}
+
+let decode_scope scope =
+  let open Obs.Json in
+  let int name = Option.bind (member name scope) to_int_opt in
+  let str name = Option.bind (member name scope) to_string_opt in
+  let crashes =
+    match member "crashes" scope with
+    | Some (List items) ->
+      List.filter_map
+        (function
+          | List [ a; b ] -> (
+            match (to_int_opt a, to_int_opt b) with
+            | Some p, Some t -> Some (p, t)
+            | _ -> None)
+          | _ -> None)
+        items
+    | _ -> []
+  in
+  match (int "n", int "seed", str "algo", str "fd") with
+  | Some n, Some seed, Some algo, Some fd -> (
+    match (List.assoc_opt algo algo_names, List.assoc_opt fd detector_names) with
+    | Some algo, Some fd ->
+      Ok
+        {
+          sc_n = n;
+          sc_uniform =
+            Option.value
+              (Option.bind (member "uniform" scope) to_bool_opt)
+              ~default:true;
+          sc_horizon = Option.value (int "horizon") ~default:6000;
+          sc_pattern = pattern_of ~n crashes;
+          sc_detector = make_detector ~seed fd;
+          sc_algo = (fun k -> with_algo algo k);
+        }
+    | _ -> Error "scope names an unknown algo or fd")
+  | _ -> Error "scope is missing n, seed, algo or fd"
+
+let load_artifact file =
+  match Obs.Recorder.load file with
+  | Ok a -> a
+  | Error msg ->
+    Format.eprintf "fdsim: %s: %s@." file msg;
+    exit 2
+
+let scope_of_artifact (a : Obs.Recorder.t) =
+  match decode_scope a.Obs.Recorder.scope with
+  | Ok s -> s
+  | Error msg ->
+    Format.eprintf "fdsim: artifact %s@." msg;
+    exit 2
+
+let record_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "record" ] ~docv:"FILE"
+        ~doc:
+          "Capture a flight-recorder artifact (JSONL) to $(docv): the full \
+           schedule, the detector queries and the outcome — replayable with \
+           'fdsim replay', minimizable with 'fdsim shrink', drawable with \
+           'fdsim render'.")
+
+let progress_arg =
+  Arg.(
+    value & flag
+    & info [ "progress" ]
+        ~doc:"Emit live progress telemetry to stderr while running.")
+
 let run_cmd =
-  let run n seed horizon crashes algo fd sched trace trace_out diagram =
+  let run n seed horizon crashes algo fd sched trace trace_out diagram record =
     let pattern = pattern_of ~n crashes in
     let detector = make_detector ~seed fd in
-    let finish : type s m. (s, m, Detector.suspicions, int) Model.t -> int =
-     fun automaton ->
-      let scheduler = make_scheduler ~seed sched in
-      let sink, mem, close_trace = trace_sink ~trace ~trace_out in
-      let r =
-        Runner.run ~pattern ~detector ~scheduler ~horizon:(Time.of_int horizon)
-          ~until:(Runner.stop_when_all_correct_output pattern)
-          ~sink ~pp_output:string_of_int
-          ~pp_seen:(Format.asprintf "%a" Pid.Set.pp)
-          automaton
-      in
-      close_trace ();
-      print_run_header ~algo:r.Runner.algorithm ~detector:(Detector.name detector)
-        ~pattern;
-      Format.printf "steps: %d  messages: %d  end: %a@." r.Runner.steps r.Runner.sent
-        Time.pp r.Runner.end_time;
-      List.iter
-        (fun (t, p, v) -> Format.printf "  %a %a decided %d@." Time.pp t Pid.pp p v)
-        r.Runner.outputs;
-      if trace then print_trace mem r.Runner.steps;
-      if diagram then
-        Format.printf "@.%s@." (Spacetime.render ~pp_output:Format.pp_print_int r);
-      let ok =
-        print_verdicts "consensus specification"
-          (Properties.check_consensus ~uniform:true ~proposals ~equal:Int.equal r)
-      in
-      let total = Totality.check r in
-      Format.printf "  %-24s %s@." "totality (Lemma 4.1)"
-        (if total = [] then "holds"
-         else Format.asprintf "%d violations, e.g. %a" (List.length total)
-           Totality.pp_violation (List.hd total));
-      exit_ok ok
-    in
-    match algo with
-    | `Ct_strong -> finish (Ct_strong.automaton ~proposals)
-    | `Ct_ev_strong -> finish (Ct_ev_strong.automaton ~proposals)
-    | `Marabout -> finish (Marabout_consensus.automaton ~proposals)
-    | `Rank -> finish (Rank_consensus.automaton ~proposals)
+    with_algo algo
+      { consume =
+          (fun automaton ->
+            let scheduler = make_scheduler ~seed sched in
+            let sink, mem, close_trace = trace_sink ~trace ~trace_out in
+            let detector, queries =
+              match record with
+              | None -> (detector, fun () -> [])
+              | Some _ -> Detector.taped ~pp:pp_seen_set detector
+            in
+            let r =
+              Runner.run ~pattern ~detector ~scheduler
+                ~horizon:(Time.of_int horizon)
+                ~until:(Runner.stop_when_all_correct_output pattern)
+                ~sink ~pp_output:string_of_int ~pp_seen:pp_seen_set automaton
+            in
+            close_trace ();
+            (match record with
+            | None -> ()
+            | Some file ->
+              let scope =
+                make_scope ~cmd:"run" ~n ~seed ~crashes ~algo ~fd
+                  [ ("horizon", Obs.Json.Int horizon);
+                    ( "sched",
+                      Obs.Json.String
+                        (match sched with `Fair -> "fair" | `Random -> "random")
+                    ) ]
+              in
+              Obs.Recorder.save file
+                (Replay.runner_artifact ~scope ~pp_output:string_of_int
+                   ~queries:(queries ()) r);
+              Format.printf "recorded run to %s (%d steps, %d queries)@." file
+                r.Runner.steps
+                (List.length (queries ())));
+            print_run_header ~algo:r.Runner.algorithm
+              ~detector:(Detector.name detector) ~pattern;
+            Format.printf "steps: %d  messages: %d  end: %a@." r.Runner.steps
+              r.Runner.sent Time.pp r.Runner.end_time;
+            List.iter
+              (fun (t, p, v) ->
+                Format.printf "  %a %a decided %d@." Time.pp t Pid.pp p v)
+              r.Runner.outputs;
+            if trace then print_trace mem r.Runner.steps;
+            if diagram then
+              Format.printf "@.%s@."
+                (Spacetime.render ~pp_output:Format.pp_print_int r);
+            let ok =
+              print_verdicts "consensus specification"
+                (Properties.check_consensus ~uniform:true ~proposals
+                   ~equal:Int.equal r)
+            in
+            let total = Totality.check r in
+            Format.printf "  %-24s %s@." "totality (Lemma 4.1)"
+              (if total = [] then "holds"
+               else
+                 Format.asprintf "%d violations, e.g. %a" (List.length total)
+                   Totality.pp_violation (List.hd total));
+            exit_ok ok)
+      }
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run one consensus instance and check the specification.")
     Term.(
       const run $ n_arg $ seed_arg $ horizon_arg $ crashes_arg $ algo_arg
-      $ detector_arg $ scheduler_arg $ trace_arg $ trace_out_arg $ diagram_arg)
+      $ detector_arg $ scheduler_arg $ trace_arg $ trace_out_arg $ diagram_arg
+      $ record_arg)
 
 (* ---------- fdsim trb ---------- *)
 
@@ -551,21 +696,16 @@ let nbac_cmd =
 (* ---------- fdsim explore ---------- *)
 
 let explore_cmd =
-  let run n seed crashes algo fd max_steps max_nodes uniform canon por cross =
+  let run n seed crashes algo fd max_steps max_nodes uniform canon por cross
+      record progress =
     let pattern = pattern_of ~n crashes in
     let detector = make_detector ~seed fd in
-    let agreement = Explore.agreement_check ~equal:Int.equal in
-    let check =
-      if uniform then
-        Explore.both agreement
-          (Explore.validity_check ~n ~proposals ~equal:Int.equal)
-      else begin
-        let faulty = Pattern.faulty pattern in
-        fun outputs ->
-          agreement (List.filter (fun (p, _) -> not (Pid.Set.mem p faulty)) outputs)
-      end
-    in
+    let check = consensus_explore_check ~n ~uniform pattern in
     let d_equal = Pid.Set.equal in
+    let sink =
+      if progress then Obs.Trace.formatter Format.err_formatter
+      else Obs.Trace.null
+    in
     let print_report report =
       Format.printf "%a@." Explore.pp_report report;
       List.iter
@@ -604,18 +744,47 @@ let explore_cmd =
       end
       else begin
         let report =
-          Explore.run ~max_steps ~max_nodes ~canon ~por ~d_equal ~pattern
-            ~detector ~check automaton
+          Explore.run ~max_steps ~max_nodes ~canon ~por
+            ~capture:(record <> None) ~sink ~d_equal ~pattern ~detector ~check
+            automaton
         in
         print_report report;
+        (match record with
+        | None -> ()
+        | Some file -> (
+          match report.Explore.violations with
+          | [] ->
+            Format.eprintf
+              "fdsim: no violation found; nothing recorded to %s@." file
+          | v :: _ ->
+            (* Re-execute the captured schedule: the replayer derives the
+               detector queries and the canonical outcome the artifact must
+               carry, and doubles as a sanity check against the explorer. *)
+            let e =
+              Replay.execute ~pp_output:string_of_int ~pp_seen:pp_seen_set
+                ~pattern ~detector ~check ~schedule:v.Explore.schedule
+                automaton
+            in
+            (match e.Replay.violation with
+            | Some (at, reason)
+              when at = v.Explore.at_step && String.equal reason v.Explore.reason
+              -> ()
+            | _ ->
+              Format.eprintf
+                "fdsim: warning: re-execution disagrees with the explorer on \
+                 the violation@.");
+            let scope =
+              make_scope ~cmd:"explore" ~n ~seed ~crashes ~algo ~fd
+                [ ("uniform", Obs.Json.Bool uniform);
+                  ("max_steps", Obs.Json.Int max_steps) ]
+            in
+            Obs.Recorder.save file (Replay.to_artifact ~scope e);
+            Format.printf "recorded %d-step violation to %s@."
+              (List.length e.Replay.steps) file));
         exit_ok (report.Explore.violations = [])
       end
     in
-    match algo with
-    | `Ct_strong -> finish (Ct_strong.automaton ~proposals)
-    | `Ct_ev_strong -> finish (Ct_ev_strong.automaton ~proposals)
-    | `Marabout -> finish (Marabout_consensus.automaton ~proposals)
-    | `Rank -> finish (Rank_consensus.automaton ~proposals)
+    with_algo algo { consume = finish }
   in
   let max_steps =
     Arg.(value & opt int 9 & info [ "max-steps" ] ~docv:"K" ~doc:"Depth bound.")
@@ -655,7 +824,266 @@ let explore_cmd =
     Term.(
       const run $ Arg.(value & opt int 3 & info [ "n" ]) $ seed_arg $ crashes_arg
       $ algo_arg $ detector_arg $ max_steps $ max_nodes $ uniform $ canon $ por
-      $ cross)
+      $ cross $ record_arg $ progress_arg)
+
+(* ---------- fdsim replay / shrink / render ---------- *)
+
+let artifact_file_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"FILE" ~doc:"Flight-recorder artifact (JSONL).")
+
+let replay_cmd =
+  let run file =
+    let artifact = load_artifact file in
+    let scope = scope_of_artifact artifact in
+    match artifact.Obs.Recorder.kind with
+    | Obs.Recorder.Explore -> (
+      match Replay.schedule_of_artifact artifact with
+      | Error msg ->
+        Format.eprintf "fdsim: %s@." msg;
+        2
+      | Ok schedule ->
+        let check =
+          consensus_explore_check ~n:scope.sc_n ~uniform:scope.sc_uniform
+            scope.sc_pattern
+        in
+        scope.sc_algo
+          {
+            consume =
+              (fun automaton ->
+                let e =
+                  Replay.execute ~pp_output:string_of_int ~pp_seen:pp_seen_set
+                    ~pattern:scope.sc_pattern ~detector:scope.sc_detector
+                    ~check ~schedule automaton
+                in
+                Format.printf "replayed %d step(s), %d dropped%s@."
+                  (List.length e.Replay.steps)
+                  e.Replay.dropped
+                  (match e.Replay.violation with
+                  | Some (at, reason) ->
+                    Format.asprintf "; violation at step %d: %s" at reason
+                  | None -> "; no violation");
+                match Replay.check_against artifact e with
+                | [] ->
+                  Format.printf
+                    "replay: outcome byte-identical to the recording@.";
+                  0
+                | mismatches ->
+                  List.iter
+                    (fun m -> Format.eprintf "replay mismatch: %s@." m)
+                    mismatches;
+                  1);
+          })
+    | Obs.Recorder.Run ->
+      scope.sc_algo
+        {
+          consume =
+            (fun automaton ->
+              let detector, queries =
+                Detector.taped ~pp:pp_seen_set scope.sc_detector
+              in
+              let r =
+                Runner.run ~pattern:scope.sc_pattern ~detector
+                  ~scheduler:(Scheduler.replay (Replay.replay_entries artifact))
+                  ~horizon:(Time.of_int scope.sc_horizon)
+                  ~until:(Runner.stop_when_all_correct_output scope.sc_pattern)
+                  automaton
+              in
+              let again =
+                Replay.runner_artifact ~scope:artifact.Obs.Recorder.scope
+                  ~pp_output:string_of_int ~queries:(queries ()) r
+              in
+              let recorded = Obs.Recorder.to_lines artifact in
+              let replayed = Obs.Recorder.to_lines again in
+              if List.equal String.equal recorded replayed then begin
+                Format.printf
+                  "replay: run reproduced byte-identically (%d steps, %d \
+                   decisions)@."
+                  r.Runner.steps
+                  (List.length r.Runner.outputs);
+                0
+              end
+              else begin
+                Format.eprintf
+                  "replay: MISMATCH (recording %d lines, replay %d lines)@."
+                  (List.length recorded) (List.length replayed);
+                let shown = ref 0 in
+                List.iteri
+                  (fun i a ->
+                    match List.nth_opt replayed i with
+                    | Some b when (not (String.equal a b)) && !shown < 5 ->
+                      incr shown;
+                      Format.eprintf
+                        "  line %d:@.    recorded: %s@.    replayed: %s@."
+                        (i + 1) a b
+                    | _ -> ())
+                  recorded;
+                1
+              end);
+        }
+  in
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:
+         "Re-execute a flight-recorder artifact deterministically and verify \
+          the outcome byte-for-byte against the recording.")
+    Term.(const run $ artifact_file_arg)
+
+let shrink_cmd =
+  let run file out =
+    let artifact = load_artifact file in
+    (match artifact.Obs.Recorder.kind with
+    | Obs.Recorder.Run ->
+      Format.eprintf
+        "fdsim: %s is a run recording; shrink minimizes explore violations@."
+        file;
+      exit 2
+    | Obs.Recorder.Explore -> ());
+    let scope = scope_of_artifact artifact in
+    match Replay.schedule_of_artifact artifact with
+    | Error msg ->
+      Format.eprintf "fdsim: %s@." msg;
+      2
+    | Ok schedule ->
+      let check =
+        consensus_explore_check ~n:scope.sc_n ~uniform:scope.sc_uniform
+          scope.sc_pattern
+      in
+      scope.sc_algo
+        {
+          consume =
+            (fun automaton ->
+              match
+                Replay.shrink ~pp_output:string_of_int ~pp_seen:pp_seen_set
+                  ~pattern:scope.sc_pattern ~detector:scope.sc_detector ~check
+                  ~schedule automaton
+              with
+              | exception Invalid_argument msg ->
+                Format.eprintf "fdsim: %s@." msg;
+                2
+              | s ->
+                let out =
+                  match out with
+                  | Some f -> f
+                  | None ->
+                    if Filename.check_suffix file ".jsonl" then
+                      Filename.chop_suffix file ".jsonl" ^ ".min.jsonl"
+                    else file ^ ".min"
+                in
+                Obs.Recorder.save out
+                  (Replay.to_artifact ~scope:artifact.Obs.Recorder.scope
+                     s.Replay.execution);
+                Format.printf
+                  "shrink: %d -> %d step(s) in %d round(s), %d candidate \
+                   schedule(s)@."
+                  (List.length schedule)
+                  (List.length s.Replay.schedule)
+                  s.Replay.rounds s.Replay.candidates;
+                (match s.Replay.execution.Replay.violation with
+                | Some (at, reason) ->
+                  Format.printf "violation at step %d: %s@." at reason
+                | None -> ());
+                Format.printf "wrote %s@." out;
+                0);
+        }
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:
+            "Where to write the minimized artifact (default: the input with \
+             .jsonl replaced by .min.jsonl).")
+  in
+  Cmd.v
+    (Cmd.info "shrink"
+       ~doc:
+         "Delta-debug an explore artifact down to a 1-minimal schedule that \
+          still violates, and write it as a new artifact.")
+    Term.(const run $ artifact_file_arg $ out)
+
+let render_cmd =
+  let run file format_ =
+    let artifact = load_artifact file in
+    let scope = scope_of_artifact artifact in
+    let crashed_at p =
+      Option.map Time.to_int (Pattern.crash_time scope.sc_pattern (Pid.of_int p))
+    in
+    let render title steps =
+      match format_ with
+      | `Ascii ->
+        print_string
+          (Spacetime.Timeline.render_ascii ~title ~n:scope.sc_n ~crashed_at
+             steps)
+      | `Dot ->
+        print_string
+          (Spacetime.Timeline.render_dot ~title ~n:scope.sc_n ~crashed_at steps)
+    in
+    match artifact.Obs.Recorder.kind with
+    | Obs.Recorder.Explore -> (
+      match Replay.schedule_of_artifact artifact with
+      | Error msg ->
+        Format.eprintf "fdsim: %s@." msg;
+        2
+      | Ok schedule ->
+        let check =
+          consensus_explore_check ~n:scope.sc_n ~uniform:scope.sc_uniform
+            scope.sc_pattern
+        in
+        scope.sc_algo
+          {
+            consume =
+              (fun automaton ->
+                let e =
+                  Replay.execute ~pp_output:string_of_int ~pp_seen:pp_seen_set
+                    ~pattern:scope.sc_pattern ~detector:scope.sc_detector
+                    ~check ~schedule automaton
+                in
+                let title =
+                  Filename.basename file
+                  ^
+                  match e.Replay.violation with
+                  | Some (at, reason) ->
+                    Format.asprintf " (violation at step %d: %s)" at reason
+                  | None -> ""
+                in
+                render title (Spacetime.Timeline.of_execution e);
+                0);
+          })
+    | Obs.Recorder.Run ->
+      scope.sc_algo
+        {
+          consume =
+            (fun automaton ->
+              let r =
+                Runner.run ~pattern:scope.sc_pattern
+                  ~detector:scope.sc_detector
+                  ~scheduler:(Scheduler.replay (Replay.replay_entries artifact))
+                  ~horizon:(Time.of_int scope.sc_horizon)
+                  ~until:(Runner.stop_when_all_correct_output scope.sc_pattern)
+                  automaton
+              in
+              render (Filename.basename file)
+                (Spacetime.Timeline.of_result ~pp_output:string_of_int r);
+              0);
+        }
+  in
+  let format_ =
+    Arg.(
+      value
+      & opt (enum [ ("ascii", `Ascii); ("dot", `Dot) ]) `Ascii
+      & info [ "format" ] ~docv:"FMT"
+          ~doc:"Diagram back-end: ascii (terminal) or dot (graphviz).")
+  in
+  Cmd.v
+    (Cmd.info "render"
+       ~doc:
+         "Draw the spacetime diagram of a flight-recorder artifact, as ASCII \
+          or graphviz DOT.")
+    Term.(const run $ artifact_file_arg $ format_)
 
 (* ---------- fdsim metrics ---------- *)
 
@@ -799,7 +1227,7 @@ let campaign_job ~n ~horizon job =
 
 let campaign_cmd =
   let run n seed horizon seeds families fds scheds jobs shard_size checkpoint
-      resume out =
+      resume out progress_f =
     let invalid what v known =
       Format.eprintf "fdsim: unknown %s %S (expected one of: %s)@." what v
         (String.concat ", " known);
@@ -826,12 +1254,19 @@ let campaign_cmd =
         ~seeds:(List.init seeds (fun i -> seed + i))
         ()
     in
+    (* With --progress the rich telemetry line replaces the plain counter —
+       both to stderr, one per shard. *)
+    let sink =
+      if progress_f then Obs.Trace.formatter Format.err_formatter
+      else Obs.Trace.null
+    in
     let progress ~done_ ~total =
-      Printf.eprintf "campaign: %d/%d jobs\n%!" done_ total
+      if not progress_f then
+        Printf.eprintf "campaign: %d/%d jobs\n%!" done_ total
     in
     let report =
       Campaign.Engine.run_spec ~workers:jobs ?shard_size ?checkpoint ~resume
-        ~codec:campaign_codec ~progress ~seed spec
+        ~codec:campaign_codec ~progress ~sink ~seed spec
         (fun ~rng:_ ~metrics:_ job -> campaign_job ~n ~horizon job)
     in
     let lines = Campaign.Engine.report_lines campaign_codec report in
@@ -928,7 +1363,7 @@ let campaign_cmd =
           checkpoint/resume and an aggregated report.")
     Term.(
       const run $ n_arg $ seed_arg $ horizon_arg $ seeds $ families $ fds
-      $ scheds $ jobs $ shard_size $ checkpoint $ resume $ out)
+      $ scheds $ jobs $ shard_size $ checkpoint $ resume $ out $ progress_arg)
 
 (* ---------- main ---------- *)
 
@@ -940,5 +1375,5 @@ let () =
     (Cmd.eval'
        (Cmd.group ~default info
           [ check_cmd; survey_cmd; run_cmd; paxos_cmd; trb_cmd; reduce_cmd;
-            qos_cmd; gms_cmd; vsync_cmd; nbac_cmd; explore_cmd; metrics_cmd;
-            campaign_cmd ]))
+            qos_cmd; gms_cmd; vsync_cmd; nbac_cmd; explore_cmd; replay_cmd;
+            shrink_cmd; render_cmd; metrics_cmd; campaign_cmd ]))

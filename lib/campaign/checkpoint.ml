@@ -48,14 +48,30 @@ let entry_of_json j =
     Ok { job; label; elapsed_s; value }
   | _ -> Error "not a checkpoint entry"
 
+(* Flush pushes the line to the OS; fsync pushes it to the disk.  Without
+   the fsync a kill -9 cannot lose an acknowledged job (the buffer is
+   gone), but a power cut or crashed host still can — and the resume
+   contract promises completed jobs stay completed. *)
+let sync oc =
+  flush oc;
+  try Unix.fsync (Unix.descr_of_out_channel oc) with Unix.Unix_error _ -> ()
+
 let write_line oc json =
   output_string oc (Json.to_string json);
   output_char oc '\n';
-  flush oc
+  sync oc
 
 let write_header oc h = write_line oc (header_to_json h)
 
 let write_entry oc e = write_line oc (entry_to_json e)
+
+let write_entries oc entries =
+  List.iter
+    (fun e ->
+      output_string oc (Json.to_string (entry_to_json e));
+      output_char oc '\n')
+    entries;
+  sync oc
 
 let load path =
   match open_in path with

@@ -23,11 +23,17 @@ type entry = {
 }
 
 val write_header : out_channel -> header -> unit
-(** One JSON object line; flushes. *)
+(** One JSON object line; flushed and fsynced. *)
 
 val write_entry : out_channel -> entry -> unit
-(** One JSON object line; flushes, so a kill loses at most the line being
-    written. *)
+(** One JSON object line; flushed {e and fsynced}, so neither a kill nor a
+    power cut loses an acknowledged job — at most the line being written
+    is torn. *)
+
+val write_entries : out_channel -> entry list -> unit
+(** Batch form of {!write_entry}: all lines buffered, one flush+fsync at
+    the end.  What the engine uses when compacting recovered entries on
+    resume — durability of the whole batch, cost of one sync. *)
 
 val load : string -> (header * entry list * int, string) result
 (** [load path] parses the checkpoint: the header, the well-formed entries

@@ -81,7 +81,7 @@ let load_resume codec ~name ~seed ~total path =
    parked under their own index, so the final fold over shards is in shard
    order no matter which worker finished when. *)
 let run ?(workers = 1) ?shard_size ?checkpoint ?(resume = false) ?codec
-    ?progress ~name ~seed ~total ~label f =
+    ?progress ?(sink = Trace.null) ~name ~seed ~total ~label f =
   if total < 0 then invalid_arg "Engine.run: total < 0";
   if workers < 1 then invalid_arg "Engine.run: workers < 1";
   if (checkpoint <> None || resume) && codec = None then
@@ -126,16 +126,16 @@ let run ?(workers = 1) ?shard_size ?checkpoint ?(resume = false) ?codec
         Checkpoint.write_header oc { Checkpoint.name; seed; total };
         (match codec with
         | Some codec ->
-          List.iter
-            (fun o ->
-              Checkpoint.write_entry oc
-                {
-                  Checkpoint.job = o.job;
-                  label = o.label;
-                  elapsed_s = o.elapsed_s;
-                  value = codec.encode o.value;
-                })
-            recovered
+          Checkpoint.write_entries oc
+            (List.map
+               (fun o ->
+                 {
+                   Checkpoint.job = o.job;
+                   label = o.label;
+                   elapsed_s = o.elapsed_s;
+                   value = codec.encode o.value;
+                 })
+               recovered)
         | None -> ());
         oc)
       checkpoint
@@ -144,10 +144,37 @@ let run ?(workers = 1) ?shard_size ?checkpoint ?(resume = false) ?codec
   let next_shard = Atomic.make 0 in
   let completed = ref (List.length recovered) in
   let failure = ref None in
+  let job_times = ref [] in
   let notify () =
-    match progress with
+    (match progress with
     | None -> ()
-    | Some p -> p ~done_:!completed ~total
+    | Some p -> p ~done_:!completed ~total);
+    if not (Trace.is_null sink) then begin
+      let elapsed = Profile.now () -. t0 in
+      let done_ = !completed in
+      (* rate over the jobs this run actually executed, not the recovered
+         ones — that is what the ETA extrapolates from *)
+      let fresh = done_ - List.length recovered in
+      let rate =
+        if elapsed > 0. && fresh > 0 then float_of_int fresh /. elapsed else 0.
+      in
+      let detail =
+        (if rate > 0. then
+           [ ("eta_s", float_of_int (total - done_) /. rate) ]
+         else [])
+        @
+        match !job_times with
+        | [] -> []
+        | ts ->
+          [ ("job_p50_s", Rlfd_kernel.Stats.percentile ts 0.5);
+            ("job_p95_s", Rlfd_kernel.Stats.percentile ts 0.95) ]
+      in
+      Trace.(
+        emit sink
+          (Progress
+             { time = int_of_float (elapsed *. 1000.); label = name; done_;
+               total = Some total; rate; detail }))
+    end
   in
   let run_job idx =
     let rng = Rlfd_kernel.Rng.of_path ~seed [ idx ] in
@@ -179,6 +206,9 @@ let run ?(workers = 1) ?shard_size ?checkpoint ?(resume = false) ?codec
           Mutex.protect mutex (fun () ->
               shard_results.(shard) <- Some (outcomes, metrics);
               completed := !completed + List.length outcomes;
+              List.iter
+                (fun o -> job_times := o.elapsed_s :: !job_times)
+                outcomes;
               (match (oc, codec) with
               | Some oc, Some codec ->
                 List.iter
@@ -265,9 +295,9 @@ let report_to_json ?buckets report =
       ("wall_s", Json.Float report.wall_s);
       ("metrics", Metrics.to_json ?buckets report.metrics) ]
 
-let run_spec ?workers ?shard_size ?checkpoint ?resume ?codec ?progress ~seed
-    spec f =
-  run ?workers ?shard_size ?checkpoint ?resume ?codec ?progress
+let run_spec ?workers ?shard_size ?checkpoint ?resume ?codec ?progress ?sink
+    ~seed spec f =
+  run ?workers ?shard_size ?checkpoint ?resume ?codec ?progress ?sink
     ~name:(Spec.name spec) ~seed ~total:(Spec.size spec)
     ~label:(fun i -> Spec.label (Spec.job spec i))
     (fun ~rng ~metrics i -> f ~rng ~metrics (Spec.job spec i))

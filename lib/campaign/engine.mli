@@ -57,6 +57,7 @@ val run :
   ?resume:bool ->
   ?codec:'r codec ->
   ?progress:(done_:int -> total:int -> unit) ->
+  ?sink:Rlfd_obs.Trace.sink ->
   name:string ->
   seed:int ->
   total:int ->
@@ -84,6 +85,11 @@ val run :
       [name]/[seed]/[total] raises [Failure] — it belongs to a different
       campaign.
     - [progress]: called (serialised) after each shard and once at start.
+    - [sink]: receives one {!Rlfd_obs.Trace.Progress} event at each of
+      those moments — jobs done/total, throughput over the jobs this run
+      executed (recovered ones excluded), an [eta_s] extrapolation and the
+      p50/p95 of per-job wall times.  The live-telemetry face of the
+      campaign; free when left at the default null sink.
 
     If [f] raises, remaining shards are abandoned and the first exception
     is re-raised after all workers join.  Raises [Invalid_argument] on
@@ -110,6 +116,7 @@ val run_spec :
   ?resume:bool ->
   ?codec:'r codec ->
   ?progress:(done_:int -> total:int -> unit) ->
+  ?sink:Rlfd_obs.Trace.sink ->
   seed:int ->
   Spec.t ->
   (rng:Rlfd_kernel.Rng.t -> metrics:Rlfd_obs.Metrics.t -> Spec.job -> 'r) ->

@@ -28,6 +28,16 @@ let observed ~on_query d =
         on_query f p t seen;
         seen) }
 
+let taped ~pp d =
+  let log = ref [] in
+  let tapped =
+    observed
+      ~on_query:(fun _ p t seen ->
+        log := (Time.to_int t, Pid.to_int p, pp seen) :: !log)
+      d
+  in
+  (tapped, fun () -> List.rev !log)
+
 type suspicions = Pid.Set.t
 
 let suspects d f q t p = Pid.Set.mem p (query d f q t)

@@ -43,6 +43,12 @@ val observed :
     observability layer counts detector queries and suspicion transitions
     without the detector zoo depending on it. *)
 
+val taped : pp:('d -> string) -> 'd t -> 'd t * (unit -> (int * int * string) list)
+(** [taped ~pp d] is {!observed} specialised for the flight recorder: the
+    second component reads back every query so far as [(time, pid,
+    rendered answer)] triples, in query order — exactly the [query]
+    records of a recorder artifact. *)
+
 type suspicions = Pid.Set.t
 (** The range of the classical Chandra–Toueg detectors: the set of processes
     currently suspected. *)

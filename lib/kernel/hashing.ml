@@ -33,6 +33,7 @@ module Table = struct
     mutable values : 'a option array;
     mutable used : int;
     mutable mask : int;
+    mutable key_bytes : int;
   }
 
   let create ?(initial = 1024) () =
@@ -46,6 +47,7 @@ module Table = struct
       values = Array.make cap None;
       used = 0;
       mask = cap - 1;
+      key_bytes = 0;
     }
 
   let slot_of t key = Int64.to_int (Int64.logand key (Int64.of_int t.mask))
@@ -90,11 +92,14 @@ module Table = struct
     | None ->
       t.hashes.(i) <- key;
       t.keys.(i) <- bytes;
-      t.used <- t.used + 1
+      t.used <- t.used + 1;
+      t.key_bytes <- t.key_bytes + String.length bytes
     | Some _ -> ());
     t.values.(i) <- Some v
 
   let length t = t.used
 
   let capacity t = t.mask + 1
+
+  let key_bytes t = t.key_bytes
 end

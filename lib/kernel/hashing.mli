@@ -64,4 +64,8 @@ module Table : sig
   val capacity : 'a t -> int
   (** Current slot-array size (diagnostics: load factor is
       [length / capacity]). *)
+
+  val key_bytes : 'a t -> int
+  (** Total length of all stored keys — with [capacity], the basis of the
+      explorer's visited-table memory telemetry. *)
 end

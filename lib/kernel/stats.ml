@@ -54,5 +54,6 @@ let histogram ~buckets xs =
 let pp_summary ppf = function
   | [] -> Format.pp_print_string ppf "n=0"
   | xs ->
-    Format.fprintf ppf "n=%d mean=%.2f p50=%.2f p99=%.2f max=%.2f" (List.length xs)
-      (mean xs) (median xs) (percentile xs 0.99) (maximum xs)
+    Format.fprintf ppf "n=%d mean=%.2f p50=%.2f p95=%.2f p99=%.2f max=%.2f"
+      (List.length xs) (mean xs) (median xs) (percentile xs 0.95)
+      (percentile xs 0.99) (maximum xs)

@@ -31,4 +31,4 @@ val histogram : buckets:int -> float list -> (float * float * int) list
     [\[min xs, max xs\]].  Empty input gives []. *)
 
 val pp_summary : Format.formatter -> float list -> unit
-(** One-line [n/mean/p50/p99/max] summary. *)
+(** One-line [n/mean/p50/p95/p99/max] summary. *)

@@ -100,6 +100,7 @@ let to_json ?(buckets = 8) registry =
               ("sum", Float (Stats.sum xs));
               ("mean", Float (Stats.mean xs));
               ("p50", Float (Stats.median xs));
+              ("p95", Float (Stats.percentile xs 0.95));
               ("p99", Float (Stats.percentile xs 0.99));
               ("max", Float (Stats.maximum xs));
               ("buckets",

@@ -73,7 +73,7 @@ val is_empty : t -> bool
 
 val to_json : ?buckets:int -> t -> Json.t
 (** [{"counters": {..}, "gauges": {..}, "histograms": {..}}].  Each
-    histogram reports [count]/[sum]/[mean]/[p50]/[p99]/[max] plus
+    histogram reports [count]/[sum]/[mean]/[p50]/[p95]/[p99]/[max] plus
     [buckets] (default 8) rows of [[lo, hi, count]]. *)
 
 val pp : Format.formatter -> t -> unit

@@ -1,4 +1,4 @@
-let schema_version = 1
+let schema_version = 2
 
 type event =
   | Step of {
@@ -21,6 +21,14 @@ type event =
   | Halt of { time : int; pid : int }
   | Violation of { time : int; reason : string }
   | Note of { time : int; label : string }
+  | Progress of {
+      time : int;
+      label : string;
+      done_ : int;
+      total : int option;
+      rate : float;
+      detail : (string * float) list;
+    }
 
 let time_of = function
   | Step { time; _ }
@@ -35,7 +43,8 @@ let time_of = function
   | Crash { time; _ }
   | Halt { time; _ }
   | Violation { time; _ }
-  | Note { time; _ } -> time
+  | Note { time; _ }
+  | Progress { time; _ } -> time
 
 (* ---------- JSON encoding ---------- *)
 
@@ -79,6 +88,12 @@ let to_json event =
     tagged "violation" [ ("t", Int time); ("reason", String reason) ]
   | Note { time; label } ->
     tagged "note" [ ("t", Int time); ("label", String label) ]
+  | Progress { time; label; done_; total; rate; detail } ->
+    tagged "progress"
+      [ ("t", Int time); ("label", String label); ("done", Int done_);
+        ("total", (match total with Some n -> Int n | None -> Null));
+        ("rate", Float rate);
+        ("detail", Obj (List.map (fun (k, v) -> (k, Float v)) detail)) ]
 
 let of_json json =
   let ( let* ) r f = Result.bind r f in
@@ -182,6 +197,31 @@ let of_json json =
     let* time = int_field "t" in
     let* label = string_field "label" in
     Ok (Note { time; label })
+  | "progress" ->
+    let* time = int_field "t" in
+    let* label = string_field "label" in
+    let* done_ = int_field "done" in
+    let* total = opt_int_field "total" in
+    let* rate =
+      match Option.bind (Json.member "rate" json) Json.to_float_opt with
+      | Some f -> Ok f
+      | None -> Error "missing or invalid field \"rate\""
+    in
+    let* detail =
+      match Json.member "detail" json with
+      | None -> Ok []
+      | Some (Json.Obj kvs) ->
+        let rec conv acc = function
+          | [] -> Ok (List.rev acc)
+          | (k, v) :: rest -> (
+            match Json.to_float_opt v with
+            | Some f -> conv ((k, f) :: acc) rest
+            | None -> Error (Printf.sprintf "non-number detail %S" k))
+        in
+        conv [] kvs
+      | Some _ -> Error "invalid field \"detail\""
+    in
+    Ok (Progress { time; label; done_; total; rate; detail })
   | other -> Error (Printf.sprintf "unknown event tag %S" other)
 
 let parse_line line = Result.bind (Json.of_string line) of_json
@@ -225,6 +265,24 @@ let render event =
   | Violation { time; reason } ->
     Printf.sprintf "step=%-3d VIOLATION %s" time reason
   | Note { time; label } -> Printf.sprintf "t=%-5d # %s" time label
+  | Progress { time; label; done_; total; rate; detail } ->
+    Printf.sprintf "[%6.1fs] %s %s rate=%.0f/s%s"
+      (float_of_int time /. 1000.)
+      label
+      (match total with
+      | Some n when n > 0 ->
+        Printf.sprintf "%d/%d (%.1f%%)" done_ n
+          (100. *. float_of_int done_ /. float_of_int n)
+      | _ -> string_of_int done_)
+      rate
+      (match detail with
+      | [] -> ""
+      | kvs ->
+        " " ^ String.concat " " (List.map (fun (k, v) ->
+          if Float.is_integer v && Float.abs v < 1e15 then
+            Printf.sprintf "%s=%.0f" k v
+          else Printf.sprintf "%s=%.2f" k v)
+          kvs))
 
 let pp ppf event = Format.pp_print_string ppf (render event)
 

@@ -44,6 +44,20 @@ type event =
   | Violation of { time : int; reason : string }
       (** a safety violation found by {!Rlfd_sim.Explore} ([time] = depth) *)
   | Note of { time : int; label : string }  (** free-form annotation *)
+  | Progress of {
+      time : int;  (** elapsed wall-clock milliseconds since the run began *)
+      label : string;  (** which long-running path: ["explore"], a campaign name *)
+      done_ : int;  (** units completed so far (nodes, jobs) *)
+      total : int option;  (** budget if known, [None] for open-ended work *)
+      rate : float;  (** units per second since the run began *)
+      detail : (string * float) list;
+          (** emitter-specific gauges: distinct/deduped/por_pruned counters,
+              frontier depth, visited-table load factor and bytes, ETA
+              seconds, job-latency percentiles *)
+    }
+      (** periodic liveness heartbeat from {!Rlfd_sim.Explore} and
+          {!Rlfd_campaign.Engine}, so multi-minute runs are observable
+          while they run *)
 
 val time_of : event -> int
 

@@ -6,6 +6,10 @@ type 'o outputs = (Pid.t * 'o) list
 type 'o violation = {
   at_step : int;
   trail : (Pid.t * Pid.t option) list;
+  schedule : (Pid.t * (Pid.t * string) option) list;
+      (* trail plus the canonical payload bytes of each received message —
+         what Replay needs to re-resolve the same messages; payloads are
+         [""] unless the run captured encodings *)
   outputs : 'o outputs;
   reason : string;
 }
@@ -77,10 +81,14 @@ let rec desc_inter a b =
     else desc_inter a b'
 
 let run ?(max_steps = 12) ?(max_nodes = 200_000) ?(max_violations = 5)
-    ?(canon = false) ?(por = false) ?(d_equal = fun a b -> a = b)
+    ?(canon = false) ?(por = false) ?(capture = false)
+    ?(progress_every = 250_000) ?(d_equal = fun a b -> a = b)
     ?(sink = Rlfd_obs.Trace.null) ?metrics ~pattern ~detector ~check
     (algo : _ Model.t) =
   let n = Pattern.n pattern in
+  (* Message encodings are needed both for canonical dedup and for the
+     flight-recorder schedule; process-state encodings only for dedup. *)
+  let enc_on = canon || capture in
   let started_at = Rlfd_obs.Profile.now () in
   let nodes = ref 0 and deepest = ref 0 and truncated = ref false in
   let deduped = ref 0 and por_pruned = ref 0 in
@@ -158,7 +166,7 @@ let run ?(max_steps = 12) ?(max_nodes = 200_000) ?(max_violations = 5)
       List.fold_left
         (fun (buffer, next_id) (dst, payload) ->
           let enc =
-            if canon then Canon.encode_value (p, dst, payload) else ""
+            if enc_on then Canon.encode_value (p, dst, payload) else ""
           in
           ((next_id, p, dst, payload, enc) :: buffer, next_id + 1))
         (buffer, config.next_id) effects.Model.sends
@@ -237,8 +245,40 @@ let run ?(max_steps = 12) ?(max_nodes = 200_000) ?(max_violations = 5)
      skipped or covered then), and otherwise re-expands under the
      intersection, the standard sound combination of sleep sets with state
      caching. *)
-  let rec dfs config output_encs outputs trail sleep =
+  let progress () =
+    if
+      progress_every > 0
+      && (not (Rlfd_obs.Trace.is_null sink))
+      && !nodes mod progress_every = 0
+    then begin
+      let elapsed = Rlfd_obs.Profile.now () -. started_at in
+      let rate = if elapsed > 0. then float_of_int !nodes /. elapsed else 0. in
+      let detail =
+        [ ("depth", float_of_int !deepest);
+          ("violations", float_of_int (List.length !violations)) ]
+        @ (if canon then
+             let len = Hashing.Table.length visited in
+             let cap = Hashing.Table.capacity visited in
+             [ ("distinct", float_of_int len);
+               ("deduped", float_of_int !deduped);
+               ("load_factor", float_of_int len /. float_of_int cap);
+               (* keys are owned strings; ~24 bytes/slot covers the three
+                  parallel arrays' words — an estimate, not an accounting *)
+               ("table_bytes",
+                float_of_int (Hashing.Table.key_bytes visited + (cap * 24))) ]
+           else [])
+        @ if por then [ ("por_pruned", float_of_int !por_pruned) ] else []
+      in
+      Rlfd_obs.Trace.(
+        emit sink
+          (Progress
+             { time = int_of_float (elapsed *. 1000.); label = "explore";
+               done_ = !nodes; total = Some max_nodes; rate; detail }))
+    end
+  in
+  let rec dfs config output_encs outputs steps sleep =
     incr nodes;
+    progress ();
     if config.step_no > !deepest then deepest := config.step_no;
     if config.step_no < max_steps then begin
       let cs = choices config in
@@ -261,27 +301,47 @@ let run ?(max_steps = 12) ?(max_nodes = 200_000) ?(max_violations = 5)
                       (fun acc o -> Canon.encode_value (p, o) :: acc)
                       output_encs outs
                 in
-                let trail' = trail @ [ (p, Option.map snd receive) ] in
+                let steps' =
+                  steps
+                  @ [ ( p,
+                        match receive with
+                        | None -> None
+                        | Some (id, src) ->
+                          let enc =
+                            match
+                              List.find_opt
+                                (fun (id', _, _, _, _) -> id' = id)
+                                config.buffer
+                            with
+                            | Some (_, _, _, _, e) -> e
+                            | None -> ""
+                          in
+                          Some (src, enc) ) ]
+                in
                 let sleep' =
                   if por then
                     List.filter (fun (b, _) -> indep a b) (!done_ @ sleep)
                   else []
                 in
-                let visit () =
+                let visit sleep' =
                   if outs <> [] then record_decision output_encs';
                   (match (outs, check outputs') with
                   | _ :: _, Some reason ->
                     add_violation
                       {
                         at_step = config'.step_no;
-                        trail = trail';
+                        trail =
+                          List.map
+                            (fun (p, r) -> (p, Option.map fst r))
+                            steps';
+                        schedule = steps';
                         outputs = outputs';
                         reason;
                       }
                   | _ -> ());
-                  dfs config' output_encs' outputs' trail' sleep'
+                  dfs config' output_encs' outputs' steps' sleep'
                 in
-                if not canon then visit ()
+                if not canon then visit sleep'
                 else begin
                   let c = encode config' output_encs' in
                   let key = Canon.key c and bytes = Canon.bytes c in
@@ -301,20 +361,7 @@ let run ?(max_steps = 12) ?(max_nodes = 200_000) ?(max_violations = 5)
                     in
                     Hashing.Table.set visited ~key bytes descs;
                     if !nodes >= max_nodes then truncated := true
-                    else begin
-                      if outs <> [] then record_decision output_encs';
-                      (match (outs, check outputs') with
-                      | _ :: _, Some reason ->
-                        add_violation
-                          {
-                            at_step = config'.step_no;
-                            trail = trail';
-                            outputs = outputs';
-                            reason;
-                          }
-                      | _ -> ());
-                      dfs config' output_encs' outputs' trail' sleep'
-                    end
+                    else visit sleep'
                 end
               in
               if canon then expand ()

@@ -50,6 +50,11 @@ type 'o violation = {
   at_step : int;
   trail : (Pid.t * Pid.t option) list;
       (** the schedule: (process, sender of received message) per step *)
+  schedule : (Pid.t * (Pid.t * string) option) list;
+      (** [trail] enriched with the canonical payload bytes of each
+          received message — the flight-recorder form {!Replay.execute}
+          consumes.  Payloads are [""] unless the run had [capture] (or
+          [canon]) on. *)
   outputs : 'o outputs;
   reason : string;
 }
@@ -90,6 +95,8 @@ val run :
   ?max_violations:int ->
   ?canon:bool ->
   ?por:bool ->
+  ?capture:bool ->
+  ?progress_every:int ->
   ?d_equal:('d -> 'd -> bool) ->
   ?sink:Rlfd_obs.Trace.sink ->
   ?metrics:Rlfd_obs.Metrics.t ->
@@ -120,11 +127,20 @@ val run :
     completeness (not soundness) guarantee when [complete = false]: all
     exhaustiveness claims attach to [complete = true] runs.
 
+    [capture] (default [false]) computes message encodings even when
+    [canon] is off, so every violation's [schedule] carries the payload
+    bytes replay needs — the [--record] path.  It never changes what is
+    explored, only what a violation remembers.
+
     [sink] receives one {!Rlfd_obs.Trace.Violation} event per recorded
-    violation; [metrics] gets the [explore_nodes] and [explore_violations]
-    counters, the [explore_distinct_states], [explore_deduped] and
-    [explore_por_pruned] counters when the corresponding reduction is
-    enabled, and the [explore_nodes_per_sec] throughput gauge. *)
+    violation, plus a {!Rlfd_obs.Trace.Progress} heartbeat every
+    [progress_every] expanded nodes (default 250_000; [0] disables) with
+    the node count, rate, depth and — under [canon] — the visited-table
+    occupancy, load factor and byte estimate; [metrics] gets the
+    [explore_nodes] and [explore_violations] counters, the
+    [explore_distinct_states], [explore_deduped] and [explore_por_pruned]
+    counters when the corresponding reduction is enabled, and the
+    [explore_nodes_per_sec] throughput gauge. *)
 
 type 'o comparison = {
   reduced : 'o report;  (** [canon:true por:true] *)

@@ -1,0 +1,402 @@
+open Rlfd_kernel
+open Rlfd_fd
+module Recorder = Rlfd_obs.Recorder
+
+type schedule = (Pid.t * (Pid.t * string) option) list
+
+type step_info = {
+  pid : Pid.t;
+  received : (Pid.t * int) option;
+  sent : (Pid.t * int) list;
+  outputs : string list;
+  seen : string;
+}
+
+type 'o execution = {
+  steps : step_info list;
+  outputs : (int * Pid.t * 'o) list;
+  violation : (int * string) option;
+  decisions : string list;
+  final : string;
+  dropped : int;
+  executed : schedule;
+}
+
+(* The executor mirrors Explore's [apply] exactly — same configuration
+   shape, same clock (one tick per step), same detector-query moment, same
+   canonical encodings — so a schedule lifted out of a violation replays
+   to byte-identical outcomes.  Unlike the explorer it follows a single
+   path, and unlike the explorer it is total in the schedule: an entry it
+   cannot honour (dead process, unresolvable message) is dropped, counted,
+   and left out of [executed].  That totality is what lets the shrinker
+   throw arbitrary subsequences at it. *)
+let execute (type s m d o) ?(pp_output = fun (_ : o) -> "_")
+    ?(pp_seen = fun (_ : d) -> "_") ~pattern ~(detector : d Detector.t)
+    ~(check : (Pid.t * o) list -> string option) ~(schedule : schedule)
+    (algo : (s, m, d, o) Model.t) : o execution =
+  let n = Pattern.n pattern in
+  let states =
+    ref
+      (List.fold_left
+         (fun acc p -> Pid.Map.add p (algo.Model.initial ~n p) acc)
+         Pid.Map.empty (Pid.all ~n))
+  in
+  let state_encs = ref (Pid.Map.map Canon.encode_value !states) in
+  (* id, src, dst, payload, canonical bytes; newest first, as in Explore *)
+  let buffer : (int * Pid.t * Pid.t * m * string) list ref = ref [] in
+  let next_id = ref 0 in
+  let step_no = ref 0 in
+  let steps = ref [] in
+  let run_outputs = ref [] in
+  let output_encs = ref [] in
+  let violation = ref None in
+  let dropped = ref 0 in
+  let executed = ref [] in
+  let decisions = ref [ Canon.multiset [] ] in
+  List.iter
+    (fun ((p, recv) : Pid.t * (Pid.t * string) option) ->
+      let now = Time.of_int !step_no in
+      if not (Pattern.is_alive pattern p now) then incr dropped
+      else begin
+        (* Resolve the prescribed reception to a concrete buffered message:
+           oldest (lowest id) pending message to [p] from [src] whose
+           canonical bytes match — by sender alone when the schedule
+           carries no payload (a capture-less trail). *)
+        let resolved =
+          match recv with
+          | None -> Some None
+          | Some (src, payload) ->
+            let matching =
+              List.filter
+                (fun (_, src', dst, _, enc) ->
+                  Pid.equal dst p && Pid.equal src' src
+                  && (payload = "" || String.equal enc payload))
+                !buffer
+            in
+            (match
+               List.fold_left
+                 (fun acc ((id, _, _, _, _) as m) ->
+                   match acc with
+                   | Some (id', _, _, _, _) when id' <= id -> acc
+                   | _ -> Some m)
+                 None matching
+             with
+            | None -> None
+            | Some m -> Some (Some m))
+        in
+        match resolved with
+        | None -> incr dropped
+        | Some envelope ->
+          let received, recv_executed =
+            match envelope with
+            | None -> (None, None)
+            | Some (id, src, _, _, enc) -> (Some (src, id), Some (src, enc))
+          in
+          (match envelope with
+          | None -> ()
+          | Some (id, _, _, _, _) ->
+            buffer :=
+              List.filter (fun (id', _, _, _, _) -> id' <> id) !buffer);
+          let plain =
+            Option.map
+              (fun (_, src, dst, payload, _) -> { Model.src; dst; payload })
+              envelope
+          in
+          let seen = Detector.query detector pattern p now in
+          let effects =
+            algo.Model.step ~n ~self:p (Pid.Map.find p !states) plain seen
+          in
+          let sent =
+            List.map
+              (fun (dst, payload) ->
+                let id = !next_id in
+                incr next_id;
+                buffer :=
+                  (id, p, dst, payload, Canon.encode_value (p, dst, payload))
+                  :: !buffer;
+                (dst, id))
+              effects.Model.sends
+          in
+          states := Pid.Map.add p effects.Model.state !states;
+          state_encs :=
+            Pid.Map.add p (Canon.encode_value effects.Model.state) !state_encs;
+          incr step_no;
+          List.iter
+            (fun o -> run_outputs := (!step_no - 1, p, o) :: !run_outputs)
+            effects.Model.outputs;
+          if effects.Model.outputs <> [] then begin
+            output_encs :=
+              List.fold_left
+                (fun acc o -> Canon.encode_value (p, o) :: acc)
+                !output_encs effects.Model.outputs;
+            let enc = Canon.multiset !output_encs in
+            if not (List.exists (String.equal enc) !decisions) then
+              decisions := enc :: !decisions;
+            if !violation = None then begin
+              let so_far =
+                List.rev_map (fun (_, p, o) -> (p, o)) !run_outputs
+              in
+              match check so_far with
+              | Some reason -> violation := Some (!step_no, reason)
+              | None -> ()
+            end
+          end;
+          steps :=
+            {
+              pid = p;
+              received;
+              sent;
+              outputs = List.map pp_output effects.Model.outputs;
+              seen = pp_seen seen;
+            }
+            :: !steps;
+          executed := (p, recv_executed) :: !executed
+      end)
+    schedule;
+  let final =
+    Canon.assemble ~step_no:!step_no
+      ~states:
+        (List.rev (Pid.Map.fold (fun _ e acc -> e :: acc) !state_encs []))
+      ~messages:(List.map (fun (_, _, _, _, e) -> e) !buffer)
+      ~outputs:!output_encs
+  in
+  {
+    steps = List.rev !steps;
+    outputs = List.rev !run_outputs;
+    violation = !violation;
+    decisions = List.sort String.compare !decisions;
+    final = Canon.bytes final;
+    dropped = !dropped;
+    executed = List.rev !executed;
+  }
+
+(* ---------- artifact bridge ---------- *)
+
+let to_artifact ~scope (e : _ execution) =
+  let choices =
+    List.map
+      (fun ((p, recv) : Pid.t * (Pid.t * string) option) ->
+        {
+          Recorder.at = None;
+          pid = Pid.to_int p;
+          recv =
+            Option.map
+              (fun (src, enc) ->
+                {
+                  Recorder.src = Pid.to_int src;
+                  msg = None;
+                  payload = Recorder.hex_encode enc;
+                })
+              recv;
+        })
+      e.executed
+  in
+  let queries =
+    List.mapi
+      (fun i (s : step_info) ->
+        { Recorder.step = i; pid = Pid.to_int s.pid; seen = s.seen })
+      e.steps
+  in
+  let outputs =
+    List.concat
+      (List.mapi
+         (fun i (s : step_info) ->
+           List.map (fun o -> (i, Pid.to_int s.pid, o)) s.outputs)
+         e.steps)
+  in
+  let outcome =
+    {
+      Recorder.violation = Option.map snd e.violation;
+      at_step = (match e.violation with Some (at, _) -> at | None -> -1);
+      decisions = Recorder.hex_encode (Canon.multiset e.decisions);
+      final = Recorder.hex_encode e.final;
+      outputs;
+    }
+  in
+  { Recorder.kind = Explore; scope; choices; queries; outcome }
+
+let runner_artifact ~scope ?(pp_output = fun _ -> "_") ~queries
+    (r : _ Runner.result) =
+  let choices =
+    List.map
+      (fun (e : _ Runner.event) ->
+        {
+          Recorder.at = Some (Time.to_int e.Runner.time);
+          pid = Pid.to_int e.Runner.pid;
+          recv =
+            (match (e.Runner.received, e.Runner.received_id) with
+            | Some src, Some id ->
+              Some { Recorder.src = Pid.to_int src; msg = Some id; payload = "" }
+            | _ -> None);
+        })
+      r.Runner.events
+  in
+  let queries =
+    List.map
+      (fun (t, pid, seen) -> { Recorder.step = t; pid; seen })
+      queries
+  in
+  let outputs =
+    List.map
+      (fun (t, p, o) -> (Time.to_int t, Pid.to_int p, pp_output o))
+      r.Runner.outputs
+  in
+  let decisions =
+    Canon.multiset
+      (List.map (fun (_, p, o) -> Canon.encode_value (p, o)) r.Runner.outputs)
+  in
+  let outcome =
+    {
+      Recorder.violation = None;
+      at_step = -1;
+      decisions = Recorder.hex_encode decisions;
+      final =
+        Recorder.hex_encode
+          (Canon.encode_value (Pid.Map.bindings r.Runner.final_states));
+      outputs;
+    }
+  in
+  { Recorder.kind = Run; scope; choices; queries; outcome }
+
+let replay_entries (a : Recorder.t) =
+  List.filter_map
+    (fun (c : Recorder.choice) ->
+      Option.map
+        (fun at ->
+          (at, Pid.of_int c.pid, Option.bind c.recv (fun r -> r.Recorder.msg)))
+        c.at)
+    a.choices
+
+let schedule_of_artifact (a : Recorder.t) =
+  let ( let* ) = Result.bind in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | (c : Recorder.choice) :: rest ->
+      let* recv =
+        match c.recv with
+        | None -> Ok None
+        | Some r ->
+          let* payload = Recorder.hex_decode r.payload in
+          Ok (Some (Pid.of_int r.src, payload))
+      in
+      go ((Pid.of_int c.pid, recv) :: acc) rest
+  in
+  go [] a.choices
+
+let check_against (a : Recorder.t) (e : _ execution) =
+  let mismatches = ref [] in
+  let fail fmt = Format.kasprintf (fun m -> mismatches := m :: !mismatches) fmt in
+  let recorded = a.outcome in
+  let decisions = Recorder.hex_encode (Canon.multiset e.decisions) in
+  if not (String.equal recorded.decisions decisions) then
+    fail "decision set differs from the recorded one";
+  if not (String.equal recorded.final (Recorder.hex_encode e.final)) then
+    fail "canonical final state differs from the recorded one";
+  (match (recorded.violation, e.violation) with
+  | None, None -> ()
+  | Some r, Some (at, r') ->
+    if not (String.equal r r') then
+      fail "violation reason differs: recorded %S, replayed %S" r r';
+    if recorded.at_step <> at then
+      fail "violation step differs: recorded %d, replayed %d" recorded.at_step
+        at
+  | Some r, None -> fail "recorded violation %S did not reproduce" r
+  | None, Some (_, r) -> fail "replay violated (%S) but the recording did not" r);
+  let replayed_queries =
+    List.mapi
+      (fun i (s : step_info) -> (i, Pid.to_int s.pid, s.seen))
+      e.steps
+  in
+  let recorded_queries =
+    List.map
+      (fun (q : Recorder.query) -> (q.step, q.pid, q.seen))
+      a.queries
+  in
+  if recorded_queries <> [] && recorded_queries <> replayed_queries then
+    fail "detector query log differs from the recorded one";
+  let replayed_outputs =
+    List.concat
+      (List.mapi
+         (fun i (s : step_info) ->
+           List.map (fun o -> (i, Pid.to_int s.pid, o)) s.outputs)
+         e.steps)
+  in
+  if recorded.outputs <> replayed_outputs then
+    fail "output log differs from the recorded one";
+  List.rev !mismatches
+
+(* ---------- delta-debugging shrinker ---------- *)
+
+type 'o shrunk = {
+  schedule : schedule;
+  execution : 'o execution;
+  rounds : int;
+  candidates : int;
+}
+
+let split_chunks k xs =
+  let len = List.length xs in
+  let base = len / k and extra = len mod k in
+  let rec go i xs acc =
+    if i >= k then List.rev acc
+    else begin
+      let size = base + if i < extra then 1 else 0 in
+      let rec take n xs acc =
+        if n = 0 then (List.rev acc, xs)
+        else
+          match xs with
+          | [] -> (List.rev acc, [])
+          | x :: rest -> take (n - 1) rest (x :: acc)
+      in
+      let chunk, rest = take size xs [] in
+      go (i + 1) rest (chunk :: acc)
+    end
+  in
+  go 0 xs []
+
+let shrink ?pp_output ?pp_seen ~pattern ~detector ~check ~schedule algo =
+  let exec s =
+    execute ?pp_output ?pp_seen ~pattern ~detector ~check ~schedule:s algo
+  in
+  let original = exec schedule in
+  if original.violation = None then
+    invalid_arg "Replay.shrink: the schedule does not violate";
+  let rounds = ref 0 and candidates = ref 0 in
+  (* Normalize to the effective schedule first: replaying [executed] drops
+     nothing, so every later candidate is a subsequence of a clean base. *)
+  let best = ref original.executed and best_exec = ref (exec original.executed) in
+  (* ddmin over subsequences: try dropping each of [k] chunks; on success
+     restart from the (normalized) survivor with coarser granularity, on
+     failure refine k until chunks are single steps. *)
+  let rec ddmin sched k =
+    incr rounds;
+    let len = List.length sched in
+    if len <= 1 then sched
+    else begin
+      let k = Stdlib.min k len in
+      let chunks = split_chunks k sched in
+      let rec try_drop i =
+        if i >= k then None
+        else begin
+          let candidate =
+            List.concat
+              (List.filteri (fun j _ -> j <> i) chunks)
+          in
+          incr candidates;
+          let e = exec candidate in
+          if e.violation <> None && List.length e.executed < len then begin
+            best := e.executed;
+            best_exec := e;
+            Some e.executed
+          end
+          else try_drop (i + 1)
+        end
+      in
+      match try_drop 0 with
+      | Some survivor -> ddmin survivor (Stdlib.max 2 (k - 1))
+      | None -> if k < len then ddmin sched (Stdlib.min len (2 * k)) else sched
+    end
+  in
+  let _final = ddmin !best 2 in
+  { schedule = !best; execution = !best_exec; rounds = !rounds;
+    candidates = !candidates }

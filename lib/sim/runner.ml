@@ -7,7 +7,9 @@ type 'o event = {
   time : Time.t;
   pid : Pid.t;
   received : Pid.t option;
+  received_id : Buffer.id option;
   sent_to : Pid.t list;
+  sent_ids : Buffer.id list;
   outputs : 'o list;
   heard_from : Pid.Set.t;
   vclock : Vclock.t;
@@ -102,12 +104,14 @@ let run ?(until = fun _ -> false) ?(record_events = true)
       in
       let effects = algo.step ~n ~self:pid states.(i) plain seen in
       states.(i) <- effects.Model.state;
-      List.iter
-        (fun (dst, payload) ->
-          incr sent;
-          let tagged = { payload; hf = hfs.(i); vc = vcs.(i) } in
-          ignore (Buffer.add buffer { Model.src = pid; dst; payload = tagged }))
-        effects.Model.sends;
+      let sent_ids =
+        List.map
+          (fun (dst, payload) ->
+            incr sent;
+            let tagged = { payload; hf = hfs.(i); vc = vcs.(i) } in
+            Buffer.add buffer { Model.src = pid; dst; payload = tagged })
+          effects.Model.sends
+      in
       List.iter (fun o -> outputs := (now, pid, o) :: !outputs) effects.Model.outputs;
       incr steps;
       mincr "steps";
@@ -134,7 +138,9 @@ let run ?(until = fun _ -> false) ?(record_events = true)
             time = now;
             pid;
             received = Option.map (fun (e : _ Model.envelope) -> e.Model.src) envelope;
+            received_id = (match envelope with None -> None | Some _ -> receive);
             sent_to = List.map fst effects.Model.sends;
+            sent_ids;
             outputs = effects.Model.outputs;
             heard_from = hfs.(i);
             vclock = vcs.(i);

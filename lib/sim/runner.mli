@@ -23,7 +23,11 @@ type 'o event = {
   time : Time.t;
   pid : Pid.t;
   received : Pid.t option; (** sender of the received message; [None] = lambda *)
+  received_id : Buffer.id option;
+      (** buffer id of that message — with [sent_ids], the exact message
+          identity the flight recorder needs for faithful replay *)
   sent_to : Pid.t list;
+  sent_ids : Buffer.id list; (** buffer ids of [sent_to], same order *)
   outputs : 'o list;
   heard_from : Pid.Set.t;
       (** processes having a message in this event's causal chain (includes

@@ -74,6 +74,31 @@ let scripted trail =
   in
   { name = "scripted"; choose }
 
+let replay entries =
+  let remaining = ref entries in
+  let choose view =
+    match !remaining with
+    | [] -> Idle
+    | (t, pid, receive) :: rest ->
+      if t <> Time.to_int view.time then Idle
+      else begin
+        remaining := rest;
+        if not (List.exists (Pid.equal pid) view.alive) then Idle
+        else begin
+          let receive =
+            match receive with
+            | None -> None
+            | Some id ->
+              if List.exists (fun (id', _) -> id' = id) (view.pending pid) then
+                Some id
+              else None
+          in
+          Step { pid; receive }
+        end
+      end
+  in
+  { name = "replay"; choose }
+
 type 'm constraint_ = {
   blocks_step : 'm view -> Pid.t -> bool;
   blocks_delivery : 'm view -> 'm Model.envelope -> bool;

@@ -50,6 +50,17 @@ val scripted : (Pid.t * Pid.t option) list -> 'm t
     degrades to a lambda step; after the script ends every tick is
     {!Idle}. *)
 
+val replay : (int * Pid.t * Buffer.id option) list -> 'm t
+(** Replays a flight-recorder schedule exactly: one [(tick, process,
+    received buffer id)] entry per recorded step, consumed when the clock
+    reaches its tick.  Buffer ids are deterministic (allocation order), so
+    an entry names precisely the message the original run delivered —
+    unlike {!scripted}, which resolves by sender and can diverge when one
+    sender has several messages in flight.  Ticks with no entry, an entry
+    whose process is dead, and a prescribed message already consumed all
+    degrade safely (idle / lambda); a faithful artifact never hits those
+    cases. *)
+
 (** {1 Adversarial constraints}
 
     Constraints wrap a base scheduler.  A blocked process is not scheduled;

@@ -22,3 +22,52 @@ val print : ?max_rows:int -> ?pp_output:(Format.formatter -> 'o -> unit) ->
 
 val legend : string
 (** One-line key to the diagram's symbols. *)
+
+(** Renderer-neutral timelines, for flight-recorder replays as well as
+    runner results.
+
+    {!render} above consumes a {!Runner.result} directly; replayed
+    artifacts carry their steps in {!Replay.execution} form instead.  A
+    [Timeline.step] is the common denominator — process, receive edge,
+    send edges (with message identities), outputs, detector answer — and
+    both sources convert into it, so [fdsim render] draws the same diagram
+    whatever produced the recording.  Two back-ends: ASCII for the
+    terminal (same grid and legend as {!render}) and DOT for graphviz
+    (bold process-order chains, dashed message edges, crash markers). *)
+module Timeline : sig
+  type step = {
+    t : int;  (** tick (run artifacts) or step index (explore artifacts) *)
+    pid : int;
+    recv : (int * int) option;  (** sender, message id *)
+    sends : (int * int) list;  (** destination, message id *)
+    outs : string list;  (** rendered outputs *)
+    seen : string option;  (** rendered detector answer *)
+  }
+
+  val of_execution : 'o Replay.execution -> step list
+
+  val of_result : ?pp_output:('o -> string) -> ('s, 'o) Runner.result -> step list
+
+  val render_ascii :
+    ?max_rows:int ->
+    ?title:string ->
+    n:int ->
+    crashed_at:(int -> int option) ->
+    step list ->
+    string
+  (** The grid of {!Spacetime.render}, fed from steps: one column per
+      process, one row per step, [X] from a process's crash tick on
+      ([crashed_at] maps a pid to it), outputs and detector answers in the
+      right margin. *)
+
+  val render_dot :
+    ?title:string ->
+    n:int ->
+    crashed_at:(int -> int option) ->
+    step list ->
+    string
+  (** A graphviz digraph: one node per step (double border = output
+      emitted), bold edges chaining each process's steps, dashed edges
+      from each send to its delivery (matched by message id), octagons
+      for crashes. *)
+end

@@ -81,7 +81,13 @@ let all_constructors =
     Trace.Crash { time = 40; pid = 3 };
     Trace.Halt { time = 41; pid = 4 };
     Trace.Violation { time = 6; reason = "disagreement: 1 vs 2" };
-    Trace.Note { time = 0; label = "hello \"world\"" } ]
+    Trace.Note { time = 0; label = "hello \"world\"" };
+    Trace.Progress
+      { time = 1500; label = "explore"; done_ = 5000; total = Some 200_000;
+        rate = 12_500.; detail = [ ("depth", 7.); ("load_factor", 0.43) ] };
+    Trace.Progress
+      { time = 10; label = "campaign"; done_ = 1; total = None; rate = 0.;
+        detail = [] } ]
 
 let trace_tests =
   [
@@ -302,7 +308,13 @@ let metrics_tests =
         Alcotest.(check bool) "buckets present" true
           (match Option.bind (get [ "histograms"; "h"; "buckets" ]) Json.to_list_opt with
           | Some l -> List.length l = 2
-          | None -> false));
+          | None -> false);
+        let pct name =
+          Option.bind (get [ "histograms"; "h"; name ]) Json.to_float_opt
+        in
+        Alcotest.(check bool) "p50" true (pct "p50" = Some 2.);
+        Alcotest.(check bool) "p95" true (pct "p95" = Some 4.);
+        Alcotest.(check bool) "p99" true (pct "p99" = Some 4.));
     test "names are sorted; is_empty flips on first use" (fun () ->
         let m = Metrics.create () in
         Alcotest.(check bool) "empty" true (Metrics.is_empty m);
