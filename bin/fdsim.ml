@@ -695,9 +695,34 @@ let nbac_cmd =
 
 (* ---------- fdsim explore ---------- *)
 
+(* The symmetry layer needs the algorithm's renamer alongside the automaton
+   itself — only pid-uniform algorithms have one. *)
+type sym_consumer = {
+  consume_sym :
+    's 'm.
+    ('s, 'm, Detector.suspicions, int) Model.t ->
+    ('s, 'm, Detector.suspicions, int) Explore.symmetry_spec option ->
+    int;
+}
+
+let with_algo_sym ~n algo k =
+  let ct_spec =
+    {
+      Explore.renamer = Ct_strong.renamer;
+      value_map = (fun pi -> Symmetry.value_map_of_proposals ~n ~proposals pi);
+      d_rename = Symmetry.rename_set;
+    }
+  in
+  match algo with
+  | `Ct_strong -> k.consume_sym (Ct_strong.automaton ~proposals) (Some ct_spec)
+  | `Ct_ev_strong -> k.consume_sym (Ct_ev_strong.automaton ~proposals) None
+  | `Marabout -> k.consume_sym (Marabout_consensus.automaton ~proposals) None
+  | `Rank -> k.consume_sym (Rank_consensus.automaton ~proposals) None
+
 let explore_cmd =
-  let run n seed crashes algo fd max_steps max_nodes uniform canon por cross
-      record progress =
+  let run n seed crashes algo fd max_steps max_nodes uniform canon por
+      por_lambda symmetry spill spill_cache workers explain cross record
+      progress =
     let pattern = pattern_of ~n crashes in
     let detector = make_detector ~seed fd in
     let check = consensus_explore_check ~n ~uniform pattern in
@@ -724,14 +749,46 @@ let explore_cmd =
             v.Explore.outputs)
         report.Explore.violations
     in
-    let finish : type s m. (s, m, Detector.suspicions, int) Model.t -> int =
-     fun automaton ->
+    let finish : type s m.
+        (s, m, Detector.suspicions, int) Model.t ->
+        (s, m, Detector.suspicions, int) Explore.symmetry_spec option ->
+        int =
+     fun automaton spec_opt ->
+      let symmetry_spec =
+        if not symmetry then None
+        else
+          match spec_opt with
+          | Some _ as s -> s
+          | None ->
+            Format.eprintf
+              "fdsim: algo %s is not pid-symmetric; --symmetry has no effect@."
+              (scope_name algo algo_names);
+            None
+      in
+      let workers = if workers <= 0 then None else Some workers in
       Format.printf "pattern:  %a@.detector: %s@." Pattern.pp pattern
         (Detector.name detector);
-      if cross then begin
+      (* --cross-check with no reduction flags means "the full stack". *)
+      let cc_canon, cc_por, cc_por_lambda =
+        if cross && not (canon || por || por_lambda) then (true, true, true)
+        else (canon, por, por_lambda)
+      in
+      if explain then begin
+        let canon, por, por_lambda =
+          if cross then (cc_canon, cc_por, cc_por_lambda)
+          else (canon, por, por_lambda)
+        in
+        List.iter print_endline
+          (Explore.describe ~max_steps ~canon ~por ~por_lambda
+             ?symmetry:symmetry_spec ?spill ?workers ~d_equal ~pattern
+             ~detector ());
+        exit_ok true
+      end
+      else if cross then begin
         let c =
-          Explore.cross_check ~max_steps ~max_nodes ~d_equal ~pattern ~detector
-            ~check automaton
+          Explore.cross_check ~max_steps ~max_nodes ~canon:cc_canon ~por:cc_por
+            ~por_lambda:cc_por_lambda ?symmetry:symmetry_spec ?workers ~d_equal
+            ~pattern ~detector ~check automaton
         in
         Format.printf "unreduced: %a@." Explore.pp_report c.Explore.unreduced;
         Format.printf "reduced:   %a@." Explore.pp_report c.Explore.reduced;
@@ -744,7 +801,8 @@ let explore_cmd =
       end
       else begin
         let report =
-          Explore.run ~max_steps ~max_nodes ~canon ~por
+          Explore.run ~max_steps ~max_nodes ~canon ~por ~por_lambda
+            ?symmetry:symmetry_spec ?spill ?spill_cache ?workers
             ~capture:(record <> None) ~sink ~d_equal ~pattern ~detector ~check
             automaton
         in
@@ -784,7 +842,7 @@ let explore_cmd =
         exit_ok (report.Explore.violations = [])
       end
     in
-    with_algo algo { consume = finish }
+    with_algo_sym ~n algo { consume_sym = finish }
   in
   let max_steps =
     Arg.(value & opt int 9 & info [ "max-steps" ] ~docv:"K" ~doc:"Depth bound.")
@@ -810,13 +868,68 @@ let explore_cmd =
       & info [ "por" ]
           ~doc:"Sleep-set partial-order reduction over commuting deliveries.")
   in
+  let por_lambda =
+    Arg.(
+      value & flag
+      & info [ "por-lambda" ]
+          ~doc:
+            "Extend the sleep-set reduction to commuting internal lambda \
+             steps of distinct processes.")
+  in
+  let symmetry =
+    Arg.(
+      value & flag
+      & info [ "symmetry" ]
+          ~doc:
+            "Quotient states by crash-pattern-respecting, \
+             detector-equivariant pid renamings (pid-symmetric algorithms \
+             only; a no-op with a warning otherwise).")
+  in
+  let spill =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "spill" ] ~docv:"DIR"
+          ~doc:
+            "Spill visited-set key bytes to an append-only file under DIR, \
+             keeping only fingerprints and a bounded cache in RAM.")
+  in
+  let spill_cache =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "spill-cache" ] ~docv:"BYTES"
+          ~doc:
+            "RAM budget for the spill tier's hot-key cache (default 8 MiB; \
+             only meaningful with $(b,--spill)).")
+  in
+  let workers =
+    Arg.(
+      value & opt int 0
+      & info [ "workers" ] ~docv:"N"
+          ~doc:
+            "Explore with N domains over a deterministic breadth-first \
+             frontier; reports are byte-identical for every N (0 = plain \
+             DFS).")
+  in
+  let explain =
+    Arg.(
+      value & flag
+      & info [ "explain" ]
+          ~doc:
+            "Print the active reduction/strategy/store stack resolved for \
+             this scope (group order, quiescence point) and exit without \
+             exploring.")
+  in
   let cross =
     Arg.(
       value & flag
       & info [ "cross-check" ]
           ~doc:
-            "Run both reduced (--canon --por) and naive explorations and \
-             verify they reach identical decision-state sets.")
+            "Run both reduced and naive explorations and verify they reach \
+             identical decision-state sets.  Reduces with the requested \
+             subset of --canon/--por/--por-lambda/--symmetry, or the full \
+             stack when none is given.")
   in
   Cmd.v
     (Cmd.info "explore"
@@ -824,7 +937,8 @@ let explore_cmd =
     Term.(
       const run $ Arg.(value & opt int 3 & info [ "n" ]) $ seed_arg $ crashes_arg
       $ algo_arg $ detector_arg $ max_steps $ max_nodes $ uniform $ canon $ por
-      $ cross $ record_arg $ progress_arg)
+      $ por_lambda $ symmetry $ spill $ spill_cache $ workers $ explain $ cross
+      $ record_arg $ progress_arg)
 
 (* ---------- fdsim replay / shrink / render ---------- *)
 
@@ -1126,6 +1240,28 @@ let metrics_cmd =
         ~scheduler:(make_scheduler ~seed `Fair)
         ~horizon:(Time.of_int horizon) ~metrics:registry
         ~until:(Runner.stop_when_all_correct_output pattern)
+        (Ct_strong.automaton ~proposals)
+    in
+    (* Phase 3: a small exhaustive exploration with the whole reduction
+       stack and a parallel frontier, so the explorer's counter families
+       (nodes, dedup, POR prunes, orbit collapses, spills, frontier depth)
+       all appear in the dump. *)
+    let xp = pattern_of ~n:3 [ (1, 2) ] in
+    let spill_dir = Filename.temp_file "fdsim-metrics-spill" "" in
+    Sys.remove spill_dir;
+    let (_ : int Explore.report) =
+      Explore.run ~max_steps:7 ~canon:true ~por:true ~por_lambda:true
+        ~symmetry:
+          {
+            Explore.renamer = Ct_strong.renamer;
+            value_map =
+              (fun pi -> Symmetry.value_map_of_proposals ~n:3 ~proposals pi);
+            d_rename = Symmetry.rename_set;
+          }
+        ~spill:spill_dir ~spill_cache:4096 ~workers:2 ~frontier:8
+        ~d_equal:Pid.Set.equal ~metrics:registry ~pattern:xp
+        ~detector:Perfect.canonical
+        ~check:(Explore.agreement_check ~equal:Int.equal)
         (Ct_strong.automaton ~proposals)
     in
     if json then print_endline (Obs.Json.to_string (Obs.Metrics.to_json registry))

@@ -45,6 +45,22 @@ let current_round st =
 
 let others ~n ~self = List.filter (fun p -> not (Pid.equal p self)) (Pid.all ~n)
 
+(* Shape-canonical insertion: the explorer's canonical encoding marshals
+   the map's internal tree, whose shape depends on insertion order.
+   Message logs grow in arrival order — schedule-dependent — so every
+   insertion rebuilds the map by ascending-key folds, making the tree a
+   pure function of the binding set.  Two states that received the same
+   messages in different orders then encode identically (more dedup), and
+   a pid-renamed state byte-matches the twin its renaming names (the
+   property the symmetry reduction rests on). *)
+let canonical_add p v m =
+  Pid.Map.bindings (Pid.Map.add p v m)
+  |> List.fold_left (fun acc (k, v) -> Pid.Map.add k v acc) Pid.Map.empty
+
+let canonical_add_int r v m =
+  Int_map.bindings (Int_map.add r v m)
+  |> List.fold_left (fun acc (k, v) -> Int_map.add k v acc) Int_map.empty
+
 let record_msg st (e : _ Model.envelope) =
   match e.Model.payload with
   | Round { round; delta } ->
@@ -56,9 +72,12 @@ let record_msg st (e : _ Model.envelope) =
     {
       st with
       round_msgs =
-        Int_map.add round (Pid.Map.add e.Model.src delta per_round) st.round_msgs;
+        canonical_add_int round
+          (canonical_add e.Model.src delta per_round)
+          st.round_msgs;
     }
-  | Final { view } -> { st with final_msgs = Pid.Map.add e.Model.src view st.final_msgs }
+  | Final { view } ->
+    { st with final_msgs = canonical_add e.Model.src view st.final_msgs }
 
 let heard_or_suspected ~received suspects q =
   Pid.Map.mem q received || Pid.Set.mem q suspects
@@ -159,3 +178,44 @@ let automaton ~proposals =
   Model.make ~name:"ct-strong-consensus"
     ~initial:(fun ~n self -> init ~n ~self ~proposal:(proposals self))
     ~step:(fun ~n ~self st envelope suspects -> handle ~n ~self st envelope suspects)
+
+(* Push a pid renaming through a knowledge vector: components move with
+   their proposer, values through the induced proposal renaming.  Rebuilt
+   by ascending-key insertion so the renamed map's tree shape byte-matches
+   the twin branch's (see [canonical_add]). *)
+let rebuild_sorted bs =
+  List.sort (fun (a, _) (b, _) -> Pid.compare a b) bs
+  |> List.fold_left (fun acc (k, v) -> Pid.Map.add k v acc) Pid.Map.empty
+
+let rename_vector ~pid ~value (vec : 'v vector) : 'v vector =
+  Pid.Map.fold (fun p v acc -> (pid p, Option.map value v) :: acc) vec []
+  |> rebuild_sorted
+
+let rename_per_sender ~pid ~value m =
+  Pid.Map.fold
+    (fun s vec acc -> (pid s, rename_vector ~pid ~value vec) :: acc)
+    m []
+  |> rebuild_sorted
+
+let renamer =
+  {
+    Symmetry.rename_state =
+      (fun ~pid ~value st ->
+        {
+          view = rename_vector ~pid ~value st.view;
+          delta = rename_vector ~pid ~value st.delta;
+          phase =
+            (match st.phase with
+            | Decided v -> Decided (value v)
+            | (Rounds _ | Collect_final) as ph -> ph);
+          sent_round = st.sent_round;
+          sent_final = st.sent_final;
+          round_msgs = Int_map.map (rename_per_sender ~pid ~value) st.round_msgs;
+          final_msgs = rename_per_sender ~pid ~value st.final_msgs;
+        });
+    rename_msg =
+      (fun ~pid ~value -> function
+        | Round { round; delta } ->
+          Round { round; delta = rename_vector ~pid ~value delta }
+        | Final { view } -> Final { view = rename_vector ~pid ~value view });
+  }

@@ -59,3 +59,15 @@ val automaton :
   proposals:(Pid.t -> 'v) -> ('v state, 'v msg, Detector.suspicions, 'v) Model.t
 (** The algorithm as a runnable automaton; the output is the decided
     value. *)
+
+val renamer : ('v state, 'v msg, 'v) Symmetry.renamer
+(** How a pid permutation acts on this algorithm's state and messages —
+    the witness {!Rlfd_sim.Explore}'s symmetry reduction needs.  Every
+    embedded pid (vector components, message-log senders) moves with the
+    permutation and every embedded value through the induced proposal
+    renaming.  The algorithm itself is pid-uniform: rounds wait on {e all}
+    unsuspected processes (no ranks, no coordinators), and the decided
+    component is forced to be unique by the final intersection — this is
+    what makes it, alone among the portfolio algorithms, eligible for
+    symmetry.  {!Rlfd_sim.Explore.cross_check} validates the claim
+    per-scope. *)

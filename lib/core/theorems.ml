@@ -538,19 +538,32 @@ let exhaustive_small_scope cfg =
     fun outputs ->
       agreement (List.filter (fun (p, _) -> not (Pid.Set.mem p faulty)) outputs)
   in
+  (* ct-strong is pid-uniform, so its scopes run under the full reduction
+     stack (symmetry quotient included); the spec is per-[n] because the
+     value renaming follows the proposal assignment. *)
+  let sym ~n =
+    {
+      Explore.renamer = Ct_strong.renamer;
+      value_map = (fun pi -> Symmetry.value_map_of_proposals ~n ~proposals pi);
+      d_rename = Symmetry.rename_set;
+    }
+  in
   (* Three kinds of job, one campaign so [cfg.workers > 1] explores every
      tree at once: the two PR-2 scopes re-run naively (continuity with the
      seeded numbers), reduced-vs-naive cross-checks at n=3 over the
-     algorithm portfolio, and an n=4 grid that only canon+por reductions
-     make feasible (the naive n=4 trees run to hundreds of millions of
-     nodes). *)
+     algorithm portfolio, and an n=4 grid under the full reduction stack —
+     the naive n=4 trees run to hundreds of millions of nodes, and the
+     depth-13 scope exhausts a 4M-node budget even under canon+por alone
+     (measured: 4,000,000 nodes, truncated, 3.75M stored states), so only
+     the symmetry and lambda-POR layers make it checkable at all. *)
   let p3 crashes = Pattern.make ~n:3 crashes in
   let p4 crashes = Pattern.make ~n:4 crashes in
   let crash p t = (Pid.of_int p, Time.of_int t) in
   let n4 pattern max_steps () =
     `Report
       (Explore.run ~max_steps ~max_nodes:4_000_000 ~canon:true ~por:true
-         ~d_equal ~pattern ~detector:Perfect.canonical ~check:(safety ~n:4)
+         ~por_lambda:true ~symmetry:(sym ~n:4) ~d_equal ~pattern
+         ~detector:Perfect.canonical ~check:(safety ~n:4)
          (Ct_strong.automaton ~proposals))
   in
   let scopes =
@@ -570,6 +583,7 @@ let exhaustive_small_scope cfg =
        ( "xcheck:ct-strong+P", fun () ->
          `Cross
            (Explore.cross_check ~max_steps:9 ~max_nodes:2_000_000 ~d_equal
+              ~symmetry:(sym ~n:3)
               ~pattern:(p3 [ crash 1 2 ])
               ~detector:Perfect.canonical ~check:(safety ~n:3)
               (Ct_strong.automaton ~proposals)) );
@@ -589,7 +603,8 @@ let exhaustive_small_scope cfg =
        ("n4:ct-strong+P", n4 (p4 []) 8);
        ("n4:ct-strong+P:p1@2", n4 (p4 [ crash 1 2 ]) 9);
        ("n4:ct-strong+P:p3@5", n4 (p4 [ crash 3 5 ]) 9);
-       ("n4:ct-strong+P:2crash", n4 (p4 [ crash 1 2; crash 2 4 ]) 9)
+       ("n4:ct-strong+P:2crash", n4 (p4 [ crash 1 2; crash 2 4 ]) 9);
+       ("n4:ct-strong+P:depth13", n4 (p4 []) 13)
     |]
   in
   let report =
@@ -609,7 +624,7 @@ let exhaustive_small_scope cfg =
   let grid =
     List.filter_map
       (function `Report r -> Some r | `Cross _ -> None)
-      (List.map value [ 5; 6; 7; 8 ])
+      (List.map value [ 5; 6; 7; 8; 9 ])
   in
   let crosses_ok = List.for_all (fun c -> c.Explore.identical) crosses in
   let grid_ok =
@@ -623,8 +638,8 @@ let exhaustive_small_scope cfg =
        for P<; reductions preserve reachable decisions; n=4 grid complete"
     ~expected:
       "0 violations for ct-strong+P over the whole tree; a uniformity witness \
-       for rank+P<; 3 identical cross-checks; 4 complete violation-free n=4 \
-       scopes"
+       for rank+P<; 3 identical cross-checks; 5 complete violation-free n=4 \
+       scopes (full reduction stack, depth-13 scope included)"
     ~observed:
       (Format.asprintf
          "ct-strong: %a; rank: %d witness(es); cross-checks %s (up to %.0fx \
@@ -642,7 +657,7 @@ let exhaustive_small_scope cfg =
       && positive.Explore.complete
       && negative.Explore.violations <> []
       && List.length crosses = 3 && crosses_ok
-      && List.length grid = 4 && grid_ok)
+      && List.length grid = 5 && grid_ok)
 
 let all cfg =
   [

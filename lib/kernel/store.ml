@@ -1,0 +1,145 @@
+(* An entry of the spill tier.  [cached] holds the key bytes while they are
+   still inside the write-back budget; once evicted, a lookup that matches
+   the fingerprint re-reads [len] bytes at [off] from the data file. *)
+type 'a spill_entry = {
+  off : int;
+  len : int;
+  mutable value : 'a;
+  mutable cached : string option;
+}
+
+type 'a spill = {
+  data_path : string;
+  mutable wfd : Unix.file_descr;
+  mutable rfd : Unix.file_descr;
+  mutable next_off : int;
+  index : (int64, 'a spill_entry list ref) Hashtbl.t;
+  (* eviction is FIFO over insertion order: the queue holds entries whose
+     bytes are still cached; [cache_used] tracks their total length *)
+  queue : 'a spill_entry Queue.t;
+  mutable cache_used : int;
+  cache_bytes : int;
+  mutable count : int;
+  mutable spilled : int;
+  mutable closed : bool;
+}
+
+type 'a t = Ram of 'a Hashing.Table.t | Spill of 'a spill
+
+let in_ram ?initial () = Ram (Hashing.Table.create ?initial ())
+
+let spilling ?(initial = 1024) ?(cache_bytes = 8 * 1024 * 1024) ~dir () =
+  if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+  let data_path = Filename.concat dir "store.dat" in
+  let wfd = Unix.openfile data_path [ O_WRONLY; O_CREAT; O_TRUNC ] 0o644 in
+  let rfd = Unix.openfile data_path [ O_RDONLY ] 0o644 in
+  Spill
+    {
+      data_path;
+      wfd;
+      rfd;
+      next_off = 0;
+      index = Hashtbl.create initial;
+      queue = Queue.create ();
+      cache_used = 0;
+      cache_bytes;
+      count = 0;
+      spilled = 0;
+      closed = false;
+    }
+
+let write_all fd bytes =
+  let len = Bytes.length bytes in
+  let written = ref 0 in
+  while !written < len do
+    written := !written + Unix.write fd bytes !written (len - !written)
+  done
+
+let read_at s ~off ~len =
+  let buf = Bytes.create len in
+  ignore (Unix.lseek s.rfd off Unix.SEEK_SET);
+  let got = ref 0 in
+  while !got < len do
+    let r = Unix.read s.rfd buf !got (len - !got) in
+    if r = 0 then failwith "Store: truncated data file";
+    got := !got + r
+  done;
+  Bytes.unsafe_to_string buf
+
+let evict_over_budget s =
+  while s.cache_used > s.cache_bytes && not (Queue.is_empty s.queue) do
+    let e = Queue.pop s.queue in
+    match e.cached with
+    | None -> ()
+    | Some bytes ->
+      e.cached <- None;
+      s.cache_used <- s.cache_used - String.length bytes;
+      s.spilled <- s.spilled + 1
+  done
+
+let entry_matches s bytes e =
+  match e.cached with
+  | Some b -> String.equal b bytes
+  | None ->
+    e.len = String.length bytes && String.equal (read_at s ~off:e.off ~len:e.len) bytes
+
+let find t ~key bytes =
+  match t with
+  | Ram table -> Hashing.Table.find table ~key bytes
+  | Spill s -> (
+    match Hashtbl.find_opt s.index key with
+    | None -> None
+    | Some entries -> (
+      match List.find_opt (entry_matches s bytes) !entries with
+      | Some e -> Some e.value
+      | None -> None))
+
+let set t ~key bytes v =
+  match t with
+  | Ram table -> Hashing.Table.set table ~key bytes v
+  | Spill s -> (
+    if s.closed then invalid_arg "Store.set: store is closed";
+    let entries =
+      match Hashtbl.find_opt s.index key with
+      | Some r -> r
+      | None ->
+        let r = ref [] in
+        Hashtbl.add s.index key r;
+        r
+    in
+    match List.find_opt (entry_matches s bytes) !entries with
+    | Some e -> e.value <- v
+    | None ->
+      let len = String.length bytes in
+      write_all s.wfd (Bytes.unsafe_of_string bytes);
+      let e = { off = s.next_off; len; value = v; cached = Some bytes } in
+      s.next_off <- s.next_off + len;
+      entries := e :: !entries;
+      s.count <- s.count + 1;
+      Queue.push e s.queue;
+      s.cache_used <- s.cache_used + len;
+      evict_over_budget s)
+
+let length = function
+  | Ram table -> Hashing.Table.length table
+  | Spill s -> s.count
+
+let spilled = function Ram _ -> 0 | Spill s -> s.spilled
+
+(* ~40 bytes/entry covers fingerprint, offsets and list cells on the spill
+   tier; the RAM tier reuses the table's own telemetry basis. *)
+let ram_bytes = function
+  | Ram table ->
+    Hashing.Table.key_bytes table + (Hashing.Table.capacity table * 24)
+  | Spill s -> s.cache_used + (s.count * 40)
+
+let is_spilling = function Ram _ -> false | Spill _ -> true
+
+let close = function
+  | Ram _ -> ()
+  | Spill s ->
+    if not s.closed then begin
+      s.closed <- true;
+      Unix.close s.wfd;
+      Unix.close s.rfd
+    end

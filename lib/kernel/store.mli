@@ -1,0 +1,65 @@
+(** Visited-set storage tiers for the exhaustive explorer.
+
+    The explorer's visited set maps canonical byte strings (the encodings
+    of {!Rlfd_sim.Canon}) to small values, and must answer "seen before?"
+    exactly — a fingerprint match alone never suffices, the full bytes are
+    always confirmed.  This module puts that contract behind one interface
+    with two implementations:
+
+    {ul
+    {- {b In-RAM} ({!in_ram}): {!Hashing.Table} unchanged — every key byte
+       lives in memory.  The fast tier; the default.}
+    {- {b Spill-to-disk} ({!spilling}): the RAM footprint per entry drops
+       to the 64-bit fingerprint, the value and a file offset; the key
+       bytes themselves are appended to a data file in [dir] and re-read
+       (and compared byte-for-byte) whenever a fingerprint matches.  A
+       bounded write-back cache ([cache_bytes]) keeps the most recent keys
+       in RAM so hot revisits skip the disk; once the budget is exceeded
+       the oldest cached keys are dropped — they are already on disk, so
+       correctness never depends on the cache.  This is the tier that lets
+       a frontier outgrow RAM: memory grows with the {e number} of states,
+       not with their encoded size.}}
+
+    Both tiers are exact: two distinct canonical encodings are never
+    conflated, whatever their fingerprints.  A store instance is
+    single-domain; parallel exploration gives each shard its own store. *)
+
+type 'a t
+
+val in_ram : ?initial:int -> unit -> 'a t
+(** The RAM tier: a plain {!Hashing.Table} behind this interface.
+    [initial] is a capacity hint. *)
+
+val spilling : ?initial:int -> ?cache_bytes:int -> dir:string -> unit -> 'a t
+(** The spill tier.  Key bytes are appended to [dir/store.dat] (the
+    directory is created if missing); the RAM side keeps fingerprint,
+    offset, length and value per entry, plus up to [cache_bytes] (default
+    8 MiB) of recently-written key bytes.  Raises [Sys_error] if the
+    directory or file cannot be created. *)
+
+val find : 'a t -> key:int64 -> string -> 'a option
+(** [find t ~key bytes] is the value stored under [bytes]; [key] must be
+    [Hashing.of_string bytes] (callers cache it to hash once).  On the
+    spill tier a fingerprint hit whose bytes fell out of the cache costs
+    one [pread]-style confirmation. *)
+
+val set : 'a t -> key:int64 -> string -> 'a -> unit
+(** Insert or replace.  Replacing an existing key updates only its value —
+    the bytes are never written twice. *)
+
+val length : 'a t -> int
+(** Number of distinct keys stored. *)
+
+val spilled : 'a t -> int
+(** Entries whose key bytes live only on disk (always [0] on the RAM
+    tier).  The basis of the [explore_spilled_states] counter. *)
+
+val ram_bytes : 'a t -> int
+(** Approximate RAM occupancy: all cached or resident key bytes plus a
+    fixed per-entry overhead estimate. *)
+
+val is_spilling : 'a t -> bool
+
+val close : 'a t -> unit
+(** Release the spill tier's file descriptors (a no-op on the RAM tier).
+    The store must not be used afterwards. *)

@@ -19,6 +19,10 @@ type 'o report = {
   distinct_states : int;
   deduped : int;
   por_pruned : int;
+  lambda_pruned : int;
+  orbit_collapsed : int;
+  spilled_states : int;
+  frontier_tasks : int;
   complete : bool;
   deepest : int;
   violations : 'o violation list;
@@ -30,9 +34,15 @@ let pp_report ppf r =
     r.nodes_explored
     (if r.complete then "complete" else "budget exhausted")
     r.deepest (List.length r.violations);
-  if r.deduped > 0 || r.por_pruned > 0 then
-    Format.fprintf ppf " [%d distinct, %d deduped, %d por-pruned]"
-      r.distinct_states r.deduped r.por_pruned
+  if r.deduped > 0 || r.por_pruned > 0 || r.lambda_pruned > 0 then
+    Format.fprintf ppf " [%d distinct, %d deduped, %d por-pruned, %d lambda-pruned]"
+      r.distinct_states r.deduped r.por_pruned r.lambda_pruned;
+  if r.orbit_collapsed > 0 then
+    Format.fprintf ppf " [%d orbit-collapsed]" r.orbit_collapsed;
+  if r.spilled_states > 0 then
+    Format.fprintf ppf " [%d spilled]" r.spilled_states;
+  if r.frontier_tasks > 0 then
+    Format.fprintf ppf " [%d frontier task(s)]" r.frontier_tasks
 
 (* A purely functional configuration: immutable maps everywhere so branches
    share structure.  [state_encs] caches the canonical bytes of each process
@@ -80,44 +90,138 @@ let rec desc_inter a b =
     else if c < 0 then desc_inter a' b
     else desc_inter a b'
 
+(* ---------- the Reduction axis ---------- *)
+
+type ('s, 'm, 'd, 'o) symmetry_spec = {
+  renamer : ('s, 'm, 'o) Symmetry.renamer;
+  value_map : Symmetry.perm -> 'o -> 'o;
+  d_rename : (Pid.t -> Pid.t) -> 'd -> 'd;
+}
+
+type symmetry_mode = [ `Full | `Decisions_only ]
+
+(* The reduction pipeline, resolved once per exploration: which encoding
+   layers are active and the precomputed data they need (the quiescence
+   point of the scope's detector views, the symmetry group). *)
+type ('s, 'm, 'd, 'o) reduction = {
+  canon : bool;
+  view : bool; (* detector-view canonicalizer: dead-message gc + clock clamp *)
+  por : bool; (* sleep sets over commuting delivery pairs *)
+  por_lambda : bool; (* ... extended to pairs involving lambda steps *)
+  quiesce_at : int; (* first tick from which views and aliveness are constant *)
+  group : Symmetry.perm list; (* identity first; [identity] = symmetry off *)
+  spec : ('s, 'm, 'd, 'o) symmetry_spec option; (* present iff decisions quotient *)
+  orbit_merge : bool; (* false under `Decisions_only *)
+}
+
+(* The first tick q <= horizon such that aliveness and every process's
+   detector view are constant on [q, horizon] — beyond it, the global clock
+   is unobservable and can be clamped out of the canonical encoding. *)
+let quiescence ~pattern ~detector ~d_equal ~horizon =
+  let n = Pattern.n pattern in
+  let stable_from = ref horizon in
+  let continue_ = ref true in
+  let t = ref (horizon - 1) in
+  while !continue_ && !t >= 0 do
+    let now = Time.of_int !t and next = Time.of_int (!t + 1) in
+    let same =
+      Pid.Set.equal (Pattern.alive_at pattern now) (Pattern.alive_at pattern next)
+      && List.for_all
+           (fun p ->
+             d_equal
+               (Detector.query detector pattern p now)
+               (Detector.query detector pattern p next))
+           (Pid.all ~n)
+    in
+    if same then begin
+      stable_from := !t;
+      decr t
+    end
+    else continue_ := false
+  done;
+  !stable_from
+
+let resolve_reduction ?(canon = false) ?view ?(por = false) ?(por_lambda = false)
+    ?symmetry ?(symmetry_mode = `Full) ~pattern ~detector ~d_equal ~max_steps ()
+    =
+  let horizon = max_steps + 1 in
+  let view = match view with Some v -> canon && v | None -> canon in
+  let quiesce_at =
+    if view then quiescence ~pattern ~detector ~d_equal ~horizon else horizon
+  in
+  let group, spec, orbit_merge =
+    match symmetry with
+    | None -> ([ Symmetry.identity ~n:(Pattern.n pattern) ], None, false)
+    | Some spec ->
+      let g =
+        Symmetry.crash_respecting pattern
+        |> Symmetry.filter_equivariant ~pattern ~detector ~horizon
+             ~d_rename:spec.d_rename ~d_equal
+      in
+      (g, Some spec, symmetry_mode = `Full)
+  in
+  { canon; view; por; por_lambda; quiesce_at; group; spec; orbit_merge }
+
+(* ---------- strategy / store configuration ---------- *)
+
+type store_config = { spill : string option; spill_cache : int option }
+
+let make_store ?(suffix = "") cfg =
+  match cfg.spill with
+  | None -> Store.in_ram ~initial:4096 ()
+  | Some dir ->
+    (* frontier tasks race to create the parent; EEXIST is the common case *)
+    (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+    Store.spilling ?cache_bytes:cfg.spill_cache
+      ~dir:(Filename.concat dir ("tier" ^ suffix))
+      ()
+
+(* ---------- the exploration engine ---------- *)
+
+(* Mutable per-traversal accumulators: one per sequential walk (the DFS
+   strategy has exactly one; the frontier strategy has one for its BFS
+   prefix and one per frontier task). *)
+type 'o acc = {
+  mutable nodes : int;
+  mutable deepest : int;
+  mutable truncated : bool;
+  mutable deduped : int;
+  mutable por_pruned : int;
+  mutable lambda_pruned : int;
+  mutable orbit_collapsed : int;
+  mutable violations : 'o violation list; (* newest first *)
+  mutable decision_list : string list;
+}
+
+let fresh_acc () =
+  {
+    nodes = 0;
+    deepest = 0;
+    truncated = false;
+    deduped = 0;
+    por_pruned = 0;
+    lambda_pruned = 0;
+    orbit_collapsed = 0;
+    violations = [];
+    decision_list = [];
+  }
+
 let run ?(max_steps = 12) ?(max_nodes = 200_000) ?(max_violations = 5)
-    ?(canon = false) ?(por = false) ?(capture = false)
-    ?(progress_every = 250_000) ?(d_equal = fun a b -> a = b)
+    ?(canon = false) ?view ?(por = false) ?(por_lambda = false) ?symmetry
+    ?(symmetry_mode = `Full) ?spill ?spill_cache ?workers ?(frontier = 32)
+    ?(capture = false) ?(progress_every = 250_000) ?(d_equal = fun a b -> a = b)
     ?(sink = Rlfd_obs.Trace.null) ?metrics ~pattern ~detector ~check
     (algo : _ Model.t) =
   let n = Pattern.n pattern in
+  let red =
+    resolve_reduction ~canon ?view ~por ~por_lambda ?symmetry ~symmetry_mode
+      ~pattern ~detector ~d_equal ~max_steps ()
+  in
+  let store_cfg = { spill; spill_cache } in
   (* Message encodings are needed both for canonical dedup and for the
      flight-recorder schedule; process-state encodings only for dedup. *)
-  let enc_on = canon || capture in
+  let enc_on = red.canon || capture in
   let started_at = Rlfd_obs.Profile.now () in
-  let nodes = ref 0 and deepest = ref 0 and truncated = ref false in
-  let deduped = ref 0 and por_pruned = ref 0 in
-  let violations = ref [] in
-  let add_violation v =
-    if List.length !violations < max_violations then begin
-      violations := v :: !violations;
-      if not (Rlfd_obs.Trace.is_null sink) then
-        Rlfd_obs.Trace.(
-          emit sink (Violation { time = v.at_step; reason = v.reason }))
-    end
-  in
-  (* The visited set maps a canonical state to the (descriptor-hashed) sleep
-     set it was last expanded under; the reachable-decision set accumulates
-     the multiset encodings of the outputs emitted so far. *)
-  let visited : int64 list Hashing.Table.t =
-    Hashing.Table.create ~initial:4096 ()
-  in
-  let decisions : unit Hashing.Table.t = Hashing.Table.create ~initial:64 () in
-  let decision_list = ref [] in
-  let record_decision output_encs =
-    let enc = Canon.multiset output_encs in
-    let key = Hashing.of_string enc in
-    match Hashing.Table.find decisions ~key enc with
-    | Some () -> ()
-    | None ->
-      Hashing.Table.set decisions ~key enc ();
-      decision_list := enc :: !decision_list
-  in
   let initial =
     let states =
       List.fold_left
@@ -128,7 +232,8 @@ let run ?(max_steps = 12) ?(max_nodes = 200_000) ?(max_violations = 5)
       step_no = 0;
       states;
       state_encs =
-        (if canon then Pid.Map.map Canon.encode_value states else Pid.Map.empty);
+        (if red.canon then Pid.Map.map Canon.encode_value states
+         else Pid.Map.empty);
       buffer = [];
       next_id = 0;
     }
@@ -140,11 +245,11 @@ let run ?(max_steps = 12) ?(max_nodes = 200_000) ?(max_violations = 5)
     Pid.all ~n
     |> List.filter (fun p -> Pattern.is_alive pattern p now)
     |> List.concat_map (fun p ->
-           (p, None)
-           :: List.filter_map
+           List.filter_map
                 (fun (id, src, dst, _, _) ->
                   if Pid.equal dst p then Some (p, Some (id, src)) else None)
-                config.buffer)
+                config.buffer
+           @ [ (p, None) ])
   in
   let apply config ((p, receive) : choice) =
     let now = Time.of_int config.step_no in
@@ -175,7 +280,7 @@ let run ?(max_steps = 12) ?(max_nodes = 200_000) ?(max_violations = 5)
         step_no = config.step_no + 1;
         states = Pid.Map.add p effects.Model.state config.states;
         state_encs =
-          (if canon then
+          (if red.canon then
              Pid.Map.add p (Canon.encode_value effects.Model.state) config.state_encs
            else config.state_encs);
         buffer;
@@ -183,19 +288,103 @@ let run ?(max_steps = 12) ?(max_nodes = 200_000) ?(max_violations = 5)
       },
       effects.Model.outputs )
   in
-  let encode config output_encs =
-    Canon.assemble ~step_no:config.step_no
-      ~states:(List.rev (Pid.Map.fold (fun _ e acc -> e :: acc) config.state_encs []))
-      ~messages:(List.map (fun (_, _, _, _, e) -> e) config.buffer)
-      ~outputs:output_encs
+  (* --- the Reduction pipeline: config -> canonical encoding --- *)
+  (* Dead-message gc (the first half of the detector-view canonicalizer): a
+     message addressed to an already-crashed process can never be received —
+     crashes are permanent and only alive processes schedule — so it is
+     path bookkeeping and is erased from the encoding. *)
+  let live_messages config =
+    let now = Time.of_int config.step_no in
+    if red.view then
+      List.filter
+        (fun (_, _, dst, _, _) -> Pattern.is_alive pattern dst now)
+        config.buffer
+    else config.buffer
+  in
+  let clamp_step step_no = Stdlib.min step_no red.quiesce_at in
+  (* Index (in [red.group]) of the permutation that produced the chosen
+     orbit representative, plus the representative itself. *)
+  let encode config (outputs : 'o outputs) output_encs =
+    let step_no = clamp_step config.step_no in
+    let live = live_messages config in
+    let identity_enc =
+      Canon.assemble ~step_no
+        ~states:(List.rev (Pid.Map.fold (fun _ e acc -> e :: acc) config.state_encs []))
+        ~messages:(List.map (fun (_, _, _, _, e) -> e) live)
+        ~outputs:output_encs
+    in
+    match (red.orbit_merge, red.spec) with
+    | false, _ | _, None -> (0, identity_enc)
+    | true, Some spec ->
+      let best = ref (0, identity_enc) in
+      List.iteri
+        (fun i pi ->
+          if i > 0 then begin
+            let pid = Symmetry.apply pi in
+            let value = spec.value_map pi in
+            let renamed_states =
+              Pid.Map.fold
+                (fun p s acc ->
+                  Pid.Map.add (pid p)
+                    (Canon.encode_value
+                       (spec.renamer.Symmetry.rename_state ~pid ~value s))
+                    acc)
+                config.states Pid.Map.empty
+            in
+            let enc =
+              Canon.assemble ~step_no
+                ~states:
+                  (List.rev
+                     (Pid.Map.fold (fun _ e acc -> e :: acc) renamed_states []))
+                ~messages:
+                  (List.map
+                     (fun (_, src, dst, m, _) ->
+                       Canon.encode_value
+                         ( pid src,
+                           pid dst,
+                           spec.renamer.Symmetry.rename_msg ~pid ~value m ))
+                     live)
+                ~outputs:
+                  (List.map
+                     (fun (p, o) -> Canon.encode_value (pid p, value o))
+                     outputs)
+            in
+            let _, cur = !best in
+            if String.compare (Canon.bytes enc) (Canon.bytes cur) < 0 then
+              best := (i, enc)
+          end)
+        red.group;
+      !best
+  in
+  (* Decision states: the multiset of outputs emitted so far.  Under
+     symmetry the recorded multiset is its orbit representative, so the
+     quotiented sets stay comparable byte-for-byte across runs. *)
+  let quotient_decision (outputs : 'o outputs) output_encs =
+    match red.spec with
+    | None -> Canon.multiset output_encs
+    | Some spec ->
+      List.fold_left
+        (fun best pi ->
+          let enc =
+            if Symmetry.is_identity pi then Canon.multiset output_encs
+            else
+              let pid = Symmetry.apply pi and value = spec.value_map pi in
+              Canon.multiset
+                (List.map (fun (p, o) -> Canon.encode_value (pid p, value o)) outputs)
+          in
+          if String.compare enc best < 0 then enc else best)
+        (Canon.multiset output_encs)
+        red.group
   in
   (* Two choices are independent at a configuration iff they belong to
      distinct processes that both survive the next tick and whose detector
      modules return the same value at this tick and the next: then either
      execution order yields canonically equal states (the receivers are
      distinct, so neither consumes nor preempts the other's message, and
-     neither step's inputs change).  [stable]/[alive_next] memoize the
-     per-process conditions for the node being expanded. *)
+     neither step's inputs change).  The base [por] layer admits only
+     delivery pairs; [por_lambda] extends the relation to pairs involving
+     internal lambda steps.  [stable] memoizes the per-process conditions
+     for the node being expanded. *)
   let independence config =
     let now = Time.of_int config.step_no in
     let next = Time.of_int (config.step_no + 1) in
@@ -214,9 +403,14 @@ let run ?(max_steps = 12) ?(max_nodes = 200_000) ?(max_violations = 5)
         stable.(i) <- Some b;
         b
     in
-    fun ((p, _) : choice) ((q, _) : choice) ->
-      (not (Pid.equal p q)) && is_stable p && is_stable q
+    fun ((p, ra) : choice) ((q, rb) : choice) ->
+      (not (Pid.equal p q))
+      && (match (ra, rb) with
+         | Some _, Some _ -> red.por
+         | None, _ | _, None -> red.por_lambda)
+      && is_stable p && is_stable q
   in
+  let sleeping = red.por || red.por_lambda in
   (* A path-independent descriptor for a slept choice: the process plus the
      canonical bytes of the received message (a tag for lambda), so sleep
      sets reached along different paths compare meaningfully. *)
@@ -231,175 +425,556 @@ let run ?(max_steps = 12) ?(max_nodes = 200_000) ?(max_violations = 5)
       in
       Hashing.combine (Hashing.of_int (Pid.to_int p)) (Hashing.of_string enc)
   in
-  (* Every call counts its expansion (the root included).  The budget is
-     checked per {e child}: [truncated] is set only when an unexplored,
+  (* The same descriptor pushed through the orbit-representative renaming:
+     sleep sets stored with a canonical state must be named in the {e
+     representative's} pid space, so that two branches whose states merge
+     only up to a permutation still compare their sleep sets meaningfully.
+     For the identity orbit the concrete descriptor is already in rep
+     space. *)
+  let rep_descriptor ~orbit config ((p, receive) as b : choice) concrete =
+    if orbit = 0 then concrete
+    else
+      match red.spec with
+      | None -> concrete
+      | Some spec -> (
+        let pi = List.nth red.group orbit in
+        let pid = Symmetry.apply pi in
+        match receive with
+        | None ->
+          Hashing.combine (Hashing.of_int (Pid.to_int (pid p))) 0x6C616D62L
+        | Some (id, _) -> (
+          match
+            List.find_opt (fun (id', _, _, _, _) -> id' = id) config.buffer
+          with
+          | None -> descriptor config b
+          | Some (_, src, dst, m, _) ->
+            let value = spec.value_map pi in
+            let enc =
+              Canon.encode_value
+                (pid src, pid dst, spec.renamer.Symmetry.rename_msg ~pid ~value m)
+            in
+            Hashing.combine
+              (Hashing.of_int (Pid.to_int (pid p)))
+              (Hashing.of_string enc)))
+  in
+  (* --- one sequential traversal (shared by both strategies) ---
+
+     Every call counts its expansion (the root included).  The budget is
+     checked per {e child}: [acc.truncated] is set only when an unexplored,
      non-duplicate child exists with the budget already spent, so a tree of
-     exactly [max_nodes] expanded nodes still reports [complete = true] and
-     a duplicate child never spends budget.
+     exactly the budget's expanded nodes still reports complete and a
+     duplicate child never spends budget.
 
      [sleep] carries the sleep set (choices whose exploration here would
      only permute provably commuting steps of an already-explored sibling
-     branch); the visited set stores, per canonical state, the descriptor
-     hashes of the sleep set it was expanded under — a revisit is pruned
-     only when its own sleep set is a superset (everything skipped now was
-     skipped or covered then), and otherwise re-expands under the
+     branch); the visited store keeps, per canonical state, the step count
+     and the descriptor hashes of the sleep set it was expanded under, the
+     latter renamed into the orbit representative's pid space so branches
+     that merge only up to a permutation still compare sleep sets.  A
+     revisit is pruned only when the stored expansion dominates it — no
+     larger step count (the clock clamp can merge states across depths, and
+     only the shallower expansion covers the deeper budget) and a sleep set
+     contained in the current one; otherwise it is re-expanded under the
      intersection, the standard sound combination of sleep sets with state
-     caching. *)
-  let progress () =
-    if
-      progress_every > 0
-      && (not (Rlfd_obs.Trace.is_null sink))
-      && !nodes mod progress_every = 0
-    then begin
-      let elapsed = Rlfd_obs.Profile.now () -. started_at in
-      let rate = if elapsed > 0. then float_of_int !nodes /. elapsed else 0. in
-      let detail =
-        [ ("depth", float_of_int !deepest);
-          ("violations", float_of_int (List.length !violations)) ]
-        @ (if canon then
-             let len = Hashing.Table.length visited in
-             let cap = Hashing.Table.capacity visited in
-             [ ("distinct", float_of_int len);
-               ("deduped", float_of_int !deduped);
-               ("load_factor", float_of_int len /. float_of_int cap);
-               (* keys are owned strings; ~24 bytes/slot covers the three
-                  parallel arrays' words — an estimate, not an accounting *)
-               ("table_bytes",
-                float_of_int (Hashing.Table.key_bytes visited + (cap * 24))) ]
-           else [])
-        @ if por then [ ("por_pruned", float_of_int !por_pruned) ] else []
-      in
-      Rlfd_obs.Trace.(
-        emit sink
-          (Progress
-             { time = int_of_float (elapsed *. 1000.); label = "explore";
-               done_ = !nodes; total = Some max_nodes; rate; detail }))
-    end
+     caching, lifted along the orbit isomorphism (sound because decision
+     multisets are orbit-quotiented). *)
+  let traverse ~(acc : 'o acc) ~visited ~node_budget ~root_config ~root_encs
+      ~root_outputs ~root_steps ~decisions =
+    let record_decision outputs output_encs =
+      let enc = quotient_decision outputs output_encs in
+      let key = Hashing.of_string enc in
+      match Hashing.Table.find decisions ~key enc with
+      | Some () -> ()
+      | None ->
+        Hashing.Table.set decisions ~key enc ();
+        acc.decision_list <- enc :: acc.decision_list
+    in
+    let add_violation v =
+      if List.length acc.violations < max_violations then begin
+        acc.violations <- v :: acc.violations;
+        if not (Rlfd_obs.Trace.is_null sink) then
+          Rlfd_obs.Trace.(
+            emit sink (Violation { time = v.at_step; reason = v.reason }))
+      end
+    in
+    let progress () =
+      if
+        progress_every > 0
+        && (not (Rlfd_obs.Trace.is_null sink))
+        && acc.nodes mod progress_every = 0
+      then begin
+        let elapsed = Rlfd_obs.Profile.now () -. started_at in
+        let rate =
+          if elapsed > 0. then float_of_int acc.nodes /. elapsed else 0.
+        in
+        let detail =
+          [ ("depth", float_of_int acc.deepest);
+            ("violations", float_of_int (List.length acc.violations)) ]
+          @ (if red.canon then
+               [ ("distinct", float_of_int (Store.length visited));
+                 ("deduped", float_of_int acc.deduped);
+                 ("spilled", float_of_int (Store.spilled visited));
+                 ("table_bytes", float_of_int (Store.ram_bytes visited)) ]
+             else [])
+          @
+          if sleeping then
+            [ ("por_pruned", float_of_int (acc.por_pruned + acc.lambda_pruned)) ]
+          else []
+        in
+        Rlfd_obs.Trace.(
+          emit sink
+            (Progress
+               { time = int_of_float (elapsed *. 1000.); label = "explore";
+                 done_ = acc.nodes; total = Some node_budget; rate; detail }))
+      end
+    in
+    let rec dfs config output_encs outputs steps sleep =
+      acc.nodes <- acc.nodes + 1;
+      progress ();
+      if config.step_no > acc.deepest then acc.deepest <- config.step_no;
+      if config.step_no < max_steps then begin
+        let cs = choices config in
+        let indep = if sleeping then independence config else fun _ _ -> false in
+        let done_ = ref [] in
+        List.iter
+          (fun (a : choice) ->
+            if
+              (not acc.truncated)
+              && List.length acc.violations < max_violations
+            then begin
+              if
+                sleeping && List.exists (fun (b, _) -> same_choice a b) sleep
+              then begin
+                match a with
+                | _, None -> acc.lambda_pruned <- acc.lambda_pruned + 1
+                | _, Some _ -> acc.por_pruned <- acc.por_pruned + 1
+              end
+              else begin
+                let expand () =
+                  let config', outs = apply config a in
+                  let p, receive = a in
+                  let outputs' = outputs @ List.map (fun o -> (p, o)) outs in
+                  let output_encs' =
+                    if outs = [] then output_encs
+                    else
+                      List.fold_left
+                        (fun acc o -> Canon.encode_value (p, o) :: acc)
+                        output_encs outs
+                  in
+                  let steps' =
+                    steps
+                    @ [ ( p,
+                          match receive with
+                          | None -> None
+                          | Some (id, src) ->
+                            let enc =
+                              match
+                                List.find_opt
+                                  (fun (id', _, _, _, _) -> id' = id)
+                                  config.buffer
+                              with
+                              | Some (_, _, _, _, e) -> e
+                              | None -> ""
+                            in
+                            Some (src, enc) ) ]
+                  in
+                  let sleep' =
+                    if sleeping then
+                      List.filter (fun (b, _) -> indep a b) (!done_ @ sleep)
+                    else []
+                  in
+                  let visit sleep' =
+                    if outs <> [] then record_decision outputs' output_encs';
+                    (match (outs, check outputs') with
+                    | _ :: _, Some reason ->
+                      add_violation
+                        {
+                          at_step = config'.step_no;
+                          trail =
+                            List.map
+                              (fun (p, r) -> (p, Option.map fst r))
+                              steps';
+                          schedule = steps';
+                          outputs = outputs';
+                          reason;
+                        }
+                    | _ -> ());
+                    dfs config' output_encs' outputs' steps' sleep'
+                  in
+                  if not red.canon then visit sleep'
+                  else begin
+                    let orbit, c = encode config' outputs' output_encs' in
+                    let key = Canon.key c and bytes = Canon.bytes c in
+                    if orbit > 0 then
+                      acc.orbit_collapsed <- acc.orbit_collapsed + 1;
+                    (* the CONCRETE depth, not the clamped one: the clock
+                       clamp merges encodings across depths, and only an
+                       expansion at least as shallow (>= remaining budget)
+                       covers a revisit *)
+                    let step' = config'.step_no in
+                    let rdescs =
+                      List.map
+                        (fun ((b, d) as e) ->
+                          (e, rep_descriptor ~orbit config' b d))
+                        sleep'
+                    in
+                    let descs = sorted_descs (List.map snd rdescs) in
+                    match Store.find visited ~key bytes with
+                    | Some (s_step, s_descs)
+                      when s_step <= step' && desc_subset s_descs descs ->
+                      acc.deduped <- acc.deduped + 1
+                    | prior ->
+                      let stored, sleep' =
+                        match prior with
+                        | None -> ((step', descs), sleep')
+                        | Some (s_step, s_descs) ->
+                          let inter = desc_inter s_descs descs in
+                          ( (Stdlib.min s_step step', inter),
+                            List.filter_map
+                              (fun (e, rd) ->
+                                if List.exists (Int64.equal rd) inter then
+                                  Some e
+                                else None)
+                              rdescs )
+                      in
+                      Store.set visited ~key bytes stored;
+                      if acc.nodes >= node_budget then acc.truncated <- true
+                      else visit sleep'
+                  end
+                in
+                if red.canon then expand ()
+                else if acc.nodes >= node_budget then acc.truncated <- true
+                else expand ();
+                if sleeping then done_ := (a, descriptor config a) :: !done_
+              end
+            end)
+          cs
+      end
+    in
+    dfs root_config root_encs root_outputs root_steps []
   in
-  let rec dfs config output_encs outputs steps sleep =
-    incr nodes;
-    progress ();
-    if config.step_no > !deepest then deepest := config.step_no;
-    if config.step_no < max_steps then begin
-      let cs = choices config in
-      let indep = if por then independence config else fun _ _ -> false in
-      let done_ = ref [] in
-      List.iter
-        (fun (a : choice) ->
-          if (not !truncated) && List.length !violations < max_violations then begin
-            if por && List.exists (fun (b, _) -> same_choice a b) sleep then
-              incr por_pruned
-            else begin
-              let expand () =
-                let config', outs = apply config a in
-                let p, receive = a in
-                let outputs' = outputs @ List.map (fun o -> (p, o)) outs in
-                let output_encs' =
-                  if outs = [] then output_encs
-                  else
-                    List.fold_left
-                      (fun acc o -> Canon.encode_value (p, o) :: acc)
-                      output_encs outs
-                in
-                let steps' =
-                  steps
-                  @ [ ( p,
-                        match receive with
-                        | None -> None
-                        | Some (id, src) ->
-                          let enc =
-                            match
-                              List.find_opt
-                                (fun (id', _, _, _, _) -> id' = id)
-                                config.buffer
-                            with
-                            | Some (_, _, _, _, e) -> e
-                            | None -> ""
-                          in
-                          Some (src, enc) ) ]
-                in
-                let sleep' =
-                  if por then
-                    List.filter (fun (b, _) -> indep a b) (!done_ @ sleep)
-                  else []
-                in
-                let visit sleep' =
-                  if outs <> [] then record_decision output_encs';
-                  (match (outs, check outputs') with
-                  | _ :: _, Some reason ->
-                    add_violation
+  (* ---------- strategies ---------- *)
+  let dfs_strategy () =
+    let acc = fresh_acc () in
+    let visited = make_store store_cfg in
+    let decisions : unit Hashing.Table.t =
+      Hashing.Table.create ~initial:64 ()
+    in
+    (* the empty decision multiset is reachable at the root *)
+    acc.decision_list <- [ Canon.multiset [] ];
+    Hashing.Table.set decisions
+      ~key:(Hashing.of_string (Canon.multiset []))
+      (Canon.multiset []) ();
+    traverse ~acc ~visited ~node_budget:max_nodes ~root_config:initial
+      ~root_encs:[] ~root_outputs:[] ~root_steps:[] ~decisions;
+    let distinct =
+      if red.canon then Store.length visited else acc.nodes
+    in
+    let spilled = Store.spilled visited in
+    Store.close visited;
+    ( acc,
+      distinct,
+      spilled,
+      0,
+      List.sort String.compare acc.decision_list,
+      List.rev acc.violations )
+  in
+  let frontier_strategy workers =
+    (* Deterministic frontier split: a breadth-first prefix expands nodes in
+       FIFO order (no sleep sets — they are a depth-first notion) until at
+       least [frontier] unexpanded roots exist, then each root's subtree
+       becomes one job of a {!Rlfd_campaign.Engine} campaign whose outcomes
+       merge in job order.  Nothing here reads [workers] except the engine's
+       pool size, so the report is a pure function of the scope — byte-
+       identical at any worker count. *)
+    let acc = fresh_acc () in
+    let visited = make_store ~suffix:"-prefix" store_cfg in
+    let decisions : unit Hashing.Table.t =
+      Hashing.Table.create ~initial:64 ()
+    in
+    acc.decision_list <- [ Canon.multiset [] ];
+    Hashing.Table.set decisions
+      ~key:(Hashing.of_string (Canon.multiset []))
+      (Canon.multiset []) ();
+    let record_decision outputs output_encs =
+      let enc = quotient_decision outputs output_encs in
+      let key = Hashing.of_string enc in
+      match Hashing.Table.find decisions ~key enc with
+      | Some () -> ()
+      | None ->
+        Hashing.Table.set decisions ~key enc ();
+        acc.decision_list <- enc :: acc.decision_list
+    in
+    let target = Stdlib.max 1 frontier in
+    let queue = Queue.create () in
+    Queue.push (initial, [], [], []) queue;
+    while
+      Queue.length queue > 0
+      && Queue.length queue < target
+      && (not acc.truncated)
+      && List.length acc.violations < max_violations
+    do
+      let config, output_encs, outputs, steps = Queue.pop queue in
+      acc.nodes <- acc.nodes + 1;
+      if config.step_no > acc.deepest then acc.deepest <- config.step_no;
+      if config.step_no < max_steps then
+        List.iter
+          (fun (a : choice) ->
+            if
+              (not acc.truncated)
+              && List.length acc.violations < max_violations
+            then begin
+              let config', outs = apply config a in
+              let p, receive = a in
+              let outputs' = outputs @ List.map (fun o -> (p, o)) outs in
+              let output_encs' =
+                if outs = [] then output_encs
+                else
+                  List.fold_left
+                    (fun acc o -> Canon.encode_value (p, o) :: acc)
+                    output_encs outs
+              in
+              let steps' =
+                steps
+                @ [ ( p,
+                      match receive with
+                      | None -> None
+                      | Some (id, src) ->
+                        let enc =
+                          match
+                            List.find_opt
+                              (fun (id', _, _, _, _) -> id' = id)
+                              config.buffer
+                          with
+                          | Some (_, _, _, _, e) -> e
+                          | None -> ""
+                        in
+                        Some (src, enc) ) ]
+              in
+              let admit () =
+                if outs <> [] then record_decision outputs' output_encs';
+                (match (outs, check outputs') with
+                | _ :: _, Some reason ->
+                  if List.length acc.violations < max_violations then
+                    acc.violations <-
                       {
                         at_step = config'.step_no;
                         trail =
-                          List.map
-                            (fun (p, r) -> (p, Option.map fst r))
-                            steps';
+                          List.map (fun (p, r) -> (p, Option.map fst r)) steps';
                         schedule = steps';
                         outputs = outputs';
                         reason;
                       }
-                  | _ -> ());
-                  dfs config' output_encs' outputs' steps' sleep'
-                in
-                if not canon then visit sleep'
-                else begin
-                  let c = encode config' output_encs' in
-                  let key = Canon.key c and bytes = Canon.bytes c in
-                  let descs = sorted_descs (List.map snd sleep') in
-                  match Hashing.Table.find visited ~key bytes with
-                  | Some stored when desc_subset stored descs -> incr deduped
-                  | prior ->
-                    let descs, sleep' =
-                      match prior with
-                      | None -> (descs, sleep')
-                      | Some stored ->
-                        let inter = desc_inter stored descs in
-                        ( inter,
-                          List.filter
-                            (fun (_, d) -> List.exists (Int64.equal d) inter)
-                            sleep' )
-                    in
-                    Hashing.Table.set visited ~key bytes descs;
-                    if !nodes >= max_nodes then truncated := true
-                    else visit sleep'
-                end
+                      :: acc.violations
+                | _ -> ());
+                Queue.push (config', output_encs', outputs', steps') queue
               in
-              if canon then expand ()
-              else if !nodes >= max_nodes then truncated := true
-              else expand ();
-              if por then done_ := (a, descriptor config a) :: !done_
-            end
-          end)
-        cs
-    end
+              if not red.canon then begin
+                if acc.nodes + Queue.length queue >= max_nodes then
+                  acc.truncated <- true
+                else admit ()
+              end
+              else begin
+                let orbit, c = encode config' outputs' output_encs' in
+                let key = Canon.key c and bytes = Canon.bytes c in
+                if orbit > 0 then acc.orbit_collapsed <- acc.orbit_collapsed + 1;
+                let step' = config'.step_no in
+                match Store.find visited ~key bytes with
+                | Some (s_step, _) when s_step <= step' ->
+                  acc.deduped <- acc.deduped + 1
+                | _ ->
+                  Store.set visited ~key bytes (step', []);
+                  if acc.nodes + Queue.length queue >= max_nodes then
+                    acc.truncated <- true
+                  else admit ()
+              end
+            end)
+          (choices config)
+    done;
+    let roots =
+      (* the violations cap already fired in the prefix: the report would
+         drop every further violation anyway, matching the serial walk *)
+      if List.length acc.violations >= max_violations then []
+      else List.of_seq (Queue.to_seq queue)
+    in
+    let prefix_violations = List.rev acc.violations in
+    let n_roots = List.length roots in
+    (match metrics with
+    | None -> ()
+    | Some m ->
+      List.iter
+        (fun (c, _, _, _) ->
+          Rlfd_obs.Metrics.observe m "explore_frontier_depth"
+            (float_of_int c.step_no))
+        roots);
+    let budget = Stdlib.max 1 (max_nodes - acc.nodes) in
+    let root_arr = Array.of_list roots in
+    let outcomes =
+      if n_roots = 0 then []
+      else begin
+        let report =
+          Rlfd_campaign.Engine.run ~workers ~shard_size:1
+            ~name:"explore-frontier" ~seed:0 ~total:n_roots
+            ~label:(fun i -> Printf.sprintf "root-%d" i)
+            (fun ~rng:_ ~metrics:_ i ->
+              let config, output_encs, outputs, steps = root_arr.(i) in
+              let task = fresh_acc () in
+              let task_store = make_store ~suffix:(Printf.sprintf "-%d" i) store_cfg in
+              let task_decisions : unit Hashing.Table.t =
+                Hashing.Table.create ~initial:64 ()
+              in
+              traverse ~acc:task ~visited:task_store ~node_budget:budget
+                ~root_config:config ~root_encs:output_encs
+                ~root_outputs:outputs ~root_steps:steps
+                ~decisions:task_decisions;
+              let distinct =
+                if red.canon then Store.length task_store else task.nodes
+              in
+              let spilled = Store.spilled task_store in
+              Store.close task_store;
+              (task, distinct, spilled))
+        in
+        List.map
+          (fun o -> o.Rlfd_campaign.Engine.value)
+          report.Rlfd_campaign.Engine.outcomes
+      end
+    in
+    (* deterministic merge, job order *)
+    let distinct = ref (if red.canon then Store.length visited else acc.nodes) in
+    let spilled = ref (Store.spilled visited) in
+    Store.close visited;
+    let decisions_seen : unit Hashing.Table.t =
+      Hashing.Table.create ~initial:64 ()
+    in
+    let all_decisions = ref [] in
+    let add_decision enc =
+      let key = Hashing.of_string enc in
+      match Hashing.Table.find decisions_seen ~key enc with
+      | Some () -> ()
+      | None ->
+        Hashing.Table.set decisions_seen ~key enc ();
+        all_decisions := enc :: !all_decisions
+    in
+    List.iter add_decision acc.decision_list;
+    let violations = ref prefix_violations in
+    List.iter
+      (fun (task, task_distinct, task_spilled) ->
+        acc.nodes <- acc.nodes + task.nodes;
+        acc.deepest <- Stdlib.max acc.deepest task.deepest;
+        acc.truncated <- acc.truncated || task.truncated;
+        acc.deduped <- acc.deduped + task.deduped;
+        acc.por_pruned <- acc.por_pruned + task.por_pruned;
+        acc.lambda_pruned <- acc.lambda_pruned + task.lambda_pruned;
+        acc.orbit_collapsed <- acc.orbit_collapsed + task.orbit_collapsed;
+        distinct := !distinct + task_distinct;
+        spilled := !spilled + task_spilled;
+        List.iter add_decision task.decision_list;
+        violations := !violations @ List.rev task.violations)
+      outcomes;
+    let violations =
+      List.filteri (fun i _ -> i < max_violations) !violations
+    in
+    ( acc,
+      !distinct,
+      !spilled,
+      n_roots,
+      List.sort String.compare !all_decisions,
+      violations )
   in
-  record_decision [];
-  dfs initial [] [] [] [];
+  let acc, distinct, spilled, tasks, decision_states, violations =
+    match workers with
+    | None -> dfs_strategy ()
+    | Some k ->
+      if k < 1 then invalid_arg "Explore.run: workers < 1";
+      frontier_strategy k
+  in
   (match metrics with
   | None -> ()
   | Some m ->
     let elapsed = Rlfd_obs.Profile.now () -. started_at in
-    Rlfd_obs.Metrics.incr ~by:!nodes m "explore_nodes";
-    Rlfd_obs.Metrics.incr ~by:(List.length !violations) m "explore_violations";
-    if canon then begin
-      Rlfd_obs.Metrics.incr ~by:(Hashing.Table.length visited) m
-        "explore_distinct_states";
-      Rlfd_obs.Metrics.incr ~by:!deduped m "explore_deduped"
+    Rlfd_obs.Metrics.incr ~by:acc.nodes m "explore_nodes";
+    Rlfd_obs.Metrics.incr ~by:(List.length violations) m "explore_violations";
+    if red.canon then begin
+      Rlfd_obs.Metrics.incr ~by:distinct m "explore_distinct_states";
+      Rlfd_obs.Metrics.incr ~by:acc.deduped m "explore_deduped"
     end;
-    if por then Rlfd_obs.Metrics.incr ~by:!por_pruned m "explore_por_pruned";
+    if sleeping then begin
+      Rlfd_obs.Metrics.incr ~by:acc.por_pruned m "explore_por_pruned";
+      Rlfd_obs.Metrics.incr ~by:acc.lambda_pruned m "explore_lambda_pruned"
+    end;
+    if red.orbit_merge then
+      Rlfd_obs.Metrics.incr ~by:acc.orbit_collapsed m "explore_orbit_collapsed";
+    if spilled > 0 || spill <> None then
+      Rlfd_obs.Metrics.incr ~by:spilled m "explore_spilled_states";
+    if tasks > 0 then Rlfd_obs.Metrics.incr ~by:tasks m "explore_steals";
     if elapsed > 0. then
       Rlfd_obs.Metrics.set_gauge m "explore_nodes_per_sec"
-        (float_of_int !nodes /. elapsed));
+        (float_of_int acc.nodes /. elapsed));
   {
-    nodes_explored = !nodes;
-    distinct_states = (if canon then Hashing.Table.length visited else !nodes);
-    deduped = !deduped;
-    por_pruned = !por_pruned;
-    complete = not !truncated;
-    deepest = !deepest;
-    violations = List.rev !violations;
-    decision_states = List.sort String.compare !decision_list;
+    nodes_explored = acc.nodes;
+    distinct_states = distinct;
+    deduped = acc.deduped;
+    por_pruned = acc.por_pruned;
+    lambda_pruned = acc.lambda_pruned;
+    orbit_collapsed = acc.orbit_collapsed;
+    spilled_states = spilled;
+    frontier_tasks = tasks;
+    complete = not acc.truncated;
+    deepest = acc.deepest;
+    violations;
+    decision_states;
   }
+
+(* ---------- self-description (the --explain surface) ---------- *)
+
+let describe ?(max_steps = 12) ?(canon = false) ?view ?(por = false)
+    ?(por_lambda = false) ?symmetry ?spill ?workers ?(frontier = 32)
+    ?(d_equal = fun a b -> a = b) ~pattern ~detector () =
+  let red =
+    resolve_reduction ~canon ?view ~por ~por_lambda ?symmetry ~pattern
+      ~detector ~d_equal ~max_steps ()
+  in
+  let reduction_lines =
+    [ (if red.canon then "reduction: canon (canonical-encoding dedup)"
+       else "reduction: canon off (naive enumeration)") ]
+    @ (if red.view then
+         [ Printf.sprintf
+             "reduction: detector-view canonicalizer (dead-message gc, clock \
+              clamp at t=%d%s)"
+             red.quiesce_at
+             (if red.quiesce_at > max_steps then " — never quiesces in scope"
+              else "") ]
+       else [])
+    @ [ (if red.por then "reduction: por (sleep sets over delivery pairs)"
+         else "reduction: por off");
+        (if red.por_lambda then
+           "reduction: por-lambda (sleep sets extended to lambda steps)"
+         else "reduction: por-lambda off") ]
+    @
+    match symmetry with
+    | None -> [ "reduction: symmetry off" ]
+    | Some _ ->
+      [ Printf.sprintf
+          "reduction: symmetry (group order %d after crash-pattern and \
+           detector equivariance)"
+          (List.length red.group) ]
+  in
+  let strategy_line =
+    match workers with
+    | None -> "strategy: dfs (single domain)"
+    | Some k ->
+      Printf.sprintf
+        "strategy: frontier (workers=%d, %d roots/worker, deterministic merge)"
+        k frontier
+  in
+  let store_line =
+    match spill with
+    | None -> "store: in-ram (Hashing.Table behind Store)"
+    | Some dir -> Printf.sprintf "store: spill-to-disk under %s" dir
+  in
+  reduction_lines @ [ strategy_line; store_line ]
+
+(* ---------- the cross-check oracle ---------- *)
 
 type 'o comparison = {
   reduced : 'o report;
@@ -408,14 +983,21 @@ type 'o comparison = {
   node_factor : float;
 }
 
-let cross_check ?max_steps ?max_nodes ?max_violations ?d_equal ?sink ?metrics
-    ~pattern ~detector ~check algo =
-  let run_with ~canon ~por =
-    run ?max_steps ?max_nodes ?max_violations ~canon ~por ?d_equal ?sink
+let cross_check ?max_steps ?max_nodes ?max_violations ?(canon = true)
+    ?(por = true) ?(por_lambda = true) ?view ?symmetry ?workers ?d_equal ?sink
+    ?metrics ~pattern ~detector ~check algo =
+  let reduced =
+    run ?max_steps ?max_nodes ?max_violations ~canon ?view ~por ~por_lambda
+      ?symmetry ?workers ?d_equal ?sink ?metrics ~pattern ~detector ~check algo
+  in
+  (* The naive side explores the full tree, but — when the reduced side
+     quotients by symmetry — records its decision multisets through the
+     same quotient, so the two sets are compared in the same coordinates. *)
+  let unreduced =
+    run ?max_steps ?max_nodes ?max_violations ~canon:false ~por:false
+      ~por_lambda:false ?symmetry ~symmetry_mode:`Decisions_only ?d_equal ?sink
       ?metrics ~pattern ~detector ~check algo
   in
-  let unreduced = run_with ~canon:false ~por:false in
-  let reduced = run_with ~canon:true ~por:true in
   {
     reduced;
     unreduced;

@@ -1,4 +1,4 @@
-(** Bounded-exhaustive exploration of schedules.
+(** Bounded-exhaustive exploration of schedules: a layered search kernel.
 
     The sampled runs of {!Runner} can miss adversarial interleavings; this
     module enumerates them.  For a fixed failure pattern and detector it
@@ -7,33 +7,74 @@
     evaluates a safety predicate on every node of the execution tree.
 
     This is small-scope model checking: with [n = 3] and a dozen steps the
-    naive tree is millions of nodes, so beyond depth and node budgets the
-    explorer offers two sound reductions:
+    naive tree is millions of nodes.  The explorer is structured as three
+    orthogonal axes, each independently selectable:
 
     {ul
-    {- {b Duplicate-state pruning} ([~canon:true]): every reached
-       configuration is canonicalized ({!Canon}) — message identifiers,
-       buffer order and output-emission order erased — and looked up in a
-       visited set ({!Rlfd_kernel.Hashing.Table}) that compares full
-       encodings, never just fingerprints.  A configuration reached twice
-       along different interleavings is expanded once.}
-    {- {b Partial-order reduction} ([~por:true]): sleep sets over provably
-       commuting choices.  Two choices commute at a node when they belong
-       to distinct processes that both survive the next tick and whose
-       detector outputs are unchanged across it ([d_equal]); after
-       exploring one order the explorer does not re-explore the other.
-       Combined with [canon], the visited set stores the sleep set each
-       state was expanded under and only prunes a revisit whose sleep set
-       subsumes the stored one (re-expanding under the intersection
-       otherwise) — the standard sound combination of sleep sets with
-       state caching.}}
+    {- {b Reduction} — which states are considered "the same", i.e. how
+       much of the tree is quotiented away:
+       {ul
+       {- [canon]: duplicate-state pruning.  Every reached configuration
+          is canonicalized ({!Canon}) — message identifiers, buffer order
+          and output-emission order erased — and looked up in a visited
+          store that compares full encodings, never just fingerprints.
+          Enabling [canon] also enables the {e detector-view
+          canonicalizer} (switch it off alone with [~view:false] for
+          attribution benchmarks): messages addressed to already-crashed
+          processes are erased from the encoding (they can never be
+          received), and once the scope {e quiesces} — aliveness and every
+          detector view constant through the horizon — the global clock is
+          clamped out of the encoding, merging configurations that differ
+          only by how long they have idled.  The visited store keeps the
+          smallest step count a state was expanded at and re-expands
+          revisits that arrive shallower (they have more remaining
+          budget), which keeps the clamp sound.}
+       {- [por] / [por_lambda]: sleep sets over provably commuting
+          choices.  Two choices commute at a node when they belong to
+          distinct processes that both survive the next tick and whose
+          detector outputs are unchanged across it ([d_equal]); after
+          exploring one order the explorer does not re-explore the other.
+          [por] admits only pairs of message {e deliveries}; [por_lambda]
+          extends the relation to pairs involving internal lambda steps.
+          Combined with [canon], the visited store records the sleep set
+          each state was expanded under and only prunes a revisit whose
+          sleep set subsumes the stored one (re-expanding under the
+          intersection otherwise) — the standard sound combination of
+          sleep sets with state caching.}
+       {- [symmetry]: orbit quotienting under process renamings.  Given a
+          {!symmetry_spec} (the algorithm's {!Symmetry.renamer}, the value
+          renaming its proposals induce, and the detector-output renaming),
+          the group of crash-pattern-respecting, detector-equivariant
+          permutations is computed per scope ({!Symmetry.crash_respecting},
+          {!Symmetry.filter_equivariant}), each configuration is encoded
+          once per group element, and the lexicographically smallest
+          encoding is the orbit representative stored in the visited set.
+          Decision multisets are quotiented the same way so they stay
+          comparable across runs.  States with different crash patterns
+          are never merged — the group respects crash times by
+          construction.}}}
+    {- {b Strategy} — how the tree is walked: the default is a single-
+       domain DFS; [~workers:k] switches to the {e frontier} strategy,
+       which grows a deterministic breadth-first prefix until [frontier]
+       unexpanded roots exist and then explores each root's subtree as one
+       job of a {!Rlfd_campaign.Engine} campaign, merging outcomes in job
+       order.  Nothing in the split or the merge depends on the worker
+       count, so reports are byte-identical at any [k].}
+    {- {b Store} — where the visited set lives: in RAM by default
+       ({!Rlfd_kernel.Store.in_ram} over {!Rlfd_kernel.Hashing.Table}), or
+       spilled to disk with [~spill:dir]
+       ({!Rlfd_kernel.Store.spilling}): per-entry RAM drops to fingerprint
+       + offset + value, key bytes live in an append-only file under a
+       bounded write-back cache ([spill_cache] bytes), and lookups remain
+       exact.  The tier that lets a frontier outgrow RAM.}}
 
-    Both reductions preserve the set of reachable {e decision states} (the
-    multiset of outputs emitted so far, canonically encoded): every pruned
-    branch is a permutation of commuting steps of an explored one, or
-    re-reaches an already-expanded state.  {!cross_check} verifies this
-    empirically by diffing the reduced against the unreduced sets
-    byte-for-byte.
+    All reductions preserve the set of reachable {e decision states} (the
+    multiset of outputs emitted so far, canonically encoded — quotiented
+    to its orbit representative when symmetry is on): every pruned branch
+    is a permutation of commuting steps of an explored one, re-reaches an
+    already-expanded state, or is the renaming of an explored branch.
+    {!cross_check} verifies this empirically by diffing the reduced
+    against the unreduced sets byte-for-byte.
 
     A found violation is a concrete schedule; exhausting the tree within
     the bounds is a proof of the property for that scope (pattern, bound) —
@@ -64,14 +105,27 @@ type 'o report = {
       (** every {e expanded} configuration, the root included; a child
           pruned as a duplicate or slept is not expanded *)
   distinct_states : int;
-      (** size of the visited set; equals [nodes_explored] when [canon]
-          is off *)
+      (** size of the visited store; equals [nodes_explored] when [canon]
+          is off.  Under the frontier strategy this is the sum over the
+          per-task stores (a state reached from two roots counts twice). *)
   deduped : int;
       (** children pruned because their canonical state was already
           expanded (0 unless [canon]) *)
   por_pruned : int;
-      (** children never generated because they were in the sleep set
-          (0 unless [por]) *)
+      (** delivery children never generated because they were in the
+          sleep set (0 unless [por]) *)
+  lambda_pruned : int;
+      (** lambda children never generated because they were in the sleep
+          set (0 unless [por_lambda]) *)
+  orbit_collapsed : int;
+      (** children whose orbit representative was a non-identity renaming
+          (0 unless symmetry) — each marks a configuration folded onto a
+          differently-named twin *)
+  spilled_states : int;
+      (** visited entries whose key bytes live only on disk (0 unless
+          [spill]) *)
+  frontier_tasks : int;
+      (** frontier roots handed to the campaign engine (0 under DFS) *)
   complete : bool;
       (** the whole tree fit within the budgets: [false] exactly when
           [max_nodes] left at least one reachable, non-duplicate child
@@ -82,19 +136,52 @@ type 'o report = {
   decision_states : string list;
       (** the reachable decision states: canonical multiset encodings
           ({!Canon.multiset}) of the outputs emitted so far, one per
-          distinct multiset reached anywhere in the explored tree, sorted.
-          Invariant under [canon]/[por] when the run is [complete] — the
+          distinct multiset reached anywhere in the explored tree, sorted
+          (orbit representatives when symmetry is on).  Invariant under
+          every reduction layer when the run is [complete] — the
           cross-check property. *)
 }
 
 val pp_report : Format.formatter -> 'o report -> unit
+
+(** {1 The Reduction axis: symmetry} *)
+
+type ('s, 'm, 'd, 'o) symmetry_spec = {
+  renamer : ('s, 'm, 'o) Symmetry.renamer;
+      (** how a pid renaming acts on the algorithm's state and message
+          types — supplied by the algorithm module (e.g.
+          {!Rlfd_algo.Ct_strong.renamer}); algorithms whose behaviour
+          depends on pid order (rank consensus, marabout) provide none and
+          cannot be explored under symmetry *)
+  value_map : Symmetry.perm -> 'o -> 'o;
+      (** the renaming a permutation induces on decision values — usually
+          {!Symmetry.value_map_of_proposals} applied to the scope's
+          proposal assignment *)
+  d_rename : (Pid.t -> Pid.t) -> 'd -> 'd;
+      (** how a renaming acts on detector outputs (e.g. {!Symmetry.rename_set}
+          for suspicion sets) — used to check detector equivariance *)
+}
+
+type symmetry_mode = [ `Full | `Decisions_only ]
+(** [`Full] (the default) quotients both the visited set and the recorded
+    decision multisets.  [`Decisions_only] quotients only the decisions —
+    no orbit merging — which is how {!cross_check} makes the naive side's
+    decision sets comparable with a symmetry-reduced run's. *)
 
 val run :
   ?max_steps:int ->
   ?max_nodes:int ->
   ?max_violations:int ->
   ?canon:bool ->
+  ?view:bool ->
   ?por:bool ->
+  ?por_lambda:bool ->
+  ?symmetry:('s, 'm, 'd, 'o) symmetry_spec ->
+  ?symmetry_mode:symmetry_mode ->
+  ?spill:string ->
+  ?spill_cache:int ->
+  ?workers:int ->
+  ?frontier:int ->
   ?capture:bool ->
   ?progress_every:int ->
   ?d_equal:('d -> 'd -> bool) ->
@@ -112,20 +199,38 @@ val run :
     stays violated).  Time advances by one tick per step, exactly as in
     {!Runner}.
 
-    [canon] (default [false]) enables duplicate-state pruning; [por]
-    (default [false]) enables sleep-set partial-order reduction; [d_equal]
-    (default structural equality) compares detector outputs when deciding
-    commutation — pass e.g. [Pid.Set.equal] for set-valued detectors.
-    With both off, behaviour is exactly the naive enumeration.  With
-    [canon] on, [check] must additionally be insensitive to the emission
-    order of outputs (a multiset property — {!agreement_check} and
+    {b Reduction}: [canon] (default [false]) enables duplicate-state
+    pruning, and with it the detector-view canonicalizer — pass
+    [~view:false] to disable the latter alone ([view] is meaningless
+    without [canon]).  [por] (default [false]) enables sleep sets over
+    delivery pairs, [por_lambda] (default [false]) over pairs involving
+    lambda steps; [d_equal] (default structural equality) compares
+    detector outputs when deciding commutation and quiescence — pass e.g.
+    [Pid.Set.equal] for set-valued detectors.  [symmetry] supplies the
+    scope's {!symmetry_spec} and enables orbit quotienting (restricted to
+    decisions under [~symmetry_mode:`Decisions_only]).  With everything
+    off, behaviour is exactly the naive enumeration.  With [canon] on,
+    [check] must additionally be insensitive to the emission order of
+    outputs (a multiset property — {!agreement_check} and
     {!validity_check} are), because a branch reaching an already-expanded
-    state is not re-checked.
+    state is not re-checked; with [symmetry] on it must moreover be
+    invariant under the spec's renamings (agreement and validity are).
 
-    States visited before a budget truncation stay in the visited set even
-    though their subtrees were cut short, so duplicate pruning is only a
-    completeness (not soundness) guarantee when [complete = false]: all
-    exhaustiveness claims attach to [complete = true] runs.
+    {b Strategy}: [workers] switches from single-domain DFS to the
+    frontier strategy with that many domains, splitting the tree at
+    [frontier] (default 32) breadth-first roots.  Reports are
+    byte-identical for any [workers] value; [~workers:1] runs the same
+    split inline.  Raises [Invalid_argument] on [workers < 1].
+
+    {b Store}: [spill] puts every visited store of this run under the
+    given directory (created if missing; one subdirectory per frontier
+    task) with at most [spill_cache] bytes (default 8 MiB) of hot key
+    bytes in RAM per store.
+
+    States visited before a budget truncation stay in the visited store
+    even though their subtrees were cut short, so duplicate pruning is
+    only a completeness (not soundness) guarantee when [complete = false]:
+    all exhaustiveness claims attach to [complete = true] runs.
 
     [capture] (default [false]) computes message encodings even when
     [canon] is off, so every violation's [schedule] carries the payload
@@ -135,16 +240,40 @@ val run :
     [sink] receives one {!Rlfd_obs.Trace.Violation} event per recorded
     violation, plus a {!Rlfd_obs.Trace.Progress} heartbeat every
     [progress_every] expanded nodes (default 250_000; [0] disables) with
-    the node count, rate, depth and — under [canon] — the visited-table
-    occupancy, load factor and byte estimate; [metrics] gets the
+    the node count, rate, depth and — under [canon] — the visited-store
+    occupancy, spill count and byte estimate; [metrics] gets the
     [explore_nodes] and [explore_violations] counters, the
-    [explore_distinct_states], [explore_deduped] and [explore_por_pruned]
-    counters when the corresponding reduction is enabled, and the
-    [explore_nodes_per_sec] throughput gauge. *)
+    [explore_distinct_states], [explore_deduped], [explore_por_pruned],
+    [explore_lambda_pruned], [explore_orbit_collapsed] and
+    [explore_spilled_states] counters when the corresponding layer is
+    enabled, the [explore_steals] counter (frontier tasks dispatched to
+    the worker pool) and [explore_frontier_depth] histogram under the
+    frontier strategy, and the [explore_nodes_per_sec] throughput
+    gauge. *)
+
+val describe :
+  ?max_steps:int ->
+  ?canon:bool ->
+  ?view:bool ->
+  ?por:bool ->
+  ?por_lambda:bool ->
+  ?symmetry:('s, 'm, 'd, 'o) symmetry_spec ->
+  ?spill:string ->
+  ?workers:int ->
+  ?frontier:int ->
+  ?d_equal:('d -> 'd -> bool) ->
+  pattern:Pattern.t ->
+  detector:'d Detector.t ->
+  unit ->
+  string list
+(** The active stack, resolved for this scope, one human-readable line per
+    layer: each reduction (with the computed quiescence point and symmetry
+    group order — both scope-dependent), the strategy, and the store tier.
+    What [fdsim explore --explain] prints.  Runs no exploration. *)
 
 type 'o comparison = {
-  reduced : 'o report;  (** [canon:true por:true] *)
-  unreduced : 'o report;  (** [canon:false por:false] *)
+  reduced : 'o report;  (** the reduced run *)
+  unreduced : 'o report;  (** all reductions off *)
   identical : bool;
       (** both runs complete, byte-identical [decision_states], same
           violation count *)
@@ -156,6 +285,12 @@ val cross_check :
   ?max_steps:int ->
   ?max_nodes:int ->
   ?max_violations:int ->
+  ?canon:bool ->
+  ?por:bool ->
+  ?por_lambda:bool ->
+  ?view:bool ->
+  ?symmetry:('s, 'm, 'd, 'o) symmetry_spec ->
+  ?workers:int ->
   ?d_equal:('d -> 'd -> bool) ->
   ?sink:Rlfd_obs.Trace.sink ->
   ?metrics:Rlfd_obs.Metrics.t ->
@@ -164,10 +299,16 @@ val cross_check :
   check:('o outputs -> string option) ->
   ('s, 'm, 'd, 'o) Model.t ->
   'o comparison
-(** Run the same scope twice — reduced ([canon]+[por]) and naive — and
-    compare the reachable decision-state sets byte-for-byte.  The soundness
-    regression gate for the reductions: [identical = true] certifies that
-    within this scope the reductions lost no reachable decision state. *)
+(** Run the same scope twice — reduced (by default [canon] + [por] +
+    [por_lambda], each switchable to pin down a single layer, plus
+    [symmetry] when a spec is given and the frontier strategy when
+    [workers] is) and naive — and compare the reachable decision-state
+    sets byte-for-byte.  When the reduced side quotients by symmetry, the
+    naive side records its decisions through the same quotient
+    ([`Decisions_only]) so the comparison happens in one coordinate
+    system.  The soundness regression gate for every layer:
+    [identical = true] certifies that within this scope the reductions
+    lost no reachable decision state. *)
 
 val agreement_check : equal:('o -> 'o -> bool) -> 'o outputs -> string option
 (** Ready-made [check]: all emitted decisions are equal (uniform

@@ -256,9 +256,281 @@ let reduction_tests =
           (report.Explore.deduped > 0 && report.Explore.por_pruned > 0));
   ]
 
+(* ---------- the symmetry layer ---------- *)
+
+let sym_spec ~n =
+  {
+    Explore.renamer = Ct_strong.renamer;
+    value_map = (fun pi -> Symmetry.value_map_of_proposals ~n ~proposals pi);
+    d_rename = Symmetry.rename_set;
+  }
+
+(* States with populated message logs, reached by actually running the
+   algorithm under a seeded random scheduler — the raw material for the
+   renamer properties. *)
+let reached_states ~seed =
+  let r =
+    Runner.run
+      ~pattern:(Pattern.failure_free ~n)
+      ~detector:Perfect.canonical
+      ~scheduler:(Scheduler.random ~seed ~lambda_bias:0.3)
+      ~horizon:(time 40)
+      (Ct_strong.automaton ~proposals)
+  in
+  r.Runner.final_states
+
+(* The orbit representative exactly as the explorer's Reduction layer picks
+   it: rename the whole state map through each group element, encode each
+   process state, lay the encodings out in pid order, take the
+   lexicographic minimum. *)
+let orbit_rep ~group states =
+  let enc_with pi =
+    let pid = Symmetry.apply pi in
+    let value = Symmetry.value_map_of_proposals ~n ~proposals pi in
+    let renamed =
+      Pid.Map.fold
+        (fun p s acc ->
+          Pid.Map.add (pid p)
+            (Canon.encode_value
+               (Ct_strong.renamer.Symmetry.rename_state ~pid ~value s))
+            acc)
+        states Pid.Map.empty
+    in
+    String.concat "\x00"
+      (List.rev (Pid.Map.fold (fun _ e acc -> e :: acc) renamed []))
+  in
+  List.fold_left
+    (fun best pi ->
+      let e = enc_with pi in
+      if String.compare e best < 0 then e else best)
+    (enc_with (Symmetry.identity ~n))
+    group
+
+let rename_states pi states =
+  let pid = Symmetry.apply pi in
+  let value = Symmetry.value_map_of_proposals ~n ~proposals pi in
+  Pid.Map.fold
+    (fun p s acc ->
+      Pid.Map.add (pid p)
+        (Ct_strong.renamer.Symmetry.rename_state ~pid ~value s)
+        acc)
+    states Pid.Map.empty
+
+let symmetry_tests =
+  [
+    qtest ~count:30 "group laws: compose, inverse, identity"
+      QCheck.(pair small_int small_int)
+      (fun (i, j) ->
+        let group = Symmetry.crash_respecting (Pattern.failure_free ~n) in
+        let g = List.nth group (i mod List.length group) in
+        let h = List.nth group (j mod List.length group) in
+        let id = Symmetry.identity ~n in
+        Symmetry.is_identity (Symmetry.compose g (Symmetry.inverse g))
+        && Symmetry.images (Symmetry.compose g id) = Symmetry.images g
+        && List.for_all
+             (fun p ->
+               Pid.equal
+                 (Symmetry.apply (Symmetry.compose g h) p)
+                 (Symmetry.apply g (Symmetry.apply h p)))
+             (Pid.all ~n));
+    qtest ~count:25 "renamer round-trip: rename by pi then pi^-1 is identity"
+      QCheck.small_int
+      (fun seed ->
+        let states = reached_states ~seed in
+        let group = Symmetry.crash_respecting (Pattern.failure_free ~n) in
+        List.for_all
+          (fun pi ->
+            let back = rename_states (Symmetry.inverse pi) (rename_states pi states) in
+            Pid.Map.for_all
+              (fun p s ->
+                String.compare
+                  (Canon.encode_value s)
+                  (Canon.encode_value (Pid.Map.find p states))
+                = 0)
+              back)
+          group);
+    qtest ~count:25
+      "orbit representative is permutation-invariant (and hence idempotent)"
+      QCheck.small_int
+      (fun seed ->
+        let states = reached_states ~seed in
+        let group = Symmetry.crash_respecting (Pattern.failure_free ~n) in
+        let rep = orbit_rep ~group states in
+        List.for_all
+          (fun pi -> String.compare (orbit_rep ~group (rename_states pi states)) rep = 0)
+          group);
+    test "crash-respecting group never renames across crash patterns" (fun () ->
+        (* p1 crashes at 2; p2 and p3 are correct: the only admissible
+           non-identity renaming swaps p2 and p3.  In particular no group
+           element maps the crashed p1 onto a correct process, so states
+           that differ in which crash-time class a pid belongs to can never
+           fall into one orbit. *)
+        let group = Symmetry.crash_respecting (pattern ~n [ (1, 2) ]) in
+        Alcotest.(check int) "order two" 2 (List.length group);
+        List.iter
+          (fun pi ->
+            Alcotest.(check bool) "fixes the crashed process" true
+              (Pid.equal (Symmetry.apply pi (pid 1)) (pid 1)))
+          group;
+        (* different crash times are different classes even when both crash *)
+        let staggered = Symmetry.crash_respecting (pattern ~n [ (1, 2); (2, 4) ]) in
+        Alcotest.(check int) "staggered crashes leave only the identity" 1
+          (List.length staggered));
+    test "two configs differing only by a cross-class renaming do not merge" (fun () ->
+        (* Same states, but held by processes in different crash classes:
+           under the crash 1@2 pattern, renaming p1<->p2 is not in the
+           group, so the orbit representatives differ. *)
+        let group = Symmetry.crash_respecting (pattern ~n [ (1, 2) ]) in
+        let states = reached_states ~seed:7 in
+        let swap12 = Symmetry.of_images [ 2; 1; 3 ] in
+        let renamed = rename_states swap12 states in
+        Alcotest.(check bool) "orbit reps differ" false
+          (String.compare (orbit_rep ~group states) (orbit_rep ~group renamed) = 0));
+    test "the equivariance filter rejects rank-breaking detectors" (fun () ->
+        (* With p2 crashed the group is {id, p1<->p3}.  Under P< the swap
+           breaks: p1 suspects nobody while p3 suspects p2, so renaming p1
+           to p3 changes the detector's answer and only the identity
+           survives.  P reports the same crashed set to everyone, so it
+           keeps the whole group. *)
+        let pat = pattern ~n [ (2, 2) ] in
+        let full = Symmetry.crash_respecting pat in
+        Alcotest.(check int) "crash group has the swap" 2 (List.length full);
+        let keep det =
+          List.length
+            (Symmetry.filter_equivariant ~pattern:pat ~detector:det ~horizon:10
+               ~d_rename:Symmetry.rename_set ~d_equal:Pid.Set.equal full)
+        in
+        Alcotest.(check int) "P keeps the full group" 2 (keep Perfect.canonical);
+        Alcotest.(check int) "P< keeps only the identity" 1
+          (keep Partial_perfect.canonical));
+    test "cross-check: full stack (symmetry + lambda POR) identical" (fun () ->
+        let c =
+          Explore.cross_check ~max_steps:8 ~max_nodes:2_000_000 ~d_equal
+            ~symmetry:(sym_spec ~n)
+            ~pattern:(pattern ~n [ (1, 2) ])
+            ~detector:Perfect.canonical ~check:safety
+            (Ct_strong.automaton ~proposals)
+        in
+        Alcotest.(check bool) "identical decision sets" true c.Explore.identical;
+        Alcotest.(check bool) "orbits collapsed" true
+          (c.Explore.reduced.Explore.orbit_collapsed > 0);
+        Alcotest.(check bool) "lambda steps pruned" true
+          (c.Explore.reduced.Explore.lambda_pruned > 0);
+        Alcotest.(check bool) "at least 5x fewer nodes" true
+          (c.Explore.node_factor >= 5.));
+    test "cross-check: symmetry alone identical" (fun () ->
+        let c =
+          Explore.cross_check ~max_steps:8 ~max_nodes:2_000_000 ~d_equal
+            ~por:false ~por_lambda:false ~symmetry:(sym_spec ~n)
+            ~pattern:(Pattern.failure_free ~n)
+            ~detector:Perfect.canonical ~check:safety
+            (Ct_strong.automaton ~proposals)
+        in
+        Alcotest.(check bool) "identical decision sets" true c.Explore.identical);
+  ]
+
+(* ---------- strategies and stores ---------- *)
+
+let temp_dir prefix =
+  let f = Filename.temp_file prefix "" in
+  Sys.remove f;
+  f
+
+let strategy_tests =
+  [
+    test "frontier strategy: workers 1 and 4 produce identical reports" (fun () ->
+        let explore workers =
+          Explore.run ~max_steps:8 ~max_nodes:400_000 ~canon:true ~por:true
+            ~por_lambda:true ~symmetry:(sym_spec ~n) ~workers ~frontier:16
+            ~d_equal
+            ~pattern:(pattern ~n [ (1, 2) ])
+            ~detector:Perfect.canonical ~check:safety
+            (Ct_strong.automaton ~proposals)
+        in
+        let r1 = explore 1 and r4 = explore 4 in
+        Alcotest.(check (list string)) "same decision states"
+          r1.Explore.decision_states r4.Explore.decision_states;
+        Alcotest.(check int) "same node count" r1.Explore.nodes_explored
+          r4.Explore.nodes_explored;
+        Alcotest.(check int) "same distinct count" r1.Explore.distinct_states
+          r4.Explore.distinct_states;
+        Alcotest.(check int) "same frontier tasks" r1.Explore.frontier_tasks
+          r4.Explore.frontier_tasks;
+        Alcotest.(check bool) "complete, no violations" true
+          (r1.Explore.complete && r1.Explore.violations = []
+          && r4.Explore.violations = []));
+    test "frontier strategy agrees with DFS on decisions and verdict" (fun () ->
+        let dfs =
+          Explore.run ~max_steps:8 ~max_nodes:400_000 ~canon:true ~d_equal
+            ~pattern:(pattern ~n [ (1, 2) ])
+            ~detector:Perfect.canonical ~check:safety
+            (Ct_strong.automaton ~proposals)
+        in
+        let frontier =
+          Explore.run ~max_steps:8 ~max_nodes:400_000 ~canon:true ~workers:2
+            ~d_equal
+            ~pattern:(pattern ~n [ (1, 2) ])
+            ~detector:Perfect.canonical ~check:safety
+            (Ct_strong.automaton ~proposals)
+        in
+        Alcotest.(check (list string)) "same decision states"
+          dfs.Explore.decision_states frontier.Explore.decision_states;
+        Alcotest.(check bool) "both complete" true
+          (dfs.Explore.complete && frontier.Explore.complete);
+        Alcotest.(check bool) "frontier split happened" true
+          (frontier.Explore.frontier_tasks > 0));
+    test "spill tier: tiny cache, same report as in-RAM" (fun () ->
+        let in_ram =
+          Explore.run ~max_steps:8 ~max_nodes:400_000 ~canon:true ~por:true
+            ~d_equal
+            ~pattern:(pattern ~n [ (1, 2) ])
+            ~detector:Perfect.canonical ~check:safety
+            (Ct_strong.automaton ~proposals)
+        in
+        let dir = temp_dir "explore-spill-test" in
+        let spilled =
+          Explore.run ~max_steps:8 ~max_nodes:400_000 ~canon:true ~por:true
+            ~spill:dir ~spill_cache:512 ~d_equal
+            ~pattern:(pattern ~n [ (1, 2) ])
+            ~detector:Perfect.canonical ~check:safety
+            (Ct_strong.automaton ~proposals)
+        in
+        Alcotest.(check (list string)) "same decision states"
+          in_ram.Explore.decision_states spilled.Explore.decision_states;
+        Alcotest.(check int) "same nodes" in_ram.Explore.nodes_explored
+          spilled.Explore.nodes_explored;
+        Alcotest.(check int) "same distinct" in_ram.Explore.distinct_states
+          spilled.Explore.distinct_states;
+        Alcotest.(check bool) "states actually spilled" true
+          (spilled.Explore.spilled_states > 0));
+    test "describe names every active layer" (fun () ->
+        let lines =
+          Explore.describe ~max_steps:9 ~canon:true ~por:true ~por_lambda:true
+            ~symmetry:(sym_spec ~n) ~workers:4 ~d_equal
+            ~pattern:(pattern ~n [ (1, 2) ])
+            ~detector:Perfect.canonical ()
+        in
+        let mentions needle =
+          List.exists
+            (fun l ->
+              let rec find i =
+                i + String.length needle <= String.length l
+                && (String.sub l i (String.length needle) = needle || find (i + 1))
+              in
+              find 0)
+            lines
+        in
+        List.iter
+          (fun needle ->
+            Alcotest.(check bool) (needle ^ " mentioned") true (mentions needle))
+          [ "canon"; "clamp"; "sleep"; "lambda"; "symmetry"; "frontier" ]);
+  ]
+
 let () =
   Alcotest.run "explore"
     [
       suite "small-scope-model-checking" explorer_tests;
       suite "reductions" reduction_tests;
+      suite "symmetry" symmetry_tests;
+      suite "strategies-and-stores" strategy_tests;
     ]
