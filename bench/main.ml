@@ -410,6 +410,106 @@ let table_qos_timeout_sweep () =
     "Reading: the classic QoS trade-off - longer timeouts buy accuracy with latency.@.@."
 
 (* ---------------------------------------------------------------- *)
+(* Table 7c (EXP-12): the streaming QoS observatory at large n        *)
+(* ---------------------------------------------------------------- *)
+
+(* Qos.analyze needs the retained output list, which caps the n it can
+   reach; the streaming estimator taps the live event stream instead and
+   keeps O(n^2) pair state plus fixed-memory sketches.  Each row here is
+   one bounded-memory run (retain_outputs:false) with crash churn; the
+   sketch summaries, bandwidth and wall time land in BENCH_qos.json. *)
+let table_qos_streaming () =
+  let t =
+    Table.create
+      ~title:
+        "T7c (EXP-12): streaming QoS observatory - bounded memory, crash churn"
+      ~columns:
+        [ "n"; "loss"; "crashes"; "det p50"; "det p95"; "det p99"; "undet";
+          "false"; "P_A"; "msgs"; "msgs/tick"; "wall (s)" ]
+  in
+  let scope ~n ~loss ~churn ~horizon ~period ~timeout =
+    let crashes =
+      List.init churn (fun i ->
+          (pid (2 + i), time (horizon * (i + 1) / (2 * (churn + 1)))))
+    in
+    let pattern = Pattern.make ~n crashes in
+    let model =
+      let sync = Link.Synchronous { delta = 10 } in
+      if loss = 0. then sync else Link.lossy ~drop:loss sync
+    in
+    let est =
+      Qos_stream.create ~label:(Printf.sprintf "n=%d" n) ~n ~pattern ()
+    in
+    let tap = Qos_stream.sink est in
+    let t0 = Obs.Profile.now () in
+    let r =
+      Netsim.run ~retain_outputs:false ~sink:tap ~n ~pattern ~model ~seed
+        ~horizon
+        (Heartbeat.node ~sink:tap (Heartbeat.Fixed { period; timeout }))
+    in
+    let wall = Obs.Profile.now () -. t0 in
+    let s = Qos_stream.finish est ~end_time:r.Netsim.end_time in
+    let p sk q =
+      if Obs.Sketch.is_empty sk then "-"
+      else Format.asprintf "%.1f" (Obs.Sketch.percentile sk q)
+    in
+    let bandwidth =
+      float_of_int s.Qos_stream.messages_sent
+      /. float_of_int (Stdlib.max 1 s.Qos_stream.end_time)
+    in
+    Table.add_row t
+      [ Table.cell_int n; Table.cell_pct loss; Table.cell_int churn;
+        p s.Qos_stream.detection 0.5; p s.Qos_stream.detection 0.95;
+        p s.Qos_stream.detection 0.99;
+        Table.cell_int s.Qos_stream.undetected;
+        Table.cell_int s.Qos_stream.false_episodes;
+        Table.cell_float ~decimals:3 s.Qos_stream.query_accuracy;
+        Table.cell_int s.Qos_stream.messages_sent;
+        Table.cell_float bandwidth;
+        Table.cell_float ~decimals:2 wall ];
+    Obs.Json.Obj
+      [ ("n", Obs.Json.Int n); ("loss", Obs.Json.Float loss);
+        ("churn", Obs.Json.Int churn); ("horizon", Obs.Json.Int horizon);
+        ("period", Obs.Json.Int period); ("timeout", Obs.Json.Int timeout);
+        ("detection_latency", Obs.Sketch.to_json s.Qos_stream.detection);
+        ("mistake_duration", Obs.Sketch.to_json s.Qos_stream.mistake);
+        ("mistake_recurrence", Obs.Sketch.to_json s.Qos_stream.recurrence);
+        ("detected", Obs.Json.Int s.Qos_stream.detected);
+        ("undetected", Obs.Json.Int s.Qos_stream.undetected);
+        ("false_episodes", Obs.Json.Int s.Qos_stream.false_episodes);
+        ("query_accuracy", Obs.Json.Float s.Qos_stream.query_accuracy);
+        ("messages_sent", Obs.Json.Int s.Qos_stream.messages_sent);
+        ("messages_delivered", Obs.Json.Int s.Qos_stream.messages_delivered);
+        ("messages_dropped", Obs.Json.Int s.Qos_stream.messages_dropped);
+        ("messages_per_tick", Obs.Json.Float bandwidth);
+        ("complete", Obs.Json.Bool s.Qos_stream.complete);
+        ("accurate", Obs.Json.Bool s.Qos_stream.accurate);
+        ("wall_s", Obs.Json.Float wall) ]
+  in
+  let entries =
+    List.map
+      (fun (n, loss, horizon, period, timeout) ->
+        scope ~n ~loss ~churn:5 ~horizon ~period ~timeout)
+      [ (100, 0., 1000, 25, 40); (100, 0.1, 1000, 25, 40);
+        (300, 0., 600, 50, 80); (1000, 0., 400, 100, 150) ]
+  in
+  Table.print t;
+  Format.printf
+    "Reading: the estimator never retains a sample list, so the n=1,000 row\n\
+     runs in the same per-pair memory as the n=100 one - the workload axis\n\
+     Qos.analyze's retained outputs could not reach.@.@.";
+  let json =
+    Obs.Json.Obj
+      [ ("schema_version", Obs.Json.Int Obs.Trace.schema_version);
+        ("rows", Obs.Json.List entries) ]
+  in
+  let oc = open_out "BENCH_qos.json" in
+  output_string oc (Obs.Json.to_string json);
+  output_char oc '\n';
+  close_out oc;
+  Format.printf "wrote BENCH_qos.json@.@."
+
+(* ---------------------------------------------------------------- *)
 (* Table 8 (EXP-11): membership view convergence                      *)
 (* ---------------------------------------------------------------- *)
 
@@ -1266,6 +1366,7 @@ let tables () =
   timed "T6.reduction-overhead" table_reduction_overhead;
   timed "T7.qos" table_qos;
   timed "T7b.qos-timeout-sweep" table_qos_timeout_sweep;
+  timed "T7c.qos-streaming" table_qos_streaming;
   timed "T8.membership" table_membership;
   timed "T8b.vsync" table_vsync;
   timed "T9.nbac" table_nbac;
@@ -1297,10 +1398,11 @@ let () =
   (match mode with
   | "tables" -> tables ()
   | "bench" -> Obs.Profile.time profiler "bechamel" run_benchmarks
+  | "qos" -> Obs.Profile.time profiler "T7c.qos-streaming" table_qos_streaming
   | "all" ->
     tables ();
     Obs.Profile.time profiler "bechamel" run_benchmarks
   | other ->
-    Format.printf "unknown mode %S (expected: tables | bench | all)@." other;
+    Format.printf "unknown mode %S (expected: tables | bench | qos | all)@." other;
     exit 1);
   write_obs_json ()

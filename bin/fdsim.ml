@@ -539,21 +539,210 @@ let reduce_cmd =
 
 (* ---------- fdsim qos ---------- *)
 
+(* The streaming QoS observatory CLI.  Single runs go through Qos_stream
+   over a Netsim that retains nothing (bounded memory at any n); --grid
+   sweeps n x loss x churn x seed through the campaign engine, whose
+   per-job streams make the --out file byte-identical at any --jobs. *)
+
+(* --churn K synthesizes K crashes (pids 2..K+1, observer 1 always
+   correct) evenly spaced over the first half of the horizon; explicit
+   --crash wins when both are given. *)
+let churn_crashes ~n ~horizon k =
+  if k = 0 then []
+  else begin
+    if k < 0 || k > n - 1 then begin
+      Format.eprintf "fdsim: --churn %d needs 0 <= churn <= n-1 (n = %d)@." k n;
+      exit 2
+    end;
+    List.init k (fun i -> (2 + i, horizon * (i + 1) / (2 * (k + 1))))
+  end
+
+let apply_loss ~loss model =
+  if loss = 0. then model
+  else if loss < 0. || loss >= 1. then begin
+    Format.eprintf "fdsim: --loss must be in [0, 1), got %g@." loss;
+    exit 2
+  end
+  else Link.lossy ~drop:loss model
+
+let qos_summary_to_json (s : Qos_stream.summary) =
+  let open Obs.Json in
+  Obj
+    [ ("label", String s.Qos_stream.label); ("n", Int s.n);
+      ("pairs", Int s.pairs); ("detected", Int s.detected);
+      ("undetected", Int s.undetected);
+      ("false_episodes", Int s.false_episodes);
+      ("detection_latency", Obs.Sketch.to_json s.detection);
+      ("mistake_duration", Obs.Sketch.to_json s.mistake);
+      ("mistake_recurrence", Obs.Sketch.to_json s.recurrence);
+      ("query_accuracy", Float s.query_accuracy);
+      ("messages_sent", Int s.messages_sent);
+      ("messages_delivered", Int s.messages_delivered);
+      ("messages_dropped", Int s.messages_dropped);
+      ("complete", Bool s.complete); ("accurate", Bool s.accurate);
+      ("end_time", Int s.end_time) ]
+
+(* One streaming-observed run: the estimator's tap is the only sink, the
+   simulator retains no outputs. *)
+let qos_run ~label ~n ~pattern ~model ~seed ~horizon ~style ~snapshot_every
+    ~progress =
+  let est =
+    Qos_stream.create ~label ~snapshot_every ~progress ~n ~pattern ()
+  in
+  let tap = Qos_stream.sink est in
+  let r =
+    Netsim.run ~retain_outputs:false ~sink:tap ~n ~pattern ~model ~seed
+      ~horizon
+      (Heartbeat.node ~sink:tap style)
+  in
+  Qos_stream.finish est ~end_time:r.Netsim.end_time
+
+let qos_single ~n ~seed ~horizon ~pattern ~model ~style ~json ~progress_f
+    ~check =
+  let progress =
+    if progress_f then Obs.Trace.formatter Format.err_formatter
+    else Obs.Trace.null
+  in
+  let snapshot_every = if progress_f then Stdlib.max 1 (horizon / 20) else 0 in
+  let summary =
+    qos_run ~label:"qos" ~n ~pattern ~model ~seed ~horizon ~style
+      ~snapshot_every ~progress
+  in
+  if json then print_endline (Obs.Json.to_string (qos_summary_to_json summary))
+  else begin
+    Format.printf "link: %a@.detector: %a@.pattern: %a@.@." Link.pp model
+      Heartbeat.pp_style style Pattern.pp pattern;
+    Format.printf "%a@." Qos_stream.pp_summary summary
+  end;
+  if not check then true
+  else begin
+    (* The oracle cross-check: rerun retained and compare against
+       Qos.analyze.  Small-n only — retention is what streaming avoids. *)
+    let retained =
+      Netsim.run ~n ~pattern ~model ~seed ~horizon (Heartbeat.node style)
+    in
+    match Qos_stream.agrees summary (Qos.analyze retained) with
+    | Ok () ->
+      Format.eprintf "cross-check: streaming estimator = Qos.analyze@.";
+      true
+    | Error msg ->
+      Format.eprintf "fdsim: cross-check FAILED: %s@." msg;
+      false
+  end
+
+let qos_grid ~seed ~horizon ~style ~base_model ~ns ~losses ~churns ~seeds
+    ~jobs ~out ~progress_f =
+  let spec =
+    Campaign.Spec.make ~name:"fdsim-qos"
+      ~axes:
+        [ ("n", List.map string_of_int ns);
+          ("loss", List.map (Format.asprintf "%g") losses);
+          ("churn", List.map string_of_int churns) ]
+      ~seeds:(List.init seeds (fun i -> seed + i))
+      ()
+  in
+  let job ~rng:_ ~metrics jb =
+    let axis = Campaign.Spec.value jb in
+    let jn = int_of_string (axis "n") in
+    let loss = float_of_string (axis "loss") in
+    let churn = int_of_string (axis "churn") in
+    let pattern = pattern_of ~n:jn (churn_crashes ~n:jn ~horizon churn) in
+    let model = apply_loss ~loss base_model in
+    let s =
+      qos_run ~label:(Campaign.Spec.label jb) ~n:jn ~pattern ~model
+        ~seed:jb.Campaign.Spec.seed ~horizon ~style ~snapshot_every:0
+        ~progress:Obs.Trace.null
+    in
+    Qos_stream.observe metrics s;
+    s
+  in
+  let sink =
+    if progress_f then Obs.Trace.formatter Format.err_formatter
+    else Obs.Trace.null
+  in
+  let progress ~done_ ~total =
+    if not progress_f then Printf.eprintf "qos campaign: %d/%d jobs\n%!" done_ total
+  in
+  let report =
+    Campaign.Engine.run_spec ~workers:jobs ~progress ~sink ~seed spec job
+  in
+  Format.printf "%-32s %4s %4s %6s %8s %8s %8s %6s %10s@." "scope" "det"
+    "miss" "false" "p50" "p95" "p99" "P_A" "msgs";
+  List.iter
+    (fun o ->
+      let s = o.Campaign.Engine.value in
+      let p q =
+        if Obs.Sketch.is_empty s.Qos_stream.detection then Float.nan
+        else Obs.Sketch.percentile s.Qos_stream.detection q
+      in
+      Format.printf "%-32s %4d %4d %6d %8.1f %8.1f %8.1f %6.3f %10d@."
+        o.Campaign.Engine.label s.Qos_stream.detected s.Qos_stream.undetected
+        s.Qos_stream.false_episodes (p 0.5) (p 0.95) (p 0.99)
+        s.Qos_stream.query_accuracy s.Qos_stream.messages_sent)
+    report.Campaign.Engine.outcomes;
+  (* The --out document deliberately excludes timing and worker fields:
+     two runs of the same grid at different --jobs are byte-identical. *)
+  (match out with
+  | None -> ()
+  | Some dest ->
+    let rows =
+      List.map
+        (fun o ->
+          Obs.Json.Obj
+            [ ("job", Obs.Json.Int o.Campaign.Engine.job);
+              ("label", Obs.Json.String o.Campaign.Engine.label);
+              ("result", qos_summary_to_json o.Campaign.Engine.value) ])
+        report.Campaign.Engine.outcomes
+    in
+    let doc =
+      Obs.Json.Obj
+        [ ("schema_version", Obs.Json.Int Obs.Trace.schema_version);
+          ("campaign", Campaign.Spec.to_json spec);
+          ("horizon", Obs.Json.Int horizon);
+          ("detector",
+           Obs.Json.String (Format.asprintf "%a" Heartbeat.pp_style style));
+          ("rows", Obs.Json.List rows) ]
+    in
+    let line = Obs.Json.to_string doc in
+    if dest = "-" then print_endline line
+    else begin
+      let oc = open_out dest in
+      output_string oc line;
+      output_char oc '\n';
+      close_out oc
+    end);
+  Format.printf "qos campaign: %d jobs, workers=%d, %.2fs@."
+    report.Campaign.Engine.total report.Campaign.Engine.workers
+    report.Campaign.Engine.wall_s;
+  true
+
 let qos_cmd =
-  let run n seed horizon crashes model adaptive period timeout =
-    let pattern = pattern_of ~n crashes in
-    let model = make_model model in
+  let run n seed horizon crashes model loss churn adaptive period timeout json
+      progress_f check grid grid_ns grid_losses grid_churns seeds jobs out =
     let style =
       if adaptive then
         Heartbeat.Adaptive { period; initial_timeout = timeout; backoff = 25 }
       else Heartbeat.Fixed { period; timeout }
     in
-    let r = Netsim.run ~n ~pattern ~model ~seed ~horizon (Heartbeat.node style) in
-    Format.printf "link: %a@.detector: %a@.pattern: %a@.@." Link.pp model
-      Heartbeat.pp_style style Pattern.pp pattern;
-    let report = Qos.analyze r in
-    Format.printf "%a@." Qos.pp_report report;
-    exit_ok true
+    let base_model = make_model model in
+    let ok =
+      if grid then
+        let ns = if grid_ns = [] then [ 5; 10; 30 ] else grid_ns in
+        let losses = if grid_losses = [] then [ 0.; 0.05; 0.2 ] else grid_losses in
+        let churns = if grid_churns = [] then [ 0; 2 ] else grid_churns in
+        qos_grid ~seed ~horizon ~style ~base_model ~ns ~losses ~churns ~seeds
+          ~jobs ~out ~progress_f
+      else begin
+        let crashes =
+          if crashes = [] then churn_crashes ~n ~horizon churn else crashes
+        in
+        let pattern = pattern_of ~n crashes in
+        let model = apply_loss ~loss base_model in
+        qos_single ~n ~seed ~horizon ~pattern ~model ~style ~json ~progress_f
+          ~check
+      end
+    in
+    exit_ok ok
   in
   let adaptive = Arg.(value & flag & info [ "adaptive" ] ~doc:"Adaptive timeouts.") in
   let period =
@@ -562,12 +751,84 @@ let qos_cmd =
   let timeout =
     Arg.(value & opt int 31 & info [ "timeout" ] ~docv:"T" ~doc:"Suspicion timeout.")
   in
+  let loss =
+    Arg.(
+      value & opt float 0.
+      & info [ "loss" ] ~docv:"P"
+          ~doc:"Wrap the link in a lossy layer dropping each message with \
+                probability $(docv) (0 <= P < 1).")
+  in
+  let churn =
+    Arg.(
+      value & opt int 0
+      & info [ "churn" ] ~docv:"K"
+          ~doc:"Crash $(docv) processes at evenly spaced times over the \
+                first half of the horizon (ignored when --crash is given).")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Print the summary as JSON.")
+  in
+  let check =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:
+            "Rerun the scope with retained outputs and cross-check the \
+             streaming estimator against the post-hoc Qos.analyze oracle \
+             (small n only; exits non-zero on disagreement).")
+  in
+  let grid =
+    Arg.(
+      value & flag
+      & info [ "grid" ]
+          ~doc:
+            "Campaign mode: sweep n x loss x churn x seed on the campaign \
+             engine instead of one run.")
+  in
+  let grid_ns =
+    Arg.(
+      value & opt_all int []
+      & info [ "grid-n" ] ~docv:"N"
+          ~doc:"Grid axis value for n (repeatable; default: 5, 10, 30).")
+  in
+  let grid_losses =
+    Arg.(
+      value & opt_all float []
+      & info [ "grid-loss" ] ~docv:"P"
+          ~doc:"Grid axis value for loss (repeatable; default: 0, 0.05, 0.2).")
+  in
+  let grid_churns =
+    Arg.(
+      value & opt_all int []
+      & info [ "grid-churn" ] ~docv:"K"
+          ~doc:"Grid axis value for churn (repeatable; default: 0, 2).")
+  in
+  let seeds =
+    Arg.(
+      value & opt int 2
+      & info [ "seeds" ] ~docv:"K"
+          ~doc:"Replicate seeds per grid point: seed, seed+1, ..., seed+K-1.")
+  in
+  let out =
+    Arg.(
+      value & opt (some string) None
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:
+            "Write the grid results as a single JSON document to $(docv) \
+             ('-' writes to stdout).  Timing-free and sorted by job index, \
+             so the bytes are identical at any --jobs.")
+  in
   Cmd.v
-    (Cmd.info "qos" ~doc:"Measure heartbeat failure-detector quality of service.")
+    (Cmd.info "qos"
+       ~doc:
+         "Measure heartbeat failure-detector quality of service with the \
+          streaming observatory (bounded memory at any n).")
     Term.(
       const run $ n_arg $ seed_arg
       $ Arg.(value & opt int 4000 & info [ "horizon" ])
-      $ crashes_arg $ model_arg $ adaptive $ period $ timeout)
+      $ crashes_arg $ model_arg $ loss $ churn $ adaptive $ period $ timeout
+      $ json $ progress_arg $ check $ grid $ grid_ns $ grid_losses
+      $ grid_churns $ seeds $ jobs_arg $ out)
 
 (* ---------- fdsim gms ---------- *)
 

@@ -281,7 +281,7 @@ let report_lines codec report =
              ("result", codec.encode o.value) ]))
     report.outcomes
 
-let report_to_json ?buckets report =
+let report_to_json report =
   Json.Obj
     [ ("campaign", Json.String report.campaign);
       ("schema_version", Json.Int Checkpoint.schema_version);
@@ -293,7 +293,7 @@ let report_to_json ?buckets report =
       ("workers", Json.Int report.workers);
       ("shard_size", Json.Int report.shard_size);
       ("wall_s", Json.Float report.wall_s);
-      ("metrics", Metrics.to_json ?buckets report.metrics) ]
+      ("metrics", Metrics.to_json report.metrics) ]
 
 let run_spec ?workers ?shard_size ?checkpoint ?resume ?codec ?progress ?sink
     ~seed spec f =

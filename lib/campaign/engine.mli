@@ -103,11 +103,12 @@ val report_lines : 'r codec -> 'r report -> string list
     different worker counts — or one interrupted and resumed — produce
     byte-identical lines. *)
 
-val report_to_json : ?buckets:int -> 'r report -> Rlfd_obs.Json.t
+val report_to_json : 'r report -> Rlfd_obs.Json.t
 (** The run summary: campaign identity, job counts, resume statistics,
     worker configuration, wall time and merged metrics
-    ([?buckets] as {!Rlfd_obs.Metrics.to_json}).  Timing fields included —
-    this is the human-facing side, not the determinism-checked one. *)
+    ({!Rlfd_obs.Metrics.to_json} sketch summaries).  Timing fields
+    included — this is the human-facing side, not the
+    determinism-checked one. *)
 
 val run_spec :
   ?workers:int ->

@@ -32,8 +32,9 @@ type ('s, 'o) result = {
 
 type 'm pending = Message of { src : Pid.t; dst : Pid.t; payload : 'm } | Timer of { pid : Pid.t; tag : int }
 
-let run ?(until = fun _ -> false) ?(sink = Rlfd_obs.Trace.null) ?metrics ~n
-    ~pattern ~model ~seed ~horizon node =
+let run ?(until = fun _ -> false) ?(retain_outputs = true)
+    ?(sink = Rlfd_obs.Trace.null) ?metrics ~n ~pattern ~model ~seed ~horizon
+    node =
   if Pattern.n pattern <> n then invalid_arg "Netsim.run: pattern size mismatch";
   let idx p = Pid.to_int p - 1 in
   let tracing = not (Rlfd_obs.Trace.is_null sink) in
@@ -125,7 +126,8 @@ let run ?(until = fun _ -> false) ?(sink = Rlfd_obs.Trace.null) ?metrics ~n
               let st, commands, outs = handler st in
               states.(idx pid) <- Some st;
               apply_commands pid t commands;
-              List.iter (fun o -> outputs := (t, pid, o) :: !outputs) outs;
+              if retain_outputs then
+                List.iter (fun o -> outputs := (t, pid, o) :: !outputs) outs;
               incr processed;
               mincr "events_processed";
               if outs <> [] && until !outputs then stop := true

@@ -46,6 +46,7 @@ type ('s, 'o) result = {
 
 val run :
   ?until:((time * Pid.t * 'o) list -> bool) ->
+  ?retain_outputs:bool ->
   ?sink:Rlfd_obs.Trace.sink ->
   ?metrics:Rlfd_obs.Metrics.t ->
   n:int ->
@@ -57,6 +58,13 @@ val run :
   ('s, 'o) result
 (** The pattern's {!Rlfd_kernel.Time.t} values are read as network time.
     [until] sees the outputs emitted so far, most recent first.
+
+    [retain_outputs] (default [true]): when [false] the result's
+    [outputs] list stays empty — the bounded-memory mode for large-n runs
+    whose observability flows through [sink] taps (the streaming QoS
+    observatory, {!Qos_stream}) instead of post-hoc analysis.  [until]
+    then only ever sees [[]], so combine it with a horizon, not an
+    output predicate.
 
     {b Observability} (off by default, free when off): [sink] receives the
     full message lifecycle ({!Rlfd_obs.Trace.Send} / [Deliver] / [Drop]),

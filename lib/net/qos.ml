@@ -76,15 +76,23 @@ let analyze (r : _ Netsim.result) =
 
 let perfect_grade report = report.complete && report.accurate
 
+let undetected_fraction report =
+  let crashed_pairs = List.length report.detection_latencies + report.undetected in
+  if crashed_pairs = 0 then 0.
+  else float_of_int report.undetected /. float_of_int crashed_pairs
+
 let observe metrics report =
   let open Rlfd_obs.Metrics in
   List.iter (observe metrics "detection_latency") report.detection_latencies;
   List.iter (observe metrics "mistake_duration") report.mistake_durations;
   incr ~by:report.false_episodes metrics "false_suspicion_episodes";
-  incr ~by:report.undetected metrics "undetected_crash_pairs"
+  incr ~by:report.undetected metrics "undetected_crash_pairs";
+  set_gauge metrics "undetected_fraction" (undetected_fraction report)
 
 let pp_report ppf report =
   Format.fprintf ppf
-    "@[<v>detection: %a@ undetected pairs: %d@ false episodes: %d@ mistake durations: %a@ messages: %d@ perfect-grade: %b@]"
-    Stats.pp_summary report.detection_latencies report.undetected report.false_episodes
+    "@[<v>detection: %a@ undetected pairs: %d (%.1f%% of crashed pairs)@ false episodes: %d@ mistake durations: %a@ messages: %d@ perfect-grade: %b@]"
+    Stats.pp_summary report.detection_latencies report.undetected
+    (100. *. undetected_fraction report)
+    report.false_episodes
     Stats.pp_summary report.mistake_durations report.messages (perfect_grade report)

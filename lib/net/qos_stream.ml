@@ -1,0 +1,383 @@
+open Rlfd_kernel
+open Rlfd_fd
+module Sketch = Rlfd_obs.Sketch
+module Trace = Rlfd_obs.Trace
+
+(* Per-pair state lives in flat n*n arrays indexed by
+   (observer-1) * n + (subject-1): an episode-start time (-1 = not
+   currently suspected) and, for pairs whose subject is scheduled to
+   crash, the provisional detection latency of the currently-open
+   episode.  Everything else is a handful of sketches and counters, so
+   memory is O(n^2) in the population and O(1) in run length. *)
+type t = {
+  n : int;
+  label : string;
+  correct : bool array; (* by 0-based pid *)
+  crash_at : int array; (* scheduled crash time; max_int = never *)
+  since : int array;
+  provisional : float array; (* nan = no open episode on a crashed subject *)
+  last_mistake : int array; (* previous mistake start, correct subjects *)
+  crashed_subjects : (int * int) list; (* (crash time, 0-based pid), sorted *)
+  rolling_det : Sketch.t; (* provisional latencies, for live snapshots *)
+  mistake : Sketch.t;
+  recurrence : Sketch.t;
+  mutable pa_mistake_time : float; (* closed mistakes on correct subjects *)
+  mutable false_episodes : int;
+  mutable suspected_pairs : int;
+  mutable sent : int;
+  mutable delivered : int;
+  mutable dropped : int;
+  mutable retained : float list option; (* mistake durations, newest first *)
+  mutable last_time : int;
+  progress : Trace.sink;
+  snapshot_every : int;
+  mutable next_snapshot : int;
+  mutable snap_time : int;
+  mutable snap_sent : int;
+}
+
+let create ?(label = "qos") ?(snapshot_every = 0) ?(progress = Trace.null)
+    ?(retain_samples = false) ~n ~pattern () =
+  if Pattern.n pattern <> n then
+    invalid_arg "Qos_stream.create: pattern size mismatch";
+  let correct = Array.make n false in
+  Pid.Set.iter
+    (fun p -> correct.(Pid.to_int p - 1) <- true)
+    (Pattern.correct pattern);
+  let crash_at =
+    Array.init n (fun i ->
+        match Pattern.crash_time pattern (Pid.of_int (i + 1)) with
+        | Some t -> Time.to_int t
+        | None -> max_int)
+  in
+  let crashed_subjects =
+    Array.to_list crash_at
+    |> List.mapi (fun i ct -> (ct, i))
+    |> List.filter (fun (ct, _) -> ct < max_int)
+    |> List.sort Stdlib.compare
+  in
+  {
+    n;
+    label;
+    correct;
+    crash_at;
+    since = Array.make (n * n) (-1);
+    provisional = Array.make (n * n) Float.nan;
+    last_mistake = Array.make (n * n) (-1);
+    crashed_subjects;
+    rolling_det = Sketch.create ();
+    mistake = Sketch.create ();
+    recurrence = Sketch.create ();
+    pa_mistake_time = 0.;
+    false_episodes = 0;
+    suspected_pairs = 0;
+    sent = 0;
+    delivered = 0;
+    dropped = 0;
+    retained = (if retain_samples then Some [] else None);
+    last_time = 0;
+    progress;
+    snapshot_every;
+    next_snapshot = snapshot_every;
+    snap_time = 0;
+    snap_sent = 0;
+  }
+
+let correct_count t =
+  Array.fold_left (fun acc c -> if c then acc + 1 else acc) 0 t.correct
+
+let pct sketch q = if Sketch.is_empty sketch then 0. else Sketch.percentile sketch q
+
+(* Instantaneous detection coverage: over subjects already crashed at
+   [now], how many correct observers currently suspect them.  O(crashed
+   subjects * n), only paid per snapshot. *)
+let coverage t ~now =
+  List.fold_left
+    (fun ((due, det) as acc) (ct, s) ->
+      if ct > now then acc
+      else begin
+        let det_here = ref 0 in
+        for o = 0 to t.n - 1 do
+          if t.correct.(o) && t.since.((o * t.n) + s) >= 0 then incr det_here
+        done;
+        (due + correct_count t, det + !det_here)
+      end)
+    (0, 0) t.crashed_subjects
+
+let snapshot t ~now =
+  let due, det = coverage t ~now in
+  let dt = now - t.snap_time in
+  let bandwidth =
+    if dt <= 0 then 0. else float_of_int (t.sent - t.snap_sent) /. float_of_int dt
+  in
+  Trace.emit t.progress
+    (Trace.Qos_snapshot
+       {
+         time = now;
+         label = t.label;
+         suspected = t.suspected_pairs;
+         detected = det;
+         undetected = due - det;
+         false_episodes = t.false_episodes;
+         det_p50 = pct t.rolling_det 0.5;
+         det_p95 = pct t.rolling_det 0.95;
+         det_p99 = pct t.rolling_det 0.99;
+         msgs = t.sent;
+         bandwidth;
+       });
+  t.snap_time <- now;
+  t.snap_sent <- t.sent;
+  t.next_snapshot <- now + t.snapshot_every
+
+let record_mistake t duration =
+  t.false_episodes <- t.false_episodes + 1;
+  Sketch.add t.mistake duration;
+  match t.retained with
+  | None -> ()
+  | Some durations -> t.retained <- Some (duration :: durations)
+
+let on_suspect t ~time ~observer ~subject ~on =
+  let o = observer - 1 and s = subject - 1 in
+  if o <> s && t.correct.(o) then begin
+    let i = (o * t.n) + s in
+    let ct = t.crash_at.(s) in
+    if on then begin
+      if t.since.(i) < 0 then begin
+        t.since.(i) <- time;
+        t.suspected_pairs <- t.suspected_pairs + 1;
+        if ct < max_int then begin
+          t.provisional.(i) <- float_of_int (Stdlib.max 0 (time - ct));
+          if time >= ct then
+            Sketch.add t.rolling_det (float_of_int (time - ct))
+        end
+        else begin
+          if t.last_mistake.(i) >= 0 then
+            Sketch.add t.recurrence (float_of_int (time - t.last_mistake.(i)));
+          t.last_mistake.(i) <- time
+        end
+      end
+    end
+    else if t.since.(i) >= 0 then begin
+      let start = t.since.(i) in
+      t.since.(i) <- -1;
+      t.suspected_pairs <- t.suspected_pairs - 1;
+      if ct = max_int then begin
+        (* a false-suspicion episode of a correct subject *)
+        let duration = float_of_int (time - start) in
+        record_mistake t duration;
+        t.pa_mistake_time <- t.pa_mistake_time +. duration
+      end
+      else begin
+        t.provisional.(i) <- Float.nan;
+        (* closed before the crash = premature mistake; closed after =
+           a post-crash flap Qos.analyze ignores *)
+        if start < ct then record_mistake t (float_of_int (time - start))
+      end
+    end
+  end
+
+let on_event t event =
+  (match event with
+  | Trace.Suspect { time; observer; subject; on } ->
+    on_suspect t ~time ~observer ~subject ~on
+  | Trace.Send _ -> t.sent <- t.sent + 1
+  | Trace.Deliver _ -> t.delivered <- t.delivered + 1
+  | Trace.Drop _ -> t.dropped <- t.dropped + 1
+  | _ -> ());
+  let time = Trace.time_of event in
+  if time > t.last_time then t.last_time <- time;
+  if
+    t.snapshot_every > 0
+    && (not (Trace.is_null t.progress))
+    && time >= t.next_snapshot
+  then snapshot t ~now:time
+
+let sink t = Trace.callback (on_event t)
+
+type summary = {
+  label : string;
+  n : int;
+  pairs : int;
+  detected : int;
+  undetected : int;
+  false_episodes : int;
+  detection : Sketch.t;
+  mistake : Sketch.t;
+  recurrence : Sketch.t;
+  query_accuracy : float;
+  messages_sent : int;
+  messages_delivered : int;
+  messages_dropped : int;
+  complete : bool;
+  accurate : bool;
+  end_time : int;
+}
+
+(* Close the books without touching estimator state, so [finish] can be
+   called at any point (and more than once). *)
+let finish (t : t) ~end_time =
+  let detection = Sketch.create () in
+  let mistake = Sketch.copy t.mistake in
+  let detected = ref 0 and undetected = ref 0 in
+  let false_episodes = ref t.false_episodes in
+  let pa_time = ref t.pa_mistake_time in
+  let pairs = ref 0 in
+  for o = 0 to t.n - 1 do
+    if t.correct.(o) then
+      for s = 0 to t.n - 1 do
+        if s <> o then begin
+          incr pairs;
+          let i = (o * t.n) + s in
+          if t.crash_at.(s) < max_int then
+            if t.since.(i) >= 0 then begin
+              incr detected;
+              Sketch.add detection t.provisional.(i)
+            end
+            else incr undetected
+          else if t.since.(i) >= 0 then begin
+            (* still suspecting a correct subject: a mistake running to
+               the end of the run, as Qos.analyze scores it *)
+            incr false_episodes;
+            let duration = float_of_int (end_time - t.since.(i)) in
+            Sketch.add mistake duration;
+            pa_time := !pa_time +. duration
+          end
+        end
+      done
+  done;
+  let c = correct_count t in
+  let correct_pairs = c * (c - 1) in
+  let query_accuracy =
+    if correct_pairs = 0 || end_time <= 0 then 1.
+    else
+      Float.max 0.
+        (1. -. (!pa_time /. float_of_int (correct_pairs * end_time)))
+  in
+  {
+    label = t.label;
+    n = t.n;
+    pairs = !pairs;
+    detected = !detected;
+    undetected = !undetected;
+    false_episodes = !false_episodes;
+    detection;
+    mistake;
+    recurrence = Sketch.copy t.recurrence;
+    query_accuracy;
+    messages_sent = t.sent;
+    messages_delivered = t.delivered;
+    messages_dropped = t.dropped;
+    complete = !undetected = 0;
+    accurate = !false_episodes = 0;
+    end_time;
+  }
+
+let to_report (t : t) ~end_time =
+  match t.retained with
+  | None -> None
+  | Some closed_mistakes ->
+    let latencies = ref [] and undetected = ref 0 in
+    let open_mistakes = ref [] and open_false = ref 0 in
+    for o = 0 to t.n - 1 do
+      if t.correct.(o) then
+        for s = 0 to t.n - 1 do
+          if s <> o then begin
+            let i = (o * t.n) + s in
+            if t.crash_at.(s) < max_int then begin
+              if t.since.(i) >= 0 then
+                latencies := t.provisional.(i) :: !latencies
+              else incr undetected
+            end
+            else if t.since.(i) >= 0 then begin
+              incr open_false;
+              open_mistakes :=
+                float_of_int (end_time - t.since.(i)) :: !open_mistakes
+            end
+          end
+        done
+    done;
+    let false_episodes = t.false_episodes + !open_false in
+    Some
+      {
+        Qos.detection_latencies = !latencies;
+        undetected = !undetected;
+        false_episodes;
+        mistake_durations = !open_mistakes @ List.rev closed_mistakes;
+        messages = t.delivered;
+        complete = !undetected = 0;
+        accurate = false_episodes = 0;
+      }
+
+let agrees ?(eps = 1e-6) summary (report : Qos.report) =
+  let ( let* ) r f = Result.bind r f in
+  let check_int name streaming posthoc =
+    if streaming = posthoc then Ok ()
+    else
+      Error
+        (Printf.sprintf "%s: streaming=%d post-hoc=%d" name streaming posthoc)
+  in
+  let check_bool name streaming posthoc =
+    if streaming = posthoc then Ok ()
+    else
+      Error
+        (Printf.sprintf "%s: streaming=%b post-hoc=%b" name streaming posthoc)
+  in
+  let check_sketch name sketch samples =
+    let* () = check_int (name ^ " count") (Sketch.count sketch) (List.length samples) in
+    if samples = [] then Ok ()
+    else
+      let close a b =
+        Float.abs (a -. b) <= eps *. Float.max 1. (Float.abs b)
+      in
+      if not (close (Sketch.sum sketch) (Stats.sum samples)) then
+        Error
+          (Printf.sprintf "%s sum: streaming=%g post-hoc=%g" name
+             (Sketch.sum sketch) (Stats.sum samples))
+      else if not (close (Sketch.min_value sketch) (Stats.minimum samples)) then
+        Error
+          (Printf.sprintf "%s min: streaming=%g post-hoc=%g" name
+             (Sketch.min_value sketch) (Stats.minimum samples))
+      else if not (close (Sketch.max_value sketch) (Stats.maximum samples)) then
+        Error
+          (Printf.sprintf "%s max: streaming=%g post-hoc=%g" name
+             (Sketch.max_value sketch) (Stats.maximum samples))
+      else Ok ()
+  in
+  let* () =
+    check_int "detected" summary.detected
+      (List.length report.Qos.detection_latencies)
+  in
+  let* () = check_int "undetected" summary.undetected report.Qos.undetected in
+  let* () =
+    check_int "false_episodes" summary.false_episodes report.Qos.false_episodes
+  in
+  let* () = check_int "messages" summary.messages_delivered report.Qos.messages in
+  let* () = check_bool "complete" summary.complete report.Qos.complete in
+  let* () = check_bool "accurate" summary.accurate report.Qos.accurate in
+  let* () =
+    check_sketch "detection_latency" summary.detection
+      report.Qos.detection_latencies
+  in
+  check_sketch "mistake_duration" summary.mistake report.Qos.mistake_durations
+
+let observe metrics summary =
+  let open Rlfd_obs.Metrics in
+  observe_sketch metrics "detection_latency" summary.detection;
+  observe_sketch metrics "mistake_duration" summary.mistake;
+  observe_sketch metrics "mistake_recurrence" summary.recurrence;
+  incr ~by:summary.false_episodes metrics "false_suspicion_episodes";
+  incr ~by:summary.undetected metrics "undetected_crash_pairs";
+  set_gauge metrics "undetected_fraction"
+    (if summary.detected + summary.undetected = 0 then 0.
+     else
+       float_of_int summary.undetected
+       /. float_of_int (summary.detected + summary.undetected));
+  set_gauge metrics "query_accuracy" summary.query_accuracy
+
+let pp_summary ppf s =
+  Format.fprintf ppf
+    "@[<v>scope: %s (n=%d, %d pairs)@ detection: %a@ detected/undetected: %d/%d@ false episodes: %d@ mistake durations: %a@ mistake recurrence: %a@ query accuracy: %.4f@ messages: %d sent, %d delivered, %d dropped@ perfect-grade: %b@]"
+    s.label s.n s.pairs Sketch.pp s.detection s.detected s.undetected
+    s.false_episodes Sketch.pp s.mistake Sketch.pp s.recurrence
+    s.query_accuracy s.messages_sent s.messages_delivered s.messages_dropped
+    (s.complete && s.accurate)

@@ -1,9 +1,7 @@
-open Rlfd_kernel
-
 type metric =
   | Counter of int ref
   | Gauge of float ref
-  | Histogram of float list ref  (* newest first *)
+  | Histogram of Sketch.t
 
 type t = (string, metric) Hashtbl.t
 
@@ -37,12 +35,19 @@ let set_gauge registry name v =
   | Gauge r -> r := v
   | _ -> assert false
 
-let observe registry name sample =
+let histogram_of registry name =
   match
-    find_or_create registry name (fun () -> Histogram (ref [])) "histogram"
+    find_or_create registry name
+      (fun () -> Histogram (Sketch.create ()))
+      "histogram"
   with
-  | Histogram r -> r := sample :: !r
+  | Histogram s -> s
   | _ -> assert false
+
+let observe registry name sample = Sketch.add (histogram_of registry name) sample
+
+let observe_sketch registry name sketch =
+  Sketch.merge ~into:(histogram_of registry name) sketch
 
 let counter_value registry name =
   match Hashtbl.find_opt registry name with Some (Counter r) -> !r | _ -> 0
@@ -52,10 +57,13 @@ let gauge_value registry name =
   | Some (Gauge r) -> Some !r
   | _ -> None
 
-let samples registry name =
+let histogram registry name =
   match Hashtbl.find_opt registry name with
-  | Some (Histogram r) -> List.rev !r
-  | _ -> []
+  | Some (Histogram s) -> Some s
+  | _ -> None
+
+let histogram_count registry name =
+  match histogram registry name with Some s -> Sketch.count s | None -> 0
 
 let names registry =
   Hashtbl.fold (fun name _ acc -> name :: acc) registry []
@@ -72,18 +80,10 @@ let merge ~into src =
       match metric with
       | Counter r -> incr ~by:!r into name
       | Gauge r -> set_gauge into name !r
-      | Histogram r -> (
-        match
-          find_or_create into name (fun () -> Histogram (ref [])) "histogram"
-        with
-        | Histogram dst ->
-          (* both sides are newest-first; [src]'s samples come chronologically
-             after [into]'s, so they go in front *)
-          dst := !r @ !dst
-        | _ -> assert false))
+      | Histogram s -> observe_sketch into name s)
     (sorted src)
 
-let to_json ?(buckets = 8) registry =
+let to_json registry =
   let open Json in
   let counters = ref [] and gauges = ref [] and histograms = ref [] in
   List.iter
@@ -91,26 +91,7 @@ let to_json ?(buckets = 8) registry =
       match metric with
       | Counter r -> counters := (name, Int !r) :: !counters
       | Gauge r -> gauges := (name, Float !r) :: !gauges
-      | Histogram r ->
-        let xs = List.rev !r in
-        let summary =
-          if xs = [] then [ ("count", Int 0) ]
-          else
-            [ ("count", Int (Stats.count xs));
-              ("sum", Float (Stats.sum xs));
-              ("mean", Float (Stats.mean xs));
-              ("p50", Float (Stats.median xs));
-              ("p95", Float (Stats.percentile xs 0.95));
-              ("p99", Float (Stats.percentile xs 0.99));
-              ("max", Float (Stats.maximum xs));
-              ("buckets",
-               List
-                 (List.map
-                    (fun (lo, hi, count) ->
-                      List [ Float lo; Float hi; Int count ])
-                    (Stats.histogram ~buckets xs))) ]
-        in
-        histograms := (name, Obj summary) :: !histograms)
+      | Histogram s -> histograms := (name, Sketch.to_json s) :: !histograms)
     (sorted registry);
   Obj
     [ ("counters", Obj (List.rev !counters));
@@ -133,7 +114,7 @@ let pp ppf registry =
         match metric with
         | Counter r -> Format.fprintf ppf "%d" !r
         | Gauge r -> Format.fprintf ppf "%.2f" !r
-        | Histogram r -> Stats.pp_summary ppf (List.rev !r))
+        | Histogram s -> Sketch.pp ppf s)
       rows;
     Format.pp_close_box ppf ()
   end

@@ -7,9 +7,13 @@
     are created on first use; re-using a name with a different kind is a
     programming error and raises.
 
-    Histograms keep their raw samples (these runs are finite), so summary
-    statistics come straight from {!Rlfd_kernel.Stats} and bucketing is
-    done once at export time by {!Rlfd_kernel.Stats.histogram}.
+    Histograms are backed by {!Sketch} — a mergeable, fixed-memory
+    log-bucketed quantile sketch — so a registry's footprint is bounded
+    by metric cardinality and dynamic range, never by run length: the
+    property that lets the streaming QoS observatory watch n=1,000
+    heartbeat campaigns without retaining per-sample lists.  Counts,
+    sums and extremes are exact; quantiles are within
+    {!Sketch.relative_error} (about 1%).
 
     Registry names used across the stack:
     - ["steps"], ["idle_ticks"], ["outputs"] — {!Rlfd_sim.Runner}
@@ -18,9 +22,11 @@
     - ["messages_dropped"], ["timers_set"], ["timers_fired"],
       ["events_processed"] — {!Rlfd_net.Netsim}
     - ["suspicion_transitions"] — {!Rlfd_net.Heartbeat}
-    - ["detection_latency"], ["mistake_duration"] (histograms),
-      ["false_suspicion_episodes"], ["undetected_crash_pairs"] —
-      {!Rlfd_net.Qos.observe}
+    - ["detection_latency"], ["mistake_duration"],
+      ["mistake_recurrence"] (histograms),
+      ["false_suspicion_episodes"], ["undetected_crash_pairs"]
+      (counters), ["undetected_fraction"], ["query_accuracy"] (gauges) —
+      {!Rlfd_net.Qos.observe} and {!Rlfd_net.Qos_stream.observe}
     - ["explore_nodes"], ["explore_violations"],
       ["explore_nodes_per_sec"], and — when the corresponding reduction is
       enabled — ["explore_distinct_states"], ["explore_deduped"],
@@ -40,19 +46,24 @@ val set_gauge : t -> string -> float -> unit
 (** Last-write-wins instantaneous value. *)
 
 val observe : t -> string -> float -> unit
-(** Append one sample to a histogram. *)
+(** Fold one sample into a histogram's sketch.  O(1). *)
+
+val observe_sketch : t -> string -> Sketch.t -> unit
+(** Merge a whole pre-built sketch into a histogram — how the streaming
+    QoS estimator lands its per-run sketches in a registry without ever
+    materialising samples. *)
 
 val merge : into:t -> t -> unit
-(** [merge ~into src] folds [src] into [into]: counters add, gauges take the
-    source's value (last-write-wins, treating [src] as the later writer),
-    histograms concatenate with [src]'s samples after [into]'s.  The source
+(** [merge ~into src] folds [src] into [into]: counters add, gauges take
+    the source's value (last-write-wins, treating [src] as the later
+    writer), histograms merge bucket-wise ({!Sketch.merge}).  The source
     is not modified.  Re-using a name with a different kind raises
-    [Invalid_argument], exactly as the recording operations do.  Addition
-    and multiset-concatenation are commutative and associative, so a
-    campaign reducer merging per-shard registries gets the same aggregate
-    whatever the completion order; only gauge values and histogram sample
-    {e order} depend on merge order, which is why the campaign engine's
-    reducer merges per-shard registries in shard-index order. *)
+    [Invalid_argument], exactly as the recording operations do.  Counter
+    addition and bucket-wise sketch merge are commutative and
+    associative, so a campaign reducer merging per-shard registries gets
+    the same aggregate whatever the completion order; only gauge values
+    depend on merge order, which is why the campaign engine's reducer
+    merges per-shard registries in shard-index order. *)
 
 (** {1 Reading} *)
 
@@ -61,8 +72,12 @@ val counter_value : t -> string -> int
 
 val gauge_value : t -> string -> float option
 
-val samples : t -> string -> float list
-(** Chronological histogram samples; [[]] for an absent name. *)
+val histogram : t -> string -> Sketch.t option
+(** The live sketch behind a histogram (not a copy); [None] for an
+    absent name. *)
+
+val histogram_count : t -> string -> int
+(** Samples folded into a histogram so far; 0 for an absent name. *)
 
 val names : t -> string list
 (** Every registered name, sorted. *)
@@ -71,11 +86,11 @@ val is_empty : t -> bool
 
 (** {1 Export} *)
 
-val to_json : ?buckets:int -> t -> Json.t
+val to_json : t -> Json.t
 (** [{"counters": {..}, "gauges": {..}, "histograms": {..}}].  Each
-    histogram reports [count]/[sum]/[mean]/[p50]/[p95]/[p99]/[max] plus
-    [buckets] (default 8) rows of [[lo, hi, count]]. *)
+    histogram is its {!Sketch.to_json} summary: count/sum/mean/min/max,
+    p50/p95/p99 with their exact bucket bounds, and the log-bucket rows. *)
 
 val pp : Format.formatter -> t -> unit
 (** The registry as an aligned table: one row per metric, histograms as
-    their {!Rlfd_kernel.Stats.pp_summary} one-liner. *)
+    their {!Sketch.pp} one-liner. *)

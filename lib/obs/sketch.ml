@@ -1,0 +1,169 @@
+(* gamma = 1.02 puts every positive sample x in bucket
+   floor (log x / log gamma): about 116 buckets per decade of dynamic
+   range, and a geometric-midpoint representative within
+   sqrt gamma - 1 < 1% of any sample in the bucket. *)
+let gamma = 1.02
+let log_gamma = log gamma
+let relative_error = sqrt gamma -. 1.
+let tiny = 1e-9
+
+type t = {
+  mutable count : int;
+  mutable sum : float;
+  mutable min : float; (* +inf when empty *)
+  mutable max : float; (* -inf when empty *)
+  mutable zero : int; (* samples with |x| < tiny *)
+  pos : (int, int) Hashtbl.t; (* key k: x in [gamma^k, gamma^(k+1)) *)
+  neg : (int, int) Hashtbl.t; (* key k: -x in [gamma^k, gamma^(k+1)) *)
+}
+
+let create () =
+  {
+    count = 0;
+    sum = 0.;
+    min = infinity;
+    max = neg_infinity;
+    zero = 0;
+    pos = Hashtbl.create 16;
+    neg = Hashtbl.create 4;
+  }
+
+let key magnitude = int_of_float (Float.floor (log magnitude /. log_gamma))
+
+let bump table k by =
+  let current = Option.value ~default:0 (Hashtbl.find_opt table k) in
+  Hashtbl.replace table k (current + by)
+
+let add s x =
+  s.count <- s.count + 1;
+  s.sum <- s.sum +. x;
+  if x < s.min then s.min <- x;
+  if x > s.max then s.max <- x;
+  if Float.abs x < tiny then s.zero <- s.zero + 1
+  else if x > 0. then bump s.pos (key x) 1
+  else bump s.neg (key (-.x)) 1
+
+let merge ~into src =
+  into.count <- into.count + src.count;
+  into.sum <- into.sum +. src.sum;
+  if src.min < into.min then into.min <- src.min;
+  if src.max > into.max then into.max <- src.max;
+  into.zero <- into.zero + src.zero;
+  Hashtbl.iter (fun k c -> bump into.pos k c) src.pos;
+  Hashtbl.iter (fun k c -> bump into.neg k c) src.neg
+
+let copy s =
+  let fresh = create () in
+  merge ~into:fresh s;
+  fresh
+
+let is_empty s = s.count = 0
+let count s = s.count
+let sum s = s.sum
+let mean s = if s.count = 0 then 0. else s.sum /. float_of_int s.count
+
+let min_value s =
+  if s.count = 0 then invalid_arg "Sketch.min_value: empty sketch";
+  s.min
+
+let max_value s =
+  if s.count = 0 then invalid_arg "Sketch.max_value: empty sketch";
+  s.max
+
+let sorted_keys table =
+  Hashtbl.fold (fun k _ acc -> k :: acc) table []
+  |> List.sort Stdlib.compare
+
+(* Buckets in ascending value order.  A negative bucket with magnitude
+   key k covers (-gamma^(k+1), -gamma^k], so larger keys come first. *)
+let buckets s =
+  let pow k = gamma ** float_of_int k in
+  let negs =
+    List.rev_map
+      (fun k -> (-.pow (k + 1), -.pow k, Hashtbl.find s.neg k))
+      (sorted_keys s.neg)
+  in
+  let zero = if s.zero > 0 then [ (0., 0., s.zero) ] else [] in
+  let poss =
+    List.map
+      (fun k -> (pow k, pow (k + 1), Hashtbl.find s.pos k))
+      (sorted_keys s.pos)
+  in
+  negs @ zero @ poss
+
+(* The bucket holding the nearest-rank q-quantile, with its exact
+   in-bucket representative.  Rank rule matches Stats.percentile. *)
+let quantile_bucket s q =
+  if s.count = 0 then invalid_arg "Sketch.percentile: empty sketch";
+  if q < 0. || q > 1. then invalid_arg "Sketch.percentile: q out of [0,1]";
+  let rank =
+    Stdlib.max 1
+      (Stdlib.min s.count (int_of_float (ceil (q *. float_of_int s.count))))
+  in
+  let rec walk seen = function
+    | [] -> assert false
+    | (lo, hi, c) :: rest ->
+      if seen + c >= rank then (lo, hi) else walk (seen + c) rest
+  in
+  walk 0 (buckets s)
+
+let clamp s v = Stdlib.min s.max (Stdlib.max s.min v)
+
+let percentile s q =
+  let lo, hi = quantile_bucket s q in
+  let representative =
+    if lo = 0. && hi = 0. then 0.
+    else if lo < 0. then -.sqrt (lo *. hi)
+    else sqrt (lo *. hi)
+  in
+  clamp s representative
+
+let percentile_bounds s q =
+  let lo, hi = quantile_bucket s q in
+  (clamp s lo, clamp s hi)
+
+let equal a b =
+  let table t = List.sort Stdlib.compare (Hashtbl.fold (fun k c acc -> (k, c) :: acc) t []) in
+  (* sums accumulate in insertion order, so two equal multisets may differ
+     by float-addition rounding: compare within a relative epsilon *)
+  let sums_agree =
+    Float.abs (a.sum -. b.sum)
+    <= 1e-9 *. Float.max 1. (Float.max (Float.abs a.sum) (Float.abs b.sum))
+  in
+  a.count = b.count && a.zero = b.zero && sums_agree
+  && (a.count = 0 || (a.min = b.min && a.max = b.max))
+  && table a.pos = table b.pos
+  && table a.neg = table b.neg
+
+let to_json s =
+  let open Json in
+  if s.count = 0 then Obj [ ("count", Int 0) ]
+  else
+    let bounds q =
+      let lo, hi = percentile_bounds s q in
+      List [ Float lo; Float hi ]
+    in
+    Obj
+      [ ("count", Int s.count);
+        ("sum", Float s.sum);
+        ("mean", Float (mean s));
+        ("min", Float s.min);
+        ("max", Float s.max);
+        ("p50", Float (percentile s 0.5));
+        ("p95", Float (percentile s 0.95));
+        ("p99", Float (percentile s 0.99));
+        ("p50_bounds", bounds 0.5);
+        ("p95_bounds", bounds 0.95);
+        ("p99_bounds", bounds 0.99);
+        ("buckets",
+         List
+           (List.map
+              (fun (lo, hi, c) -> List [ Float lo; Float hi; Int c ])
+              (buckets s))) ]
+
+let pp ppf s =
+  if s.count = 0 then Format.pp_print_string ppf "n=0"
+  else
+    Format.fprintf ppf "n=%d mean=%.2f p50=%.2f p95=%.2f p99=%.2f max=%.2f"
+      s.count (mean s) (percentile s 0.5) (percentile s 0.95)
+      (percentile s 0.99) s.max

@@ -1,4 +1,4 @@
-let schema_version = 2
+let schema_version = 3
 
 type event =
   | Step of {
@@ -29,6 +29,19 @@ type event =
       rate : float;
       detail : (string * float) list;
     }
+  | Qos_snapshot of {
+      time : int;
+      label : string;
+      suspected : int;
+      detected : int;
+      undetected : int;
+      false_episodes : int;
+      det_p50 : float;
+      det_p95 : float;
+      det_p99 : float;
+      msgs : int;
+      bandwidth : float;
+    }
 
 let time_of = function
   | Step { time; _ }
@@ -44,7 +57,8 @@ let time_of = function
   | Halt { time; _ }
   | Violation { time; _ }
   | Note { time; _ }
-  | Progress { time; _ } -> time
+  | Progress { time; _ }
+  | Qos_snapshot { time; _ } -> time
 
 (* ---------- JSON encoding ---------- *)
 
@@ -94,6 +108,17 @@ let to_json event =
         ("total", (match total with Some n -> Int n | None -> Null));
         ("rate", Float rate);
         ("detail", Obj (List.map (fun (k, v) -> (k, Float v)) detail)) ]
+  | Qos_snapshot
+      { time; label; suspected; detected; undetected; false_episodes;
+        det_p50; det_p95; det_p99; msgs; bandwidth } ->
+    tagged "qos"
+      [ ("t", Int time); ("label", String label);
+        ("suspected", Int suspected); ("detected", Int detected);
+        ("undetected", Int undetected);
+        ("false_episodes", Int false_episodes);
+        ("det_p50", Float det_p50); ("det_p95", Float det_p95);
+        ("det_p99", Float det_p99); ("msgs", Int msgs);
+        ("bandwidth", Float bandwidth) ]
 
 let of_json json =
   let ( let* ) r f = Result.bind r f in
@@ -222,6 +247,27 @@ let of_json json =
       | Some _ -> Error "invalid field \"detail\""
     in
     Ok (Progress { time; label; done_; total; rate; detail })
+  | "qos" ->
+    let float_field name =
+      match Option.bind (Json.member name json) Json.to_float_opt with
+      | Some f -> Ok f
+      | None -> Error (Printf.sprintf "missing or invalid field %S" name)
+    in
+    let* time = int_field "t" in
+    let* label = string_field "label" in
+    let* suspected = int_field "suspected" in
+    let* detected = int_field "detected" in
+    let* undetected = int_field "undetected" in
+    let* false_episodes = int_field "false_episodes" in
+    let* det_p50 = float_field "det_p50" in
+    let* det_p95 = float_field "det_p95" in
+    let* det_p99 = float_field "det_p99" in
+    let* msgs = int_field "msgs" in
+    let* bandwidth = float_field "bandwidth" in
+    Ok
+      (Qos_snapshot
+         { time; label; suspected; detected; undetected; false_episodes;
+           det_p50; det_p95; det_p99; msgs; bandwidth })
   | other -> Error (Printf.sprintf "unknown event tag %S" other)
 
 let parse_line line = Result.bind (Json.of_string line) of_json
@@ -283,6 +329,13 @@ let render event =
             Printf.sprintf "%s=%.0f" k v
           else Printf.sprintf "%s=%.2f" k v)
           kvs))
+  | Qos_snapshot
+      { time; label; suspected; detected; undetected; false_episodes;
+        det_p50; det_p95; det_p99; msgs; bandwidth } ->
+    Printf.sprintf
+      "t=%-5d QOS %s susp=%d det=%d undet=%d false=%d p50=%.0f p95=%.0f p99=%.0f msgs=%d bw=%.1f/t"
+      time label suspected detected undetected false_episodes det_p50 det_p95
+      det_p99 msgs bandwidth
 
 let pp ppf event = Format.pp_print_string ppf (render event)
 
@@ -334,6 +387,8 @@ let formatter ppf =
     read = (fun () -> []);
     quiet = false;
   }
+
+let callback f = { push = f; read = (fun () -> []); quiet = false }
 
 let tee a b =
   if a.quiet then b

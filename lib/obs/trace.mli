@@ -58,6 +58,23 @@ type event =
       (** periodic liveness heartbeat from {!Rlfd_sim.Explore} and
           {!Rlfd_campaign.Engine}, so multi-minute runs are observable
           while they run *)
+  | Qos_snapshot of {
+      time : int;  (** network time of the snapshot *)
+      label : string;  (** which scope, e.g. ["qos n=1000 loss=0.05"] *)
+      suspected : int;  (** (observer, subject) pairs currently suspected *)
+      detected : int;  (** crashed pairs currently detected *)
+      undetected : int;  (** crashed pairs not yet detected *)
+      false_episodes : int;  (** mistakes confirmed so far *)
+      det_p50 : float;
+      det_p95 : float;
+      det_p99 : float;
+          (** rolling detection-latency percentiles (0 when none yet) *)
+      msgs : int;  (** messages sent so far *)
+      bandwidth : float;  (** messages per time unit since the previous snapshot *)
+    }
+      (** periodic QoS checkpoint from {!Rlfd_net.Qos_stream} (schema v3):
+          the live face of the streaming observatory, replayable by the
+          flight recorder like any other event *)
 
 val time_of : event -> int
 
@@ -105,6 +122,11 @@ val to_buffer : Buffer.t -> sink
 
 val formatter : Format.formatter -> sink
 (** {!render}s each event followed by a newline. *)
+
+val callback : (event -> unit) -> sink
+(** Hands every event to [f] — the hook the streaming QoS estimator uses
+    to tap a {!Rlfd_net.Netsim} run.  Never {!is_null}; {!contents} is
+    [[]]. *)
 
 val tee : sink -> sink -> sink
 (** Emits into both; {!is_null} iff both sides are. *)

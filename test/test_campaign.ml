@@ -160,7 +160,7 @@ let engine_tests =
         let count workers =
           let r = run_fingerprint ~workers ~total:19 () in
           ( Metrics.counter_value r.Engine.metrics "jobs_seen",
-            List.length (Metrics.samples r.Engine.metrics "draws") )
+            Metrics.histogram_count r.Engine.metrics "draws" )
         in
         Alcotest.(check (pair int int)) "serial" (19, 19) (count 1);
         Alcotest.(check (pair int int)) "parallel" (19, 19) (count 4));

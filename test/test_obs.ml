@@ -12,6 +12,7 @@ module Json = Rlfd_obs.Json
 module Trace = Rlfd_obs.Trace
 module Metrics = Rlfd_obs.Metrics
 module Profile = Rlfd_obs.Profile
+module Sketch = Rlfd_obs.Sketch
 
 let event = Alcotest.testable Trace.pp ( = )
 
@@ -87,7 +88,11 @@ let all_constructors =
         rate = 12_500.; detail = [ ("depth", 7.); ("load_factor", 0.43) ] };
     Trace.Progress
       { time = 10; label = "campaign"; done_ = 1; total = None; rate = 0.;
-        detail = [] } ]
+        detail = [] };
+    Trace.Qos_snapshot
+      { time = 900; label = "qos n=100"; suspected = 4; detected = 2;
+        undetected = 1; false_episodes = 3; det_p50 = 41.; det_p95 = 52.5;
+        det_p99 = 52.5; msgs = 123_456; bandwidth = 137.2 } ]
 
 let trace_tests =
   [
@@ -249,14 +254,17 @@ let net_tests =
     test "detection latencies only for crashed subjects" (fun () ->
         let _, _, with_crash = heartbeat_run ~crashes:[ (3, 700) ] in
         let _, _, no_crash = heartbeat_run ~crashes:[] in
-        let lat = Metrics.samples with_crash "detection_latency" in
-        Alcotest.(check bool) "crash run has samples" true (lat <> []);
+        let lat = Option.get (Metrics.histogram with_crash "detection_latency") in
+        Alcotest.(check bool) "crash run has samples" false
+          (Rlfd_obs.Sketch.is_empty lat);
         Alcotest.(check bool) "all non-negative" true
-          (List.for_all (fun x -> x >= 0.) lat);
+          (Rlfd_obs.Sketch.min_value lat >= 0.);
         Alcotest.(check int) "one observer-crash pair per correct process"
-          3 (List.length lat);
-        Alcotest.(check (list (float 0.))) "failure-free run has none" []
-          (Metrics.samples no_crash "detection_latency"));
+          3 (Rlfd_obs.Sketch.count lat);
+        Alcotest.(check int) "failure-free run has none" 0
+          (Metrics.histogram_count no_crash "detection_latency");
+        Alcotest.(check bool) "undetected fraction recorded" true
+          (Metrics.gauge_value with_crash "undetected_fraction" = Some 0.));
   ]
 
 (* ---------- metrics registry ---------- *)
@@ -276,23 +284,27 @@ let metrics_tests =
         Metrics.set_gauge m "g" 2.5;
         Alcotest.(check (option (float 0.))) "last" (Some 2.5)
           (Metrics.gauge_value m "g"));
-    test "histogram samples stay chronological" (fun () ->
+    test "histograms fold samples into a sketch: exact count/sum/extremes"
+      (fun () ->
         let m = Metrics.create () in
         List.iter (Metrics.observe m "h") [ 3.; 1.; 2. ];
-        Alcotest.(check (list (float 0.))) "order" [ 3.; 1.; 2. ]
-          (Metrics.samples m "h"));
+        let s = Option.get (Metrics.histogram m "h") in
+        Alcotest.(check int) "count" 3 (Sketch.count s);
+        Alcotest.(check (float 1e-9)) "sum" 6. (Sketch.sum s);
+        Alcotest.(check (float 1e-9)) "min" 1. (Sketch.min_value s);
+        Alcotest.(check (float 1e-9)) "max" 3. (Sketch.max_value s));
     test "reusing a name with a different kind raises" (fun () ->
         let m = Metrics.create () in
         Metrics.incr m "x";
         Alcotest.check_raises "counter as histogram"
           (Invalid_argument "Metrics: \"x\" is a counter, used as a histogram")
           (fun () -> Metrics.observe m "x" 1.));
-    test "to_json exposes the three sections with summaries" (fun () ->
+    test "to_json exposes the three sections with sketch summaries" (fun () ->
         let m = Metrics.create () in
         Metrics.incr ~by:2 m "c";
         Metrics.set_gauge m "g" 0.5;
         List.iter (Metrics.observe m "h") [ 1.; 2.; 3.; 4. ];
-        let j = Metrics.to_json ~buckets:2 m in
+        let j = Metrics.to_json m in
         let get path =
           List.fold_left (fun acc k -> Option.bind acc (Json.member k)) (Some j) path
         in
@@ -305,16 +317,33 @@ let metrics_tests =
         Alcotest.(check bool) "hist sum" true
           (Option.bind (get [ "histograms"; "h"; "sum" ]) Json.to_float_opt
           = Some 10.);
-        Alcotest.(check bool) "buckets present" true
+        Alcotest.(check bool) "one bucket per distinct sample" true
           (match Option.bind (get [ "histograms"; "h"; "buckets" ]) Json.to_list_opt with
-          | Some l -> List.length l = 2
+          | Some l -> List.length l = 4
           | None -> false);
         let pct name =
-          Option.bind (get [ "histograms"; "h"; name ]) Json.to_float_opt
+          Option.get
+            (Option.bind (get [ "histograms"; "h"; name ]) Json.to_float_opt)
         in
-        Alcotest.(check bool) "p50" true (pct "p50" = Some 2.);
-        Alcotest.(check bool) "p95" true (pct "p95" = Some 4.);
-        Alcotest.(check bool) "p99" true (pct "p99" = Some 4.));
+        let eps = Rlfd_obs.Sketch.relative_error in
+        Alcotest.(check bool) "p50 within sketch error" true
+          (Float.abs (pct "p50" -. 2.) <= 2. *. eps);
+        Alcotest.(check bool) "p95 within sketch error" true
+          (Float.abs (pct "p95" -. 4.) <= 4. *. eps);
+        Alcotest.(check bool) "p99 within sketch error" true
+          (Float.abs (pct "p99" -. 4.) <= 4. *. eps);
+        let bounds name =
+          match Option.bind (get [ "histograms"; "h"; name ]) Json.to_list_opt with
+          | Some [ lo; hi ] ->
+            (Option.get (Json.to_float_opt lo), Option.get (Json.to_float_opt hi))
+          | _ -> Alcotest.failf "missing %s" name
+        in
+        let lo, hi = bounds "p50_bounds" in
+        Alcotest.(check bool) "p50 bounds bracket the exact value" true
+          (lo <= 2. && 2. <= hi);
+        let lo, hi = bounds "p99_bounds" in
+        Alcotest.(check bool) "p99 bounds bracket the exact value" true
+          (lo <= 4. && 4. <= hi));
     test "names are sorted; is_empty flips on first use" (fun () ->
         let m = Metrics.create () in
         Alcotest.(check bool) "empty" true (Metrics.is_empty m);
@@ -326,14 +355,18 @@ let metrics_tests =
 (* ---------- registry merge (the campaign reducer's primitive) ---------- *)
 
 (* A canonical rendering under which merge must be order-insensitive:
-   counters and gauges as-is, histogram samples as sorted multisets. *)
+   counters and gauges as-is, histograms by their sketch JSON (bucket
+   counts are ints and the test samples are small integers, so sums are
+   exact whatever the addition order). *)
 let canonical m =
   List.map
     (fun name ->
       ( name,
         Metrics.counter_value m name,
         Metrics.gauge_value m name,
-        List.sort compare (Metrics.samples m name) ))
+        Option.map
+          (fun s -> Json.to_string (Rlfd_obs.Sketch.to_json s))
+          (Metrics.histogram m name) ))
     (Metrics.names m)
 
 let merged a b =
@@ -371,7 +404,7 @@ let arb_registry ~tag =
 
 let merge_tests =
   [
-    test "merge adds counters, overwrites gauges, concatenates histograms"
+    test "merge adds counters, overwrites gauges, merges histogram sketches"
       (fun () ->
         let a = Metrics.create () and b = Metrics.create () in
         Metrics.incr ~by:2 a "c";
@@ -384,8 +417,11 @@ let merge_tests =
         Alcotest.(check int) "counter sum" 5 (Metrics.counter_value a "c");
         Alcotest.(check (option (float 0.))) "gauge last-write" (Some 9.0)
           (Metrics.gauge_value a "g");
-        Alcotest.(check (list (float 0.))) "histogram concat" [ 1.; 2.; 3.; 4. ]
-          (Metrics.samples a "h"));
+        let together = Rlfd_obs.Sketch.create () in
+        List.iter (Rlfd_obs.Sketch.add together) [ 1.; 2.; 3.; 4. ];
+        Alcotest.(check bool) "merge = sketch of the concatenation" true
+          (Rlfd_obs.Sketch.equal together
+             (Option.get (Metrics.histogram a "h"))));
     test "merge into empty copies; source unchanged" (fun () ->
         let src = Metrics.create () in
         Metrics.incr src "c";
@@ -394,7 +430,10 @@ let merge_tests =
         Metrics.merge ~into:dst src;
         Alcotest.(check int) "copied" 1 (Metrics.counter_value dst "c");
         Metrics.incr dst "c";
-        Alcotest.(check int) "src unchanged" 1 (Metrics.counter_value src "c"));
+        Metrics.observe dst "h" 9.;
+        Alcotest.(check int) "src unchanged" 1 (Metrics.counter_value src "c");
+        Alcotest.(check int) "src sketch unchanged" 1
+          (Metrics.histogram_count src "h"));
     test "merge kind clash raises" (fun () ->
         let a = Metrics.create () and b = Metrics.create () in
         Metrics.incr a "x";
@@ -411,6 +450,116 @@ let merge_tests =
           (arb_registry ~tag:"z"))
       (fun (a, b, c) ->
         canonical (merged (merged a b) c) = canonical (merged a (merged b c)));
+  ]
+
+(* ---------- quantile sketches ---------- *)
+
+let sketch_of xs =
+  let s = Sketch.create () in
+  List.iter (Sketch.add s) xs;
+  s
+
+(* Positive float samples spanning several orders of magnitude. *)
+let arb_samples =
+  let open QCheck in
+  let gen =
+    Gen.list_size (Gen.int_range 1 60)
+      (Gen.map2
+         (fun mantissa scale -> mantissa *. (10. ** float_of_int scale))
+         (Gen.float_range 0.1 10.) (Gen.int_range (-2) 4))
+  in
+  make ~print:Print.(list float) gen
+
+let sketch_tests =
+  [
+    test "empty sketch: percentile raises, count 0" (fun () ->
+        let s = Sketch.create () in
+        Alcotest.(check int) "count" 0 (Sketch.count s);
+        Alcotest.(check bool) "empty" true (Sketch.is_empty s);
+        Alcotest.check_raises "percentile"
+          (Invalid_argument "Sketch.percentile: empty sketch") (fun () ->
+            ignore (Sketch.percentile s 0.5)));
+    test "zero and negative samples land in ordered buckets" (fun () ->
+        let s = sketch_of [ -3.; 0.; 5.; 0.; -0.5 ] in
+        Alcotest.(check int) "count" 5 (Sketch.count s);
+        Alcotest.(check (float 1e-9)) "min" (-3.) (Sketch.min_value s);
+        Alcotest.(check (float 1e-9)) "max" 5. (Sketch.max_value s);
+        let bucket_values = List.map (fun (lo, _, _) -> lo) (Sketch.buckets s) in
+        Alcotest.(check bool) "ascending" true
+          (List.sort compare bucket_values = bucket_values);
+        (* the median of [-3; -0.5; 0; 0; 5] is the zero bucket: exact *)
+        Alcotest.(check (float 1e-9)) "p50 exact at zero" 0.
+          (Sketch.percentile s 0.5));
+    qtest ~count:200 "percentiles are within the advertised relative error"
+      arb_samples
+      (fun xs ->
+        let s = sketch_of xs in
+        List.for_all
+          (fun q ->
+            let approx = Sketch.percentile s q in
+            let exact = Stats.percentile xs q in
+            Float.abs (approx -. exact) <= Sketch.relative_error *. exact
+            +. 1e-9)
+          [ 0.; 0.25; 0.5; 0.75; 0.95; 0.99; 1. ]);
+    qtest ~count:200 "percentile bounds bracket the exact nearest-rank value"
+      arb_samples
+      (fun xs ->
+        let s = sketch_of xs in
+        List.for_all
+          (fun q ->
+            let lo, hi = Sketch.percentile_bounds s q in
+            let exact = Stats.percentile xs q in
+            let slack = 1e-9 +. (1e-12 *. Float.abs exact) in
+            lo <= exact +. slack && exact <= hi +. slack)
+          [ 0.; 0.5; 0.95; 0.99; 1. ]);
+    qtest ~count:200 "merge is exact: sketch xs ++ sketch ys = sketch (xs @ ys)"
+      QCheck.(pair arb_samples arb_samples)
+      (fun (xs, ys) ->
+        let merged = sketch_of xs in
+        Sketch.merge ~into:merged (sketch_of ys);
+        Sketch.equal merged (sketch_of (xs @ ys)));
+    qtest ~count:200 "merge is commutative"
+      QCheck.(pair arb_samples arb_samples)
+      (fun (xs, ys) ->
+        let ab = sketch_of xs and ba = sketch_of ys in
+        Sketch.merge ~into:ab (sketch_of ys);
+        Sketch.merge ~into:ba (sketch_of xs);
+        (* float sums may differ in the last ulp across orders; counts,
+           extremes and buckets must not *)
+        Sketch.count ab = Sketch.count ba
+        && Sketch.buckets ab = Sketch.buckets ba
+        && Sketch.min_value ab = Sketch.min_value ba
+        && Sketch.max_value ab = Sketch.max_value ba
+        && Float.abs (Sketch.sum ab -. Sketch.sum ba)
+           <= 1e-9 *. Float.abs (Sketch.sum ab));
+    qtest ~count:200 "merge is associative"
+      QCheck.(triple arb_samples arb_samples arb_samples)
+      (fun (xs, ys, zs) ->
+        let left = sketch_of xs in
+        Sketch.merge ~into:left (sketch_of ys);
+        Sketch.merge ~into:left (sketch_of zs);
+        let inner = sketch_of ys in
+        Sketch.merge ~into:inner (sketch_of zs);
+        let right = sketch_of xs in
+        Sketch.merge ~into:right inner;
+        Sketch.count left = Sketch.count right
+        && Sketch.buckets left = Sketch.buckets right
+        && Float.abs (Sketch.sum left -. Sketch.sum right)
+           <= 1e-9 *. Float.abs (Sketch.sum left));
+    test "copy is independent of the original" (fun () ->
+        let s = sketch_of [ 1.; 2. ] in
+        let c = Sketch.copy s in
+        Sketch.add c 3.;
+        Alcotest.(check int) "original untouched" 2 (Sketch.count s);
+        Alcotest.(check int) "copy grew" 3 (Sketch.count c));
+    test "memory stays bounded: a million samples, few buckets" (fun () ->
+        let s = Sketch.create () in
+        for i = 1 to 1_000_000 do
+          Sketch.add s (float_of_int (i mod 10_000))
+        done;
+        Alcotest.(check int) "count" 1_000_000 (Sketch.count s);
+        Alcotest.(check bool) "buckets bounded by dynamic range" true
+          (List.length (Sketch.buckets s) < 600));
   ]
 
 (* ---------- profiling spans ---------- *)
@@ -460,5 +609,6 @@ let () =
       suite "netsim-invariants" net_tests;
       suite "metrics" metrics_tests;
       suite "metrics-merge" merge_tests;
+      suite "sketch" sketch_tests;
       suite "profile" profile_tests;
     ]

@@ -1,0 +1,258 @@
+(* The streaming QoS observatory: the online estimator must reproduce
+   Qos.analyze — the retained-run oracle — exactly, on every scope the
+   portfolio exercises and on random small runs, while never needing the
+   retained outputs at all. *)
+
+open Rlfd_net
+open Helpers
+module Trace = Rlfd_obs.Trace
+module Metrics = Rlfd_obs.Metrics
+module Sketch = Rlfd_obs.Sketch
+
+(* One simulated scope: run the heartbeat detector twice over the same
+   seed — once retained for Qos.analyze, once streaming-only — and
+   return (post-hoc report, streaming summary, exact streaming report). *)
+let run_scope ?(snapshot_every = 0) ?(progress = Trace.null) ~n ~pattern
+    ~model ~seed ~horizon style =
+  let retained =
+    Netsim.run ~n ~pattern ~model ~seed ~horizon (Heartbeat.node style)
+  in
+  let est =
+    Qos_stream.create ~label:"test" ~snapshot_every ~progress
+      ~retain_samples:true ~n ~pattern ()
+  in
+  let tap = Qos_stream.sink est in
+  let streamed =
+    Netsim.run ~retain_outputs:false ~sink:tap ~n ~pattern ~model ~seed
+      ~horizon
+      (Heartbeat.node ~sink:tap style)
+  in
+  Alcotest.(check int)
+    "both runs end at the same time" retained.Netsim.end_time
+    streamed.Netsim.end_time;
+  Alcotest.(check int)
+    "retain_outputs:false keeps no outputs" 0
+    (List.length streamed.Netsim.outputs);
+  let end_time = streamed.Netsim.end_time in
+  ( Qos.analyze retained,
+    Qos_stream.finish est ~end_time,
+    Option.get (Qos_stream.to_report est ~end_time) )
+
+let multiset xs = List.sort compare xs
+
+let check_exact_match (posthoc : Qos.report) summary (streaming : Qos.report) =
+  (match Qos_stream.agrees summary posthoc with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "streaming disagrees with Qos.analyze: %s" msg);
+  Alcotest.(check (list (float 1e-9)))
+    "detection latencies match exactly"
+    (multiset posthoc.Qos.detection_latencies)
+    (multiset streaming.Qos.detection_latencies);
+  Alcotest.(check (list (float 1e-9)))
+    "mistake durations match exactly"
+    (multiset posthoc.Qos.mistake_durations)
+    (multiset streaming.Qos.mistake_durations);
+  Alcotest.(check int) "undetected" posthoc.Qos.undetected
+    streaming.Qos.undetected;
+  Alcotest.(check int) "false episodes" posthoc.Qos.false_episodes
+    streaming.Qos.false_episodes;
+  Alcotest.(check int) "messages" posthoc.Qos.messages streaming.Qos.messages;
+  Alcotest.(check bool) "complete" posthoc.Qos.complete streaming.Qos.complete;
+  Alcotest.(check bool) "accurate" posthoc.Qos.accurate streaming.Qos.accurate
+
+(* ---------- the portfolio scopes (deterministic) ---------- *)
+
+let portfolio_scopes =
+  let sync = Link.Synchronous { delta = 10 } in
+  let psync = Link.Partially_synchronous { gst = 1000; delta = 10; wild_max = 120 } in
+  let async = Link.Asynchronous { mean = 15.; spike_every = 15; spike = 400 } in
+  let fixed = Heartbeat.Fixed { period = 20; timeout = 31 } in
+  let safe_fixed = Heartbeat.Fixed { period = 20; timeout = 31 } in
+  let adaptive =
+    Heartbeat.Adaptive { period = 20; initial_timeout = 31; backoff = 30 }
+  in
+  [ ("sync perfect", sync, safe_fixed, [ (3, 700) ]);
+    ("sync failure-free", sync, safe_fixed, []);
+    ("psync fixed", psync, fixed, [ (3, 700) ]);
+    ("psync adaptive", psync, adaptive, [ (3, 700) ]);
+    ("async fixed", async, Heartbeat.Fixed { period = 20; timeout = 60 }, [ (3, 700) ]);
+    ("lossy", Link.lossy ~drop:0.15 sync, fixed, [ (2, 500) ]);
+    ("two crashes", sync, safe_fixed, [ (1, 300); (4, 900) ]);
+    ("crash after horizon", sync, safe_fixed, [ (2, 9_999) ]) ]
+
+let portfolio_tests =
+  List.map
+    (fun (name, model, style, crashes) ->
+      test ("streaming matches analyze: " ^ name) (fun () ->
+          let n = 4 in
+          let posthoc, summary, streaming =
+            run_scope ~n ~pattern:(pattern ~n crashes) ~model ~seed:42
+              ~horizon:3000 style
+          in
+          check_exact_match posthoc summary streaming))
+    portfolio_scopes
+
+(* ---------- random small runs (the qcheck oracle property) ---------- *)
+
+let arb_scope =
+  let open QCheck in
+  let gen =
+    Gen.map
+      (fun ((n0, seed, model_idx), (style_idx, crashes)) ->
+        let n = 3 + (n0 mod 4) in
+        let model =
+          match model_idx mod 4 with
+          | 0 -> Link.Synchronous { delta = 10 }
+          | 1 -> Link.Partially_synchronous { gst = 400; delta = 10; wild_max = 90 }
+          | 2 -> Link.Asynchronous { mean = 12.; spike_every = 9; spike = 200 }
+          | _ -> Link.lossy ~drop:0.25 (Link.Synchronous { delta = 8 })
+        in
+        let style =
+          if style_idx mod 2 = 0 then Heartbeat.Fixed { period = 20; timeout = 31 }
+          else Heartbeat.Adaptive { period = 20; initial_timeout = 31; backoff = 25 }
+        in
+        let crashes =
+          crashes
+          |> List.map (fun (p, t) -> (1 + (p mod n), 50 + (t mod 1500)))
+          |> List.sort_uniq (fun (p, _) (q, _) -> compare p q)
+          |> List.filteri (fun i _ -> i < n - 1)
+        in
+        (n, seed, model, style, crashes))
+      (Gen.pair
+         (Gen.triple (Gen.int_bound 100) (Gen.int_bound 100_000) (Gen.int_bound 100))
+         (Gen.pair (Gen.int_bound 1)
+            (Gen.list_size (Gen.int_range 0 3)
+               (Gen.pair (Gen.int_bound 100) (Gen.int_bound 10_000)))))
+  in
+  let print (n, seed, model, style, crashes) =
+    Format.asprintf "n=%d seed=%d model=%a style=%a crashes=%s" n seed Link.pp
+      model Heartbeat.pp_style style
+      (String.concat ","
+         (List.map (fun (p, t) -> Printf.sprintf "%d@%d" p t) crashes))
+  in
+  make ~print gen
+
+let oracle_tests =
+  [
+    qtest ~count:120 "streaming estimator = Qos.analyze on random runs"
+      arb_scope
+      (fun (n, seed, model, style, crashes) ->
+        let posthoc, summary, streaming =
+          run_scope ~n ~pattern:(pattern ~n crashes) ~model ~seed
+            ~horizon:1200 style
+        in
+        (match Qos_stream.agrees summary posthoc with
+        | Ok () -> ()
+        | Error msg -> QCheck.Test.fail_reportf "disagreement: %s" msg);
+        multiset streaming.Qos.detection_latencies
+        = multiset posthoc.Qos.detection_latencies
+        && multiset streaming.Qos.mistake_durations
+           = multiset posthoc.Qos.mistake_durations
+        && streaming.Qos.complete = posthoc.Qos.complete
+        && streaming.Qos.accurate = posthoc.Qos.accurate
+        && streaming.Qos.undetected = posthoc.Qos.undetected);
+  ]
+
+(* ---------- streaming-only surfaces ---------- *)
+
+let stream_tests =
+  [
+    test "snapshots flow to the progress sink with monotone times" (fun () ->
+        let n = 4 in
+        let mem = Trace.memory () in
+        let _, summary, _ =
+          run_scope ~snapshot_every:200 ~progress:mem ~n
+            ~pattern:(pattern ~n [ (3, 700) ])
+            ~model:(Link.Synchronous { delta = 10 })
+            ~seed:7 ~horizon:3000
+            (Heartbeat.Fixed { period = 20; timeout = 31 })
+        in
+        let snaps =
+          List.filter_map
+            (function Trace.Qos_snapshot _ as e -> Some e | _ -> None)
+            (Trace.contents mem)
+        in
+        Alcotest.(check bool) "several snapshots" true (List.length snaps >= 5);
+        let times = List.map Trace.time_of snaps in
+        Alcotest.(check bool) "strictly increasing" true
+          (List.for_all2 ( < ) (List.filteri (fun i _ -> i < List.length times - 1) times)
+             (List.tl times));
+        List.iter
+          (function
+            | Trace.Qos_snapshot { msgs; bandwidth; undetected; _ } ->
+              Alcotest.(check bool) "msgs grow" true (msgs >= 0);
+              Alcotest.(check bool) "bandwidth non-negative" true (bandwidth >= 0.);
+              Alcotest.(check bool) "undetected non-negative" true (undetected >= 0)
+            | _ -> ())
+          snaps;
+        (* after the crash is detected, snapshots report full coverage *)
+        (match List.rev snaps with
+        | Trace.Qos_snapshot { detected; undetected; _ } :: _ ->
+          Alcotest.(check int) "last snapshot: all 3 observers detect" 3 detected;
+          Alcotest.(check int) "none missing" 0 undetected
+        | _ -> Alcotest.fail "no snapshots");
+        Alcotest.(check bool) "summary complete" true summary.Qos_stream.complete);
+    test "snapshot round-trips through JSONL like any other event" (fun () ->
+        let snap =
+          Trace.Qos_snapshot
+            { time = 100; label = "x"; suspected = 1; detected = 2;
+              undetected = 3; false_episodes = 4; det_p50 = 1.5;
+              det_p95 = 2.5; det_p99 = 3.5; msgs = 6; bandwidth = 7.5 }
+        in
+        match Trace.parse_line (Rlfd_obs.Json.to_string (Trace.to_json snap)) with
+        | Ok e -> Alcotest.(check bool) "round-trip" true (e = snap)
+        | Error msg -> Alcotest.failf "parse failed: %s" msg);
+    test "observe lands sketches and gauges in a registry" (fun () ->
+        let n = 4 in
+        let _, summary, _ =
+          run_scope ~n
+            ~pattern:(pattern ~n [ (3, 700) ])
+            ~model:(Link.Synchronous { delta = 10 })
+            ~seed:7 ~horizon:3000
+            (Heartbeat.Fixed { period = 20; timeout = 31 })
+        in
+        let m = Metrics.create () in
+        Qos_stream.observe m summary;
+        Alcotest.(check int) "detection histogram count" 3
+          (Metrics.histogram_count m "detection_latency");
+        Alcotest.(check (option (float 1e-9))) "undetected fraction" (Some 0.)
+          (Metrics.gauge_value m "undetected_fraction");
+        Alcotest.(check bool) "query accuracy recorded" true
+          (Metrics.gauge_value m "query_accuracy" <> None));
+    test "query accuracy is 1 on a perfect run, below 1 with mistakes" (fun () ->
+        let n = 4 in
+        let perfect_summary =
+          let _, s, _ =
+            run_scope ~n
+              ~pattern:(pattern ~n [ (3, 700) ])
+              ~model:(Link.Synchronous { delta = 10 })
+              ~seed:42 ~horizon:3000
+              (Heartbeat.Fixed { period = 20; timeout = 31 })
+          in
+          s
+        in
+        Alcotest.(check (float 1e-9)) "perfect" 1.
+          perfect_summary.Qos_stream.query_accuracy;
+        let flaky_summary =
+          let _, s, _ =
+            run_scope ~n
+              ~pattern:(pattern ~n [])
+              ~model:(Link.Partially_synchronous
+                        { gst = 1000; delta = 10; wild_max = 120 })
+              ~seed:42 ~horizon:3000
+              (Heartbeat.Fixed { period = 20; timeout = 31 })
+          in
+          s
+        in
+        Alcotest.(check bool) "mistakes cost accuracy" true
+          (flaky_summary.Qos_stream.query_accuracy < 1.
+          && flaky_summary.Qos_stream.query_accuracy > 0.));
+  ]
+
+let () =
+  Alcotest.run "qos-stream"
+    [
+      suite "portfolio" portfolio_tests;
+      suite "oracle" oracle_tests;
+      suite "streaming" stream_tests;
+    ]
