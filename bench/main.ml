@@ -498,16 +498,126 @@ let table_qos_streaming () =
     "Reading: the estimator never retains a sample list, so the n=1,000 row\n\
      runs in the same per-pair memory as the n=100 one - the workload axis\n\
      Qos.analyze's retained outputs could not reach.@.@.";
+  entries
+
+(* ---------------------------------------------------------------- *)
+(* Table 7d (EXP-12): monitoring-topology scaling                     *)
+(* ---------------------------------------------------------------- *)
+
+(* The detector-zoo scaling claim: under all-to-all monitoring each node's
+   bandwidth grows O(n), under the hierarchical (hypercube) testing graph
+   it grows O(log n) - at the price of multi-hop dissemination latency.
+   Every row is one streaming ping-ack run (fixed timeouts, synchronous
+   links, crash churn); per-node bandwidth = msgs / end_time / n.
+   Horizons shrink as n grows, like T7c; bandwidth is per tick, so rows
+   stay comparable. *)
+let table_qos_scaling () =
+  let t =
+    Table.create
+      ~title:
+        "T7d (EXP-12): topology scaling - per-node bandwidth, all-to-all vs \
+         hierarchical"
+      ~columns:
+        [ "topology"; "n"; "degree"; "det p50"; "det p95"; "det max"; "undet";
+          "false"; "msgs"; "msgs/node/tick"; "wall (s)" ]
+  in
+  let period = 50 and churn = 5 in
+  let model = Link.Synchronous { delta = 10 } in
+  let timeout = (* Pingack.perfect_timeout: 2*delta + period + 1 *) 71 in
+  let scope ~topology ~n ~horizon =
+    let crashes =
+      List.init churn (fun i ->
+          (pid (2 + i), time (horizon * (i + 1) / (2 * (churn + 1)))))
+    in
+    let pattern = Pattern.make ~n crashes in
+    let spec =
+      { Detector_impl.impl = `Pingack; topology; period; timeout;
+        backoff = None; retries = 1 }
+    in
+    let est =
+      Qos_stream.create
+        ~label:(Printf.sprintf "%s n=%d" (Topology.name topology) n)
+        ~n ~pattern ()
+    in
+    let tap = Qos_stream.sink est in
+    let t0 = Obs.Profile.now () in
+    let (Detector_impl.Sim r) =
+      Detector_impl.simulate ~retain_outputs:false ~sink:tap ~n ~pattern
+        ~model ~seed ~horizon spec
+    in
+    let wall = Obs.Profile.now () -. t0 in
+    let s = Qos_stream.finish est ~end_time:r.Netsim.end_time in
+    let p sk q =
+      if Obs.Sketch.is_empty sk then "-"
+      else Format.asprintf "%.1f" (Obs.Sketch.percentile sk q)
+    in
+    let per_node =
+      float_of_int s.Qos_stream.messages_sent
+      /. float_of_int (Stdlib.max 1 s.Qos_stream.end_time)
+      /. float_of_int n
+    in
+    Table.add_row t
+      [ Topology.name topology; Table.cell_int n;
+        Table.cell_int (Topology.degree topology ~n);
+        p s.Qos_stream.detection 0.5; p s.Qos_stream.detection 0.95;
+        p s.Qos_stream.detection 1.0;
+        Table.cell_int s.Qos_stream.undetected;
+        Table.cell_int s.Qos_stream.false_episodes;
+        Table.cell_int s.Qos_stream.messages_sent;
+        Table.cell_float ~decimals:3 per_node;
+        Table.cell_float ~decimals:2 wall ];
+    Obs.Json.Obj
+      [ ("topology", Obs.Json.String (Topology.name topology));
+        ("n", Obs.Json.Int n);
+        ("degree", Obs.Json.Int (Topology.degree topology ~n));
+        ("churn", Obs.Json.Int churn); ("horizon", Obs.Json.Int horizon);
+        ("period", Obs.Json.Int period); ("timeout", Obs.Json.Int timeout);
+        ("detection_latency", Obs.Sketch.to_json s.Qos_stream.detection);
+        ("detected", Obs.Json.Int s.Qos_stream.detected);
+        ("undetected", Obs.Json.Int s.Qos_stream.undetected);
+        ("false_episodes", Obs.Json.Int s.Qos_stream.false_episodes);
+        ("query_accuracy", Obs.Json.Float s.Qos_stream.query_accuracy);
+        ("messages_sent", Obs.Json.Int s.Qos_stream.messages_sent);
+        ("per_node_bandwidth", Obs.Json.Float per_node);
+        ("complete", Obs.Json.Bool s.Qos_stream.complete);
+        ("accurate", Obs.Json.Bool s.Qos_stream.accurate);
+        ("wall_s", Obs.Json.Float wall) ]
+  in
+  let entries =
+    List.map
+      (fun (topology, n, horizon) -> scope ~topology ~n ~horizon)
+      [ (Topology.All_to_all, 100, 1000); (Topology.All_to_all, 300, 600);
+        (Topology.All_to_all, 1000, 400); (Topology.Hierarchical, 100, 1000);
+        (Topology.Hierarchical, 300, 600); (Topology.Hierarchical, 1000, 400);
+        (Topology.Hierarchical, 3000, 400);
+        (Topology.Hierarchical, 10000, 400) ]
+  in
+  Table.print t;
+  Format.printf
+    "Reading: all-to-all per-node bandwidth grows linearly with n; the\n\
+     hierarchical testing graph holds it near its ceil(log2 n) degree, which\n\
+     is how the n=10,000 row costs each node less than the all-to-all n=100\n\
+     one - paying a dissemination-hop latency tax that stays within 2x.@.@.";
+  entries
+
+let write_qos_json ~t7c ~t7d =
   let json =
     Obs.Json.Obj
       [ ("schema_version", Obs.Json.Int Obs.Trace.schema_version);
-        ("rows", Obs.Json.List entries) ]
+        ("rows", Obs.Json.List t7c); ("t7d", Obs.Json.List t7d) ]
   in
   let oc = open_out "BENCH_qos.json" in
   output_string oc (Obs.Json.to_string json);
   output_char oc '\n';
   close_out oc;
   Format.printf "wrote BENCH_qos.json@.@."
+
+(* T7c + T7d share BENCH_qos.json, so they run as one unit (the [qos]
+   mode CI regenerates the file from). *)
+let table_qos_observatory () =
+  let t7c = Obs.Profile.time profiler "T7c.qos-streaming" table_qos_streaming in
+  let t7d = Obs.Profile.time profiler "T7d.qos-scaling" table_qos_scaling in
+  write_qos_json ~t7c ~t7d
 
 (* ---------------------------------------------------------------- *)
 (* Table 8 (EXP-11): membership view convergence                      *)
@@ -1366,7 +1476,8 @@ let tables () =
   timed "T6.reduction-overhead" table_reduction_overhead;
   timed "T7.qos" table_qos;
   timed "T7b.qos-timeout-sweep" table_qos_timeout_sweep;
-  timed "T7c.qos-streaming" table_qos_streaming;
+  table_qos_observatory ();
+  (* times its own T7c/T7d spans *)
   timed "T8.membership" table_membership;
   timed "T8b.vsync" table_vsync;
   timed "T9.nbac" table_nbac;
@@ -1398,7 +1509,7 @@ let () =
   (match mode with
   | "tables" -> tables ()
   | "bench" -> Obs.Profile.time profiler "bechamel" run_benchmarks
-  | "qos" -> Obs.Profile.time profiler "T7c.qos-streaming" table_qos_streaming
+  | "qos" -> table_qos_observatory ()
   | "all" ->
     tables ();
     Obs.Profile.time profiler "bechamel" run_benchmarks

@@ -565,13 +565,60 @@ let apply_loss ~loss model =
   end
   else Link.lossy ~drop:loss model
 
-let qos_summary_to_json (s : Qos_stream.summary) =
+(* --partition START:HEAL:K names a cut by its raw triple; the island
+   (the first K pids) is instantiated per run because it needs that
+   run's n — which varies across a grid. *)
+let parse_partition_triple s =
+  let fail () =
+    Format.eprintf
+      "fdsim: --partition wants START:HEAL:K with 0 <= START < HEAL and K >= 1, got %S@."
+      s;
+    exit 2
+  in
+  match String.split_on_char ':' s with
+  | [ a; b; c ] -> (
+    match (int_of_string_opt a, int_of_string_opt b, int_of_string_opt c) with
+    | Some starts, Some heals, Some k
+      when starts >= 0 && heals > starts && k >= 1 ->
+      (starts, heals, k)
+    | _ -> fail ())
+  | _ -> fail ()
+
+let partitions_for ~n triples =
+  List.map
+    (fun (starts, heals, k) ->
+      if k >= n then begin
+        Format.eprintf
+          "fdsim: --partition island of %d needs K < n (n = %d)@." k n;
+        exit 2
+      end;
+      Partition.make ~starts ~heals ~island:(Partition.island_of_size ~n ~k))
+    triples
+
+let parse_topology s =
+  match Topology.of_string s with
+  | Ok t -> t
+  | Error msg ->
+    Format.eprintf "fdsim: %s@." msg;
+    exit 2
+
+let parse_impl s =
+  match Detector_impl.impl_of_string s with
+  | Ok i -> i
+  | Error msg ->
+    Format.eprintf "fdsim: %s@." msg;
+    exit 2
+
+let qos_summary_to_json ~spec ~partitions (s : Qos_stream.summary) =
   let open Obs.Json in
   Obj
     [ ("label", String s.Qos_stream.label); ("n", Int s.n);
+      ("detector", Detector_impl.to_json spec);
+      ("partitions", Partition.schedule_to_json partitions);
       ("pairs", Int s.pairs); ("detected", Int s.detected);
       ("undetected", Int s.undetected);
       ("false_episodes", Int s.false_episodes);
+      ("partition_episodes", Int s.partition_episodes);
       ("detection_latency", Obs.Sketch.to_json s.detection);
       ("mistake_duration", Obs.Sketch.to_json s.mistake);
       ("mistake_recurrence", Obs.Sketch.to_json s.recurrence);
@@ -579,49 +626,56 @@ let qos_summary_to_json (s : Qos_stream.summary) =
       ("messages_sent", Int s.messages_sent);
       ("messages_delivered", Int s.messages_delivered);
       ("messages_dropped", Int s.messages_dropped);
+      ("messages_dropped_partition", Int s.dropped_partition);
       ("complete", Bool s.complete); ("accurate", Bool s.accurate);
       ("end_time", Int s.end_time) ]
 
 (* One streaming-observed run: the estimator's tap is the only sink, the
    simulator retains no outputs. *)
-let qos_run ~label ~n ~pattern ~model ~seed ~horizon ~style ~snapshot_every
-    ~progress =
+let qos_run ~label ~n ~pattern ~model ~seed ~horizon ~spec ~partitions
+    ~snapshot_every ~progress =
   let est =
-    Qos_stream.create ~label ~snapshot_every ~progress ~n ~pattern ()
+    Qos_stream.create ~label ~snapshot_every ~progress ~partitions ~n
+      ~pattern ()
   in
   let tap = Qos_stream.sink est in
-  let r =
-    Netsim.run ~retain_outputs:false ~sink:tap ~n ~pattern ~model ~seed
-      ~horizon
-      (Heartbeat.node ~sink:tap style)
+  let (Detector_impl.Sim r) =
+    Detector_impl.simulate ~retain_outputs:false ~sink:tap ~partitions ~n
+      ~pattern ~model ~seed ~horizon spec
   in
   Qos_stream.finish est ~end_time:r.Netsim.end_time
 
-let qos_single ~n ~seed ~horizon ~pattern ~model ~style ~json ~progress_f
-    ~check =
+let qos_single ~n ~seed ~horizon ~pattern ~model ~spec ~partitions ~json
+    ~progress_f ~check =
   let progress =
     if progress_f then Obs.Trace.formatter Format.err_formatter
     else Obs.Trace.null
   in
   let snapshot_every = if progress_f then Stdlib.max 1 (horizon / 20) else 0 in
   let summary =
-    qos_run ~label:"qos" ~n ~pattern ~model ~seed ~horizon ~style
+    qos_run ~label:"qos" ~n ~pattern ~model ~seed ~horizon ~spec ~partitions
       ~snapshot_every ~progress
   in
-  if json then print_endline (Obs.Json.to_string (qos_summary_to_json summary))
+  if json then
+    print_endline
+      (Obs.Json.to_string (qos_summary_to_json ~spec ~partitions summary))
   else begin
-    Format.printf "link: %a@.detector: %a@.pattern: %a@.@." Link.pp model
-      Heartbeat.pp_style style Pattern.pp pattern;
+    Format.printf "link: %a@.detector: %s@.partitions: %s@.pattern: %a@.@."
+      Link.pp model
+      (Detector_impl.describe spec)
+      (Partition.describe partitions)
+      Pattern.pp pattern;
     Format.printf "%a@." Qos_stream.pp_summary summary
   end;
   if not check then true
   else begin
     (* The oracle cross-check: rerun retained and compare against
        Qos.analyze.  Small-n only — retention is what streaming avoids. *)
-    let retained =
-      Netsim.run ~n ~pattern ~model ~seed ~horizon (Heartbeat.node style)
+    let (Detector_impl.Sim retained) =
+      Detector_impl.simulate ~partitions ~n ~pattern ~model ~seed ~horizon
+        spec
     in
-    match Qos_stream.agrees summary (Qos.analyze retained) with
+    match Qos_stream.agrees summary (Qos.analyze ~partitions retained) with
     | Ok () ->
       Format.eprintf "cross-check: streaming estimator = Qos.analyze@.";
       true
@@ -630,14 +684,16 @@ let qos_single ~n ~seed ~horizon ~pattern ~model ~style ~json ~progress_f
       false
   end
 
-let qos_grid ~seed ~horizon ~style ~base_model ~ns ~losses ~churns ~seeds
-    ~jobs ~out ~progress_f =
+let qos_grid ~seed ~horizon ~base ~impls ~topos ~partition_triples
+    ~base_model ~ns ~losses ~churns ~seeds ~jobs ~out ~progress_f =
   let spec =
     Campaign.Spec.make ~name:"fdsim-qos"
       ~axes:
         [ ("n", List.map string_of_int ns);
           ("loss", List.map (Format.asprintf "%g") losses);
-          ("churn", List.map string_of_int churns) ]
+          ("churn", List.map string_of_int churns);
+          ("impl", List.map Detector_impl.impl_name impls);
+          ("topo", List.map Topology.name topos) ]
       ~seeds:(List.init seeds (fun i -> seed + i))
       ()
   in
@@ -646,15 +702,22 @@ let qos_grid ~seed ~horizon ~style ~base_model ~ns ~losses ~churns ~seeds
     let jn = int_of_string (axis "n") in
     let loss = float_of_string (axis "loss") in
     let churn = int_of_string (axis "churn") in
+    let dspec =
+      { base with
+        Detector_impl.impl = parse_impl (axis "impl");
+        topology = parse_topology (axis "topo")
+      }
+    in
+    let partitions = partitions_for ~n:jn partition_triples in
     let pattern = pattern_of ~n:jn (churn_crashes ~n:jn ~horizon churn) in
     let model = apply_loss ~loss base_model in
     let s =
       qos_run ~label:(Campaign.Spec.label jb) ~n:jn ~pattern ~model
-        ~seed:jb.Campaign.Spec.seed ~horizon ~style ~snapshot_every:0
-        ~progress:Obs.Trace.null
+        ~seed:jb.Campaign.Spec.seed ~horizon ~spec:dspec ~partitions
+        ~snapshot_every:0 ~progress:Obs.Trace.null
     in
     Qos_stream.observe metrics s;
-    s
+    (dspec, partitions, s)
   in
   let sink =
     if progress_f then Obs.Trace.formatter Format.err_formatter
@@ -666,16 +729,16 @@ let qos_grid ~seed ~horizon ~style ~base_model ~ns ~losses ~churns ~seeds
   let report =
     Campaign.Engine.run_spec ~workers:jobs ~progress ~sink ~seed spec job
   in
-  Format.printf "%-32s %4s %4s %6s %8s %8s %8s %6s %10s@." "scope" "det"
+  Format.printf "%-44s %4s %4s %6s %8s %8s %8s %6s %10s@." "scope" "det"
     "miss" "false" "p50" "p95" "p99" "P_A" "msgs";
   List.iter
     (fun o ->
-      let s = o.Campaign.Engine.value in
+      let _, _, s = o.Campaign.Engine.value in
       let p q =
         if Obs.Sketch.is_empty s.Qos_stream.detection then Float.nan
         else Obs.Sketch.percentile s.Qos_stream.detection q
       in
-      Format.printf "%-32s %4d %4d %6d %8.1f %8.1f %8.1f %6.3f %10d@."
+      Format.printf "%-44s %4d %4d %6d %8.1f %8.1f %8.1f %6.3f %10d@."
         o.Campaign.Engine.label s.Qos_stream.detected s.Qos_stream.undetected
         s.Qos_stream.false_episodes (p 0.5) (p 0.95) (p 0.99)
         s.Qos_stream.query_accuracy s.Qos_stream.messages_sent)
@@ -688,10 +751,11 @@ let qos_grid ~seed ~horizon ~style ~base_model ~ns ~losses ~churns ~seeds
     let rows =
       List.map
         (fun o ->
+          let dspec, partitions, s = o.Campaign.Engine.value in
           Obs.Json.Obj
             [ ("job", Obs.Json.Int o.Campaign.Engine.job);
               ("label", Obs.Json.String o.Campaign.Engine.label);
-              ("result", qos_summary_to_json o.Campaign.Engine.value) ])
+              ("result", qos_summary_to_json ~spec:dspec ~partitions s) ])
         report.Campaign.Engine.outcomes
     in
     let doc =
@@ -700,7 +764,20 @@ let qos_grid ~seed ~horizon ~style ~base_model ~ns ~losses ~churns ~seeds
           ("campaign", Campaign.Spec.to_json spec);
           ("horizon", Obs.Json.Int horizon);
           ("detector",
-           Obs.Json.String (Format.asprintf "%a" Heartbeat.pp_style style));
+           Obs.Json.Obj
+             [ ("period", Obs.Json.Int base.Detector_impl.period);
+               ("timeout", Obs.Json.Int base.Detector_impl.timeout);
+               ("adaptive", Obs.Json.Bool (base.Detector_impl.backoff <> None));
+               ("retries", Obs.Json.Int base.Detector_impl.retries) ]);
+          ("partitions",
+           Obs.Json.List
+             (List.map
+                (fun (starts, heals, k) ->
+                  Obs.Json.Obj
+                    [ ("starts", Obs.Json.Int starts);
+                      ("heals", Obs.Json.Int heals);
+                      ("island_k", Obs.Json.Int k) ])
+                partition_triples));
           ("rows", Obs.Json.List rows) ]
     in
     let line = Obs.Json.to_string doc in
@@ -717,34 +794,81 @@ let qos_grid ~seed ~horizon ~style ~base_model ~ns ~losses ~churns ~seeds
   true
 
 let qos_cmd =
-  let run n seed horizon crashes model loss churn adaptive period timeout json
-      progress_f check grid grid_ns grid_losses grid_churns seeds jobs out =
-    let style =
-      if adaptive then
-        Heartbeat.Adaptive { period; initial_timeout = timeout; backoff = 25 }
-      else Heartbeat.Fixed { period; timeout }
+  let run n seed horizon crashes model loss churn impl_s topology_s retries
+      partition_s adaptive period timeout json progress_f check grid grid_ns
+      grid_losses grid_churns grid_impls grid_topos seeds jobs out =
+    let base =
+      {
+        Detector_impl.impl = parse_impl impl_s;
+        topology = parse_topology topology_s;
+        period;
+        timeout;
+        backoff = (if adaptive then Some 25 else None);
+        retries;
+      }
     in
+    let partition_triples = List.map parse_partition_triple partition_s in
     let base_model = make_model model in
     let ok =
       if grid then
         let ns = if grid_ns = [] then [ 5; 10; 30 ] else grid_ns in
         let losses = if grid_losses = [] then [ 0.; 0.05; 0.2 ] else grid_losses in
         let churns = if grid_churns = [] then [ 0; 2 ] else grid_churns in
-        qos_grid ~seed ~horizon ~style ~base_model ~ns ~losses ~churns ~seeds
-          ~jobs ~out ~progress_f
+        let impls =
+          if grid_impls = [] then [ base.Detector_impl.impl ]
+          else List.map parse_impl grid_impls
+        in
+        let topos =
+          if grid_topos = [] then [ base.Detector_impl.topology ]
+          else List.map parse_topology grid_topos
+        in
+        qos_grid ~seed ~horizon ~base ~impls ~topos ~partition_triples
+          ~base_model ~ns ~losses ~churns ~seeds ~jobs ~out ~progress_f
       else begin
         let crashes =
           if crashes = [] then churn_crashes ~n ~horizon churn else crashes
         in
         let pattern = pattern_of ~n crashes in
         let model = apply_loss ~loss base_model in
-        qos_single ~n ~seed ~horizon ~pattern ~model ~style ~json ~progress_f
-          ~check
+        let partitions = partitions_for ~n partition_triples in
+        qos_single ~n ~seed ~horizon ~pattern ~model ~spec:base ~partitions
+          ~json ~progress_f ~check
       end
     in
     exit_ok ok
   in
-  let adaptive = Arg.(value & flag & info [ "adaptive" ] ~doc:"Adaptive timeouts.") in
+  let impl_arg =
+    Arg.(
+      value & opt string "heartbeat"
+      & info [ "impl" ] ~docv:"IMPL"
+          ~doc:"Detector implementation: heartbeat (push) or pingack (pull).")
+  in
+  let topology_arg =
+    Arg.(
+      value & opt string "all"
+      & info [ "topology" ] ~docv:"TOPO"
+          ~doc:
+            "Monitoring assignment: all (all-to-all), ring[:K] (each node \
+             monitors its K successors), or hier (O(log n) hypercube \
+             testing graph with suspicion dissemination).")
+  in
+  let retries_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "retries" ] ~docv:"R"
+          ~doc:"Ping-ack re-solicitations per round (pingack only).")
+  in
+  let partition_arg =
+    Arg.(
+      value & opt_all string []
+      & info [ "partition" ] ~docv:"START:HEAL:K"
+          ~doc:
+            "Partition the first $(i,K) processes away from the rest over \
+             [START, HEAL) network time; repeatable.  Cross-cut messages \
+             are dropped, and the QoS report classifies the suspicions and \
+             drops the cut causes.")
+  in
+  let adaptive = Arg.(value & flag & info [ "adaptive" ] ~doc:"Adaptive per-link timeouts.") in
   let period =
     Arg.(value & opt int 20 & info [ "period" ] ~docv:"T" ~doc:"Heartbeat period.")
   in
@@ -803,6 +927,18 @@ let qos_cmd =
       & info [ "grid-churn" ] ~docv:"K"
           ~doc:"Grid axis value for churn (repeatable; default: 0, 2).")
   in
+  let grid_impls =
+    Arg.(
+      value & opt_all string []
+      & info [ "grid-impl" ] ~docv:"IMPL"
+          ~doc:"Grid axis value for the detector impl (repeatable; default: --impl).")
+  in
+  let grid_topos =
+    Arg.(
+      value & opt_all string []
+      & info [ "grid-topology" ] ~docv:"TOPO"
+          ~doc:"Grid axis value for the topology (repeatable; default: --topology).")
+  in
   let seeds =
     Arg.(
       value & opt int 2
@@ -821,14 +957,16 @@ let qos_cmd =
   Cmd.v
     (Cmd.info "qos"
        ~doc:
-         "Measure heartbeat failure-detector quality of service with the \
-          streaming observatory (bounded memory at any n).")
+         "Measure failure-detector quality of service across the detector \
+          zoo (heartbeat/pingack x topology x adaptivity x partitions) \
+          with the streaming observatory (bounded memory at any n).")
     Term.(
       const run $ n_arg $ seed_arg
       $ Arg.(value & opt int 4000 & info [ "horizon" ])
-      $ crashes_arg $ model_arg $ loss $ churn $ adaptive $ period $ timeout
+      $ crashes_arg $ model_arg $ loss $ churn $ impl_arg $ topology_arg
+      $ retries_arg $ partition_arg $ adaptive $ period $ timeout
       $ json $ progress_arg $ check $ grid $ grid_ns $ grid_losses
-      $ grid_churns $ seeds $ jobs_arg $ out)
+      $ grid_churns $ grid_impls $ grid_topos $ seeds $ jobs_arg $ out)
 
 (* ---------- fdsim gms ---------- *)
 
@@ -1477,6 +1615,35 @@ let metrics_cmd =
         (Heartbeat.node ~metrics:registry style)
     in
     Qos.observe registry (Qos.analyze r_net);
+    (* Phase 1b: the detector zoo's realistic corner — adaptive ping-ack
+       over the hierarchical topology with a healing partition — so the
+       zoo's counter family (monitor_degree, messages_dropped_partition,
+       partition_suspicion_episodes, qos_messages_dropped_partition)
+       appears in the dump. *)
+    let zoo_spec =
+      {
+        Detector_impl.impl = `Pingack;
+        topology = Topology.hierarchical;
+        period = 20;
+        timeout = 31;
+        backoff = Some 25;
+        retries = 1;
+      }
+    in
+    let zoo_partitions =
+      [ Partition.make ~starts:(horizon / 8) ~heals:(horizon / 4)
+          ~island:(Partition.island_of_size ~n ~k:1) ]
+    in
+    let zoo_est =
+      Qos_stream.create ~label:"zoo" ~partitions:zoo_partitions ~n ~pattern ()
+    in
+    let zoo_tap = Qos_stream.sink zoo_est in
+    let (Detector_impl.Sim zr) =
+      Detector_impl.simulate ~retain_outputs:false ~sink:zoo_tap
+        ~metrics:registry ~partitions:zoo_partitions ~n ~pattern ~model:link
+        ~seed ~horizon zoo_spec
+    in
+    Qos_stream.observe registry (Qos_stream.finish zoo_est ~end_time:zr.Netsim.end_time);
     (* Phase 2: consensus over the abstract-step simulator, with the
        detector wrapped so every module query is counted and suspicion
        flips are tallied. *)

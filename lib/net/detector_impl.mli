@@ -1,0 +1,83 @@
+(** The detector zoo's front door: one specification, many detectors.
+
+    A realistic failure-detection service is a point in a design space —
+    {e which protocol} (push heartbeats vs pull ping-ack), {e which
+    monitoring graph} ({!Topology}), {e fixed or adaptive} per-link
+    timeouts ({!Adaptive}).  This module packs the whole point into a
+    first-class {!spec} and erases the per-implementation state types
+    behind a module ({!S}) and an existential result ({!simulation}), so
+    the QoS machinery, the CLI and the benches are written once and run
+    against every member of the zoo. *)
+
+open Rlfd_kernel
+open Rlfd_fd
+
+type impl = [ `Heartbeat | `Pingack ]
+
+type spec = {
+  impl : impl;
+  topology : Topology.t;
+  period : int;
+  timeout : int;
+  backoff : int option;  (** [Some b]: adaptive per-link timeouts *)
+  retries : int;  (** ping-ack re-solicitations per round; ignored by heartbeat *)
+}
+
+val impl_name : impl -> string
+
+val impl_of_string : string -> (impl, string) result
+(** ["heartbeat"]/["hb"] and ["pingack"]/["ping-ack"]/["pa"]. *)
+
+val name : spec -> string
+(** The impl token alone — a campaign axis value. *)
+
+val describe : spec -> string
+(** One line for humans, e.g. ["pingack/hier period=50 timeout=71 retries=1"]. *)
+
+val to_json : spec -> Rlfd_obs.Json.t
+(** The self-describing scope-header fragment: impl, topology, period,
+    timeout, adaptive (+backoff), retries for ping-ack. *)
+
+(** A detector instance ready to run: its node and how to read a node
+    state's suspicion set back out. *)
+module type S = sig
+  type state
+
+  type msg
+
+  val node : (state, msg, Pid.Set.t) Netsim.node
+
+  val suspected : state -> Pid.Set.t
+end
+
+type detector = (module S)
+
+val instantiate :
+  ?sink:Rlfd_obs.Trace.sink ->
+  ?metrics:Rlfd_obs.Metrics.t ->
+  n:int ->
+  spec ->
+  detector
+(** Build the node for a population of [n].  When [metrics] is given,
+    also sets the [monitor_degree] gauge to {!Topology.degree} — the
+    per-node monitoring load the spec implies. *)
+
+type simulation = Sim : ('s, Pid.Set.t) Netsim.result -> simulation
+    (** A finished run with its state type erased: every detector outputs
+        [Pid.Set.t] suspicion sets, which is all QoS analysis reads. *)
+
+val simulate :
+  ?until:((Netsim.time * Pid.t * Pid.Set.t) list -> bool) ->
+  ?retain_outputs:bool ->
+  ?sink:Rlfd_obs.Trace.sink ->
+  ?metrics:Rlfd_obs.Metrics.t ->
+  ?partitions:Partition.t list ->
+  n:int ->
+  pattern:Pattern.t ->
+  model:Link.t ->
+  seed:int ->
+  horizon:Netsim.time ->
+  spec ->
+  simulation
+(** {!instantiate} then {!Netsim.run}, with every observability and
+    scenario knob passed through. *)

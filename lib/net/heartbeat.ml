@@ -10,20 +10,22 @@ let pp_style ppf = function
     Format.fprintf ppf "adaptive(period=%d,timeout0=%d,backoff=%d)" period
       initial_timeout backoff
 
-type msg = Beat
+type msg = Beat of Dissem.payload | Update of Dissem.payload
 
 type state = {
   period : int;
-  backoff : int option; (* None = fixed *)
-  last_heard : int Pid.Map.t;
-  timeouts : int Pid.Map.t;
-  suspects : Pid.Set.t;
+  adaptive : Adaptive.t;
+  last_heard : int Pid.Map.t; (* watched peers only *)
+  direct : Pid.Set.t; (* watched peers currently overdue *)
+  view : Dissem.t; (* only consulted under dissemination *)
+  dissemination : bool;
+  watchers : Pid.t list;
+  neighbours : Pid.t list;
 }
 
-let suspected st = st.suspects
+let suspected st = if st.dissemination then Dissem.suspected st.view else st.direct
 
-let timeout_of st p =
-  match Pid.Map.find_opt p st.timeouts with Some t -> t | None -> 0
+let timeout_of st p = Adaptive.timeout st.adaptive p
 
 let tick_tag = 0
 
@@ -31,14 +33,31 @@ let params = function
   | Fixed { period; timeout } -> (period, timeout, None)
   | Adaptive { period; initial_timeout; backoff } -> (period, initial_timeout, Some backoff)
 
-let node ?(sink = Rlfd_obs.Trace.null) ?metrics style =
+let node ?(sink = Rlfd_obs.Trace.null) ?metrics ?(topology = Topology.All_to_all)
+    style =
   let period, timeout0, backoff = params style in
+  let dissemination = Topology.needs_dissemination topology in
+  let retention = 4 * (period + timeout0) in
   let init ~n ~self =
-    let peers = List.filter (fun p -> not (Pid.equal p self)) (Pid.all ~n) in
-    let last_heard = List.fold_left (fun m p -> Pid.Map.add p 0 m) Pid.Map.empty peers in
-    let timeouts = List.fold_left (fun m p -> Pid.Map.add p timeout0 m) Pid.Map.empty peers in
-    ( { period; backoff; last_heard; timeouts; suspects = Pid.Set.empty },
-      [ Netsim.Broadcast Beat; Netsim.Set_timer { delay = period; tag = tick_tag } ] )
+    let watched = Topology.watches topology ~n self in
+    let last_heard = List.fold_left (fun m p -> Pid.Map.add p 0 m) Pid.Map.empty watched in
+    let st =
+      {
+        period;
+        adaptive = Adaptive.create ~initial:timeout0 ~backoff;
+        last_heard;
+        direct = Pid.Set.empty;
+        view = Dissem.create ~retention;
+        dissemination;
+        watchers = Topology.watchers topology ~n self;
+        neighbours = Topology.neighbours topology ~n self;
+      }
+    in
+    let beats =
+      if dissemination then List.map (fun p -> Netsim.Send (p, Beat [])) st.watchers
+      else [ Netsim.Broadcast (Beat []) ]
+    in
+    (st, beats @ [ Netsim.Set_timer { delay = period; tag = tick_tag } ])
   in
   let observe_transitions ~self ~now old_suspects suspects =
     let flipped on subject =
@@ -60,47 +79,106 @@ let node ?(sink = Rlfd_obs.Trace.null) ?metrics style =
     Pid.Set.iter (flipped false) (Pid.Set.diff old_suspects suspects)
   in
   let emit_if_changed ~self ~now old_suspects st =
-    if Pid.Set.equal old_suspects st.suspects then []
+    let suspects = suspected st in
+    if Pid.Set.equal old_suspects suspects then []
     else begin
-      observe_transitions ~self ~now old_suspects st.suspects;
-      [ st.suspects ]
+      observe_transitions ~self ~now old_suspects suspects;
+      [ suspects ]
     end
   in
-  let on_message ~n:_ ~self ~now st ~src Beat =
-    let st = { st with last_heard = Pid.Map.add src now st.last_heard } in
-    if Pid.Set.mem src st.suspects then begin
-      (* premature suspicion: trust again and, if adaptive, learn. *)
-      let timeouts =
-        match st.backoff with
-        | None -> st.timeouts
-        | Some b ->
-          Pid.Map.update src
-            (function None -> Some (timeout0 + b) | Some t -> Some (t + b))
-            st.timeouts
-      in
-      let st' = { st with suspects = Pid.Set.remove src st.suspects; timeouts } in
-      (st', [], emit_if_changed ~self ~now st.suspects st')
-    end
-    else (st, [], [])
+  (* Event-driven dissemination: on any view change, push the whole view to
+     every monitoring neighbour.  Receivers adopt an entry only if strictly
+     fresher, so each wave crosses each edge a bounded number of times. *)
+  let flood st ~now =
+    let payload = Dissem.payload st.view ~now in
+    List.map (fun p -> Netsim.Send (p, Update payload)) st.neighbours
+  in
+  let on_message ~n:_ ~self ~now st ~src msg =
+    let old = suspected st in
+    match msg with
+    | Update payload ->
+      if not st.dissemination then (st, [], [])
+      else begin
+        let view, changed = Dissem.merge st.view ~self ~now payload in
+        let st' = { st with view } in
+        (st', (if changed then flood st' ~now else []), emit_if_changed ~self ~now old st')
+      end
+    | Beat payload ->
+      if not st.dissemination then begin
+        (* legacy all-to-all path: every pair has a direct monitoring edge,
+           so the local deadline book is the whole story *)
+        let st = { st with last_heard = Pid.Map.add src now st.last_heard } in
+        if Pid.Set.mem src st.direct then begin
+          (* premature suspicion: trust again and, if adaptive, learn. *)
+          let adaptive = Adaptive.bump st.adaptive src in
+          let st' = { st with direct = Pid.Set.remove src st.direct; adaptive } in
+          (st', [], emit_if_changed ~self ~now old st')
+        end
+        else (st, [], [])
+      end
+      else begin
+        let watched = Pid.Map.mem src st.last_heard in
+        let last_heard = if watched then Pid.Map.add src now st.last_heard else st.last_heard in
+        (* only a direct monitor refutes: hearing from a suspect is
+           first-hand evidence it is alive, stamped fresher than any
+           gossip in flight *)
+        let refute = watched && Pid.Set.mem src (Dissem.suspected st.view) in
+        let adaptive =
+          if Pid.Set.mem src st.direct then Adaptive.bump st.adaptive src else st.adaptive
+        in
+        let direct = Pid.Set.remove src st.direct in
+        let view = if refute then Dissem.note st.view ~subject:src ~on:false ~now else st.view in
+        let view, merged = Dissem.merge view ~self ~now payload in
+        let st' = { st with last_heard; adaptive; direct; view } in
+        let changed = refute || merged in
+        (st', (if changed then flood st' ~now else []), emit_if_changed ~self ~now old st')
+      end
   in
   let on_timer ~n:_ ~self ~now st ~tag:_ =
-    let overdue q last =
-      let timeout = match Pid.Map.find_opt q st.timeouts with Some t -> t | None -> timeout0 in
-      now - last > timeout
-    in
-    let suspects =
-      Pid.Map.fold
-        (fun q last acc -> if overdue q last then Pid.Set.add q acc else acc)
-        st.last_heard Pid.Set.empty
-    in
-    let st' = { st with suspects } in
-    ( st',
-      [ Netsim.Broadcast Beat; Netsim.Set_timer { delay = st.period; tag = tick_tag } ],
-      emit_if_changed ~self ~now st.suspects st' )
+    let old = suspected st in
+    let overdue q last = now - last > Adaptive.timeout st.adaptive q in
+    if not st.dissemination then begin
+      let direct =
+        Pid.Map.fold
+          (fun q last acc -> if overdue q last then Pid.Set.add q acc else acc)
+          st.last_heard Pid.Set.empty
+      in
+      let st' = { st with direct } in
+      ( st',
+        [ Netsim.Broadcast (Beat []); Netsim.Set_timer { delay = st.period; tag = tick_tag } ],
+        emit_if_changed ~self ~now old st' )
+    end
+    else begin
+      let newly =
+        Pid.Map.fold
+          (fun q last acc ->
+            if overdue q last && not (Pid.Set.mem q st.direct) then q :: acc else acc)
+          st.last_heard []
+        |> List.rev
+      in
+      let direct = List.fold_left (fun s q -> Pid.Set.add q s) st.direct newly in
+      let view =
+        List.fold_left (fun v q -> Dissem.note v ~subject:q ~on:true ~now) st.view newly
+      in
+      let st' = { st with direct; view } in
+      let payload = Dissem.payload st'.view ~now in
+      let beats = List.map (fun p -> Netsim.Send (p, Beat payload)) st.watchers in
+      let commands =
+        beats
+        @ (if newly <> [] then flood st' ~now else [])
+        @ [ Netsim.Set_timer { delay = st.period; tag = tick_tag } ]
+      in
+      (st', commands, emit_if_changed ~self ~now old st')
+    end
   in
-  { Netsim.node_name = Format.asprintf "heartbeat-%a" pp_style style; init; on_message; on_timer }
+  let node_name =
+    if Topology.equal topology Topology.All_to_all then
+      Format.asprintf "heartbeat-%a" pp_style style
+    else Format.asprintf "heartbeat-%a@%s" pp_style style (Topology.name topology)
+  in
+  { Netsim.node_name; init; on_message; on_timer }
 
 let perfect_timeout model ~period =
-  match model with
-  | Link.Synchronous { delta } -> Some (delta + period + 1)
-  | Link.Partially_synchronous _ | Link.Asynchronous _ | Link.Lossy _ -> None
+  match Link.bounded_from_start model with
+  | Some delta -> Some (delta + period + 1)
+  | None -> None

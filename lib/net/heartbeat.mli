@@ -4,18 +4,26 @@
     implementations over the timed network, demonstrating which class each
     synchrony model supports:
 
-    - {!fixed} on a {e synchronous} link with
+    - {!Fixed} on a {e synchronous} link with
       [timeout >= delta + period] implements a Perfect detector: a missing
       heartbeat past the bound proves the sender crashed;
-    - {!fixed} on weaker links over-suspects (false positives) — exactly
+    - {!Fixed} on weaker links over-suspects (false positives) — exactly
       why [P] is not implementable there;
-    - {!adaptive} grows a peer's timeout after each false suspicion, so on
-      a {e partially synchronous} link the suspicions are eventually
-      accurate: an implementation of [◊P] (hence of [◊S]).
+    - {!Adaptive} grows a peer's timeout after each false suspicion
+      (per-link state, {!Rlfd_net.Adaptive}), so on a {e partially
+      synchronous} link the suspicions are eventually accurate: an
+      implementation of [◊P] (hence of [◊S]).
 
-    Each node broadcasts a heartbeat every [period] and checks its peers'
-    deadlines; it emits its full suspicion set whenever the set changes,
-    which is what {!Qos} consumes. *)
+    Under the default {!Topology.All_to_all} assignment each node
+    heartbeats every other and judges every other by local deadline —
+    O(n) per-node bandwidth.  Under a sparse assignment ({!Topology.Ring},
+    {!Topology.Hierarchical}) a node heartbeats only its watchers, judges
+    only its watched peers, and learns about the rest through suspicion
+    dissemination ({!Dissem}) along the monitoring graph, so the output
+    suspicion sets stay complete at O(degree) per-node bandwidth.
+
+    Each node emits its full suspicion set whenever the set changes, which
+    is what {!Qos} consumes. *)
 
 open Rlfd_kernel
 
@@ -30,6 +38,8 @@ type state
 type msg
 
 val suspected : state -> Pid.Set.t
+(** The node's current output: its direct deadline judgments plus, under a
+    sparse topology, everything adopted from dissemination. *)
 
 val timeout_of : state -> Pid.t -> int
 (** Current timeout applied to a peer (grows under {!Adaptive}). *)
@@ -37,13 +47,20 @@ val timeout_of : state -> Pid.t -> int
 val node :
   ?sink:Rlfd_obs.Trace.sink ->
   ?metrics:Rlfd_obs.Metrics.t ->
+  ?topology:Topology.t ->
   style ->
   (state, msg, Pid.Set.t) Netsim.node
 (** Outputs the new suspicion set at every change.  [sink] additionally
     receives one {!Rlfd_obs.Trace.Suspect} event per on/off suspicion
-    transition, and [metrics] counts them as [suspicion_transitions]. *)
+    transition, and [metrics] counts them as [suspicion_transitions].
+
+    [topology] (default {!Topology.All_to_all}) selects the monitoring
+    assignment.  The all-to-all behaviour is exactly the historical one —
+    same messages in the same order, so seeded runs reproduce. *)
 
 val perfect_timeout : Link.t -> period:int -> int option
 (** The timeout that makes {!Fixed} Perfect on the given link model:
     [delta + period + 1] when the link has a delay bound that holds from
-    time 0 (synchronous links only). *)
+    time 0 with no loss ({!Link.bounded_from_start} — synchronous links
+    only; [None] for partially synchronous, asynchronous and lossy links,
+    where no fixed timeout can promise zero false suspicions). *)

@@ -50,3 +50,7 @@ let rec bound_after_gst = function
   | Partially_synchronous { delta; _ } -> Some delta
   | Asynchronous _ -> None
   | Lossy { base; _ } -> bound_after_gst base
+
+let bounded_from_start = function
+  | Synchronous { delta } -> Some delta
+  | Partially_synchronous _ | Asynchronous _ | Lossy _ -> None

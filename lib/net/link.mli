@@ -42,3 +42,11 @@ val transmit : t -> Rng.t -> now:int -> int option
 
 val bound_after_gst : t -> int option
 (** The eventual delay bound, when the model has one. *)
+
+val bounded_from_start : t -> int option
+(** The delay bound that holds from time 0 with no message loss — the
+    premise a Perfect timeout needs ({!Heartbeat.perfect_timeout}).
+    [Some delta] only for {!Synchronous}: a partially synchronous link
+    violates any bound before [gst], an asynchronous one is unbounded,
+    and a lossy link can lose the heartbeat outright, so its survivors'
+    delay bound proves nothing. *)

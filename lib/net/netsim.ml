@@ -33,8 +33,8 @@ type ('s, 'o) result = {
 type 'm pending = Message of { src : Pid.t; dst : Pid.t; payload : 'm } | Timer of { pid : Pid.t; tag : int }
 
 let run ?(until = fun _ -> false) ?(retain_outputs = true)
-    ?(sink = Rlfd_obs.Trace.null) ?metrics ~n ~pattern ~model ~seed ~horizon
-    node =
+    ?(sink = Rlfd_obs.Trace.null) ?metrics ?(partitions = []) ~n ~pattern
+    ~model ~seed ~horizon node =
   if Pattern.n pattern <> n then invalid_arg "Netsim.run: pattern size mismatch";
   let idx p = Pid.to_int p - 1 in
   let tracing = not (Rlfd_obs.Trace.is_null sink) in
@@ -66,6 +66,15 @@ let run ?(until = fun _ -> false) ?(retain_outputs = true)
     end
   in
   let post src dst payload now =
+    if partitions <> [] && Partition.separated partitions src dst ~at:now then begin
+      (* the cut is judged at send time, before the link even samples:
+         partition drops consume no randomness, so a partitioned run's
+         surviving traffic keeps its delays deterministic *)
+      temit (Rlfd_obs.Trace.Drop { time = now; src = Pid.to_int src; dst = Pid.to_int dst });
+      mincr "messages_dropped";
+      mincr "messages_dropped_partition"
+    end
+    else
     match Link.transmit model rng ~now with
     | None ->
       (* dropped by a lossy link *)

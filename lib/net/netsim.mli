@@ -49,6 +49,7 @@ val run :
   ?retain_outputs:bool ->
   ?sink:Rlfd_obs.Trace.sink ->
   ?metrics:Rlfd_obs.Metrics.t ->
+  ?partitions:Partition.t list ->
   n:int ->
   pattern:Pattern.t ->
   model:Link.t ->
@@ -58,6 +59,13 @@ val run :
   ('s, 'o) result
 (** The pattern's {!Rlfd_kernel.Time.t} values are read as network time.
     [until] sees the outputs emitted so far, most recent first.
+
+    [partitions] (default [[]]): a schedule of network partitions.  A send
+    whose endpoints {!Partition.separated} at send time is dropped before
+    the link model samples — it consumes no randomness, so adding a
+    partition schedule never perturbs the delays of surviving messages.
+    Partition drops emit {!Rlfd_obs.Trace.Drop} and count in both
+    [messages_dropped] and [messages_dropped_partition].
 
     [retain_outputs] (default [true]): when [false] the result's
     [outputs] list stays empty — the bounded-memory mode for large-n runs

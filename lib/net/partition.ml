@@ -1,0 +1,49 @@
+open Rlfd_kernel
+
+type t = { starts : int; heals : int; island : Pid.Set.t }
+
+let make ~starts ~heals ~island =
+  if starts < 0 then invalid_arg "Partition.make: starts must be >= 0";
+  if heals <= starts then invalid_arg "Partition.make: heals must be > starts";
+  if Pid.Set.is_empty island then invalid_arg "Partition.make: empty island";
+  { starts; heals; island }
+
+let island_of_size ~n ~k =
+  if k < 1 || k >= n then
+    invalid_arg "Partition.island_of_size: need 1 <= k < n";
+  List.fold_left
+    (fun acc i -> Pid.Set.add (Pid.of_int i) acc)
+    Pid.Set.empty
+    (List.init k (fun i -> i + 1))
+
+let active t ~at = at >= t.starts && at < t.heals
+
+let separates t a b = Pid.Set.mem a t.island <> Pid.Set.mem b t.island
+
+let separated schedule a b ~at =
+  List.exists (fun t -> active t ~at && separates t a b) schedule
+
+let pp ppf t =
+  Format.fprintf ppf "[%d,%d){%s}" t.starts t.heals
+    (String.concat ","
+       (List.map
+          (fun p -> string_of_int (Pid.to_int p))
+          (Pid.Set.elements t.island)))
+
+let to_json t =
+  let open Rlfd_obs.Json in
+  Obj
+    [ ("starts", Int t.starts); ("heals", Int t.heals);
+      ("island",
+       List
+         (Stdlib.List.map
+            (fun p -> Int (Pid.to_int p))
+            (Pid.Set.elements t.island))) ]
+
+let schedule_to_json schedule =
+  Rlfd_obs.Json.List (List.map to_json schedule)
+
+let describe = function
+  | [] -> "-"
+  | schedule ->
+    String.concat "+" (List.map (Format.asprintf "%a" pp) schedule)

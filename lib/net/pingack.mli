@@ -1,0 +1,54 @@
+(** Ping-ack failure detection: round-based interrogation.
+
+    Where {!Heartbeat} is push (everyone announces liveness on a clock),
+    ping-ack is pull: every [period] a monitor opens a round, PINGs each
+    peer it watches, and counts the PONGs.  A peer that has not answered
+    midway through the round is re-solicited up to [retries] times —
+    the bounded-retry protocol of practical monitors, which rides out a
+    single lost datagram without a false suspicion.  Suspicion itself is
+    judged by deadline: a watched peer is suspected when no pong has been
+    heard for more than its timeout.
+
+    Monitoring respects a {!Topology.t} assignment exactly as
+    {!Heartbeat} does, including suspicion dissemination ({!Dissem}) on
+    sparse graphs, and the per-link timeout can be made adaptive
+    ([?backoff], {!Rlfd_net.Adaptive}): a pong from a suspected peer both
+    clears the suspicion and grows that link's timeout.
+
+    Emits the full suspicion set at every change — the same output
+    contract as {!Heartbeat}, so {!Qos} and {!Qos_stream} consume both
+    through one interface ({!Detector_impl}). *)
+
+open Rlfd_kernel
+
+type params = { period : int; timeout : int; retries : int }
+
+val pp_params : Format.formatter -> params -> unit
+
+type state
+
+type msg
+
+val suspected : state -> Pid.Set.t
+
+val timeout_of : state -> Pid.t -> int
+(** Current timeout applied to a peer (grows when [?backoff] is given). *)
+
+val node :
+  ?sink:Rlfd_obs.Trace.sink ->
+  ?metrics:Rlfd_obs.Metrics.t ->
+  ?backoff:int ->
+  ?topology:Topology.t ->
+  params ->
+  (state, msg, Pid.Set.t) Netsim.node
+(** Outputs the new suspicion set at every change; [sink] receives
+    {!Rlfd_obs.Trace.Suspect} transitions and [metrics] counts
+    [suspicion_transitions], exactly as {!Heartbeat.node}.
+
+    Raises [Invalid_argument] if [period < 1] or [retries < 0]. *)
+
+val perfect_timeout : Link.t -> period:int -> int option
+(** The timeout that makes the detector Perfect on the given link:
+    [2 * delta + period + 1] when a delay bound holds from time 0
+    ({!Link.bounded_from_start}) — a full round trip where heartbeats
+    need only one way. *)

@@ -5,6 +5,7 @@ type report = {
   detection_latencies : float list;
   undetected : int;
   false_episodes : int;
+  partition_episodes : int;
   mistake_durations : float list;
   messages : int;
   complete : bool;
@@ -27,13 +28,17 @@ let suspicion_intervals (r : _ Netsim.result) ~observer ~subject =
   in
   scan None [] changes
 
-let analyze (r : _ Netsim.result) =
+let analyze ?(partitions = []) (r : _ Netsim.result) =
   let pattern = r.Netsim.pattern in
   let correct = Pid.Set.elements (Pattern.correct pattern) in
   let latencies = ref [] and undetected = ref 0 in
-  let false_episodes = ref 0 and mistakes = ref [] in
-  let mistake start stop =
+  let false_episodes = ref 0 and partition_episodes = ref 0 and mistakes = ref [] in
+  let mistake observer subject start stop =
     incr false_episodes;
+    (* classified at episode start — the same instant, and the same
+       predicate, the simulator used to drop the messages that caused it *)
+    if Partition.separated partitions observer subject ~at:start then
+      incr partition_episodes;
     let stop = match stop with Some t -> t | None -> r.Netsim.end_time in
     mistakes := float_of_int (stop - start) :: !mistakes
   in
@@ -42,7 +47,7 @@ let analyze (r : _ Netsim.result) =
     match Pattern.crash_time pattern subject with
     | None ->
       (* Correct subject: every suspicion episode is a mistake. *)
-      List.iter (fun (start, stop) -> mistake start stop) intervals
+      List.iter (fun (start, stop) -> mistake observer subject start stop) intervals
     | Some ct -> (
       let crash_time = Time.to_int ct in
       (* Closed episodes that began before the crash are mistakes; the
@@ -50,7 +55,7 @@ let analyze (r : _ Netsim.result) =
       List.iter
         (fun (start, stop) ->
           match stop with
-          | Some _ when start < crash_time -> mistake start stop
+          | Some _ when start < crash_time -> mistake observer subject start stop
           | Some _ | None -> ())
         intervals;
       match List.find_opt (fun (_, stop) -> stop = None) intervals with
@@ -68,6 +73,7 @@ let analyze (r : _ Netsim.result) =
     detection_latencies = !latencies;
     undetected = !undetected;
     false_episodes = !false_episodes;
+    partition_episodes = !partition_episodes;
     mistake_durations = !mistakes;
     messages = r.Netsim.messages_delivered;
     complete = !undetected = 0;
@@ -86,13 +92,14 @@ let observe metrics report =
   List.iter (observe metrics "detection_latency") report.detection_latencies;
   List.iter (observe metrics "mistake_duration") report.mistake_durations;
   incr ~by:report.false_episodes metrics "false_suspicion_episodes";
+  incr ~by:report.partition_episodes metrics "partition_suspicion_episodes";
   incr ~by:report.undetected metrics "undetected_crash_pairs";
   set_gauge metrics "undetected_fraction" (undetected_fraction report)
 
 let pp_report ppf report =
   Format.fprintf ppf
-    "@[<v>detection: %a@ undetected pairs: %d (%.1f%% of crashed pairs)@ false episodes: %d@ mistake durations: %a@ messages: %d@ perfect-grade: %b@]"
+    "@[<v>detection: %a@ undetected pairs: %d (%.1f%% of crashed pairs)@ false episodes: %d (%d partition-induced)@ mistake durations: %a@ messages: %d@ perfect-grade: %b@]"
     Stats.pp_summary report.detection_latencies report.undetected
     (100. *. undetected_fraction report)
-    report.false_episodes
+    report.false_episodes report.partition_episodes
     Stats.pp_summary report.mistake_durations report.messages (perfect_grade report)

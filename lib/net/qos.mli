@@ -20,13 +20,21 @@ type report = {
   detection_latencies : float list;
   undetected : int; (** (crashed, correct observer) pairs never detected *)
   false_episodes : int;
+  partition_episodes : int;
+      (** the subset of [false_episodes] that started while a partition
+          separated the pair — blamed on the cut, not the timeout *)
   mistake_durations : float list;
   messages : int;
   complete : bool; (** every crashed process permanently suspected by every correct observer *)
   accurate : bool; (** no false-suspicion episode *)
 }
 
-val analyze : ('s, Pid.Set.t) Netsim.result -> report
+val analyze : ?partitions:Partition.t list -> ('s, Pid.Set.t) Netsim.result -> report
+(** [partitions] (default [[]]) must be the schedule the run was simulated
+    under; an episode is classified partition-induced iff
+    {!Partition.separated} holds for the (observer, subject) pair at the
+    episode's start time — the exact predicate {!Netsim} used to drop the
+    messages, so the two readings cannot disagree. *)
 
 val perfect_grade : report -> bool
 (** [complete && accurate]. *)
@@ -41,8 +49,9 @@ val observe : Rlfd_obs.Metrics.t -> report -> unit
 (** Push the report into a metrics registry: the [detection_latency] and
     [mistake_duration] histograms (detection-latency samples exist {e only}
     for crashed processes, by construction of {!analyze}), the
-    [false_suspicion_episodes] / [undetected_crash_pairs] counters and
-    the [undetected_fraction] gauge. *)
+    [false_suspicion_episodes] / [partition_suspicion_episodes] /
+    [undetected_crash_pairs] counters and the [undetected_fraction]
+    gauge. *)
 
 val pp_report : Format.formatter -> report -> unit
 

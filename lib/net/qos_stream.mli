@@ -6,10 +6,11 @@
     workload axis.  This estimator instead listens to the live event
     stream — {!Rlfd_obs.Trace.Suspect} transitions from
     {!Heartbeat.node}, [Send]/[Deliver]/[Drop] from the simulator — and
-    keeps O(1) state per (observer, subject) pair plus three fixed-memory
-    {!Rlfd_obs.Sketch} quantile sketches.  Run it with
-    [Netsim.run ~retain_outputs:false] and nothing grows with simulated
-    time.
+    keeps O(1) state per (observer, subject) pair {e ever suspected} —
+    allocated lazily, so a sparse-topology n=10,000 scope costs far less
+    than n^2 — plus three fixed-memory {!Rlfd_obs.Sketch} quantile
+    sketches.  Run it with [Netsim.run ~retain_outputs:false] and nothing
+    grows with simulated time.
 
     It computes {e exactly} what {!Qos.analyze} computes (same episode
     classification, same latency and mistake-duration multisets, same
@@ -39,6 +40,7 @@ val create :
   ?snapshot_every:int ->
   ?progress:Rlfd_obs.Trace.sink ->
   ?retain_samples:bool ->
+  ?partitions:Partition.t list ->
   n:int ->
   pattern:Pattern.t ->
   unit ->
@@ -48,7 +50,11 @@ val create :
     simulated time has passed since the last one.  [retain_samples]
     (default [false]) keeps the exact mistake-duration list so
     {!to_report} can reproduce a full {!Qos.report} — the small-n oracle
-    mode; leave it off for bounded memory. *)
+    mode; leave it off for bounded memory.  [partitions] (default [[]])
+    must be the schedule the run is simulated under; it drives the
+    partition-induced classification of false episodes and drops, with
+    the same {!Partition.separated} predicate {!Netsim} and
+    {!Qos.analyze} use. *)
 
 val sink : t -> Rlfd_obs.Trace.sink
 (** The estimator's tap.  Pass it (or a {!Rlfd_obs.Trace.tee} including
@@ -68,6 +74,9 @@ type summary = {
   detected : int;
   undetected : int;
   false_episodes : int;
+  partition_episodes : int;
+      (** false episodes that started across an active cut — matches
+          {!Qos.analyze}'s [partition_episodes] exactly *)
   detection : Rlfd_obs.Sketch.t;  (** detection latencies *)
   mistake : Rlfd_obs.Sketch.t;  (** mistake durations *)
   recurrence : Rlfd_obs.Sketch.t;  (** mistake recurrence times *)
@@ -75,6 +84,9 @@ type summary = {
   messages_sent : int;
   messages_delivered : int;
   messages_dropped : int;
+  dropped_partition : int;
+      (** drops between endpoints separated at drop time — i.e., the
+          partition's own toll, as opposed to link loss *)
   complete : bool;
   accurate : bool;
   end_time : int;
@@ -103,8 +115,10 @@ val agrees : ?eps:float -> summary -> Qos.report -> (unit, string) result
 val observe : Rlfd_obs.Metrics.t -> summary -> unit
 (** Land the summary in a registry under the same names {!Qos.observe}
     uses — [detection_latency] / [mistake_duration] histograms via
-    sketch merge, [false_suspicion_episodes] / [undetected_crash_pairs]
-    counters, [undetected_fraction] gauge — plus the streaming extras
-    [mistake_recurrence] (histogram) and [query_accuracy] (gauge). *)
+    sketch merge, [false_suspicion_episodes] /
+    [partition_suspicion_episodes] / [undetected_crash_pairs] counters,
+    [undetected_fraction] gauge — plus the streaming extras
+    [mistake_recurrence] (histogram), [qos_messages_dropped_partition]
+    (counter) and [query_accuracy] (gauge). *)
 
 val pp_summary : Format.formatter -> summary -> unit

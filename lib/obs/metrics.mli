@@ -19,12 +19,17 @@
     - ["steps"], ["idle_ticks"], ["outputs"] — {!Rlfd_sim.Runner}
     - ["messages_sent"], ["messages_delivered"] — {!Rlfd_sim.Runner} and
       {!Rlfd_net.Netsim}
-    - ["messages_dropped"], ["timers_set"], ["timers_fired"],
+    - ["messages_dropped"], ["messages_dropped_partition"] (the subset
+      dropped by an active partition), ["timers_set"], ["timers_fired"],
       ["events_processed"] — {!Rlfd_net.Netsim}
-    - ["suspicion_transitions"] — {!Rlfd_net.Heartbeat}
+    - ["suspicion_transitions"] — {!Rlfd_net.Heartbeat} and
+      {!Rlfd_net.Pingack}
+    - ["monitor_degree"] (gauge: per-node monitoring load of the
+      topology) — {!Rlfd_net.Detector_impl.instantiate}
     - ["detection_latency"], ["mistake_duration"],
       ["mistake_recurrence"] (histograms),
-      ["false_suspicion_episodes"], ["undetected_crash_pairs"]
+      ["false_suspicion_episodes"], ["partition_suspicion_episodes"],
+      ["undetected_crash_pairs"], ["qos_messages_dropped_partition"]
       (counters), ["undetected_fraction"], ["query_accuracy"] (gauges) —
       {!Rlfd_net.Qos.observe} and {!Rlfd_net.Qos_stream.observe}
     - ["explore_nodes"], ["explore_violations"],

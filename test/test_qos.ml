@@ -153,6 +153,165 @@ let oracle_tests =
         && streaming.Qos.undetected = posthoc.Qos.undetected);
   ]
 
+(* ---------- the detector zoo × partitions (oracle extended) ---------- *)
+
+(* Same double-run discipline as [run_scope], but generic over the whole
+   zoo: any (impl, topology, adaptive) spec, under any partition
+   schedule, must stream to exactly what Qos.analyze ~partitions says. *)
+let run_zoo_scope ?(partitions = []) ~n ~pattern ~model ~seed ~horizon spec =
+  let (Detector_impl.Sim retained) =
+    Detector_impl.simulate ~partitions ~n ~pattern ~model ~seed ~horizon spec
+  in
+  let est =
+    Qos_stream.create ~label:"zoo" ~retain_samples:true ~partitions ~n
+      ~pattern ()
+  in
+  let tap = Qos_stream.sink est in
+  let (Detector_impl.Sim streamed) =
+    Detector_impl.simulate ~retain_outputs:false ~sink:tap ~partitions ~n
+      ~pattern ~model ~seed ~horizon spec
+  in
+  Alcotest.(check int)
+    "both runs end at the same time" retained.Netsim.end_time
+    streamed.Netsim.end_time;
+  let end_time = streamed.Netsim.end_time in
+  ( Qos.analyze ~partitions retained,
+    Qos_stream.finish est ~end_time,
+    Option.get (Qos_stream.to_report est ~end_time) )
+
+let spec ?(topology = Topology.All_to_all) ?backoff ?(retries = 1) impl
+    ~timeout =
+  { Detector_impl.impl; topology; period = 20; timeout; backoff; retries }
+
+let zoo_portfolio =
+  let sync = Link.Synchronous { delta = 10 } in
+  let psync = Link.Partially_synchronous { gst = 1000; delta = 10; wild_max = 120 } in
+  let cut ~starts ~heals ~k n =
+    [ Partition.make ~starts ~heals ~island:(Partition.island_of_size ~n ~k) ]
+  in
+  [ ("hb/all partition heals", sync, spec `Heartbeat ~timeout:31,
+     (fun n -> cut ~starts:600 ~heals:1200 ~k:1 n), []);
+    ("hb/all partition + crash", sync, spec `Heartbeat ~timeout:31,
+     (fun n -> cut ~starts:600 ~heals:1200 ~k:2 n), [ (3, 1500) ]);
+    ("pingack/all sync", sync, spec `Pingack ~timeout:41, (fun _ -> []),
+     [ (3, 700) ]);
+    ("pingack/hier partitioned", sync,
+     spec `Pingack ~topology:Topology.Hierarchical ~timeout:41,
+     (fun n -> cut ~starts:500 ~heals:1000 ~k:1 n), [ (2, 1400) ]);
+    ("hb/ring2 partitioned", sync,
+     spec `Heartbeat ~topology:(Topology.ring ~k:2) ~timeout:31,
+     (fun n -> cut ~starts:400 ~heals:800 ~k:2 n), []);
+    ("pingack/hier adaptive psync", psync,
+     spec `Pingack ~topology:Topology.Hierarchical ~backoff:25 ~timeout:41,
+     (fun _ -> []), [ (3, 700) ]);
+    ("overlapping cuts", sync, spec `Heartbeat ~timeout:31,
+     (fun n ->
+       cut ~starts:400 ~heals:900 ~k:1 n @ cut ~starts:700 ~heals:1300 ~k:2 n),
+     [ (4, 1600) ]) ]
+
+let zoo_tests =
+  List.map
+    (fun (name, model, mk_spec, mk_partitions, crashes) ->
+      test ("zoo streaming matches analyze: " ^ name) (fun () ->
+          let n = 5 in
+          let partitions = mk_partitions n in
+          let posthoc, summary, streaming =
+            run_zoo_scope ~partitions ~n ~pattern:(pattern ~n crashes)
+              ~model ~seed:42 ~horizon:3000 mk_spec
+          in
+          check_exact_match posthoc summary streaming;
+          Alcotest.(check int) "partition episodes agree"
+            posthoc.Qos.partition_episodes summary.Qos_stream.partition_episodes))
+    zoo_portfolio
+
+(* The qcheck oracle, widened across the zoo: random (impl, topology,
+   adaptive) spec, random link model, random crashes, random partition
+   schedule — streaming must equal Qos.analyze ~partitions exactly. *)
+let arb_zoo_scope =
+  let open QCheck in
+  let gen =
+    Gen.map
+      (fun ((n0, seed, model_idx), (impl_idx, topo_idx, adapt),
+            (crashes, part)) ->
+        let n = 3 + (n0 mod 4) in
+        let model =
+          match model_idx mod 4 with
+          | 0 -> Link.Synchronous { delta = 10 }
+          | 1 -> Link.Partially_synchronous { gst = 400; delta = 10; wild_max = 90 }
+          | 2 -> Link.Asynchronous { mean = 12.; spike_every = 9; spike = 200 }
+          | _ -> Link.lossy ~drop:0.25 (Link.Synchronous { delta = 8 })
+        in
+        let impl = if impl_idx mod 2 = 0 then `Heartbeat else `Pingack in
+        let topology =
+          match topo_idx mod 3 with
+          | 0 -> Topology.All_to_all
+          | 1 -> Topology.ring ~k:2
+          | _ -> Topology.Hierarchical
+        in
+        let backoff = if adapt then Some 25 else None in
+        let spec =
+          { Detector_impl.impl; topology; period = 20; timeout = 31; backoff;
+            retries = 1 }
+        in
+        let crashes =
+          crashes
+          |> List.map (fun (p, t) -> (1 + (p mod n), 50 + (t mod 900)))
+          |> List.sort_uniq (fun (p, _) (q, _) -> compare p q)
+          |> List.filteri (fun i _ -> i < n - 1)
+        in
+        let partitions =
+          match part with
+          | None -> []
+          | Some (starts0, len0, k0) ->
+            let starts = 50 + (starts0 mod 600) in
+            let heals = starts + 40 + (len0 mod 400) in
+            let k = 1 + (k0 mod (n - 1)) in
+            [ Partition.make ~starts ~heals
+                ~island:(Partition.island_of_size ~n ~k) ]
+        in
+        (n, seed, model, spec, crashes, partitions))
+      (Gen.triple
+         (Gen.triple (Gen.int_bound 100) (Gen.int_bound 100_000) (Gen.int_bound 100))
+         (Gen.triple (Gen.int_bound 1) (Gen.int_bound 2) Gen.bool)
+         (Gen.pair
+            (Gen.list_size (Gen.int_range 0 3)
+               (Gen.pair (Gen.int_bound 100) (Gen.int_bound 10_000)))
+            (Gen.opt
+               (Gen.triple (Gen.int_bound 1_000) (Gen.int_bound 1_000)
+                  (Gen.int_bound 6)))))
+  in
+  let print (n, seed, model, spec, crashes, partitions) =
+    Format.asprintf "n=%d seed=%d model=%a spec=%s crashes=%s partitions=%s" n
+      seed Link.pp model
+      (Detector_impl.describe spec)
+      (String.concat ","
+         (List.map (fun (p, t) -> Printf.sprintf "%d@%d" p t) crashes))
+      (Partition.describe partitions)
+  in
+  make ~print gen
+
+let zoo_oracle_tests =
+  [
+    qtest ~count:100 "zoo streaming = Qos.analyze on random partitioned runs"
+      arb_zoo_scope
+      (fun (n, seed, model, spec, crashes, partitions) ->
+        let posthoc, summary, streaming =
+          run_zoo_scope ~partitions ~n ~pattern:(pattern ~n crashes) ~model
+            ~seed ~horizon:1200 spec
+        in
+        (match Qos_stream.agrees summary posthoc with
+        | Ok () -> ()
+        | Error msg -> QCheck.Test.fail_reportf "disagreement: %s" msg);
+        multiset streaming.Qos.detection_latencies
+        = multiset posthoc.Qos.detection_latencies
+        && multiset streaming.Qos.mistake_durations
+           = multiset posthoc.Qos.mistake_durations
+        && streaming.Qos.partition_episodes = posthoc.Qos.partition_episodes
+        && streaming.Qos.complete = posthoc.Qos.complete
+        && streaming.Qos.accurate = posthoc.Qos.accurate
+        && streaming.Qos.undetected = posthoc.Qos.undetected);
+  ]
+
 (* ---------- streaming-only surfaces ---------- *)
 
 let stream_tests =
@@ -254,5 +413,7 @@ let () =
     [
       suite "portfolio" portfolio_tests;
       suite "oracle" oracle_tests;
+      suite "zoo" zoo_tests;
+      suite "zoo-oracle" zoo_oracle_tests;
       suite "streaming" stream_tests;
     ]
