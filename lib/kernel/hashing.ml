@@ -8,27 +8,43 @@ let mix64 z =
 
 let of_int i = mix64 (Int64.of_int i)
 
-(* FNV-1a 64-bit, finalized with mix64 for avalanche on short strings. *)
-let fnv_offset = 0xCBF29CE484222325L
-let fnv_prime = 0x100000001B3L
+(* Native-int (63-bit) variants: the hot-path primitives.  Unboxed int
+   arithmetic is an order of magnitude cheaper than [Int64] (whose every
+   intermediate allocates), and 63 bits of fingerprint keep collision
+   probability irrelevant at explorer scales — exactness never rests on
+   the hash anyway (tables confirm full keys).  Constants are the
+   SplitMix64 / golden-ratio ones truncated to fit OCaml's int. *)
 
-let of_string s =
-  let h = ref fnv_offset in
+let mix_int z =
+  let z = (z lxor (z lsr 30)) * 0x3F58476D1CE4E5B9 in
+  let z = (z lxor (z lsr 27)) * 0x14D049BB133111EB in
+  z lxor (z lsr 31)
+
+(* FNV-1a over the bytes in native ints, finalized with mix_int for
+   avalanche on short strings. *)
+let of_string_int s =
+  let h = ref 0x3BF29CE484222325 in
   for i = 0 to String.length s - 1 do
-    h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code s.[i]))) fnv_prime
+    h := (!h lxor Char.code s.[i]) * 0x100000001B3
   done;
-  mix64 !h
+  mix_int !h
+
+let combine_int acc h = mix_int ((acc * 0x1E3779B97F4A7C15) + h)
+
+let of_string s = Int64.of_int (of_string_int s)
 
 let combine acc h = mix64 (Int64.add (Int64.mul acc 0x9E3779B97F4A7C15L) h)
 
 let fold_ints acc xs = List.fold_left (fun acc x -> combine acc (of_int x)) acc xs
 
 module Table = struct
-  (* Open addressing, linear probing, no deletion.  A slot is empty iff
-     its key is the empty string AND its fingerprint is 0L — canonical
-     encodings are never empty, but guard anyway with a presence array. *)
+  (* Open addressing, linear probing, no deletion.  Fingerprints are kept
+     as native ints internally (the int64 of the API is truncated on the
+     way in) so the probe loop is allocation-free — an [int64 array] read
+     boxes its element, and probes happen per explored edge.  Losing the
+     top bit costs nothing: lookups confirm the full key bytes anyway. *)
   type 'a t = {
-    mutable hashes : int64 array;
+    mutable hashes : int array;
     mutable keys : string array;
     mutable values : 'a option array;
     mutable used : int;
@@ -42,7 +58,7 @@ module Table = struct
       Stdlib.max 8 (pow2 8)
     in
     {
-      hashes = Array.make cap 0L;
+      hashes = Array.make cap 0;
       keys = Array.make cap "";
       values = Array.make cap None;
       used = 0;
@@ -50,23 +66,21 @@ module Table = struct
       key_bytes = 0;
     }
 
-  let slot_of t key = Int64.to_int (Int64.logand key (Int64.of_int t.mask))
-
   (* Index of [bytes] if present, else of the empty slot to insert at. *)
-  let probe t ~key bytes =
+  let probe t key bytes =
     let rec go i =
       match t.values.(i) with
       | None -> i
       | Some _ ->
-        if Int64.equal t.hashes.(i) key && String.equal t.keys.(i) bytes then i
+        if t.hashes.(i) = key && String.equal t.keys.(i) bytes then i
         else go ((i + 1) land t.mask)
     in
-    go (slot_of t key)
+    go (key land t.mask)
 
   let grow t =
     let old_hashes = t.hashes and old_keys = t.keys and old_values = t.values in
     let cap = (t.mask + 1) * 2 in
-    t.hashes <- Array.make cap 0L;
+    t.hashes <- Array.make cap 0;
     t.keys <- Array.make cap "";
     t.values <- Array.make cap None;
     t.mask <- cap - 1;
@@ -75,19 +89,20 @@ module Table = struct
         match v with
         | None -> ()
         | Some _ ->
-          let j = probe t ~key:old_hashes.(i) old_keys.(i) in
+          let j = probe t old_hashes.(i) old_keys.(i) in
           t.hashes.(j) <- old_hashes.(i);
           t.keys.(j) <- old_keys.(i);
           t.values.(j) <- v)
       old_values
 
   let find t ~key bytes =
-    let i = probe t ~key bytes in
+    let i = probe t (Int64.to_int key) bytes in
     t.values.(i)
 
   let set t ~key bytes v =
     if t.used * 8 >= (t.mask + 1) * 7 then grow t;
-    let i = probe t ~key bytes in
+    let key = Int64.to_int key in
+    let i = probe t key bytes in
     (match t.values.(i) with
     | None ->
       t.hashes.(i) <- key;

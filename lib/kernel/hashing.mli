@@ -24,9 +24,32 @@ val of_int : int -> int64
 (** Mix a native integer into a well-distributed 64-bit fingerprint. *)
 
 val of_string : string -> int64
-(** Fingerprint a byte string: FNV-1a over the bytes, finalized with
-    {!mix64}.  Used on the canonical encodings produced by
-    {!Rlfd_sim.Canon}. *)
+(** Fingerprint a byte string: FNV-1a over the bytes in native-int
+    arithmetic (no per-byte boxing), finalized for avalanche on short
+    strings.  Equals [Int64.of_int (of_string_int s)].  Used on the
+    canonical encodings produced by {!Rlfd_sim.Canon}. *)
+
+(** {2 Native-int (63-bit) primitives}
+
+    The incremental-fingerprint kernel ({!Rlfd_sim.Explore}) updates
+    hashes on every explored edge; these unboxed variants keep that hot
+    path free of [Int64] allocation.  63 bits lose nothing that matters:
+    no correctness claim ever rests on fingerprints alone — every table
+    confirms full key bytes on a hash hit. *)
+
+val mix_int : int -> int
+(** SplitMix64-style avalanche finalizer on the native int: every input
+    bit affects every output bit.  Deterministic, unseeded. *)
+
+val of_string_int : string -> int
+(** Native-int fingerprint of a byte string (FNV-1a + {!mix_int}): the
+    hash interned component values carry ({!Intern.h}). *)
+
+val combine_int : int -> int -> int
+(** [combine_int acc h] folds [h] into the running fingerprint [acc].
+    Non-commutative, so sequences hash by position; for order-{e
+    insensitive} aggregation sum the hashes instead (addition is
+    commutative and invertible — the delta-update trick). *)
 
 val combine : int64 -> int64 -> int64
 (** [combine acc h] folds [h] into the running fingerprint [acc].

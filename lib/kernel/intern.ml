@@ -1,0 +1,61 @@
+(* Hashconsing for the explorer's incremental-fingerprint kernel: each
+   distinct component value (a process state, an in-flight message, an
+   emitted output) is encoded and fingerprinted exactly once; afterwards
+   the explorer manipulates small integer ids and precomputed hashes.
+
+   Identity is structural ([Hashtbl] with polymorphic hashing and
+   equality): two values receive the same entry iff they are structurally
+   equal, which for the first-order data the simulator traffics in
+   coincides with equality of their canonical encodings.  The table owns
+   the renaming lanes: entry [k] of [ren] is the entry of the value pushed
+   through the [k]-th renaming of the table's symmetry group, so orbit
+   enumeration costs an array index instead of a rebuild-and-marshal. *)
+
+type 'a entry = {
+  id : int;
+  h : int;
+  enc : string;
+  value : 'a;
+  mutable ren : 'a entry array;
+}
+
+type 'a t = {
+  encode : 'a -> string;
+  rename : int -> 'a -> 'a;
+  nlanes : int;
+  tbl : ('a, 'a entry) Hashtbl.t;
+  mutable next : int;
+}
+
+let create ?(nlanes = 1) ?(rename = fun _ v -> v) ~encode () =
+  if nlanes < 1 then invalid_arg "Intern.create: nlanes < 1";
+  { encode; rename; nlanes; tbl = Hashtbl.create 256; next = 0 }
+
+let id e = e.id
+
+let h e = e.h
+
+let enc e = e.enc
+
+let value e = e.value
+
+let ren e k = e.ren.(k)
+
+let rec intern t v =
+  match Hashtbl.find_opt t.tbl v with
+  | Some e -> e
+  | None ->
+    let enc = t.encode v in
+    let e =
+      { id = t.next; h = Hashing.of_string_int enc; enc; value = v; ren = [||] }
+    in
+    t.next <- t.next + 1;
+    Hashtbl.add t.tbl v e;
+    (* insert before renaming: the orbit may lead back to [v] itself *)
+    e.ren <- Array.make t.nlanes e;
+    for k = 1 to t.nlanes - 1 do
+      e.ren.(k) <- intern t (t.rename k v)
+    done;
+    e
+
+let length t = Hashtbl.length t.tbl

@@ -1,0 +1,65 @@
+(** Hashconsing of component values for the incremental-fingerprint kernel.
+
+    The bounded-exhaustive explorer ({!Rlfd_sim.Explore}) identifies a
+    global state by the step count plus three bags of component values:
+    per-process automaton states, in-flight messages, emitted outputs.
+    Serializing those components at every visited node is the Marshal tax
+    this module removes: a table interns each {e distinct} component value
+    once — encoding it, fingerprinting the encoding, and assigning it a
+    dense integer id — so the hot path touches only ids and precomputed
+    hashes.  Within one table's lifetime ids are in bijection with
+    structurally-distinct values, which is what makes a vector of ids an
+    exact state key (see the soundness note in the package docs).
+
+    A table optionally carries the {e renaming lanes} of a symmetry group:
+    [ren e k] is the entry of the value pushed through the [k]-th group
+    element, computed once per distinct value, so symmetry's orbit
+    enumeration stops rebuilding and re-marshalling renamed values per
+    candidate permutation.
+
+    Identity is structural equality of the values (polymorphic [Hashtbl]);
+    the contract is the same as {!Rlfd_sim.Canon.encode_value}'s:
+    first-order, immutable, acyclic data. *)
+
+type 'a entry
+(** One interned value: its id, fingerprint, canonical bytes, and lanes. *)
+
+type 'a t
+(** An intern table; create one per exploration domain — entries and ids
+    must not be shared across tables. *)
+
+val create :
+  ?nlanes:int -> ?rename:(int -> 'a -> 'a) -> encode:('a -> string) -> unit -> 'a t
+(** [create ~encode ()] is an empty table using [encode] to produce
+    canonical bytes (structurally equal values must encode equally).
+    [nlanes] (default 1) is the symmetry-group order and [rename k] the
+    action of the [k]-th group element ([rename 0] must be the identity);
+    interning a value eagerly interns its whole orbit.  Raises
+    [Invalid_argument] if [nlanes < 1]. *)
+
+val intern : 'a t -> 'a -> 'a entry
+(** [intern t v] is the entry for [v], creating it (one [encode], one
+    fingerprint, [nlanes - 1] renamings) on first sight and returning the
+    existing entry — a hash lookup, no encoding — afterwards. *)
+
+val id : 'a entry -> int
+(** Dense table-local id: equal ids iff structurally equal values. *)
+
+val h : 'a entry -> int
+(** 63-bit fingerprint of the entry's encoding
+    ({!Hashing.of_string_int}) — a pure function of the value, so it
+    agrees across tables and domains. *)
+
+val enc : 'a entry -> string
+(** The canonical bytes [encode v], computed once at interning time. *)
+
+val value : 'a entry -> 'a
+(** The interned value itself — lets id-carrying callers drop their own
+    copy of the value and recover it from the entry when needed. *)
+
+val ren : 'a entry -> int -> 'a entry
+(** [ren e k] is the entry of the [k]-th renaming of [e]'s value;
+    [ren e 0] is [e] itself.  Raises [Invalid_argument] if [k >= nlanes]. *)
+
+val length : 'a t -> int
+(** Number of distinct values interned so far. *)

@@ -8,19 +8,25 @@
 type 'a t
 
 val create : unit -> 'a t
+(** An empty queue. *)
 
 val is_empty : 'a t -> bool
 
 val length : 'a t -> int
+(** Number of queued elements. *)
 
 val add : 'a t -> prio:int -> 'a -> unit
+(** [add t ~prio x] enqueues [x]; equal priorities dequeue in insertion
+    order. *)
 
 val pop : 'a t -> (int * 'a) option
 (** Removes and returns the minimum-priority element. *)
 
 val peek : 'a t -> (int * 'a) option
+(** The minimum-priority element without removing it. *)
 
 val clear : 'a t -> unit
+(** Empties the queue in place. *)
 
 val to_list : 'a t -> (int * 'a) list
 (** Snapshot in priority order; does not modify the queue. *)

@@ -14,6 +14,8 @@ val make : int -> t
 (** [make seed] creates a generator from an integer seed. *)
 
 val copy : t -> t
+(** An independent generator continuing from [g]'s current state;
+    advancing one does not affect the other. *)
 
 val split : t -> int -> t
 (** [split g salt] derives an independent generator; the derivation is a pure
@@ -33,6 +35,8 @@ val of_path : seed:int -> int list -> t
     correlation.  Equal inputs give equal streams. *)
 
 val bits64 : t -> int64
+(** The next raw 64-bit output; every other drawing function is built
+    on it. *)
 
 val int : t -> int -> int
 (** [int g bound] is uniform in [\[0, bound)].  Raises [Invalid_argument] if
@@ -42,6 +46,7 @@ val int_in : t -> int -> int -> int
 (** [int_in g lo hi] is uniform in [\[lo, hi\]] (inclusive). *)
 
 val bool : t -> bool
+(** A fair coin. *)
 
 val float : t -> float -> float
 (** [float g bound] is uniform in [\[0, bound)]. *)
@@ -53,6 +58,7 @@ val pick : t -> 'a list -> 'a
 (** Uniform element of a non-empty list.  Raises [Invalid_argument] on []. *)
 
 val shuffle : t -> 'a list -> 'a list
+(** A uniform permutation of the list (Fisher–Yates). *)
 
 val subset : t -> p:float -> 'a list -> 'a list
 (** Keeps each element independently with probability [p]. *)

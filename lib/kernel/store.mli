@@ -1,9 +1,11 @@
 (** Visited-set storage tiers for the exhaustive explorer.
 
-    The explorer's visited set maps canonical byte strings (the encodings
-    of {!Rlfd_sim.Canon}) to small values, and must answer "seen before?"
-    exactly — a fingerprint match alone never suffices, the full bytes are
-    always confirmed.  This module puts that contract behind one interface
+    The explorer's visited set maps canonical byte keys — under the
+    incremental-fingerprint kernel, the packed {!Intern} id vectors of
+    {!Rlfd_sim.Explore}; historically the full {!Rlfd_sim.Canon}
+    encodings — to small values, and must answer "seen before?"
+    exactly: a fingerprint match alone never suffices, the full bytes
+    are always confirmed.  This module puts that contract behind one interface
     with two implementations:
 
     {ul
@@ -59,6 +61,7 @@ val ram_bytes : 'a t -> int
     fixed per-entry overhead estimate. *)
 
 val is_spilling : 'a t -> bool
+(** Whether this store is the spill tier. *)
 
 val close : 'a t -> unit
 (** Release the spill tier's file descriptors (a no-op on the RAM tier).

@@ -10,16 +10,22 @@
     equivalent for every future of the exploration (same enabled choices,
     same reachable decisions, same safety verdicts).
 
-    The encoding is {e incremental}: each component (one process state, one
-    message, one output) is encoded once, when it is created, by
-    {!encode_value}; {!assemble} only sorts and concatenates the cached
-    fragments.  A step therefore costs one fresh [Marshal] of the stepped
-    process plus one per message it sends, never a re-serialization of the
-    whole configuration.
+    This module is the {e from-scratch definition} of state identity.
+    The explorer's hot path no longer assembles these byte strings per
+    node: it interns each component once ({!Rlfd_kernel.Intern} — whose
+    contract is exactly {!encode_value}'s) and maintains the identity
+    incrementally, keying the visited store by packed intern-id vectors.
+    What remains load-bearing here: {!encode_value} is the encoding the
+    intern tables fingerprint (so the explorer's [~paranoid] audit, which
+    recomputes every fingerprint from scratch per edge, checks identity
+    in these terms), {!multiset} frames the decision-state sets the
+    cross-check mode compares byte-for-byte, and {!assemble} still names
+    whole configurations where one self-contained string is worth its
+    cost — the replay artifacts of {!Replay}.
 
-    Fingerprints come from {!Rlfd_kernel.Hashing}; the full byte string is
-    kept alongside so the visited set ({!Rlfd_kernel.Hashing.Table}) can
-    reject fingerprint collisions exactly. *)
+    Fingerprints come from {!Rlfd_kernel.Hashing}; the full byte string
+    is kept alongside so the visited set ({!Rlfd_kernel.Hashing.Table})
+    can reject fingerprint collisions exactly. *)
 
 type t
 (** One canonical encoding: the bytes and their 64-bit fingerprint. *)

@@ -44,17 +44,123 @@ let pp_report ppf r =
   if r.frontier_tasks > 0 then
     Format.fprintf ppf " [%d frontier task(s)]" r.frontier_tasks
 
-(* A purely functional configuration: immutable maps everywhere so branches
-   share structure.  [state_encs] caches the canonical bytes of each process
-   state and each buffered message (computed once at creation), so hashing a
-   configuration never re-serializes components older than the last step. *)
+(* An in-flight message.  [ment] is its interned identity — present
+   whenever encodings are on (canon or capture) — through which the hot
+   path reaches the fingerprint, the id and the canonical bytes without
+   re-serializing the payload. *)
+type 'm msg = {
+  mid : int;
+  msrc : Pid.t;
+  mdst : Pid.t;
+  payload : 'm;
+  ment : (Pid.t * Pid.t * 'm) Intern.entry option;
+}
+
+(* A configuration: flat per-process state array (pid 1 at index 0) copied
+   on write — branches share nothing mutable — plus, under [canon], the
+   interned identity of each process state and the incremental fingerprint
+   lanes.  [ls.(k)] / [lm.(k)] are the state / live-message hash sums of
+   the configuration as renamed by the k-th symmetry-group element
+   (commutative 63-bit sums, so one step updates them by subtracting the
+   terms it consumed and adding the terms it produced). *)
 type ('s, 'm) config = {
   step_no : int;
-  states : 's Pid.Map.t;
-  state_encs : string Pid.Map.t; (* canonical bytes per process, when canon *)
-  buffer : (int * Pid.t * Pid.t * 'm * string) list;
-      (* id, src, dst, payload, canonical bytes; newest first *)
+  states : 's array; (* [||] under canon: entries carry the values *)
+  s_ents : 's Intern.entry array; (* [||] unless canon *)
+  buffer : 'm msg list; (* newest first *)
   next_id : int;
+  ls : int array; (* [||] unless canon *)
+  lm : int array; (* [||] unless canon *)
+}
+
+(* A memoized automaton step.  The automata are deterministic and detector
+   views are precomputed per (process, tick), so once states, messages and
+   views carry interned identities, (process, state id, received-message
+   id, view id) determines a step's effects exactly.  Real scopes revisit
+   the same step constantly (that is why canonical dedup works at all); a
+   hit skips the model call and every re-interning of its results. *)
+type ('s, 'm, 'o) memo_step = {
+  r_ent : 's Intern.entry; (* the successor state (its entry carries the value) *)
+  r_sends : (Pid.t * 'm * (Pid.t * Pid.t * 'm) Intern.entry) list;
+  r_outputs : 'o list;
+}
+
+(* The memo store: open addressing over three-int keys (state id,
+   received-message id, process x view id), allocation-free on the hit
+   path — a generic [Hashtbl] would build a key tuple and traverse it per
+   lookup, and this table is consulted once per explored edge.  Slot
+   occupancy rides on the first key component (state ids are >= 0, stored
+   +1).  No deletion. *)
+module Memo = struct
+  type 'v t = {
+    mutable k1 : int array; (* state id + 1; 0 = empty slot *)
+    mutable k2 : int array; (* message id (-1 = lambda step) *)
+    mutable k3 : int array; (* process x view id *)
+    mutable v : 'v option array;
+    mutable used : int;
+    mutable mask : int;
+  }
+
+  let create () =
+    let cap = 1024 in
+    {
+      k1 = Array.make cap 0;
+      k2 = Array.make cap 0;
+      k3 = Array.make cap 0;
+      v = Array.make cap None;
+      used = 0;
+      mask = cap - 1;
+    }
+
+  let slot t a b c = Hashing.combine_int a (Hashing.combine_int b c) land t.mask
+
+  let find t a b c =
+    let a1 = a + 1 in
+    let rec go i =
+      if t.k1.(i) = 0 then None
+      else if t.k1.(i) = a1 && t.k2.(i) = b && t.k3.(i) = c then t.v.(i)
+      else go ((i + 1) land t.mask)
+    in
+    go (slot t a b c)
+
+  let rec grow t =
+    let k1 = t.k1 and k2 = t.k2 and k3 = t.k3 and v = t.v in
+    let cap = (t.mask + 1) * 2 in
+    t.k1 <- Array.make cap 0;
+    t.k2 <- Array.make cap 0;
+    t.k3 <- Array.make cap 0;
+    t.v <- Array.make cap None;
+    t.mask <- cap - 1;
+    t.used <- 0;
+    Array.iteri (fun i a1 -> if a1 <> 0 then add t (a1 - 1) k2.(i) k3.(i) v.(i)) k1
+
+  and add t a b c value =
+    if t.used * 8 >= (t.mask + 1) * 7 then grow t;
+    let rec go i =
+      if t.k1.(i) = 0 then begin
+        t.k1.(i) <- a + 1;
+        t.k2.(i) <- b;
+        t.k3.(i) <- c;
+        t.v.(i) <- value;
+        t.used <- t.used + 1
+      end
+      else go ((i + 1) land t.mask)
+    in
+    go (slot t a b c)
+end
+
+(* Per-domain intern tables: one set per sequential walk.  Entries and
+   ids are table-local; frontier tasks build their own and re-intern their
+   root (fingerprints transfer — they are pure functions of the values —
+   but ids do not).  [c_step] is keyed by table-local ids, so it is
+   per-domain for the same reason. *)
+type ('s, 'm, 'o) cache = {
+  c_state : 's Intern.t;
+  c_msg : (Pid.t * Pid.t * 'm) Intern.t;
+  c_out : (Pid.t * 'o) Intern.t;
+  c_step : ('s, 'm, 'o) memo_step Memo.t;
+  mutable sc_mids : int array; (* key-packing scratch, grown on demand *)
+  mutable sc_oids : int array;
 }
 
 (* A schedule choice: which process steps, and which pending message (by
@@ -69,8 +175,8 @@ let same_choice ((p : Pid.t), ra) ((q : Pid.t), rb) =
   | Some (i, _), Some (j, _) -> i = j
   | _ -> false
 
-(* Sorted-int64-set helpers for the stored sleep sets. *)
-let sorted_descs l = List.sort_uniq Int64.compare l
+(* Sorted-int-set helpers for the stored sleep sets. *)
+let sorted_descs l = List.sort_uniq Int.compare l
 
 let rec desc_subset a b =
   (* a ⊆ b, both sorted ascending *)
@@ -78,17 +184,39 @@ let rec desc_subset a b =
   | [], _ -> true
   | _, [] -> false
   | x :: a', y :: b' ->
-    let c = Int64.compare x y in
+    let c = Int.compare x y in
     if c = 0 then desc_subset a' b' else if c > 0 then desc_subset a b' else false
 
 let rec desc_inter a b =
   match (a, b) with
   | [], _ | _, [] -> []
   | x :: a', y :: b' ->
-    let c = Int64.compare x y in
+    let c = Int.compare x y in
     if c = 0 then x :: desc_inter a' b'
     else if c < 0 then desc_inter a' b
     else desc_inter a b'
+
+(* In-place insertion sort of a prefix: the id vectors being sorted are
+   tiny (one slot per in-flight message or emitted output) and live in
+   reusable scratch arrays, so only the first [len] slots are meaningful. *)
+let isort (a : int array) len =
+  for i = 1 to len - 1 do
+    let x = a.(i) in
+    let j = ref (i - 1) in
+    while !j >= 0 && a.(!j) > x do
+      a.(!j + 1) <- a.(!j);
+      decr j
+    done;
+    a.(!j + 1) <- x
+  done
+
+(* Fixed-width little-endian int in a key buffer (ids and counts are far
+   below 2^31). *)
+let put4 b off v =
+  Bytes.unsafe_set b off (Char.unsafe_chr (v land 0xff));
+  Bytes.unsafe_set b (off + 1) (Char.unsafe_chr ((v lsr 8) land 0xff));
+  Bytes.unsafe_set b (off + 2) (Char.unsafe_chr ((v lsr 16) land 0xff));
+  Bytes.unsafe_set b (off + 3) (Char.unsafe_chr ((v lsr 24) land 0xff))
 
 (* ---------- the Reduction axis ---------- *)
 
@@ -180,7 +308,8 @@ let make_store ?(suffix = "") cfg =
 
 (* Mutable per-traversal accumulators: one per sequential walk (the DFS
    strategy has exactly one; the frontier strategy has one for its BFS
-   prefix and one per frontier task). *)
+   prefix and one per frontier task).  The [t_*] fields are the per-phase
+   time attribution, populated only when the caller asked for it. *)
 type 'o acc = {
   mutable nodes : int;
   mutable deepest : int;
@@ -191,6 +320,10 @@ type 'o acc = {
   mutable orbit_collapsed : int;
   mutable violations : 'o violation list; (* newest first *)
   mutable decision_list : string list;
+  mutable t_expand : float;
+  mutable t_hash : float;
+  mutable t_encode : float;
+  mutable t_confirm : float;
 }
 
 let fresh_acc () =
@@ -204,14 +337,18 @@ let fresh_acc () =
     orbit_collapsed = 0;
     violations = [];
     decision_list = [];
+    t_expand = 0.;
+    t_hash = 0.;
+    t_encode = 0.;
+    t_confirm = 0.;
   }
 
 let run ?(max_steps = 12) ?(max_nodes = 200_000) ?(max_violations = 5)
     ?(canon = false) ?view ?(por = false) ?(por_lambda = false) ?symmetry
     ?(symmetry_mode = `Full) ?spill ?spill_cache ?workers ?(frontier = 32)
     ?(capture = false) ?(progress_every = 250_000) ?(d_equal = fun a b -> a = b)
-    ?(sink = Rlfd_obs.Trace.null) ?metrics ~pattern ~detector ~check
-    (algo : _ Model.t) =
+    ?(sink = Rlfd_obs.Trace.null) ?metrics ?attribution ?(paranoid = false)
+    ~pattern ~detector ~check (algo : _ Model.t) =
   let n = Pattern.n pattern in
   let red =
     resolve_reduction ~canon ?view ~por ~por_lambda ?symmetry ~symmetry_mode
@@ -222,159 +359,428 @@ let run ?(max_steps = 12) ?(max_nodes = 200_000) ?(max_violations = 5)
      flight-recorder schedule; process-state encodings only for dedup. *)
   let enc_on = red.canon || capture in
   let started_at = Rlfd_obs.Profile.now () in
-  let initial =
-    let states =
-      List.fold_left
-        (fun acc p -> Pid.Map.add p (algo.Model.initial ~n p) acc)
-        Pid.Map.empty (Pid.all ~n)
+  let clk =
+    match attribution with
+    | None -> fun () -> 0.
+    | Some _ -> Rlfd_obs.Profile.now
+  in
+  (* --- scope precomputation: views, aliveness, stability, deaths ---
+     Detector views and crash events are pure functions of (process, tick);
+     querying them once per scope instead of once per explored edge removes
+     a per-node cost that grows with detector complexity. *)
+  let horizon = max_steps + 1 in
+  let views =
+    Array.init (horizon + 1) (fun t ->
+        Array.init n (fun i ->
+            Detector.query detector pattern (Pid.of_int (i + 1)) (Time.of_int t)))
+  in
+  (* Small dense ids for the distinct view values — the step memo's third
+     key component (structurally equal views share an id; distinct views
+     never do, so a memo hit always replays the same inputs). *)
+  let view_ids, view_id_count =
+    let tbl = Hashtbl.create 16 in
+    let ids =
+      Array.map
+        (Array.map (fun v ->
+             match Hashtbl.find_opt tbl v with
+             | Some id -> id
+             | None ->
+               let id = Hashtbl.length tbl in
+               Hashtbl.add tbl v id;
+               id))
+        views
+    in
+    (ids, Hashtbl.length tbl)
+  in
+  let alive =
+    Array.init (horizon + 1) (fun t ->
+        Array.init n (fun i ->
+            Pattern.is_alive pattern (Pid.of_int (i + 1)) (Time.of_int t)))
+  in
+  let alive_pids =
+    Array.init (horizon + 1) (fun t ->
+        List.filter (fun p -> alive.(t).(Pid.to_int p - 1)) (Pid.all ~n))
+  in
+  (* stable.(t).(p-1): p survives tick t+1 with an unchanged detector view —
+     the per-process half of the independence (commutation) condition. *)
+  let stable =
+    Array.init max_steps (fun t ->
+        Array.init n (fun i ->
+            alive.(t + 1).(i) && d_equal views.(t).(i) views.(t + 1).(i)))
+  in
+  (* dies_at.(t).(p-1): p was alive at t-1 and is crashed at t — the ticks
+     at which the dead-message gc erases messages from the lanes. *)
+  let dies_at =
+    Array.init (horizon + 1) (fun t ->
+        Array.init n (fun i -> t > 0 && alive.(t - 1).(i) && not alive.(t).(i)))
+  in
+  let any_death = Array.map (fun row -> Array.exists Fun.id row) dies_at in
+  (* --- the symmetry group, as flat image / inverse-image tables --- *)
+  let g_arr = Array.of_list red.group in
+  let g_order = Array.length g_arr in
+  let grp =
+    Array.map
+      (fun pi ->
+        Array.init n (fun i -> Pid.to_int (Symmetry.apply pi (Pid.of_int (i + 1)))))
+      g_arr
+  in
+  let inv =
+    Array.map
+      (fun row ->
+        let a = Array.make n 0 in
+        Array.iteri (fun i img -> a.(img - 1) <- i + 1) row;
+        a)
+      grp
+  in
+  (* Lane counts: state/message lanes exist per group element only when
+     orbits are actually merged; output lanes whenever a spec is present
+     (the decision quotient needs renamed outputs even under
+     [`Decisions_only]). *)
+  let sm_lanes = if red.orbit_merge then g_order else 1 in
+  let out_lanes = match red.spec with None -> 1 | Some _ -> g_order in
+  let renamings =
+    match red.spec with
+    | None -> None
+    | Some spec ->
+      Some
+        (Array.init g_order (fun k ->
+             let pi = g_arr.(k) in
+             (Symmetry.apply pi, spec.value_map pi)))
+  in
+  let make_cache () =
+    match (red.spec, renamings) with
+    | Some spec, Some rens ->
+      {
+        c_state =
+          Intern.create ~nlanes:sm_lanes
+            ~rename:(fun k s ->
+              let pid, value = rens.(k) in
+              spec.renamer.Symmetry.rename_state ~pid ~value s)
+            ~encode:Canon.encode_value ();
+        c_msg =
+          Intern.create ~nlanes:sm_lanes
+            ~rename:(fun k (src, dst, m) ->
+              let pid, value = rens.(k) in
+              (pid src, pid dst, spec.renamer.Symmetry.rename_msg ~pid ~value m))
+            ~encode:Canon.encode_value ();
+        c_out =
+          Intern.create ~nlanes:out_lanes
+            ~rename:(fun k (p, o) ->
+              let pid, value = rens.(k) in
+              (pid p, value o))
+            ~encode:Canon.encode_value ();
+        c_step = Memo.create ();
+        sc_mids = Array.make 32 0;
+        sc_oids = Array.make 32 0;
+      }
+    | _ ->
+      {
+        c_state = Intern.create ~encode:Canon.encode_value ();
+        c_msg = Intern.create ~encode:Canon.encode_value ();
+        c_out = Intern.create ~encode:Canon.encode_value ();
+        c_step = Memo.create ();
+        sc_mids = Array.make 32 0;
+        sc_oids = Array.make 32 0;
+      }
+  in
+  (* A message is part of the canonical state iff its destination can still
+     receive it: under the view canonicalizer, messages to crashed
+     processes are erased (crashes are permanent, only alive processes
+     schedule, so they are unreceivable path bookkeeping). *)
+  let counted t m = (not red.view) || alive.(t).(Pid.to_int m.mdst - 1) in
+  let clamp_step step_no = Stdlib.min step_no red.quiesce_at in
+  (* --- from-scratch lane computation: root init, frontier re-intern, and
+     the [paranoid] oracle the incremental updates are checked against --- *)
+  let scratch_s_lanes s_ents =
+    Array.init sm_lanes (fun k ->
+        let sum = ref 0 in
+        for i = 0 to n - 1 do
+          sum :=
+            !sum + Hashing.combine_int grp.(k).(i) (Intern.h (Intern.ren s_ents.(i) k))
+        done;
+        !sum)
+  in
+  let scratch_m_lanes step_no buffer =
+    Array.init sm_lanes (fun k ->
+        List.fold_left
+          (fun sum m ->
+            if counted step_no m then sum + Intern.h (Intern.ren (Option.get m.ment) k)
+            else sum)
+          0 buffer)
+  in
+  let scratch_o_lanes out_ents =
+    Array.init sm_lanes (fun k ->
+        List.fold_left (fun sum e -> sum + Intern.h (Intern.ren e k)) 0 out_ents)
+  in
+  let initial cache =
+    let states = Array.init n (fun i -> algo.Model.initial ~n (Pid.of_int (i + 1))) in
+    let s_ents =
+      if red.canon then Array.map (Intern.intern cache.c_state) states else [||]
     in
     {
       step_no = 0;
-      states;
-      state_encs =
-        (if red.canon then Pid.Map.map Canon.encode_value states
-         else Pid.Map.empty);
+      states = (if red.canon then [||] else states);
+      s_ents;
       buffer = [];
       next_id = 0;
+      ls = (if red.canon then scratch_s_lanes s_ents else [||]);
+      lm = (if red.canon then Array.make sm_lanes 0 else [||]);
     }
   in
   (* All choices available in [config]: each alive process may take a lambda
      step or receive any one pending message addressed to it. *)
   let choices config =
-    let now = Time.of_int config.step_no in
-    Pid.all ~n
-    |> List.filter (fun p -> Pattern.is_alive pattern p now)
-    |> List.concat_map (fun p ->
-           List.filter_map
-                (fun (id, src, dst, _, _) ->
-                  if Pid.equal dst p then Some (p, Some (id, src)) else None)
-                config.buffer
-           @ [ (p, None) ])
+    List.concat_map
+      (fun p ->
+        let rec collect = function
+          | [] -> [ (p, None) ]
+          | m :: rest ->
+            if Pid.equal m.mdst p then (p, Some (m.mid, m.msrc)) :: collect rest
+            else collect rest
+        in
+        collect config.buffer)
+      alive_pids.(config.step_no)
   in
-  let apply config ((p, receive) : choice) =
-    let now = Time.of_int config.step_no in
-    let envelope, buffer =
+  (* One step: extract the received message, run the automaton, then update
+     the interned identities and fingerprint lanes on the delta — the
+     stepped process's state term swaps, the consumed message's term
+     leaves, newly dead destinations' terms leave, each send's term
+     enters.  Nothing older than the step is re-encoded or re-hashed. *)
+  let apply cache (acc : _ acc) config ((p, receive) : choice) =
+    let ta = clk () in
+    let i = Pid.to_int p - 1 in
+    let t = config.step_no in
+    let received, buffer0 =
       match receive with
       | None -> (None, config.buffer)
       | Some (id, _src) ->
-        let rec extract acc = function
-          | [] -> (None, List.rev acc)
-          | (id', src, dst, payload, _) :: rest when id' = id ->
-            (Some { Model.src; dst; payload }, List.rev_append acc rest)
-          | other :: rest -> extract (other :: acc) rest
+        let rec extract seen = function
+          | [] -> (None, List.rev seen)
+          | m :: rest when m.mid = id -> (Some m, List.rev_append seen rest)
+          | other :: rest -> extract (other :: seen) rest
         in
         extract [] config.buffer
     in
-    let seen = Detector.query detector pattern p now in
-    let effects = algo.Model.step ~n ~self:p (Pid.Map.find p config.states) envelope seen in
-    let buffer, next_id =
-      List.fold_left
-        (fun (buffer, next_id) (dst, payload) ->
-          let enc =
-            if enc_on then Canon.encode_value (p, dst, payload) else ""
+    (* the envelope is only materialized when the automaton actually runs —
+       on a step-memo hit nothing needs it *)
+    let envelope () =
+      match received with
+      | None -> None
+      | Some m -> Some { Model.src = m.msrc; dst = m.mdst; payload = m.payload }
+    in
+    let t' = t + 1 in
+    if not red.canon then begin
+      let effects =
+        algo.Model.step ~n ~self:p config.states.(i) (envelope ()) views.(t).(i)
+      in
+      let states' = Array.copy config.states in
+      states'.(i) <- effects.Model.state;
+      let buffer, next_id =
+        List.fold_left
+          (fun (buffer, next_id) (dst, payload) ->
+            let ment =
+              if enc_on then Some (Intern.intern cache.c_msg (p, dst, payload))
+              else None
+            in
+            ({ mid = next_id; msrc = p; mdst = dst; payload; ment } :: buffer, next_id + 1))
+          (buffer0, config.next_id) effects.Model.sends
+      in
+      acc.t_expand <- acc.t_expand +. (clk () -. ta);
+      ( {
+          step_no = t';
+          states = states';
+          s_ents = config.s_ents;
+          buffer;
+          next_id;
+          ls = config.ls;
+          lm = config.lm;
+        },
+        effects.Model.outputs,
+        received )
+    end
+    else begin
+      let e_old = config.s_ents.(i) in
+      let r =
+        let mid =
+          match received with Some m -> Intern.id (Option.get m.ment) | None -> -1
+        in
+        let iv = (i * view_id_count) + view_ids.(t).(i) in
+        let sid = Intern.id e_old in
+        match Memo.find cache.c_step sid mid iv with
+        | Some r -> r
+        | None ->
+          let effects =
+            algo.Model.step ~n ~self:p (Intern.value e_old) (envelope ())
+              views.(t).(i)
           in
-          ((next_id, p, dst, payload, enc) :: buffer, next_id + 1))
-        (buffer, config.next_id) effects.Model.sends
-    in
-    ( {
-        step_no = config.step_no + 1;
-        states = Pid.Map.add p effects.Model.state config.states;
-        state_encs =
-          (if red.canon then
-             Pid.Map.add p (Canon.encode_value effects.Model.state) config.state_encs
-           else config.state_encs);
-        buffer;
-        next_id;
-      },
-      effects.Model.outputs )
+          let r =
+            {
+              r_ent = Intern.intern cache.c_state effects.Model.state;
+              r_sends =
+                List.map
+                  (fun (dst, payload) ->
+                    (dst, payload, Intern.intern cache.c_msg (p, dst, payload)))
+                  effects.Model.sends;
+              r_outputs = effects.Model.outputs;
+            }
+          in
+          Memo.add cache.c_step sid mid iv (Some r);
+          r
+      in
+      let tb = clk () in
+      let e_new = r.r_ent in
+      let s_ents' = Array.copy config.s_ents in
+      s_ents'.(i) <- e_new;
+      let ls' = Array.copy config.ls in
+      for k = 0 to sm_lanes - 1 do
+        let img = grp.(k).(i) in
+        ls'.(k) <-
+          ls'.(k)
+          - Hashing.combine_int img (Intern.h (Intern.ren e_old k))
+          + Hashing.combine_int img (Intern.h (Intern.ren e_new k))
+      done;
+      let lm' = Array.copy config.lm in
+      (match received with
+      | None -> ()
+      | Some m ->
+        (* the receiver is its destination and is alive now, so the
+           message was counted: unconditionally subtract *)
+        let ment = Option.get m.ment in
+        for k = 0 to sm_lanes - 1 do
+          lm'.(k) <- lm'.(k) - Intern.h (Intern.ren ment k)
+        done);
+      if red.view && any_death.(t') then
+        List.iter
+          (fun m ->
+            if dies_at.(t').(Pid.to_int m.mdst - 1) then begin
+              let ment = Option.get m.ment in
+              for k = 0 to sm_lanes - 1 do
+                lm'.(k) <- lm'.(k) - Intern.h (Intern.ren ment k)
+              done
+            end)
+          buffer0;
+      let buffer, next_id =
+        List.fold_left
+          (fun (buffer, next_id) (dst, payload, ment) ->
+            if (not red.view) || alive.(t').(Pid.to_int dst - 1) then
+              for k = 0 to sm_lanes - 1 do
+                lm'.(k) <- lm'.(k) + Intern.h (Intern.ren ment k)
+              done;
+            ( { mid = next_id; msrc = p; mdst = dst; payload; ment = Some ment }
+              :: buffer,
+              next_id + 1 ))
+          (buffer0, config.next_id) r.r_sends
+      in
+      let tc = clk () in
+      acc.t_expand <- acc.t_expand +. (tb -. ta);
+      acc.t_hash <- acc.t_hash +. (tc -. tb);
+      ( {
+          step_no = t';
+          states = config.states;
+          s_ents = s_ents';
+          buffer;
+          next_id;
+          ls = ls';
+          lm = lm';
+        },
+        r.r_outputs,
+        received )
+    end
   in
-  (* --- the Reduction pipeline: config -> canonical encoding --- *)
-  (* Dead-message gc (the first half of the detector-view canonicalizer): a
-     message addressed to an already-crashed process can never be received —
-     crashes are permanent and only alive processes schedule — so it is
-     path bookkeeping and is erased from the encoding. *)
-  let live_messages config =
-    let now = Time.of_int config.step_no in
-    if red.view then
-      List.filter
-        (fun (_, _, dst, _, _) -> Pattern.is_alive pattern dst now)
-        config.buffer
-    else config.buffer
+  (* --- canonical identity: fingerprint, orbit choice, packed key ---
+     The 63-bit fingerprint of lane k is the hash of the configuration as
+     renamed by group element k, assembled from the incrementally
+     maintained sums.  The orbit representative is the lane with the
+     smallest fingerprint — a pure function of the component values, so
+     every walk (and every frontier task) picks the same one.  The stored
+     key packs the interned ids of the representative's components:
+     within one table's lifetime ids are in bijection with distinct
+     values, so key equality is exact state equality — the byte-exact
+     confirmation the visited store performs on every fingerprint hit. *)
+  let fp_of config lo k =
+    Hashing.combine_int
+      (Hashing.combine_int
+         (Hashing.combine_int (Hashing.mix_int (clamp_step config.step_no)) config.ls.(k))
+         config.lm.(k))
+      lo.(k)
   in
-  let clamp_step step_no = Stdlib.min step_no red.quiesce_at in
-  (* Index (in [red.group]) of the permutation that produced the chosen
-     orbit representative, plus the representative itself. *)
-  let encode config (outputs : 'o outputs) output_encs =
-    let step_no = clamp_step config.step_no in
-    let live = live_messages config in
-    let identity_enc =
-      Canon.assemble ~step_no
-        ~states:(List.rev (Pid.Map.fold (fun _ e acc -> e :: acc) config.state_encs []))
-        ~messages:(List.map (fun (_, _, _, _, e) -> e) live)
-        ~outputs:output_encs
+  let grow a = Array.append a (Array.make (Array.length a) 0) in
+  let pack cache config out_ents k =
+    let t = config.step_no in
+    let nm = ref 0 in
+    List.iter
+      (fun m ->
+        if counted t m then begin
+          if !nm >= Array.length cache.sc_mids then
+            cache.sc_mids <- grow cache.sc_mids;
+          cache.sc_mids.(!nm) <- Intern.id (Intern.ren (Option.get m.ment) k);
+          incr nm
+        end)
+      config.buffer;
+    let mids = cache.sc_mids in
+    isort mids !nm;
+    let no = ref 0 in
+    List.iter
+      (fun e ->
+        if !no >= Array.length cache.sc_oids then cache.sc_oids <- grow cache.sc_oids;
+        cache.sc_oids.(!no) <- Intern.id (Intern.ren e k);
+        incr no)
+      out_ents;
+    let oids = cache.sc_oids in
+    isort oids !no;
+    let b = Bytes.create (4 * (3 + n + !nm + !no)) in
+    put4 b 0 (clamp_step t);
+    for q = 0 to n - 1 do
+      put4 b (4 * (1 + q)) (Intern.id (Intern.ren config.s_ents.(inv.(k).(q) - 1) k))
+    done;
+    let off = 4 * (1 + n) in
+    put4 b off !nm;
+    for idx = 0 to !nm - 1 do
+      put4 b (off + 4 * (1 + idx)) mids.(idx)
+    done;
+    let off = off + 4 * (1 + !nm) in
+    put4 b off !no;
+    for idx = 0 to !no - 1 do
+      put4 b (off + 4 * (1 + idx)) oids.(idx)
+    done;
+    Bytes.unsafe_to_string b
+  in
+  (* Index (in [red.group]) of the representative's permutation, the store
+     fingerprint, and the packed id-vector key. *)
+  let encode cache config lo out_ents =
+    let k =
+      if (not red.orbit_merge) || g_order = 1 then 0
+      else begin
+        let best = ref (fp_of config lo 0) and bi = ref 0 in
+        for k = 1 to g_order - 1 do
+          let f = fp_of config lo k in
+          if f < !best then begin
+            best := f;
+            bi := k
+          end
+        done;
+        !bi
+      end
     in
-    match (red.orbit_merge, red.spec) with
-    | false, _ | _, None -> (0, identity_enc)
-    | true, Some spec ->
-      let best = ref (0, identity_enc) in
-      List.iteri
-        (fun i pi ->
-          if i > 0 then begin
-            let pid = Symmetry.apply pi in
-            let value = spec.value_map pi in
-            let renamed_states =
-              Pid.Map.fold
-                (fun p s acc ->
-                  Pid.Map.add (pid p)
-                    (Canon.encode_value
-                       (spec.renamer.Symmetry.rename_state ~pid ~value s))
-                    acc)
-                config.states Pid.Map.empty
-            in
-            let enc =
-              Canon.assemble ~step_no
-                ~states:
-                  (List.rev
-                     (Pid.Map.fold (fun _ e acc -> e :: acc) renamed_states []))
-                ~messages:
-                  (List.map
-                     (fun (_, src, dst, m, _) ->
-                       Canon.encode_value
-                         ( pid src,
-                           pid dst,
-                           spec.renamer.Symmetry.rename_msg ~pid ~value m ))
-                     live)
-                ~outputs:
-                  (List.map
-                     (fun (p, o) -> Canon.encode_value (pid p, value o))
-                     outputs)
-            in
-            let _, cur = !best in
-            if String.compare (Canon.bytes enc) (Canon.bytes cur) < 0 then
-              best := (i, enc)
-          end)
-        red.group;
-      !best
+    (k, Int64.of_int (fp_of config lo k), pack cache config out_ents k)
   in
   (* Decision states: the multiset of outputs emitted so far.  Under
      symmetry the recorded multiset is its orbit representative, so the
-     quotiented sets stay comparable byte-for-byte across runs. *)
-  let quotient_decision (outputs : 'o outputs) output_encs =
+     quotiented sets stay comparable byte-for-byte across runs.  The
+     renamed encodings come off the interned outputs' lanes — memoized,
+     never recomputed. *)
+  let quotient_decision out_ents =
     match red.spec with
-    | None -> Canon.multiset output_encs
-    | Some spec ->
-      List.fold_left
-        (fun best pi ->
-          let enc =
-            if Symmetry.is_identity pi then Canon.multiset output_encs
-            else
-              let pid = Symmetry.apply pi and value = spec.value_map pi in
-              Canon.multiset
-                (List.map (fun (p, o) -> Canon.encode_value (pid p, value o)) outputs)
-          in
-          if String.compare enc best < 0 then enc else best)
-        (Canon.multiset output_encs)
-        red.group
+    | None -> Canon.multiset (List.map Intern.enc out_ents)
+    | Some _ ->
+      let best = ref (Canon.multiset (List.map Intern.enc out_ents)) in
+      for k = 1 to g_order - 1 do
+        let enc =
+          Canon.multiset (List.map (fun e -> Intern.enc (Intern.ren e k)) out_ents)
+        in
+        if String.compare enc !best < 0 then best := enc
+      done;
+      !best
   in
   (* Two choices are independent at a configuration iff they belong to
      distinct processes that both survive the next tick and whose detector
@@ -383,47 +789,28 @@ let run ?(max_steps = 12) ?(max_nodes = 200_000) ?(max_violations = 5)
      distinct, so neither consumes nor preempts the other's message, and
      neither step's inputs change).  The base [por] layer admits only
      delivery pairs; [por_lambda] extends the relation to pairs involving
-     internal lambda steps.  [stable] memoizes the per-process conditions
-     for the node being expanded. *)
-  let independence config =
-    let now = Time.of_int config.step_no in
-    let next = Time.of_int (config.step_no + 1) in
-    let stable = Array.make (n + 1) None in
-    let is_stable p =
-      let i = Pid.to_int p in
-      match stable.(i) with
-      | Some b -> b
-      | None ->
-        let b =
-          Pattern.is_alive pattern p next
-          && d_equal
-               (Detector.query detector pattern p now)
-               (Detector.query detector pattern p next)
-        in
-        stable.(i) <- Some b;
-        b
-    in
-    fun ((p, ra) : choice) ((q, rb) : choice) ->
-      (not (Pid.equal p q))
-      && (match (ra, rb) with
-         | Some _, Some _ -> red.por
-         | None, _ | _, None -> red.por_lambda)
-      && is_stable p && is_stable q
+     internal lambda steps.  The per-process condition is the precomputed
+     [stable] table. *)
+  let indep_at t ((p, ra) : choice) ((q, rb) : choice) =
+    (not (Pid.equal p q))
+    && (match (ra, rb) with
+       | Some _, Some _ -> red.por
+       | None, _ | _, None -> red.por_lambda)
+    && stable.(t).(Pid.to_int p - 1)
+    && stable.(t).(Pid.to_int q - 1)
   in
   let sleeping = red.por || red.por_lambda in
+  let lambda_tag = 0x6C616D62 in
   (* A path-independent descriptor for a slept choice: the process plus the
-     canonical bytes of the received message (a tag for lambda), so sleep
-     sets reached along different paths compare meaningfully. *)
-  let descriptor config ((p, receive) : choice) =
-    match receive with
-    | None -> Hashing.combine (Hashing.of_int (Pid.to_int p)) 0x6C616D62L
-    | Some (id, _) ->
-      let enc =
-        match List.find_opt (fun (id', _, _, _, _) -> id' = id) config.buffer with
-        | Some (_, _, _, _, e) -> e
-        | None -> ""
-      in
-      Hashing.combine (Hashing.of_int (Pid.to_int p)) (Hashing.of_string enc)
+     fingerprint of the received message (a tag for lambda), so sleep sets
+     reached along different paths compare meaningfully.  The explored
+     child's message was already extracted by [apply], so the descriptor
+     comes straight off it — no buffer search. *)
+  let descriptor p received =
+    match received with
+    | None -> Hashing.combine_int (Pid.to_int p) lambda_tag
+    | Some { ment = Some e; _ } -> Hashing.combine_int (Pid.to_int p) (Intern.h e)
+    | Some { ment = None; _ } -> Hashing.combine_int (Pid.to_int p) 0
   in
   (* The same descriptor pushed through the orbit-representative renaming:
      sleep sets stored with a canonical state must be named in the {e
@@ -431,31 +818,56 @@ let run ?(max_steps = 12) ?(max_nodes = 200_000) ?(max_violations = 5)
      only up to a permutation still compare their sleep sets meaningfully.
      For the identity orbit the concrete descriptor is already in rep
      space. *)
-  let rep_descriptor ~orbit config ((p, receive) as b : choice) concrete =
+  let rep_descriptor ~orbit config ((p, receive) : choice) concrete =
     if orbit = 0 then concrete
     else
-      match red.spec with
-      | None -> concrete
-      | Some spec -> (
-        let pi = List.nth red.group orbit in
-        let pid = Symmetry.apply pi in
-        match receive with
-        | None ->
-          Hashing.combine (Hashing.of_int (Pid.to_int (pid p))) 0x6C616D62L
-        | Some (id, _) -> (
-          match
-            List.find_opt (fun (id', _, _, _, _) -> id' = id) config.buffer
-          with
-          | None -> descriptor config b
-          | Some (_, src, dst, m, _) ->
-            let value = spec.value_map pi in
-            let enc =
-              Canon.encode_value
-                (pid src, pid dst, spec.renamer.Symmetry.rename_msg ~pid ~value m)
-            in
-            Hashing.combine
-              (Hashing.of_int (Pid.to_int (pid p)))
-              (Hashing.of_string enc)))
+      match receive with
+      | None -> Hashing.combine_int grp.(orbit).(Pid.to_int p - 1) lambda_tag
+      | Some (id, _) -> (
+        match List.find_opt (fun m -> m.mid = id) config.buffer with
+        | Some { ment = Some e; _ } ->
+          Hashing.combine_int
+            grp.(orbit).(Pid.to_int p - 1)
+            (Intern.h (Intern.ren e orbit))
+        | _ -> concrete)
+  in
+  (* Frontier tasks run in their own domain: fingerprints and canonical
+     bytes transfer (pure functions of the values), intern ids do not —
+     rebuild the root's interned identities and lanes in the task's own
+     tables. *)
+  let reintern cache config outputs =
+    let s_ents =
+      if red.canon then
+        (* the prefix walk's entries belong to another domain's table; only
+           their values cross — re-intern them here *)
+        Array.map
+          (fun e -> Intern.intern cache.c_state (Intern.value e))
+          config.s_ents
+      else [||]
+    in
+    let buffer =
+      List.map
+        (fun m ->
+          {
+            m with
+            ment =
+              (if enc_on then Some (Intern.intern cache.c_msg (m.msrc, m.mdst, m.payload))
+               else None);
+          })
+        config.buffer
+    in
+    let out_ents = List.rev_map (fun (p, o) -> Intern.intern cache.c_out (p, o)) outputs in
+    let config =
+      {
+        config with
+        s_ents;
+        buffer;
+        ls = (if red.canon then scratch_s_lanes s_ents else [||]);
+        lm = (if red.canon then scratch_m_lanes config.step_no buffer else [||]);
+      }
+    in
+    let lo = if red.canon then scratch_o_lanes out_ents else [||] in
+    (config, lo, out_ents)
   in
   (* --- one sequential traversal (shared by both strategies) ---
 
@@ -478,10 +890,10 @@ let run ?(max_steps = 12) ?(max_nodes = 200_000) ?(max_violations = 5)
      intersection, the standard sound combination of sleep sets with state
      caching, lifted along the orbit isomorphism (sound because decision
      multisets are orbit-quotiented). *)
-  let traverse ~(acc : 'o acc) ~visited ~node_budget ~root_config ~root_encs
-      ~root_outputs ~root_steps ~decisions =
-    let record_decision outputs output_encs =
-      let enc = quotient_decision outputs output_encs in
+  let traverse ~cache ~(acc : 'o acc) ~visited ~node_budget ~root_config ~root_lo
+      ~root_out_ents ~root_outputs ~root_steps ~decisions =
+    let record_decision out_ents =
+      let enc = quotient_decision out_ents in
       let key = Hashing.of_string enc in
       match Hashing.Table.find decisions ~key enc with
       | Some () -> ()
@@ -528,13 +940,16 @@ let run ?(max_steps = 12) ?(max_nodes = 200_000) ?(max_violations = 5)
                  done_ = acc.nodes; total = Some node_budget; rate; detail }))
       end
     in
-    let rec dfs config output_encs outputs steps sleep =
+    (* [steps] is kept newest-first and reversed when a violation is
+       recorded — appending per child would copy the whole path each
+       time. *)
+    let rec dfs config lo out_ents outputs steps sleep =
       acc.nodes <- acc.nodes + 1;
       progress ();
       if config.step_no > acc.deepest then acc.deepest <- config.step_no;
       if config.step_no < max_steps then begin
         let cs = choices config in
-        let indep = if sleeping then independence config else fun _ _ -> false in
+        let t = config.step_no in
         let done_ = ref [] in
         List.iter
           (fun (a : choice) ->
@@ -551,60 +966,80 @@ let run ?(max_steps = 12) ?(max_nodes = 200_000) ?(max_violations = 5)
               end
               else begin
                 let expand () =
-                  let config', outs = apply config a in
-                  let p, receive = a in
-                  let outputs' = outputs @ List.map (fun o -> (p, o)) outs in
-                  let output_encs' =
-                    if outs = [] then output_encs
-                    else
-                      List.fold_left
-                        (fun acc o -> Canon.encode_value (p, o) :: acc)
-                        output_encs outs
+                  let config', outs, received = apply cache acc config a in
+                  let p, _ = a in
+                  if sleeping then
+                    done_ := (a, descriptor p received) :: !done_;
+                  let outputs' =
+                    if outs = [] then outputs
+                    else outputs @ List.map (fun o -> (p, o)) outs
+                  in
+                  let out_ents', lo' =
+                    if outs = [] then (out_ents, lo)
+                    else begin
+                      let lo' = if red.canon then Array.copy lo else lo in
+                      let ents =
+                        List.fold_left
+                          (fun ents o ->
+                            let e = Intern.intern cache.c_out (p, o) in
+                            if red.canon then
+                              for k = 0 to sm_lanes - 1 do
+                                lo'.(k) <- lo'.(k) + Intern.h (Intern.ren e k)
+                              done;
+                            e :: ents)
+                          out_ents outs
+                      in
+                      (ents, lo')
+                    end
                   in
                   let steps' =
-                    steps
-                    @ [ ( p,
-                          match receive with
-                          | None -> None
-                          | Some (id, src) ->
-                            let enc =
-                              match
-                                List.find_opt
-                                  (fun (id', _, _, _, _) -> id' = id)
-                                  config.buffer
-                              with
-                              | Some (_, _, _, _, e) -> e
-                              | None -> ""
-                            in
-                            Some (src, enc) ) ]
+                    ( p,
+                      match received with
+                      | None -> None
+                      | Some m ->
+                        Some
+                          ( m.msrc,
+                            match m.ment with Some e -> Intern.enc e | None -> ""
+                          ) )
+                    :: steps
                   in
+                  if paranoid && red.canon then begin
+                    if
+                      scratch_s_lanes config'.s_ents <> config'.ls
+                      || scratch_m_lanes config'.step_no config'.buffer
+                         <> config'.lm
+                      || scratch_o_lanes out_ents' <> lo'
+                    then
+                      failwith
+                        "Explore: incremental fingerprint diverged from \
+                         from-scratch recomputation"
+                  end;
                   let sleep' =
                     if sleeping then
-                      List.filter (fun (b, _) -> indep a b) (!done_ @ sleep)
+                      List.filter (fun (b, _) -> indep_at t a b) (!done_ @ sleep)
                     else []
                   in
                   let visit sleep' =
-                    if outs <> [] then record_decision outputs' output_encs';
+                    if outs <> [] then record_decision out_ents';
                     (match (outs, check outputs') with
                     | _ :: _, Some reason ->
+                      let chron = List.rev steps' in
                       add_violation
                         {
                           at_step = config'.step_no;
                           trail =
-                            List.map
-                              (fun (p, r) -> (p, Option.map fst r))
-                              steps';
-                          schedule = steps';
+                            List.map (fun (p, r) -> (p, Option.map fst r)) chron;
+                          schedule = chron;
                           outputs = outputs';
                           reason;
                         }
                     | _ -> ());
-                    dfs config' output_encs' outputs' steps' sleep'
+                    dfs config' lo' out_ents' outputs' steps' sleep'
                   in
                   if not red.canon then visit sleep'
                   else begin
-                    let orbit, c = encode config' outputs' output_encs' in
-                    let key = Canon.key c and bytes = Canon.bytes c in
+                    let t2 = clk () in
+                    let orbit, key, bytes = encode cache config' lo' out_ents' in
                     if orbit > 0 then
                       acc.orbit_collapsed <- acc.orbit_collapsed + 1;
                     (* the CONCRETE depth, not the clamped one: the clock
@@ -619,9 +1054,12 @@ let run ?(max_steps = 12) ?(max_nodes = 200_000) ?(max_violations = 5)
                         sleep'
                     in
                     let descs = sorted_descs (List.map snd rdescs) in
-                    match Store.find visited ~key bytes with
+                    let t3 = clk () in
+                    acc.t_encode <- acc.t_encode +. (t3 -. t2);
+                    (match Store.find visited ~key bytes with
                     | Some (s_step, s_descs)
                       when s_step <= step' && desc_subset s_descs descs ->
+                      acc.t_confirm <- acc.t_confirm +. (clk () -. t3);
                       acc.deduped <- acc.deduped + 1
                     | prior ->
                       let stored, sleep' =
@@ -632,30 +1070,30 @@ let run ?(max_steps = 12) ?(max_nodes = 200_000) ?(max_violations = 5)
                           ( (Stdlib.min s_step step', inter),
                             List.filter_map
                               (fun (e, rd) ->
-                                if List.exists (Int64.equal rd) inter then
-                                  Some e
+                                if List.exists (Int.equal rd) inter then Some e
                                 else None)
                               rdescs )
                       in
                       Store.set visited ~key bytes stored;
+                      acc.t_confirm <- acc.t_confirm +. (clk () -. t3);
                       if acc.nodes >= node_budget then acc.truncated <- true
-                      else visit sleep'
+                      else visit sleep')
                   end
                 in
                 if red.canon then expand ()
                 else if acc.nodes >= node_budget then acc.truncated <- true
-                else expand ();
-                if sleeping then done_ := (a, descriptor config a) :: !done_
+                else expand ()
               end
             end)
           cs
       end
     in
-    dfs root_config root_encs root_outputs root_steps []
+    dfs root_config root_lo root_out_ents root_outputs root_steps []
   in
   (* ---------- strategies ---------- *)
   let dfs_strategy () =
     let acc = fresh_acc () in
+    let cache = make_cache () in
     let visited = make_store store_cfg in
     let decisions : unit Hashing.Table.t =
       Hashing.Table.create ~initial:64 ()
@@ -665,11 +1103,11 @@ let run ?(max_steps = 12) ?(max_nodes = 200_000) ?(max_violations = 5)
     Hashing.Table.set decisions
       ~key:(Hashing.of_string (Canon.multiset []))
       (Canon.multiset []) ();
-    traverse ~acc ~visited ~node_budget:max_nodes ~root_config:initial
-      ~root_encs:[] ~root_outputs:[] ~root_steps:[] ~decisions;
-    let distinct =
-      if red.canon then Store.length visited else acc.nodes
-    in
+    traverse ~cache ~acc ~visited ~node_budget:max_nodes
+      ~root_config:(initial cache)
+      ~root_lo:(if red.canon then Array.make sm_lanes 0 else [||])
+      ~root_out_ents:[] ~root_outputs:[] ~root_steps:[] ~decisions;
+    let distinct = if red.canon then Store.length visited else acc.nodes in
     let spilled = Store.spilled visited in
     Store.close visited;
     ( acc,
@@ -688,6 +1126,7 @@ let run ?(max_steps = 12) ?(max_nodes = 200_000) ?(max_violations = 5)
        pool size, so the report is a pure function of the scope — byte-
        identical at any worker count. *)
     let acc = fresh_acc () in
+    let cache = make_cache () in
     let visited = make_store ~suffix:"-prefix" store_cfg in
     let decisions : unit Hashing.Table.t =
       Hashing.Table.create ~initial:64 ()
@@ -696,8 +1135,8 @@ let run ?(max_steps = 12) ?(max_nodes = 200_000) ?(max_violations = 5)
     Hashing.Table.set decisions
       ~key:(Hashing.of_string (Canon.multiset []))
       (Canon.multiset []) ();
-    let record_decision outputs output_encs =
-      let enc = quotient_decision outputs output_encs in
+    let record_decision out_ents =
+      let enc = quotient_decision out_ents in
       let key = Hashing.of_string enc in
       match Hashing.Table.find decisions ~key enc with
       | Some () -> ()
@@ -707,14 +1146,16 @@ let run ?(max_steps = 12) ?(max_nodes = 200_000) ?(max_violations = 5)
     in
     let target = Stdlib.max 1 frontier in
     let queue = Queue.create () in
-    Queue.push (initial, [], [], []) queue;
+    Queue.push
+      (initial cache, (if red.canon then Array.make sm_lanes 0 else [||]), [], [], [])
+      queue;
     while
       Queue.length queue > 0
       && Queue.length queue < target
       && (not acc.truncated)
       && List.length acc.violations < max_violations
     do
-      let config, output_encs, outputs, steps = Queue.pop queue in
+      let config, lo, out_ents, outputs, steps = Queue.pop queue in
       acc.nodes <- acc.nodes + 1;
       if config.step_no > acc.deepest then acc.deepest <- config.step_no;
       if config.step_no < max_steps then
@@ -724,50 +1165,59 @@ let run ?(max_steps = 12) ?(max_nodes = 200_000) ?(max_violations = 5)
               (not acc.truncated)
               && List.length acc.violations < max_violations
             then begin
-              let config', outs = apply config a in
-              let p, receive = a in
-              let outputs' = outputs @ List.map (fun o -> (p, o)) outs in
-              let output_encs' =
-                if outs = [] then output_encs
-                else
-                  List.fold_left
-                    (fun acc o -> Canon.encode_value (p, o) :: acc)
-                    output_encs outs
+              let config', outs, received = apply cache acc config a in
+              let p, _ = a in
+              let outputs' =
+                if outs = [] then outputs
+                else outputs @ List.map (fun o -> (p, o)) outs
+              in
+              let out_ents', lo' =
+                if outs = [] then (out_ents, lo)
+                else begin
+                  let lo' = if red.canon then Array.copy lo else lo in
+                  let ents =
+                    List.fold_left
+                      (fun ents o ->
+                        let e = Intern.intern cache.c_out (p, o) in
+                        if red.canon then
+                          for k = 0 to sm_lanes - 1 do
+                            lo'.(k) <- lo'.(k) + Intern.h (Intern.ren e k)
+                          done;
+                        e :: ents)
+                      out_ents outs
+                  in
+                  (ents, lo')
+                end
               in
               let steps' =
-                steps
-                @ [ ( p,
-                      match receive with
-                      | None -> None
-                      | Some (id, src) ->
-                        let enc =
-                          match
-                            List.find_opt
-                              (fun (id', _, _, _, _) -> id' = id)
-                              config.buffer
-                          with
-                          | Some (_, _, _, _, e) -> e
-                          | None -> ""
-                        in
-                        Some (src, enc) ) ]
+                ( p,
+                  match received with
+                  | None -> None
+                  | Some m ->
+                    Some
+                      ( m.msrc,
+                        match m.ment with Some e -> Intern.enc e | None -> "" )
+                )
+                :: steps
               in
               let admit () =
-                if outs <> [] then record_decision outputs' output_encs';
+                if outs <> [] then record_decision out_ents';
                 (match (outs, check outputs') with
                 | _ :: _, Some reason ->
                   if List.length acc.violations < max_violations then
+                    let chron = List.rev steps' in
                     acc.violations <-
                       {
                         at_step = config'.step_no;
                         trail =
-                          List.map (fun (p, r) -> (p, Option.map fst r)) steps';
-                        schedule = steps';
+                          List.map (fun (p, r) -> (p, Option.map fst r)) chron;
+                        schedule = chron;
                         outputs = outputs';
                         reason;
                       }
                       :: acc.violations
                 | _ -> ());
-                Queue.push (config', output_encs', outputs', steps') queue
+                Queue.push (config', lo', out_ents', outputs', steps') queue
               in
               if not red.canon then begin
                 if acc.nodes + Queue.length queue >= max_nodes then
@@ -775,8 +1225,7 @@ let run ?(max_steps = 12) ?(max_nodes = 200_000) ?(max_violations = 5)
                 else admit ()
               end
               else begin
-                let orbit, c = encode config' outputs' output_encs' in
-                let key = Canon.key c and bytes = Canon.bytes c in
+                let orbit, key, bytes = encode cache config' lo' out_ents' in
                 if orbit > 0 then acc.orbit_collapsed <- acc.orbit_collapsed + 1;
                 let step' = config'.step_no in
                 match Store.find visited ~key bytes with
@@ -803,7 +1252,7 @@ let run ?(max_steps = 12) ?(max_nodes = 200_000) ?(max_violations = 5)
     | None -> ()
     | Some m ->
       List.iter
-        (fun (c, _, _, _) ->
+        (fun (c, _, _, _, _) ->
           Rlfd_obs.Metrics.observe m "explore_frontier_depth"
             (float_of_int c.step_no))
         roots);
@@ -817,15 +1266,19 @@ let run ?(max_steps = 12) ?(max_nodes = 200_000) ?(max_violations = 5)
             ~name:"explore-frontier" ~seed:0 ~total:n_roots
             ~label:(fun i -> Printf.sprintf "root-%d" i)
             (fun ~rng:_ ~metrics:_ i ->
-              let config, output_encs, outputs, steps = root_arr.(i) in
+              let config0, _, _, outputs, steps = root_arr.(i) in
+              let task_cache = make_cache () in
+              let config, lo, out_ents = reintern task_cache config0 outputs in
               let task = fresh_acc () in
-              let task_store = make_store ~suffix:(Printf.sprintf "-%d" i) store_cfg in
+              let task_store =
+                make_store ~suffix:(Printf.sprintf "-%d" i) store_cfg
+              in
               let task_decisions : unit Hashing.Table.t =
                 Hashing.Table.create ~initial:64 ()
               in
-              traverse ~acc:task ~visited:task_store ~node_budget:budget
-                ~root_config:config ~root_encs:output_encs
-                ~root_outputs:outputs ~root_steps:steps
+              traverse ~cache:task_cache ~acc:task ~visited:task_store
+                ~node_budget:budget ~root_config:config ~root_lo:lo
+                ~root_out_ents:out_ents ~root_outputs:outputs ~root_steps:steps
                 ~decisions:task_decisions;
               let distinct =
                 if red.canon then Store.length task_store else task.nodes
@@ -866,6 +1319,10 @@ let run ?(max_steps = 12) ?(max_nodes = 200_000) ?(max_violations = 5)
         acc.por_pruned <- acc.por_pruned + task.por_pruned;
         acc.lambda_pruned <- acc.lambda_pruned + task.lambda_pruned;
         acc.orbit_collapsed <- acc.orbit_collapsed + task.orbit_collapsed;
+        acc.t_expand <- acc.t_expand +. task.t_expand;
+        acc.t_hash <- acc.t_hash +. task.t_hash;
+        acc.t_encode <- acc.t_encode +. task.t_encode;
+        acc.t_confirm <- acc.t_confirm +. task.t_confirm;
         distinct := !distinct + task_distinct;
         spilled := !spilled + task_spilled;
         List.iter add_decision task.decision_list;
@@ -888,6 +1345,14 @@ let run ?(max_steps = 12) ?(max_nodes = 200_000) ?(max_violations = 5)
       if k < 1 then invalid_arg "Explore.run: workers < 1";
       frontier_strategy k
   in
+  (match attribution with
+  | None -> ()
+  | Some r ->
+    r :=
+      [ ("expand_s", acc.t_expand);
+        ("hash_s", acc.t_hash);
+        ("encode_s", acc.t_encode);
+        ("confirm_s", acc.t_confirm) ]);
   (match metrics with
   | None -> ()
   | Some m ->
@@ -935,7 +1400,9 @@ let describe ?(max_steps = 12) ?(canon = false) ?view ?(por = false)
       ~detector ~d_equal ~max_steps ()
   in
   let reduction_lines =
-    [ (if red.canon then "reduction: canon (canonical-encoding dedup)"
+    [ (if red.canon then
+         "reduction: canon (incremental-fingerprint dedup: per-step delta \
+          hashing, interned components, id-vector keys confirmed exactly)"
        else "reduction: canon off (naive enumeration)") ]
     @ (if red.view then
          [ Printf.sprintf
@@ -956,7 +1423,8 @@ let describe ?(max_steps = 12) ?(canon = false) ?view ?(por = false)
     | Some _ ->
       [ Printf.sprintf
           "reduction: symmetry (group order %d after crash-pattern and \
-           detector equivariance)"
+           detector equivariance; orbit representative = min fingerprint \
+           lane, renamings hashconsed)"
           (List.length red.group) ]
   in
   let strategy_line =
@@ -969,7 +1437,9 @@ let describe ?(max_steps = 12) ?(canon = false) ?view ?(por = false)
   in
   let store_line =
     match spill with
-    | None -> "store: in-ram (Hashing.Table behind Store)"
+    | None ->
+      "store: in-ram (fingerprint probe + exact key confirm, Hashing.Table \
+       behind Store)"
     | Some dir -> Printf.sprintf "store: spill-to-disk under %s" dir
   in
   reduction_lines @ [ strategy_line; store_line ]

@@ -187,6 +187,8 @@ val run :
   ?d_equal:('d -> 'd -> bool) ->
   ?sink:Rlfd_obs.Trace.sink ->
   ?metrics:Rlfd_obs.Metrics.t ->
+  ?attribution:(string * float) list ref ->
+  ?paranoid:bool ->
   pattern:Pattern.t ->
   detector:'d Detector.t ->
   check:('o outputs -> string option) ->
@@ -249,7 +251,20 @@ val run :
     enabled, the [explore_steals] counter (frontier tasks dispatched to
     the worker pool) and [explore_frontier_depth] histogram under the
     frontier strategy, and the [explore_nodes_per_sec] throughput
-    gauge. *)
+    gauge.
+
+    [attribution], when supplied, receives the per-phase wall-time split of
+    the canonical pipeline after the run: [expand_s] (choice application
+    and automaton steps), [hash_s] (interning and incremental lane
+    updates), [encode_s] (orbit choice and key packing), [confirm_s]
+    (visited-store probe and insert).  Sampling clocks around every phase
+    costs a few percent, so leave it off for throughput measurements.
+
+    [paranoid] (default [false]) recomputes every configuration's
+    fingerprint lanes from scratch at every expanded edge and fails
+    ([Failure]) on any divergence from the incrementally maintained ones —
+    the property-test hook for the delta-hashing kernel, far too slow for
+    real scopes. *)
 
 val describe :
   ?max_steps:int ->

@@ -526,6 +526,63 @@ let strategy_tests =
           [ "canon"; "clamp"; "sleep"; "lambda"; "symmetry"; "frontier" ]);
   ]
 
+(* ---------- the incremental-fingerprint kernel under paranoid audit ---------- *)
+
+(* [~paranoid:true] recomputes every configuration's fingerprint lanes from
+   scratch at every expanded edge and raises on any divergence from the
+   incrementally maintained ones — the oracle for the delta-hashing
+   kernel.  These scopes are small enough that the quadratic audit stays
+   cheap. *)
+let paranoid_tests =
+  [
+    test "paranoid audit passes on the headline scope, full stack" (fun () ->
+        let report =
+          Explore.run ~max_steps:9 ~max_nodes:400_000 ~canon:true ~por:true
+            ~por_lambda:true ~symmetry:(sym_spec ~n) ~d_equal ~paranoid:true
+            ~pattern:(pattern ~n [ (1, 2) ])
+            ~detector:Perfect.canonical ~check:safety
+            (Ct_strong.automaton ~proposals)
+        in
+        Alcotest.(check bool) "complete" true report.Explore.complete;
+        Alcotest.(check int) "no violations" 0
+          (List.length report.Explore.violations));
+    qtest ~count:8 "incremental fingerprints = from-scratch, random scopes"
+      QCheck.(pair small_int small_int)
+      (fun (d, ct) ->
+        let max_steps = 5 + (d mod 4) in
+        let crash_time = 1 + (ct mod 3) in
+        let explore ~paranoid =
+          Explore.run ~max_steps ~max_nodes:400_000 ~canon:true ~por:true
+            ~por_lambda:true ~symmetry:(sym_spec ~n) ~d_equal ~paranoid
+            ~pattern:(pattern ~n [ (1, crash_time) ])
+            ~detector:Perfect.canonical ~check:safety
+            (Ct_strong.automaton ~proposals)
+        in
+        (* The audited run must not raise, and auditing must not perturb
+           what is explored. *)
+        let audited = explore ~paranoid:true in
+        let plain = explore ~paranoid:false in
+        audited.Explore.decision_states = plain.Explore.decision_states
+        && audited.Explore.nodes_explored = plain.Explore.nodes_explored
+        && audited.Explore.distinct_states = plain.Explore.distinct_states
+        && audited.Explore.complete && plain.Explore.complete);
+    qtest ~count:8 "paranoid agrees under canon alone (no symmetry, no POR)"
+      QCheck.small_int
+      (fun d ->
+        let max_steps = 5 + (d mod 4) in
+        let explore ~paranoid =
+          Explore.run ~max_steps ~max_nodes:400_000 ~canon:true ~d_equal
+            ~paranoid
+            ~pattern:(Pattern.failure_free ~n)
+            ~detector:Perfect.canonical ~check:safety
+            (Ct_strong.automaton ~proposals)
+        in
+        let audited = explore ~paranoid:true in
+        let plain = explore ~paranoid:false in
+        audited.Explore.decision_states = plain.Explore.decision_states
+        && audited.Explore.nodes_explored = plain.Explore.nodes_explored);
+  ]
+
 let () =
   Alcotest.run "explore"
     [
@@ -533,4 +590,5 @@ let () =
       suite "reductions" reduction_tests;
       suite "symmetry" symmetry_tests;
       suite "strategies-and-stores" strategy_tests;
+      suite "paranoid-fingerprint-audit" paranoid_tests;
     ]

@@ -415,6 +415,22 @@ let hashing_tests =
         Alcotest.(check (option int)) "second stored separately" (Some 2)
           (Hashing.Table.find t ~key "second");
         Alcotest.(check int) "two entries" 2 (Hashing.Table.length t));
+    test "keys differing only in the truncated top bit never conflate" (fun () ->
+        (* Internally the table keeps fingerprints as native 63-bit ints,
+           so these two 64-bit keys probe the same slot chain; the
+           full-byte confirmation must still keep the entries apart. *)
+        let t = Hashing.Table.create ~initial:8 () in
+        let low = 0x123456789ABCDEFL in
+        let high = Int64.logor low Int64.min_int in
+        Hashing.Table.set t ~key:low "low-bytes" 1;
+        Hashing.Table.set t ~key:high "high-bytes" 2;
+        Alcotest.(check (option int)) "low key, low bytes" (Some 1)
+          (Hashing.Table.find t ~key:low "low-bytes");
+        Alcotest.(check (option int)) "high key, high bytes" (Some 2)
+          (Hashing.Table.find t ~key:high "high-bytes");
+        Alcotest.(check (option int)) "high key, low bytes also found" (Some 1)
+          (Hashing.Table.find t ~key:high "low-bytes");
+        Alcotest.(check int) "two entries" 2 (Hashing.Table.length t));
     test "set overwrites in place" (fun () ->
         let t = Hashing.Table.create () in
         let key = Hashing.of_string "k" in
@@ -423,6 +439,60 @@ let hashing_tests =
         Alcotest.(check (option int)) "latest value" (Some 2)
           (Hashing.Table.find t ~key "k");
         Alcotest.(check int) "one entry" 1 (Hashing.Table.length t));
+  ]
+
+(* ---------- Intern: hashconsing for the fingerprint kernel ---------- *)
+
+let intern_tests =
+  [
+    test "ids are dense and in bijection with structural equality" (fun () ->
+        let t = Intern.create ~encode:(fun (a, b) -> Printf.sprintf "%d,%d" a b) () in
+        let e1 = Intern.intern t (1, 2) in
+        let e2 = Intern.intern t (3, 4) in
+        let e3 = Intern.intern t (1, 2) in
+        Alcotest.(check int) "first id" 0 (Intern.id e1);
+        Alcotest.(check int) "second id" 1 (Intern.id e2);
+        Alcotest.(check int) "structurally equal value, same id" (Intern.id e1)
+          (Intern.id e3);
+        Alcotest.(check bool) "same entry physically" true (e1 == e3);
+        Alcotest.(check int) "two distinct values" 2 (Intern.length t));
+    test "entries carry the value, encoding and fingerprint" (fun () ->
+        let encode = string_of_int in
+        let t = Intern.create ~encode () in
+        let e = Intern.intern t 42 in
+        Alcotest.(check int) "value recoverable" 42 (Intern.value e);
+        Alcotest.(check string) "enc is the canonical bytes" (encode 42)
+          (Intern.enc e);
+        Alcotest.(check bool) "h is the fingerprint of enc" true
+          (Intern.h e = Hashing.of_string_int (encode 42)));
+    test "renaming lanes intern the whole orbit once" (fun () ->
+        (* A 2-element group: identity and negation. *)
+        let t =
+          Intern.create ~nlanes:2
+            ~rename:(fun k v -> if k = 0 then v else -v)
+            ~encode:string_of_int ()
+        in
+        let e = Intern.intern t 5 in
+        Alcotest.(check bool) "lane 0 is the entry itself" true
+          (Intern.ren e 0 == e);
+        Alcotest.(check int) "lane 1 holds the renamed value" (-5)
+          (Intern.value (Intern.ren e 1));
+        Alcotest.(check bool) "renaming twice leads back" true
+          (Intern.ren (Intern.ren e 1) 1 == e);
+        Alcotest.(check int) "orbit interned eagerly" 2 (Intern.length t);
+        (* A fixed point of the group renames to itself. *)
+        let z = Intern.intern t 0 in
+        Alcotest.(check bool) "fixed point, same entry" true (Intern.ren z 1 == z));
+    test "fingerprints agree across independent tables" (fun () ->
+        let t1 = Intern.create ~encode:string_of_int () in
+        let t2 = Intern.create ~encode:string_of_int () in
+        ignore (Intern.intern t1 99);
+        Alcotest.(check bool) "h is a pure function of the value" true
+          (Intern.h (Intern.intern t1 7) = Intern.h (Intern.intern t2 7)));
+    test "create rejects nlanes < 1" (fun () ->
+        Alcotest.check_raises "nlanes = 0"
+          (Invalid_argument "Intern.create: nlanes < 1") (fun () ->
+            ignore (Intern.create ~nlanes:0 ~encode:string_of_int ())));
   ]
 
 (* ---------- Store: the explorer's visited-set tiers ---------- *)
@@ -531,5 +601,6 @@ let () =
       suite "stats" stats_tests;
       suite "table" table_tests;
       suite "hashing" hashing_tests;
+      suite "intern" intern_tests;
       suite "store" store_tests;
     ]
