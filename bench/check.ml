@@ -1,0 +1,228 @@
+(* The bench-regression gate.
+
+   Compares freshly generated BENCH_*.json files against committed
+   baselines under bench/baselines/, rule by rule:
+
+     dune exec bench/check.exe -- --baseline-dir bench/baselines \
+       BENCH_explore.json BENCH_campaign.json
+
+   bench/baselines/tolerances.json maps each file's basename to a list of
+   rules.  A rule is {"path": ..., "check": ..., "value": ...} where
+   [path] selects values with dots, [N] indices and [*] wildcards
+   (e.g. "scopes[*].reduced_states_per_sec"), and [check] is one of:
+
+     min        fresh >= value                  (absolute floor)
+     max        fresh <= value                  (absolute ceiling)
+     rel        |fresh - baseline| <= value * |baseline|
+     min_ratio  fresh >= value * baseline       (the perf ratchet)
+     max_ratio  fresh <= value * baseline
+     equals     fresh = value                   (JSON equality)
+     exists     path resolves to at least one value
+
+   Every rule violation prints and the process exits 1 - this is what
+   turns the old 'WARNING: parallel is slower than serial' console note
+   into a failing gate.  It generalizes the one-off 300k states/s CI
+   floor: adding a guarded number is a tolerances.json line, not a new
+   inline script. *)
+
+module Json = Rlfd_obs.Json
+
+type seg = Field of string | Index of int | All
+
+let parse_path path =
+  let fail msg = failwith (Printf.sprintf "bad path %S: %s" path msg) in
+  let segs = ref [] in
+  List.iter
+    (fun chunk ->
+      if chunk = "" then fail "empty segment";
+      let rec brackets s =
+        match String.index_opt s '[' with
+        | None ->
+          if s <> "" then segs := Field s :: !segs
+        | Some i ->
+          if i > 0 then segs := Field (String.sub s 0 i) :: !segs;
+          let rest = String.sub s i (String.length s - i) in
+          (match String.index_opt rest ']' with
+          | None -> fail "unclosed ["
+          | Some j ->
+            let inside = String.sub rest 1 (j - 1) in
+            (if inside = "*" then segs := All :: !segs
+             else
+               match int_of_string_opt inside with
+               | Some k -> segs := Index k :: !segs
+               | None -> fail "index must be an integer or *");
+            brackets (String.sub rest (j + 1) (String.length rest - j - 1)))
+      in
+      brackets chunk)
+    (String.split_on_char '.' path);
+  List.rev !segs
+
+(* resolve to (concrete path, value) pairs; wildcards fan out *)
+let resolve doc segs =
+  let rec go acc_path v = function
+    | [] -> [ (String.concat "" (List.rev acc_path), v) ]
+    | Field f :: rest -> (
+      match Json.member f v with
+      | Some v' ->
+        let dot = if acc_path = [] then f else "." ^ f in
+        go (dot :: acc_path) v' rest
+      | None -> [])
+    | Index k :: rest -> (
+      match Json.to_list_opt v with
+      | Some items when k >= 0 && k < List.length items ->
+        go (Printf.sprintf "[%d]" k :: acc_path) (List.nth items k) rest
+      | _ -> [])
+    | All :: rest -> (
+      match Json.to_list_opt v with
+      | Some items ->
+        List.concat
+          (List.mapi
+             (fun k item ->
+               go (Printf.sprintf "[%d]" k :: acc_path) item rest)
+             items)
+      | None -> [])
+  in
+  go [] doc segs
+
+let load_json path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let raw = really_input_string ic len in
+  close_in ic;
+  match Json.of_string raw with
+  | Ok v -> v
+  | Error msg -> failwith (Printf.sprintf "%s: %s" path msg)
+
+let num path v =
+  match Json.to_float_opt v with
+  | Some f -> f
+  | None -> failwith (Printf.sprintf "%s: expected a number" path)
+
+type outcome = { failures : int ref; checks : int ref }
+
+let report o ~ok ~label ~detail =
+  incr o.checks;
+  if not ok then incr o.failures;
+  Printf.printf "  %s %-60s %s\n" (if ok then "ok  " else "FAIL") label detail
+
+let run_rule o ~fresh ~baseline rule =
+  let str name =
+    match Json.member name rule with
+    | Some (Json.String s) -> Some s
+    | _ -> None
+  in
+  let path =
+    match str "path" with
+    | Some p -> p
+    | None -> failwith "rule without a \"path\""
+  in
+  let check = Option.value (str "check") ~default:"rel" in
+  let value () =
+    match Json.member "value" rule with
+    | Some v -> v
+    | None -> failwith (Printf.sprintf "%s: rule needs a \"value\"" path)
+  in
+  let segs = parse_path path in
+  let hits = resolve fresh segs in
+  let label suffix = Printf.sprintf "%s %s" suffix check in
+  match check with
+  | "exists" ->
+    report o ~ok:(hits <> []) ~label:(label path)
+      ~detail:
+        (if hits = [] then "path resolves to nothing"
+         else Printf.sprintf "%d value(s)" (List.length hits))
+  | "equals" ->
+    let want = value () in
+    if hits = [] then
+      report o ~ok:false ~label:(label path) ~detail:"path resolves to nothing"
+    else
+      List.iter
+        (fun (p, v) ->
+          report o ~ok:(v = want) ~label:(label p)
+            ~detail:
+              (Printf.sprintf "%s (want %s)" (Json.to_string v)
+                 (Json.to_string want)))
+        hits
+  | "min" | "max" ->
+    let bound = num path (value ()) in
+    if hits = [] then
+      report o ~ok:false ~label:(label path) ~detail:"path resolves to nothing"
+    else
+      List.iter
+        (fun (p, v) ->
+          let x = num p v in
+          let ok = if check = "min" then x >= bound else x <= bound in
+          report o ~ok ~label:(label p)
+            ~detail:
+              (Printf.sprintf "%.6g %s %.6g" x
+                 (if check = "min" then ">=" else "<=")
+                 bound))
+        hits
+  | "rel" | "min_ratio" | "max_ratio" ->
+    let band = num path (value ()) in
+    if hits = [] then
+      report o ~ok:false ~label:(label path) ~detail:"path resolves to nothing"
+    else
+      List.iter
+        (fun (p, v) ->
+          match resolve baseline (parse_path p) with
+          | [ (_, bv) ] ->
+            let x = num p v and b = num p bv in
+            let ok, detail =
+              match check with
+              | "rel" ->
+                ( Float.abs (x -. b) <= band *. Float.abs b,
+                  Printf.sprintf "%.6g vs baseline %.6g (band +/-%.0f%%)" x b
+                    (band *. 100.) )
+              | "min_ratio" ->
+                ( x >= band *. b,
+                  Printf.sprintf "%.6g >= %.2f x baseline %.6g" x band b )
+              | _ ->
+                ( x <= band *. b,
+                  Printf.sprintf "%.6g <= %.2f x baseline %.6g" x band b )
+            in
+            report o ~ok ~label:(label p) ~detail
+          | _ ->
+            report o ~ok:false ~label:(label p) ~detail:"missing in baseline")
+        hits
+  | other -> failwith (Printf.sprintf "%s: unknown check %S" path other)
+
+let () =
+  let baseline_dir = ref "bench/baselines" in
+  let files = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--baseline-dir" :: dir :: rest ->
+      baseline_dir := dir;
+      parse rest
+    | arg :: rest ->
+      files := arg :: !files;
+      parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let files = List.rev !files in
+  if files = [] then begin
+    prerr_endline
+      "usage: check.exe [--baseline-dir DIR] BENCH_foo.json [BENCH_bar.json ...]";
+    exit 2
+  end;
+  let tolerances = load_json (Filename.concat !baseline_dir "tolerances.json") in
+  let o = { failures = ref 0; checks = ref 0 } in
+  List.iter
+    (fun file ->
+      let name = Filename.basename file in
+      let rules =
+        match Json.member name tolerances with
+        | Some (Json.List rules) -> rules
+        | Some _ -> failwith (name ^ ": tolerances entry must be a list")
+        | None -> failwith (name ^ ": no tolerances entry")
+      in
+      let fresh = load_json file in
+      let baseline = load_json (Filename.concat !baseline_dir name) in
+      Printf.printf "%s (%d rule(s), baseline %s):\n" name (List.length rules)
+        (Filename.concat !baseline_dir name);
+      List.iter (run_rule o ~fresh ~baseline) rules)
+    files;
+  Printf.printf "bench-check: %d check(s), %d failure(s)\n" !(o.checks)
+    !(o.failures);
+  exit (if !(o.failures) = 0 then 0 else 1)

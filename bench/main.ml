@@ -1414,6 +1414,115 @@ let table_campaign () =
         ("jobs_per_sec",
          Obs.Json.Float (float_of_int jobs /. Stdlib.max 1e-9 wall)) ]
   in
+  (* T14b: rerun the parallel sweep under the observatory and decompose
+     the regression into where the worker-seconds actually went.  The
+     budget is [workers x wall]; everything not recorded as spawn, work,
+     queue-wait or publish is idle (waiting on the queue drained by
+     others, or teardown). *)
+  let tl = Obs.Timeline.create ~label:"t14b" () in
+  let t0 = Obs.Profile.now () in
+  let (_ : Theorems.outcome) =
+    Theorems.lemma_4_1_totality
+      { cfg with Theorems.workers = parallel_workers; timeline = tl }
+  in
+  let instr_wall = Obs.Profile.now () -. t0 in
+  let artifact = Obs.Timeline.merge tl in
+  let has_prefix p s =
+    String.length s >= String.length p && String.sub s 0 (String.length p) = p
+  in
+  let sum_spans prefix name =
+    List.fold_left
+      (fun acc (d : Obs.Timeline.domain_rec) ->
+        if has_prefix prefix d.dom_label then
+          List.fold_left
+            (fun acc (s : Obs.Timeline.span_rec) ->
+              if s.sp_name = name then acc +. s.sp_dur else acc)
+            acc d.dom_spans
+        else acc)
+      0. artifact.Obs.Timeline.a_domains
+  in
+  let event_times name =
+    List.concat_map
+      (fun (d : Obs.Timeline.domain_rec) ->
+        List.filter_map
+          (fun (e : Obs.Timeline.event_rec) ->
+            if e.ev_name = name then Some (e.ev_tag, e.ev_t) else None)
+          d.dom_events)
+      artifact.Obs.Timeline.a_domains
+  in
+  let spawn_s =
+    (* per worker: domain-start on the child minus spawn-request on the
+       driver, matched by worker tag *)
+    let reqs = event_times "spawn-request" in
+    List.fold_left
+      (fun acc (tag, started) ->
+        match List.assoc_opt tag reqs with
+        | Some requested -> acc +. Stdlib.max 0. (started -. requested)
+        | None -> acc)
+      0.
+      (event_times "domain-start")
+  in
+  let work_s = sum_spans "worker-" "job-run" in
+  let queue_wait_s = sum_spans "worker-" "queue-wait" in
+  let publish_s = sum_spans "worker-" "publish" in
+  let fsync_s = sum_spans "worker-" "checkpoint-append" in
+  let gc_est_s =
+    List.fold_left
+      (fun acc (label, u) ->
+        if has_prefix "worker-" label then acc +. u.Obs.Timeline.u_gc_est
+        else acc)
+      0.
+      (Obs.Timeline.utilization artifact)
+  in
+  let budget_s = float_of_int parallel_workers *. instr_wall in
+  let idle_s =
+    Stdlib.max 0. (budget_s -. spawn_s -. work_s -. queue_wait_s -. publish_s)
+  in
+  let frac v = v /. Stdlib.max 1e-9 budget_s in
+  let tb =
+    Table.create
+      ~title:
+        (Format.asprintf
+           "T14b: where the %.3f worker-seconds went (parallel sweep, %d \
+            workers, %.3fs wall)"
+           budget_s parallel_workers instr_wall)
+      ~columns:[ "component"; "seconds"; "fraction" ]
+  in
+  let comp name v =
+    Table.add_row tb
+      [ name; Table.cell_float ~decimals:4 v;
+        Table.cell_float ~decimals:3 (frac v) ]
+  in
+  comp "spawn (request->start)" spawn_s;
+  comp "work (job-run)" work_s;
+  comp "queue-wait (publish lock)" queue_wait_s;
+  comp "publish (merge+checkpoint)" publish_s;
+  comp "  of which checkpoint fsync" fsync_s;
+  comp "gc (estimated, inside work)" gc_est_s;
+  comp "idle (queue drained/teardown)" idle_s;
+  Table.print tb;
+  Format.printf
+    "Reading: everything outside the 'work' row - spawn, queue-wait,\n\
+     publish and idle - is the overhead the parallel row pays and the\n\
+     serial row does not; at this job size it is why speedup sits below\n\
+     1x (startup and serialisation, not compute).@.@.";
+  let t14b =
+    Obs.Json.Obj
+      [ ("workers", Obs.Json.Int parallel_workers);
+        ("wall_s", Obs.Json.Float instr_wall);
+        ("budget_s", Obs.Json.Float budget_s);
+        ("spawn_s", Obs.Json.Float spawn_s);
+        ("work_s", Obs.Json.Float work_s);
+        ("queue_wait_s", Obs.Json.Float queue_wait_s);
+        ("publish_s", Obs.Json.Float publish_s);
+        ("checkpoint_fsync_s", Obs.Json.Float fsync_s);
+        ("gc_est_s", Obs.Json.Float gc_est_s);
+        ("idle_s", Obs.Json.Float idle_s);
+        ("spawn_frac", Obs.Json.Float (frac spawn_s));
+        ("work_frac", Obs.Json.Float (frac work_s));
+        ("queue_wait_frac", Obs.Json.Float (frac queue_wait_s));
+        ("idle_frac", Obs.Json.Float (frac idle_s)) ]
+  in
   let json =
     Obs.Json.Obj
       [ ("schema_version", Obs.Json.Int Obs.Trace.schema_version);
@@ -1423,7 +1532,8 @@ let table_campaign () =
         ("parallel", side parallel_workers parallel_s);
         ("speedup", Obs.Json.Float speedup);
         ("regression", Obs.Json.Bool regression);
-        ("identical", Obs.Json.Bool identical) ]
+        ("identical", Obs.Json.Bool identical);
+        ("t14b", t14b) ]
   in
   let oc = open_out "BENCH_campaign.json" in
   output_string oc (Obs.Json.to_string json);

@@ -1692,6 +1692,7 @@ let metrics_cmd =
         ~check:(Explore.agreement_check ~equal:Int.equal)
         (Ct_strong.automaton ~proposals)
     in
+    Obs.Metrics.observe_gc registry;
     if json then print_endline (Obs.Json.to_string (Obs.Metrics.to_json registry))
     else begin
       Format.printf "scenario: heartbeat %a + ct-strong/%s@.link:     %a@.pattern:  %a@.@."
@@ -1929,6 +1930,133 @@ let campaign_cmd =
       const run $ n_arg $ seed_arg $ horizon_arg $ seeds $ families $ fds
       $ scheds $ jobs $ shard_size $ checkpoint $ resume $ out $ progress_arg)
 
+(* ---------- profile: the runtime observatory ---------- *)
+
+let profile_cmd =
+  let run n seed horizon seeds jobs scope capacity checkpoint out folded_out
+      width =
+    let timeline =
+      Obs.Timeline.create ~capacity ~label:(Printf.sprintf "%s x%d" scope jobs)
+        ()
+    in
+    (match scope with
+    | "campaign" ->
+      let spec =
+        Campaign.Spec.make ~name:"fdsim-campaign"
+          ~axes:
+            [ ("family",
+               List.map (fun f -> f.Pattern.Family.name) Pattern.Family.all);
+              ("fd", [ "P"; "P-delayed"; "S" ]);
+              ("sched", [ "fair"; "random" ]) ]
+          ~seeds:(List.init seeds (fun i -> seed + i))
+          ()
+      in
+      let (_ : campaign_result Campaign.Engine.report) =
+        Campaign.Engine.run_spec ~workers:jobs ~timeline ?checkpoint
+          ~codec:campaign_codec ~seed spec
+          (fun ~rng:_ ~metrics:_ job -> campaign_job ~n ~horizon job)
+      in
+      ()
+    | "explore" ->
+      let xp = pattern_of ~n:3 [ (1, 2) ] in
+      let (_ : int Explore.report) =
+        Explore.run ~max_steps:7 ~canon:true ~por:true ~por_lambda:true
+          ~workers:jobs ~frontier:8 ~timeline ~d_equal:Pid.Set.equal
+          ~pattern:xp ~detector:Perfect.canonical
+          ~check:(Explore.agreement_check ~equal:Int.equal)
+          (Ct_strong.automaton ~proposals)
+      in
+      ()
+    | other ->
+      Format.eprintf "fdsim: unknown profile scope %S (campaign or explore)@."
+        other;
+      exit 2);
+    let artifact = Obs.Timeline.merge timeline in
+    Format.printf "%a@.@.%a@."
+      (Obs.Timeline.pp_gantt ~width)
+      artifact Obs.Timeline.pp_utilization artifact;
+    (match out with
+    | None -> ()
+    | Some file ->
+      let oc = open_out file in
+      output_string oc (Obs.Json.to_string (Obs.Timeline.to_json artifact));
+      output_char oc '\n';
+      close_out oc);
+    (match folded_out with
+    | None -> ()
+    | Some file ->
+      let oc = open_out file in
+      List.iter
+        (fun line -> output_string oc line; output_char oc '\n')
+        (Obs.Timeline.folded artifact);
+      close_out oc);
+    exit_ok true
+  in
+  let seeds =
+    Arg.(
+      value & opt int 2
+      & info [ "seeds" ] ~docv:"K" ~doc:"Replicate seeds per grid point.")
+  in
+  let jobs =
+    Arg.(
+      value & opt int 2
+      & info [ "jobs" ] ~docv:"N" ~doc:"Worker domains to profile.")
+  in
+  let scope =
+    Arg.(
+      value & opt string "campaign"
+      & info [ "scope" ] ~docv:"SCOPE"
+          ~doc:
+            "What to run under the observatory: $(b,campaign) (the T14 \
+             consensus campaign) or $(b,explore) (the parallel frontier \
+             explorer).")
+  in
+  let capacity =
+    Arg.(
+      value & opt int 8192
+      & info [ "capacity" ] ~docv:"K"
+          ~doc:
+            "Ring-buffer capacity per domain recorder; overflow overwrites \
+             the oldest records and reports the count dropped.")
+  in
+  let checkpoint =
+    Arg.(
+      value & opt (some string) None
+      & info [ "checkpoint" ] ~docv:"FILE"
+          ~doc:
+            "Checkpoint the profiled campaign to $(docv), so the timeline \
+             includes the fsynced checkpoint-append spans.")
+  in
+  let out =
+    Arg.(
+      value & opt (some string) None
+      & info [ "profile-out" ] ~docv:"FILE"
+          ~doc:"Write the merged timeline artifact (versioned JSON) to $(docv).")
+  in
+  let folded_out =
+    Arg.(
+      value & opt (some string) None
+      & info [ "folded" ] ~docv:"FILE"
+          ~doc:
+            "Write folded-stack lines (domain;span;... microseconds) to \
+             $(docv) for flamegraph tooling.")
+  in
+  let width =
+    Arg.(
+      value & opt int 64
+      & info [ "width" ] ~docv:"COLS" ~doc:"Gantt row width in cells.")
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Run a workload under the runtime observatory and print a \
+          per-domain timeline: an ASCII Gantt of busy/idle/GC, a \
+          utilization breakdown per span name, and optionally the full \
+          JSON artifact and folded flamegraph stacks.")
+    Term.(
+      const run $ n_arg $ seed_arg $ horizon_arg $ seeds $ jobs $ scope
+      $ capacity $ checkpoint $ out $ folded_out $ width)
+
 (* ---------- main ---------- *)
 
 let () =
@@ -1940,4 +2068,4 @@ let () =
        (Cmd.group ~default info
           [ check_cmd; survey_cmd; run_cmd; paxos_cmd; trb_cmd; reduce_cmd;
             qos_cmd; gms_cmd; vsync_cmd; nbac_cmd; explore_cmd; replay_cmd;
-            shrink_cmd; render_cmd; metrics_cmd; campaign_cmd ]))
+            shrink_cmd; render_cmd; metrics_cmd; campaign_cmd; profile_cmd ]))

@@ -81,7 +81,8 @@ let load_resume codec ~name ~seed ~total path =
    parked under their own index, so the final fold over shards is in shard
    order no matter which worker finished when. *)
 let run ?(workers = 1) ?shard_size ?checkpoint ?(resume = false) ?codec
-    ?progress ?(sink = Trace.null) ~name ~seed ~total ~label f =
+    ?progress ?(sink = Trace.null) ?(timeline = Timeline.null) ~name ~seed
+    ~total ~label f =
   if total < 0 then invalid_arg "Engine.run: total < 0";
   if workers < 1 then invalid_arg "Engine.run: workers < 1";
   if (checkpoint <> None || resume) && codec = None then
@@ -186,58 +187,92 @@ let run ?(workers = 1) ?shard_size ?checkpoint ?(resume = false) ?codec
       Metrics.observe metrics "campaign_job_seconds" elapsed_s;
       { job = idx; label = label idx; elapsed_s; resumed = false; value }
   in
-  let worker () =
+  let worker wid =
+    (* the recorder is created by the worker domain itself and stays
+       domain-private: recording below takes no lock *)
+    let rec_ =
+      if Timeline.is_null timeline then Timeline.null_recorder
+      else Timeline.recorder timeline (Printf.sprintf "worker-%d" wid)
+    in
+    Timeline.event rec_ ~tag:wid "domain-start";
     let continue = ref true in
     while !continue do
       let shard = Atomic.fetch_and_add next_shard 1 in
       if shard >= n_shards || !failure <> None then continue := false
       else begin
         match
-          let metrics = Metrics.create () in
-          let lo = shard * shard_size in
-          let hi = min n_pending (lo + shard_size) in
-          let outcomes = ref [] in
-          for k = hi - 1 downto lo do
-            outcomes := run_job pending.(k) metrics :: !outcomes
-          done;
-          (!outcomes, metrics)
+          Timeline.span rec_ ~tag:shard "job-run" (fun () ->
+              let metrics = Metrics.create () in
+              let lo = shard * shard_size in
+              let hi = min n_pending (lo + shard_size) in
+              let outcomes = ref [] in
+              for k = hi - 1 downto lo do
+                outcomes :=
+                  Timeline.span rec_ ~tag:pending.(k) "job" (fun () ->
+                      run_job pending.(k) metrics)
+                  :: !outcomes
+              done;
+              (!outcomes, metrics))
         with
         | outcomes, metrics ->
-          Mutex.protect mutex (fun () ->
-              shard_results.(shard) <- Some (outcomes, metrics);
-              completed := !completed + List.length outcomes;
-              List.iter
-                (fun o -> job_times := o.elapsed_s :: !job_times)
-                outcomes;
-              (match (oc, codec) with
-              | Some oc, Some codec ->
-                List.iter
-                  (fun o ->
-                    Checkpoint.write_entry oc
-                      {
-                        Checkpoint.job = o.job;
-                        label = o.label;
-                        elapsed_s = o.elapsed_s;
-                        value = codec.encode o.value;
-                      })
-                  outcomes
-              | _ -> ());
-              notify ())
+          (* queue-wait: from shard results ready to publish lock held —
+             the serialisation cost the T14b table attributes *)
+          let t_ready =
+            if Timeline.is_null_recorder rec_ then 0. else Profile.now ()
+          in
+          Mutex.lock mutex;
+          if not (Timeline.is_null_recorder rec_) then
+            Timeline.record_span rec_ ~tag:shard "queue-wait"
+              ~dur_s:(Profile.now () -. t_ready);
+          Fun.protect
+            ~finally:(fun () -> Mutex.unlock mutex)
+            (fun () ->
+              Timeline.span rec_ ~tag:shard "publish" (fun () ->
+                  shard_results.(shard) <- Some (outcomes, metrics);
+                  completed := !completed + List.length outcomes;
+                  List.iter
+                    (fun o -> job_times := o.elapsed_s :: !job_times)
+                    outcomes;
+                  (match (oc, codec) with
+                  | Some oc, Some codec ->
+                    Timeline.span rec_ ~tag:shard "checkpoint-append"
+                      (fun () ->
+                        List.iter
+                          (fun o ->
+                            Checkpoint.write_entry oc
+                              {
+                                Checkpoint.job = o.job;
+                                label = o.label;
+                                elapsed_s = o.elapsed_s;
+                                value = codec.encode o.value;
+                              })
+                          outcomes)
+                  | _ -> ());
+                  notify ()))
         | exception exn ->
           let bt = Printexc.get_raw_backtrace () in
           Mutex.protect mutex (fun () ->
               if !failure = None then failure := Some (exn, bt));
           continue := false
       end
-    done
+    done;
+    Timeline.event rec_ ~tag:wid "domain-exit"
+  in
+  let driver =
+    if Timeline.is_null timeline then Timeline.null_recorder
+    else Timeline.recorder timeline "driver"
   in
   Mutex.protect mutex notify;
-  if workers = 1 || n_shards <= 1 then worker ()
+  if workers = 1 || n_shards <= 1 then worker 0
   else begin
     let domains =
-      List.init (min workers n_shards) (fun _ -> Domain.spawn worker)
+      List.init (min workers n_shards) (fun wid ->
+          Timeline.event driver ~tag:wid "spawn-request";
+          Domain.spawn (fun () -> worker wid))
     in
-    List.iter Domain.join domains
+    List.iteri
+      (fun wid d -> Timeline.span driver ~tag:wid "join" (fun () -> Domain.join d))
+      domains
   end;
   Option.iter close_out oc;
   (match !failure with
@@ -245,13 +280,14 @@ let run ?(workers = 1) ?shard_size ?checkpoint ?(resume = false) ?codec
   | None -> ());
   let metrics = Metrics.create () in
   let fresh = ref [] in
-  Array.iter
-    (function
-      | None -> ()
-      | Some (outcomes, shard_metrics) ->
-        Metrics.merge ~into:metrics shard_metrics;
-        fresh := List.rev_append outcomes !fresh)
-    shard_results;
+  Timeline.span driver "metrics-merge" (fun () ->
+      Array.iter
+        (function
+          | None -> ()
+          | Some (outcomes, shard_metrics) ->
+            Metrics.merge ~into:metrics shard_metrics;
+            fresh := List.rev_append outcomes !fresh)
+        shard_results);
   let outcomes =
     List.sort
       (fun a b -> compare a.job b.job)
@@ -296,8 +332,8 @@ let report_to_json report =
       ("metrics", Metrics.to_json report.metrics) ]
 
 let run_spec ?workers ?shard_size ?checkpoint ?resume ?codec ?progress ?sink
-    ~seed spec f =
-  run ?workers ?shard_size ?checkpoint ?resume ?codec ?progress ?sink
+    ?timeline ~seed spec f =
+  run ?workers ?shard_size ?checkpoint ?resume ?codec ?progress ?sink ?timeline
     ~name:(Spec.name spec) ~seed ~total:(Spec.size spec)
     ~label:(fun i -> Spec.label (Spec.job spec i))
     (fun ~rng ~metrics i -> f ~rng ~metrics (Spec.job spec i))

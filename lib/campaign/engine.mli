@@ -58,6 +58,7 @@ val run :
   ?codec:'r codec ->
   ?progress:(done_:int -> total:int -> unit) ->
   ?sink:Rlfd_obs.Trace.sink ->
+  ?timeline:Rlfd_obs.Timeline.t ->
   name:string ->
   seed:int ->
   total:int ->
@@ -90,6 +91,16 @@ val run :
       executed (recovered ones excluded), an [eta_s] extrapolation and the
       p50/p95 of per-job wall times.  The live-telemetry face of the
       campaign; free when left at the default null sink.
+    - [timeline]: a {!Rlfd_obs.Timeline} collector for the runtime
+      observatory.  Each worker domain registers a [worker-<i>] recorder
+      and records, per shard, a [job-run] span with one [job] child span
+      per job (tagged by job index), a [queue-wait] span (shard results
+      ready → publish lock held), and a [publish] span whose
+      [checkpoint-append] child covers the fsynced entry writes.  The
+      driver records [spawn-request]/[domain-start]/[domain-exit] events
+      and [join]/[metrics-merge] spans, so spawn latency and teardown are
+      measurable from the merged artifact.  Free when left at the default
+      {!Rlfd_obs.Timeline.null}.
 
     If [f] raises, remaining shards are abandoned and the first exception
     is re-raised after all workers join.  Raises [Invalid_argument] on
@@ -118,6 +129,7 @@ val run_spec :
   ?codec:'r codec ->
   ?progress:(done_:int -> total:int -> unit) ->
   ?sink:Rlfd_obs.Trace.sink ->
+  ?timeline:Rlfd_obs.Timeline.t ->
   seed:int ->
   Spec.t ->
   (rng:Rlfd_kernel.Rng.t -> metrics:Rlfd_obs.Metrics.t -> Spec.job -> 'r) ->

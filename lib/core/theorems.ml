@@ -25,10 +25,18 @@ type config = {
   trials : int;
   horizon : Time.t;
   workers : int;
+  timeline : Rlfd_obs.Timeline.t;
 }
 
 let default_config =
-  { n = 5; seed = 2002; trials = 30; horizon = Time.of_int 6000; workers = 1 }
+  {
+    n = 5;
+    seed = 2002;
+    trials = 30;
+    horizon = Time.of_int 6000;
+    workers = 1;
+    timeline = Rlfd_obs.Timeline.null;
+  }
 
 (* ---------- shared workload machinery ---------- *)
 
@@ -76,7 +84,8 @@ let totality_runs cfg detectors =
      on its index and the report is identical at any worker count. *)
   let detectors = Array.of_list detectors in
   let report =
-    Rlfd_campaign.Engine.run ~workers:cfg.workers ~name:"totality-runs"
+    Rlfd_campaign.Engine.run ~workers:cfg.workers ~timeline:cfg.timeline
+      ~name:"totality-runs"
       ~seed:cfg.seed
       ~total:(Array.length detectors * cfg.trials)
       ~label:(fun i ->
@@ -608,7 +617,8 @@ let exhaustive_small_scope cfg =
     |]
   in
   let report =
-    Rlfd_campaign.Engine.run ~workers:cfg.workers ~name:"small-scope"
+    Rlfd_campaign.Engine.run ~workers:cfg.workers ~timeline:cfg.timeline
+      ~name:"small-scope"
       ~seed:cfg.seed ~total:(Array.length scopes)
       ~label:(fun i -> fst scopes.(i))
       (fun ~rng:_ ~metrics:_ i -> snd scopes.(i) ())

@@ -30,10 +30,15 @@ type config = {
       (** domains used by the campaign-backed sweeps ({!lemma_4_1_totality},
           {!lemma_4_1_needs_realism}, {!exhaustive_small_scope}); every
           outcome is identical at any value, only wall time changes *)
+  timeline : Rlfd_obs.Timeline.t;
+      (** observatory collector handed to the campaign engine behind the
+          sweeps; {!Rlfd_obs.Timeline.null} (the default) records
+          nothing at zero cost *)
 }
 
 val default_config : config
-(** [n = 5], [seed = 2002], [trials = 30], [horizon = 6000], [workers = 1]. *)
+(** [n = 5], [seed = 2002], [trials = 30], [horizon = 6000], [workers = 1],
+    [timeline = Rlfd_obs.Timeline.null]. *)
 
 val lemma_4_1_totality : config -> outcome
 (** EXP-1a: consensus with realistic detectors is total — zero totality

@@ -46,6 +46,17 @@ let histogram_of registry name =
 
 let observe registry name sample = Sketch.add (histogram_of registry name) sample
 
+let observe_gc registry =
+  let g = Gc.quick_stat () in
+  set_gauge registry "gc_minor_collections" (float_of_int g.Gc.minor_collections);
+  set_gauge registry "gc_major_collections" (float_of_int g.Gc.major_collections);
+  set_gauge registry "gc_compactions" (float_of_int g.Gc.compactions);
+  set_gauge registry "gc_promoted_words" g.Gc.promoted_words;
+  set_gauge registry "gc_heap_words" (float_of_int g.Gc.heap_words);
+  set_gauge registry "gc_top_heap_words" (float_of_int g.Gc.top_heap_words);
+  set_gauge registry "gc_minor_words" g.Gc.minor_words;
+  set_gauge registry "gc_major_words" g.Gc.major_words
+
 let observe_sketch registry name sketch =
   Sketch.merge ~into:(histogram_of registry name) sketch
 

@@ -32,6 +32,10 @@
       ["undetected_crash_pairs"], ["qos_messages_dropped_partition"]
       (counters), ["undetected_fraction"], ["query_accuracy"] (gauges) —
       {!Rlfd_net.Qos.observe} and {!Rlfd_net.Qos_stream.observe}
+    - ["gc_minor_collections"], ["gc_major_collections"],
+      ["gc_compactions"], ["gc_promoted_words"], ["gc_heap_words"],
+      ["gc_top_heap_words"], ["gc_minor_words"], ["gc_major_words"]
+      (gauges) — {!observe_gc}, called by [fdsim metrics] before export
     - ["explore_nodes"], ["explore_violations"],
       ["explore_nodes_per_sec"], and — when the corresponding reduction is
       enabled — ["explore_distinct_states"], ["explore_deduped"],
@@ -52,6 +56,14 @@ val set_gauge : t -> string -> float -> unit
 
 val observe : t -> string -> float -> unit
 (** Fold one sample into a histogram's sketch.  O(1). *)
+
+val observe_gc : t -> unit
+(** Snapshot [Gc.quick_stat] into gauges: ["gc_minor_collections"],
+    ["gc_major_collections"], ["gc_compactions"], ["gc_promoted_words"],
+    ["gc_heap_words"], ["gc_top_heap_words"], ["gc_minor_words"],
+    ["gc_major_words"].  Gauges are last-write-wins, so call it at the
+    moment the registry is about to be reported (cumulative
+    since-process-start values, as the runtime reports them). *)
 
 val observe_sketch : t -> string -> Sketch.t -> unit
 (** Merge a whole pre-built sketch into a histogram — how the streaming

@@ -1,0 +1,19 @@
+/* A monotonic clock for span timestamps.
+
+   Unix.gettimeofday is wall time: NTP slews and steps it, so a span
+   bracketed by two reads can come out negative.  CLOCK_MONOTONIC never
+   goes backwards; its epoch is arbitrary (boot-ish), so only differences
+   are meaningful — which is all a profiler needs.  Wall time stays
+   available separately (Profile.wall) for artifacts that must carry a
+   calendar date. */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <time.h>
+
+CAMLprim value rlfd_obs_monotonic_ns(value unit)
+{
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return caml_copy_int64((int64_t)ts.tv_sec * 1000000000LL + ts.tv_nsec);
+}

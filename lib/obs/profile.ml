@@ -7,7 +7,11 @@ type t = {
 
 let create () = { order = []; table = Hashtbl.create 16 }
 
-let now () = Unix.gettimeofday ()
+external monotonic_ns : unit -> int64 = "rlfd_obs_monotonic_ns"
+
+let now () = Int64.to_float (monotonic_ns ()) /. 1e9
+
+let wall () = Unix.gettimeofday ()
 
 let record p name seconds =
   match Hashtbl.find_opt p.table name with

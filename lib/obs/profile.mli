@@ -5,16 +5,27 @@
     available.  Used by [bench/main.exe] to report wall-time per table and
     to emit the machine-readable [BENCH_obs.json] perf trajectory.
 
-    Spans use {!now}, a monotonic-enough wall clock; resolution is whatever
-    [Unix.gettimeofday] provides (microseconds on every platform this
-    builds on). *)
+    Spans use {!now}, a genuinely monotonic clock
+    ([clock_gettime(CLOCK_MONOTONIC)]): wall clocks step backwards under
+    NTP, which would yield negative span durations.  {!wall} keeps the
+    calendar clock available for artifacts that need a date. *)
 
 type t
 
 val create : unit -> t
 
+val monotonic_ns : unit -> int64
+(** The raw monotonic clock, in nanoseconds since an arbitrary epoch
+    (boot-ish).  Never decreases; only differences are meaningful. *)
+
 val now : unit -> float
-(** Seconds since an arbitrary epoch; only differences are meaningful. *)
+(** {!monotonic_ns} as seconds.  The timestamp source of every span in
+    this module and in {!Timeline}. *)
+
+val wall : unit -> float
+(** [Unix.gettimeofday]: seconds since the Unix epoch.  NOT monotonic —
+    use only where an artifact needs a calendar date, never to subtract
+    two readings. *)
 
 val time : t -> string -> (unit -> 'a) -> 'a
 (** [time p name f] runs [f], records its duration under [name]

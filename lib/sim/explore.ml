@@ -348,7 +348,8 @@ let run ?(max_steps = 12) ?(max_nodes = 200_000) ?(max_violations = 5)
     ?(symmetry_mode = `Full) ?spill ?spill_cache ?workers ?(frontier = 32)
     ?(capture = false) ?(progress_every = 250_000) ?(d_equal = fun a b -> a = b)
     ?(sink = Rlfd_obs.Trace.null) ?metrics ?attribution ?(paranoid = false)
-    ~pattern ~detector ~check (algo : _ Model.t) =
+    ?(timeline = Rlfd_obs.Timeline.null) ~pattern ~detector ~check
+    (algo : _ Model.t) =
   let n = Pattern.n pattern in
   let red =
     resolve_reduction ~canon ?view ~por ~por_lambda ?symmetry ~symmetry_mode
@@ -359,10 +360,20 @@ let run ?(max_steps = 12) ?(max_nodes = 200_000) ?(max_violations = 5)
      flight-recorder schedule; process-state encodings only for dedup. *)
   let enc_on = red.canon || capture in
   let started_at = Rlfd_obs.Profile.now () in
+  (* the phase clock runs for attribution *or* a live timeline — both
+     consume the same per-phase accumulators *)
   let clk =
-    match attribution with
-    | None -> fun () -> 0.
-    | Some _ -> Rlfd_obs.Profile.now
+    if Option.is_none attribution && Rlfd_obs.Timeline.is_null timeline then
+      fun () -> 0.
+    else Rlfd_obs.Profile.now
+  in
+  (* graft one walk's phase accumulators onto a timeline recorder as four
+     aggregate spans, matching the attribution keys *)
+  let record_phases rec_ (acc : _ acc) =
+    Rlfd_obs.Timeline.record_span rec_ "expand" ~dur_s:acc.t_expand;
+    Rlfd_obs.Timeline.record_span rec_ "hash" ~dur_s:acc.t_hash;
+    Rlfd_obs.Timeline.record_span rec_ "encode" ~dur_s:acc.t_encode;
+    Rlfd_obs.Timeline.record_span rec_ "confirm" ~dur_s:acc.t_confirm
   in
   (* --- scope precomputation: views, aliveness, stability, deaths ---
      Detector views and crash events are pure functions of (process, tick);
@@ -1107,6 +1118,8 @@ let run ?(max_steps = 12) ?(max_nodes = 200_000) ?(max_violations = 5)
       ~root_config:(initial cache)
       ~root_lo:(if red.canon then Array.make sm_lanes 0 else [||])
       ~root_out_ents:[] ~root_outputs:[] ~root_steps:[] ~decisions;
+    if not (Rlfd_obs.Timeline.is_null timeline) then
+      record_phases (Rlfd_obs.Timeline.recorder timeline "dfs") acc;
     let distinct = if red.canon then Store.length visited else acc.nodes in
     let spilled = Store.spilled visited in
     Store.close visited;
@@ -1144,11 +1157,16 @@ let run ?(max_steps = 12) ?(max_nodes = 200_000) ?(max_violations = 5)
         Hashing.Table.set decisions ~key enc ();
         acc.decision_list <- enc :: acc.decision_list
     in
+    let ex_rec =
+      if Rlfd_obs.Timeline.is_null timeline then Rlfd_obs.Timeline.null_recorder
+      else Rlfd_obs.Timeline.recorder timeline "explore"
+    in
     let target = Stdlib.max 1 frontier in
     let queue = Queue.create () in
     Queue.push
       (initial cache, (if red.canon then Array.make sm_lanes 0 else [||]), [], [], [])
       queue;
+    Rlfd_obs.Timeline.enter ex_rec "bfs-prefix";
     while
       Queue.length queue > 0
       && Queue.length queue < target
@@ -1240,6 +1258,10 @@ let run ?(max_steps = 12) ?(max_nodes = 200_000) ?(max_violations = 5)
             end)
           (choices config)
     done;
+    Rlfd_obs.Timeline.leave ex_rec;
+    (* the prefix's share of the phase accumulators, so timeline phase
+       sums equal the attribution totals exactly *)
+    record_phases ex_rec acc;
     let roots =
       (* the violations cap already fired in the prefix: the report would
          drop every further violation anyway, matching the serial walk *)
@@ -1262,7 +1284,7 @@ let run ?(max_steps = 12) ?(max_nodes = 200_000) ?(max_violations = 5)
       if n_roots = 0 then []
       else begin
         let report =
-          Rlfd_campaign.Engine.run ~workers ~shard_size:1
+          Rlfd_campaign.Engine.run ~workers ~shard_size:1 ~timeline
             ~name:"explore-frontier" ~seed:0 ~total:n_roots
             ~label:(fun i -> Printf.sprintf "root-%d" i)
             (fun ~rng:_ ~metrics:_ i ->
@@ -1285,6 +1307,11 @@ let run ?(max_steps = 12) ?(max_nodes = 200_000) ?(max_violations = 5)
               in
               let spilled = Store.spilled task_store in
               Store.close task_store;
+              if not (Rlfd_obs.Timeline.is_null timeline) then
+                record_phases
+                  (Rlfd_obs.Timeline.recorder timeline
+                     (Printf.sprintf "task-%d" i))
+                  task;
               (task, distinct, spilled))
         in
         List.map

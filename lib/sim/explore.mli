@@ -189,6 +189,7 @@ val run :
   ?metrics:Rlfd_obs.Metrics.t ->
   ?attribution:(string * float) list ref ->
   ?paranoid:bool ->
+  ?timeline:Rlfd_obs.Timeline.t ->
   pattern:Pattern.t ->
   detector:'d Detector.t ->
   check:('o outputs -> string option) ->
@@ -259,6 +260,16 @@ val run :
     updates), [encode_s] (orbit choice and key packing), [confirm_s]
     (visited-store probe and insert).  Sampling clocks around every phase
     costs a few percent, so leave it off for throughput measurements.
+
+    [timeline], when not {!Rlfd_obs.Timeline.null}, records the same
+    per-phase split as observatory spans — [expand]/[hash]/[encode]/
+    [confirm] aggregate spans on a [dfs] recorder (DFS strategy) or on
+    the [explore] recorder (BFS prefix share) plus one [task-<i>]
+    recorder per frontier task — and, under the frontier strategy, hands
+    the collector to the inner {!Rlfd_campaign.Engine} run so worker
+    queue-wait/publish spans land in the same artifact.  The timeline's
+    phase sums equal the [attribution] totals exactly.  Enabling it
+    implies the same phase-clock overhead as [attribution].
 
     [paranoid] (default [false]) recomputes every configuration's
     fingerprint lanes from scratch at every expanded edge and fails

@@ -276,6 +276,76 @@ let run_spec_tests =
           report.Engine.outcomes);
   ]
 
+(* ---------- timeline determinism ---------- *)
+
+module Timeline = Rlfd_obs.Timeline
+
+(* The engine's domain-lifecycle records: how many there are depends on the
+   pool size, so cross-worker-count comparisons exclude them.  Everything
+   else is keyed by deterministic shard/job tags. *)
+let lifecycle = [ "spawn-request"; "domain-start"; "domain-exit"; "join" ]
+
+let normalized_run ~workers ~exclude () =
+  let tl = Timeline.create ~capacity:65536 ~label:"det" () in
+  let (_ : int Engine.report) =
+    Engine.run ~workers ~shard_size:2 ~timeline:tl ~name:"fingerprint"
+      ~seed:2002 ~total:12 ~label:string_of_int fingerprint
+  in
+  Json.to_string (Timeline.normalized_json ~exclude (Timeline.merge tl))
+
+let timeline_tests =
+  [
+    test "normalized artifact is byte-identical across runs (2 workers)"
+      (fun () ->
+        Alcotest.(check string) "same bytes"
+          (normalized_run ~workers:2 ~exclude:[] ())
+          (normalized_run ~workers:2 ~exclude:[] ()));
+    test
+      "normalized artifact is byte-identical across worker counts \
+       (lifecycle excluded)" (fun () ->
+        let at workers = normalized_run ~workers ~exclude:lifecycle () in
+        let one = at 1 in
+        Alcotest.(check string) "1 = 2 workers" one (at 2);
+        Alcotest.(check string) "1 = 4 workers" one (at 4));
+    test "worker spans cover jobs, queue-wait and publish" (fun () ->
+        let tl = Timeline.create ~label:"cov" () in
+        let path = tmp_file "rlfd-timeline-ckpt.jsonl" in
+        let (_ : int Engine.report) =
+          Engine.run ~workers:2 ~shard_size:2 ~timeline:tl ~codec:int_codec
+            ~checkpoint:path ~name:"fingerprint" ~seed:2002 ~total:12
+            ~label:string_of_int fingerprint
+        in
+        Sys.remove path;
+        let a = Timeline.merge tl in
+        let count name =
+          List.fold_left
+            (fun acc (d : Timeline.domain_rec) ->
+              acc
+              + List.length
+                  (List.filter
+                     (fun (s : Timeline.span_rec) -> s.sp_name = name)
+                     d.dom_spans))
+            0 a.Timeline.a_domains
+        in
+        Alcotest.(check int) "one job span per job" 12 (count "job");
+        Alcotest.(check int) "one job-run per shard" 6 (count "job-run");
+        Alcotest.(check int) "one queue-wait per shard" 6 (count "queue-wait");
+        Alcotest.(check int) "one publish per shard" 6 (count "publish");
+        Alcotest.(check int) "one checkpoint-append per shard" 6
+          (count "checkpoint-append");
+        Alcotest.(check int) "nothing dropped" 0 a.Timeline.a_dropped);
+    test "report is unchanged by timeline collection" (fun () ->
+        let with_tl =
+          let tl = Timeline.create ~label:"x" () in
+          Engine.run ~workers:2 ~timeline:tl ~name:"fingerprint" ~seed:2002
+            ~total:12 ~label:string_of_int fingerprint
+        in
+        let without = run_fingerprint ~workers:2 ~total:12 () in
+        Alcotest.(check (list int)) "same values"
+          (List.map (fun o -> o.Engine.value) without.Engine.outcomes)
+          (List.map (fun o -> o.Engine.value) with_tl.Engine.outcomes));
+  ]
+
 let () =
   Alcotest.run "campaign"
     [
@@ -284,4 +354,5 @@ let () =
       suite "engine" engine_tests;
       suite "resume" resume_tests;
       suite "run-spec" run_spec_tests;
+      suite "timeline" timeline_tests;
     ]

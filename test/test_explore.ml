@@ -479,6 +479,35 @@ let strategy_tests =
           (dfs.Explore.complete && frontier.Explore.complete);
         Alcotest.(check bool) "frontier split happened" true
           (frontier.Explore.frontier_tasks > 0));
+    test "timeline phase spans sum to the attribution totals" (fun () ->
+        let module Timeline = Rlfd_obs.Timeline in
+        let attribution = ref [] in
+        let tl = Timeline.create ~label:"align" () in
+        let (_ : int Explore.report) =
+          Explore.run ~max_steps:8 ~max_nodes:400_000 ~canon:true ~workers:2
+            ~frontier:8 ~d_equal ~attribution ~timeline:tl
+            ~pattern:(pattern ~n [ (1, 2) ])
+            ~detector:Perfect.canonical ~check:safety
+            (Ct_strong.automaton ~proposals)
+        in
+        let a = Timeline.merge tl in
+        let phase_sum name =
+          List.fold_left
+            (fun acc (d : Timeline.domain_rec) ->
+              List.fold_left
+                (fun acc (s : Timeline.span_rec) ->
+                  if s.sp_name = name then acc +. s.sp_dur else acc)
+                acc d.dom_spans)
+            0. a.Timeline.a_domains
+        in
+        List.iter
+          (fun (key, span_name) ->
+            Alcotest.(check (float 1e-6))
+              (span_name ^ " spans = " ^ key)
+              (List.assoc key !attribution)
+              (phase_sum span_name))
+          [ ("expand_s", "expand"); ("hash_s", "hash");
+            ("encode_s", "encode"); ("confirm_s", "confirm") ]);
     test "spill tier: tiny cache, same report as in-RAM" (fun () ->
         let in_ram =
           Explore.run ~max_steps:8 ~max_nodes:400_000 ~canon:true ~por:true

@@ -600,6 +600,201 @@ let profile_tests =
         | _ -> Alcotest.fail "expected one span");
   ]
 
+(* ---------- timeline: the runtime observatory ---------- *)
+
+module Timeline = Rlfd_obs.Timeline
+
+let timeline_tests =
+  [
+    test "monotonic clock never decreases" (fun () ->
+        let prev = ref (Profile.monotonic_ns ()) in
+        for _ = 1 to 1000 do
+          let t = Profile.monotonic_ns () in
+          if Int64.compare t !prev < 0 then
+            Alcotest.fail "monotonic_ns went backwards";
+          prev := t
+        done;
+        let a = Profile.now () in
+        let b = Profile.now () in
+        Alcotest.(check bool) "now nondecreasing" true (b >= a));
+    test "overflow drops the oldest records, counted, never silent" (fun () ->
+        let tl = Timeline.create ~capacity:4 ~label:"ovf" () in
+        let r = Timeline.recorder tl "d" in
+        for i = 1 to 10 do
+          Timeline.event r ~tag:i "e"
+        done;
+        Alcotest.(check int) "recorder dropped" 6 (Timeline.dropped r);
+        let a = Timeline.merge tl in
+        Alcotest.(check int) "artifact dropped" 6 a.Timeline.a_dropped;
+        match a.Timeline.a_domains with
+        | [ d ] ->
+          Alcotest.(check int) "domain dropped" 6 d.Timeline.dom_dropped;
+          Alcotest.(check (list int)) "newest 4 survive" [ 7; 8; 9; 10 ]
+            (List.map
+               (fun (e : Timeline.event_rec) -> e.ev_tag)
+               d.Timeline.dom_events)
+        | _ -> Alcotest.fail "expected one domain");
+    qtest ~count:100 "span nesting is well-formed for any call tree"
+      QCheck.(small_list (int_bound 2))
+      (fun shape ->
+        (* interpret the list as a tree: each entry spawns a span with
+           that many children one level deeper.  Depth and width are
+           capped so the tree always fits the ring (no drops: a dropped
+           record would legitimately break the count below). *)
+        let shape = List.filteri (fun i _ -> i < 5) shape in
+        let tl = Timeline.create ~capacity:4096 ~label:"nest" () in
+        let r = Timeline.recorder tl "d" in
+        let rec build depth fanouts =
+          match fanouts with
+          | [] -> 0
+          | f :: rest ->
+            Timeline.span r ~tag:depth "s" (fun () ->
+                let inner =
+                  if depth < 5 then build (depth + 1) (List.init f (fun _ -> f))
+                  else 0
+                in
+                inner + 1)
+            + build depth rest
+        in
+        let count = build 0 shape in
+        let a = Timeline.merge tl in
+        let spans =
+          List.concat_map (fun d -> d.Timeline.dom_spans) a.Timeline.a_domains
+        in
+        (* every span closed: one record per call, and each span's
+           interval lies inside its chronological depth-(d-1) parent *)
+        List.length spans = count
+        && List.for_all
+             (fun (s : Timeline.span_rec) ->
+               s.sp_depth = 0
+               || List.exists
+                    (fun (p : Timeline.span_rec) ->
+                      p.sp_depth = s.sp_depth - 1
+                      && p.sp_t0 <= s.sp_t0 +. 1e-12
+                      && s.sp_t0 +. s.sp_dur <= p.sp_t0 +. p.sp_dur +. 1e-12)
+                    spans)
+             spans);
+    test "unbalanced leave and over-deep enter raise" (fun () ->
+        let tl = Timeline.create ~label:"bad" () in
+        let r = Timeline.recorder tl "d" in
+        (try
+           Timeline.leave r;
+           Alcotest.fail "leave with no open span should raise"
+         with Invalid_argument _ -> ());
+        try
+          for _ = 1 to 65 do
+            Timeline.enter r "deep"
+          done;
+          Alcotest.fail "65-deep nesting should raise"
+        with Invalid_argument _ -> ());
+    test "null collector and recorder are inert" (fun () ->
+        Alcotest.(check bool) "null is null" true (Timeline.is_null Timeline.null);
+        let r = Timeline.recorder Timeline.null "x" in
+        Alcotest.(check bool) "null recorder" true (Timeline.is_null_recorder r);
+        Timeline.event r "e";
+        Timeline.span r "s" (fun () -> ());
+        Timeline.record_span r "p" ~dur_s:1.0;
+        Alcotest.(check int) "nothing dropped" 0 (Timeline.dropped r);
+        let a = Timeline.merge Timeline.null in
+        Alcotest.(check int) "no domains" 0 (List.length a.Timeline.a_domains));
+    test "a raising thunk still closes its span" (fun () ->
+        let tl = Timeline.create ~label:"exn" () in
+        let r = Timeline.recorder tl "d" in
+        (try Timeline.span r "boom" (fun () -> failwith "no")
+         with Failure _ -> ());
+        let a = Timeline.merge tl in
+        match a.Timeline.a_domains with
+        | [ d ] ->
+          Alcotest.(check int) "one span" 1 (List.length d.Timeline.dom_spans)
+        | _ -> Alcotest.fail "expected one domain");
+    test "artifact JSON is versioned" (fun () ->
+        let tl = Timeline.create ~label:"v" () in
+        let r = Timeline.recorder tl "d" in
+        Timeline.span r "s" (fun () -> ());
+        let j = Timeline.to_json (Timeline.merge tl) in
+        Alcotest.(check (option int)) "timeline_version" (Some Timeline.version)
+          (Option.bind (Json.member "timeline_version" j) Json.to_int_opt));
+    test "normalized view erases time and pools across domains" (fun () ->
+        let tl = Timeline.create ~label:"n" () in
+        let r1 = Timeline.recorder tl "a" in
+        let r2 = Timeline.recorder tl "b" in
+        Timeline.span r2 ~tag:2 "s" (fun () -> ());
+        Timeline.span r1 ~tag:1 "s" (fun () -> ());
+        Timeline.event r1 "lifecycle";
+        let j =
+          Timeline.normalized_json ~exclude:[ "lifecycle" ] (Timeline.merge tl)
+        in
+        let rendered = Json.to_string j in
+        Alcotest.(check bool) "no domain labels" false
+          (contains_substring ~needle:"\"a\"" rendered);
+        Alcotest.(check bool) "excluded name gone" false
+          (contains_substring ~needle:"lifecycle" rendered);
+        Alcotest.(check bool) "no timestamps" false
+          (contains_substring ~needle:"t0_s" rendered));
+    test "utilization decomposition: busy + idle = window" (fun () ->
+        let tl = Timeline.create ~label:"u" () in
+        let r = Timeline.recorder tl "d" in
+        Timeline.span r "w" (fun () -> ignore (Sys.opaque_identity (List.init 1000 Fun.id)));
+        Timeline.event r "late";
+        let a = Timeline.merge tl in
+        List.iter
+          (fun (_, u) ->
+            Alcotest.(check (float 1e-9))
+              "busy + idle = window" u.Timeline.u_window
+              (u.Timeline.u_busy +. u.Timeline.u_idle);
+            Alcotest.(check bool) "gc estimate bounded" true
+              (u.Timeline.u_gc_est >= 0. && u.Timeline.u_gc_est <= u.Timeline.u_busy +. 1e-12))
+          (Timeline.utilization a));
+    test "folded stacks carry domain-rooted paths and microseconds" (fun () ->
+        let tl = Timeline.create ~label:"f" () in
+        let r = Timeline.recorder tl "dom" in
+        Timeline.span r "outer" (fun () -> Timeline.span r "inner" (fun () -> ()));
+        let lines = Timeline.folded (Timeline.merge tl) in
+        Alcotest.(check int) "two stacks" 2 (List.length lines);
+        Alcotest.(check bool) "nested stack present" true
+          (List.exists
+             (fun l ->
+               contains_substring ~needle:"dom;outer;inner " l)
+             lines);
+        List.iter
+          (fun l ->
+            match String.rindex_opt l ' ' with
+            | None -> Alcotest.fail "no value field"
+            | Some i ->
+              let v =
+                float_of_string (String.sub l (i + 1) (String.length l - i - 1))
+              in
+              Alcotest.(check bool) "value >= 0" true (v >= 0.))
+          lines);
+    test "gc counters appear on spans that allocate" (fun () ->
+        let tl = Timeline.create ~label:"gc" () in
+        let r = Timeline.recorder tl "d" in
+        Timeline.span r "alloc" (fun () ->
+            let sink = ref [] in
+            for i = 1 to 200_000 do
+              sink := i :: !sink
+            done;
+            ignore (Sys.opaque_identity !sink));
+        let a = Timeline.merge tl in
+        let s =
+          List.hd (List.hd a.Timeline.a_domains).Timeline.dom_spans
+        in
+        Alcotest.(check bool) "allocated words observed" true
+          (s.Timeline.sp_alloc_w > 0.);
+        Alcotest.(check bool) "minor collections observed" true
+          (s.Timeline.sp_minor > 0));
+    test "metrics gc gauges land in the registry" (fun () ->
+        let m = Metrics.create () in
+        Metrics.observe_gc m;
+        List.iter
+          (fun g ->
+            match Metrics.gauge_value m g with
+            | Some v -> Alcotest.(check bool) (g ^ " >= 0") true (v >= 0.)
+            | None -> Alcotest.fail (g ^ " missing"))
+          [ "gc_minor_collections"; "gc_major_collections";
+            "gc_promoted_words"; "gc_heap_words"; "gc_minor_words" ]);
+  ]
+
 let () =
   Alcotest.run "obs"
     [
@@ -611,4 +806,5 @@ let () =
       suite "metrics-merge" merge_tests;
       suite "sketch" sketch_tests;
       suite "profile" profile_tests;
+      suite "timeline" timeline_tests;
     ]
