@@ -19,6 +19,15 @@
      equals     fresh = value                   (JSON equality)
      exists     path resolves to at least one value
 
+   A rule may also carry an optional {"if": {"path", "check", "value"}}
+   guard, evaluated against the FRESH document with the same
+   min/max/equals/exists semantics; when the guard does not hold the
+   rule is skipped (printed, not counted).  That is how machine-dependent
+   expectations stay conditional: a parallel-speedup floor guarded on
+   {"path": "cores", "check": "min", "value": 2} simply does not apply
+   to a single-core runner, which instead gets its own >=0.9x rule
+   guarded on {"check": "max", "value": 1}.
+
    Every rule violation prints and the process exits 1 - this is what
    turns the old 'WARNING: parallel is slower than serial' console note
    into a failing gate.  It generalizes the one-off 300k states/s CI
@@ -105,6 +114,44 @@ let report o ~ok ~label ~detail =
   if not ok then incr o.failures;
   Printf.printf "  %s %-60s %s\n" (if ok then "ok  " else "FAIL") label detail
 
+(* evaluate a rule's optional {"if": ...} guard against the fresh doc *)
+let guard_passes ~fresh rule =
+  match Json.member "if" rule with
+  | None -> true
+  | Some guard ->
+    let str name =
+      match Json.member name guard with
+      | Some (Json.String s) -> Some s
+      | _ -> None
+    in
+    let path =
+      match str "path" with
+      | Some p -> p
+      | None -> failwith "\"if\" guard without a \"path\""
+    in
+    let check = Option.value (str "check") ~default:"exists" in
+    let value () =
+      match Json.member "value" guard with
+      | Some v -> v
+      | None ->
+        failwith (Printf.sprintf "%s: \"if\" guard needs a \"value\"" path)
+    in
+    let hits = resolve fresh (parse_path path) in
+    (match check with
+    | "exists" -> hits <> []
+    | "equals" ->
+      let want = value () in
+      hits <> [] && List.for_all (fun (_, v) -> v = want) hits
+    | "min" | "max" ->
+      let bound = num path (value ()) in
+      hits <> []
+      && List.for_all
+           (fun (p, v) ->
+             let x = num p v in
+             if check = "min" then x >= bound else x <= bound)
+           hits
+    | other -> failwith (Printf.sprintf "%s: unknown \"if\" check %S" path other))
+
 let run_rule o ~fresh ~baseline rule =
   let str name =
     match Json.member name rule with
@@ -125,6 +172,10 @@ let run_rule o ~fresh ~baseline rule =
   let segs = parse_path path in
   let hits = resolve fresh segs in
   let label suffix = Printf.sprintf "%s %s" suffix check in
+  if not (guard_passes ~fresh rule) then
+    Printf.printf "  %s %-60s %s\n" "skip" (label path)
+      "\"if\" guard not met on this machine"
+  else
   match check with
   | "exists" ->
     report o ~ok:(hits <> []) ~label:(label path)

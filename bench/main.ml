@@ -1359,19 +1359,33 @@ let table_abcast_scaling () =
    one worker and at the machine's recommended domain count.  Outcomes are
    deterministic, so the two rows must agree on everything but wall time;
    the speedup is recorded in BENCH_campaign.json together with the core
-   count, since a single-core machine cannot show one. *)
+   count.  Since the engine became a client of the persistent domain pool,
+   a single-core machine runs the parallel row inline (the pool spawns
+   cores - 1 helpers), so even there the parallel row must stay near 1x —
+   the regression floor keys on the core count. *)
 let table_campaign () =
   let cores = Domain.recommended_domain_count () in
   let cfg = { Theorems.default_config with trials = 12 } in
   let jobs = 5 * cfg.Theorems.trials in
-  let time_run workers =
+  (* Best-of-k: for a deterministic workload the minimum wall time is the
+     least-noise estimator, and the repeats double as a pool warm-up. *)
+  let best_of k f =
+    let rec go k ((o, best) as acc) =
+      if k <= 0 then acc
+      else
+        let _, s = f () in
+        go (k - 1) (o, Stdlib.min best s)
+    in
+    go (k - 1) (f ())
+  in
+  let time_run workers () =
     let t0 = Obs.Profile.now () in
     let o = Theorems.lemma_4_1_totality { cfg with Theorems.workers } in
     (o, Obs.Profile.now () -. t0)
   in
-  let o_serial, serial_s = time_run 1 in
+  let o_serial, serial_s = best_of 3 (time_run 1) in
   let parallel_workers = Stdlib.max 2 cores in
-  let o_parallel, parallel_s = time_run parallel_workers in
+  let o_parallel, parallel_s = best_of 3 (time_run parallel_workers) in
   let identical =
     o_serial.Theorems.observed = o_parallel.Theorems.observed
     && o_serial.Theorems.pass = o_parallel.Theorems.pass
@@ -1396,16 +1410,21 @@ let table_campaign () =
   row 1 serial_s o_serial;
   row parallel_workers parallel_s o_parallel;
   Table.print t;
-  let regression = speedup < 1.0 in
-  Format.printf "serial/parallel outcomes identical: %b  speedup: %.2fx@."
-    identical speedup;
+  let floor = if cores >= 2 then 1.0 else 0.9 in
+  let regression = speedup < floor in
+  Format.printf
+    "serial/parallel outcomes identical: %b  speedup: %.2fx (floor for %d \
+     core(s): %.2fx)@."
+    identical speedup cores floor;
   if regression then
     Format.printf
-      "WARNING: parallel campaign is SLOWER than serial (%.2fx < 1x) — the \
-       per-job work is too small to amortize worker startup on this \
-       machine; treat parallel timings from this run as a regression \
-       signal, not a capability claim.@."
-      speedup;
+      "WARNING: parallel campaign fell below the %.2fx floor (%.2fx on %d \
+       cores) — with the persistent pool, surplus worker slots on a \
+       single core run inline and should cost nothing, and on a \
+       multi-core machine the sweep must not be slower than serial; \
+       treat this run's parallel timings as a regression signal, not a \
+       capability claim.@."
+      floor speedup cores;
   Format.printf "@.";
   let side workers wall =
     Obs.Json.Obj
@@ -1415,10 +1434,12 @@ let table_campaign () =
          Obs.Json.Float (float_of_int jobs /. Stdlib.max 1e-9 wall)) ]
   in
   (* T14b: rerun the parallel sweep under the observatory and decompose
-     the regression into where the worker-seconds actually went.  The
-     budget is [workers x wall]; everything not recorded as spawn, work,
-     queue-wait or publish is idle (waiting on the queue drained by
-     others, or teardown). *)
+     where the worker-seconds actually went.  The budget is
+     [participants x wall] — participants counted from the timeline, since
+     the pool caps domains at the machine's recommended count no matter
+     how many slots were requested; everything not recorded as spawn,
+     work, steal-scan, queue-wait or publish is idle (range drained by
+     others, or quiescence). *)
   let tl = Obs.Timeline.create ~label:"t14b" () in
   let t0 = Obs.Profile.now () in
   let (_ : Theorems.outcome) =
@@ -1451,21 +1472,30 @@ let table_campaign () =
       artifact.Obs.Timeline.a_domains
   in
   let spawn_s =
-    (* per worker: domain-start on the child minus spawn-request on the
-       driver, matched by worker tag *)
-    let reqs = event_times "spawn-request" in
+    (* per freshly spawned pool domain: its first unpark on the worker
+       minus the driver's pool-start announcement, matched by slot tag.
+       Zero when the pool is already warm — spawn cost is paid once per
+       process, not once per run. *)
+    let reqs = event_times "pool-start" in
     List.fold_left
-      (fun acc (tag, started) ->
-        match List.assoc_opt tag reqs with
-        | Some requested -> acc +. Stdlib.max 0. (started -. requested)
+      (fun acc (tag, requested) ->
+        match List.assoc_opt tag (event_times "unpark") with
+        | Some started -> acc +. Stdlib.max 0. (started -. requested)
         | None -> acc)
-      0.
-      (event_times "domain-start")
+      0. reqs
   in
   let work_s = sum_spans "worker-" "job-run" in
+  let steal_s = sum_spans "worker-" "steal" in
   let queue_wait_s = sum_spans "worker-" "queue-wait" in
   let publish_s = sum_spans "worker-" "publish" in
   let fsync_s = sum_spans "worker-" "checkpoint-append" in
+  let pool_wait_s = sum_spans "driver" "pool-wait" in
+  let active_workers =
+    List.length
+      (List.filter
+         (fun (d : Obs.Timeline.domain_rec) -> has_prefix "worker-" d.dom_label)
+         artifact.Obs.Timeline.a_domains)
+  in
   let gc_est_s =
     List.fold_left
       (fun acc (label, u) ->
@@ -1474,18 +1504,19 @@ let table_campaign () =
       0.
       (Obs.Timeline.utilization artifact)
   in
-  let budget_s = float_of_int parallel_workers *. instr_wall in
+  let budget_s = float_of_int (Stdlib.max 1 active_workers) *. instr_wall in
   let idle_s =
-    Stdlib.max 0. (budget_s -. spawn_s -. work_s -. queue_wait_s -. publish_s)
+    Stdlib.max 0.
+      (budget_s -. spawn_s -. work_s -. steal_s -. queue_wait_s -. publish_s)
   in
   let frac v = v /. Stdlib.max 1e-9 budget_s in
   let tb =
     Table.create
       ~title:
         (Format.asprintf
-           "T14b: where the %.3f worker-seconds went (parallel sweep, %d \
-            workers, %.3fs wall)"
-           budget_s parallel_workers instr_wall)
+           "T14b: where the %.3f worker-seconds went (%d slots, %d pool \
+            domain(s), %.3fs wall)"
+           budget_s parallel_workers active_workers instr_wall)
       ~columns:[ "component"; "seconds"; "fraction" ]
   in
   let comp name v =
@@ -1493,35 +1524,128 @@ let table_campaign () =
       [ name; Table.cell_float ~decimals:4 v;
         Table.cell_float ~decimals:3 (frac v) ]
   in
-  comp "spawn (request->start)" spawn_s;
+  comp "spawn (pool-start->unpark)" spawn_s;
   comp "work (job-run)" work_s;
+  comp "steal (cross-range scans)" steal_s;
   comp "queue-wait (publish lock)" queue_wait_s;
   comp "publish (merge+checkpoint)" publish_s;
   comp "  of which checkpoint fsync" fsync_s;
   comp "gc (estimated, inside work)" gc_est_s;
-  comp "idle (queue drained/teardown)" idle_s;
+  comp "idle (range drained/quiescence)" idle_s;
   Table.print tb;
   Format.printf
-    "Reading: everything outside the 'work' row - spawn, queue-wait,\n\
-     publish and idle - is the overhead the parallel row pays and the\n\
-     serial row does not; at this job size it is why speedup sits below\n\
-     1x (startup and serialisation, not compute).@.@.";
+    "Reading: everything outside the 'work' row - spawn, steal,\n\
+     queue-wait, publish and idle - is overhead the parallel run pays\n\
+     and the serial run does not.  With the persistent pool, spawn is\n\
+     zero once the pool is warm and the driver's pool-wait (%.4fs here)\n\
+     covers end-of-run quiescence only.@.@."
+    pool_wait_s;
   let t14b =
     Obs.Json.Obj
       [ ("workers", Obs.Json.Int parallel_workers);
+        ("pool_domains", Obs.Json.Int active_workers);
         ("wall_s", Obs.Json.Float instr_wall);
         ("budget_s", Obs.Json.Float budget_s);
         ("spawn_s", Obs.Json.Float spawn_s);
         ("work_s", Obs.Json.Float work_s);
+        ("steal_s", Obs.Json.Float steal_s);
         ("queue_wait_s", Obs.Json.Float queue_wait_s);
         ("publish_s", Obs.Json.Float publish_s);
         ("checkpoint_fsync_s", Obs.Json.Float fsync_s);
+        ("pool_wait_s", Obs.Json.Float pool_wait_s);
         ("gc_est_s", Obs.Json.Float gc_est_s);
         ("idle_s", Obs.Json.Float idle_s);
         ("spawn_frac", Obs.Json.Float (frac spawn_s));
         ("work_frac", Obs.Json.Float (frac work_s));
         ("queue_wait_frac", Obs.Json.Float (frac queue_wait_s));
         ("idle_frac", Obs.Json.Float (frac idle_s)) ]
+  in
+  (* T14c: saturation — synthetic spin campaigns at three job sizes, each
+     swept across worker slots {1, 2, 4, 8}.  Small jobs show where
+     adaptive batching stops overhead from dominating; large jobs show
+     the attainable speedup; slots beyond the pool's domain cap cost
+     nothing (their ranges are stolen).  [speedup_at_2] on the largest
+     size is the gated headline. *)
+  let spin iters =
+    let acc = ref 0 in
+    for i = 1 to iters do
+      acc := (!acc * 1664525) + i
+    done;
+    !acc
+  in
+  let worker_counts = [ 1; 2; 4; 8 ] in
+  let sizes =
+    [ ("small", 5_000, 192); ("medium", 100_000, 96); ("large", 1_000_000, 48) ]
+  in
+  let tc =
+    Table.create
+      ~title:
+        (Format.asprintf
+           "T14c: pool saturation - spin campaigns across worker slots (%d \
+            cores)"
+           cores)
+      ~columns:
+        [ "size"; "jobs"; "workers"; "wall (s)"; "jobs/s"; "speedup"; "steals" ]
+  in
+  let speedup_at = Hashtbl.create 16 in
+  let t14c_sizes =
+    List.map
+      (fun (size_name, iters, total) ->
+        let serial_wall = ref 0. in
+        let rows = ref [] in
+        List.iter
+          (fun workers ->
+              let run () =
+                let t0 = Obs.Profile.now () in
+                let r =
+                  Rlfd_campaign.Engine.run ~workers ~name:"t14c" ~seed ~total
+                    ~label:string_of_int
+                    (fun ~rng:_ ~metrics:_ job -> spin iters land 0xffff + job)
+                in
+                (r, Obs.Profile.now () -. t0)
+              in
+              let r, wall = best_of 2 run in
+              if workers = 1 then serial_wall := wall;
+              let sp = !serial_wall /. Stdlib.max 1e-9 wall in
+              Hashtbl.replace speedup_at (size_name, workers) sp;
+              Table.add_row tc
+                [ size_name; Table.cell_int total; Table.cell_int workers;
+                  Table.cell_float ~decimals:4 wall;
+                  Table.cell_float (float_of_int total /. Stdlib.max 1e-9 wall);
+                  Table.cell_float ~decimals:2 sp;
+                  Table.cell_int r.Rlfd_campaign.Engine.steals ];
+              rows :=
+                Obs.Json.Obj
+                  [ ("workers", Obs.Json.Int workers);
+                    ("wall_s", Obs.Json.Float wall);
+                    ("jobs_per_sec",
+                     Obs.Json.Float
+                       (float_of_int total /. Stdlib.max 1e-9 wall));
+                    ("speedup", Obs.Json.Float sp);
+                    ("steals", Obs.Json.Int r.Rlfd_campaign.Engine.steals);
+                    ("pool_domains",
+                     Obs.Json.Int r.Rlfd_campaign.Engine.pool_domains) ]
+                :: !rows)
+          worker_counts;
+        Obs.Json.Obj
+          [ ("size", Obs.Json.String size_name);
+            ("spin_iters", Obs.Json.Int iters);
+            ("jobs", Obs.Json.Int total);
+            ("rows", Obs.Json.List (List.rev !rows)) ])
+      sizes
+  in
+  Table.print tc;
+  let headline w = Hashtbl.find speedup_at ("large", w) in
+  Format.printf
+    "Saturation headline (large jobs): %.2fx at 2 slots, %.2fx at 4, %.2fx \
+     at 8.@.@."
+    (headline 2) (headline 4) (headline 8);
+  let t14c =
+    Obs.Json.Obj
+      [ ("sizes", Obs.Json.List t14c_sizes);
+        ("speedup_at_2", Obs.Json.Float (headline 2));
+        ("speedup_at_4", Obs.Json.Float (headline 4));
+        ("speedup_at_8", Obs.Json.Float (headline 8)) ]
   in
   let json =
     Obs.Json.Obj
@@ -1531,9 +1655,11 @@ let table_campaign () =
         ("serial", side 1 serial_s);
         ("parallel", side parallel_workers parallel_s);
         ("speedup", Obs.Json.Float speedup);
+        ("speedup_floor", Obs.Json.Float floor);
         ("regression", Obs.Json.Bool regression);
         ("identical", Obs.Json.Bool identical);
-        ("t14b", t14b) ]
+        ("t14b", t14b);
+        ("t14c", t14c) ]
   in
   let oc = open_out "BENCH_campaign.json" in
   output_string oc (Obs.Json.to_string json);

@@ -172,13 +172,29 @@ let exit_ok ok = if ok then 0 else 1
 
 (* ---------- fdsim check ---------- *)
 
-let jobs_arg =
-  Arg.(
-    value & opt int 1
-    & info [ "jobs" ] ~docv:"N"
-        ~doc:
-          "Worker domains for campaign-backed sweeps.  Results are \
-           identical at any value; only wall time changes.")
+(* --jobs / --workers accept a count or the literal "auto", which
+   resolves to Domain.recommended_domain_count — the persistent pool
+   never runs more domains than that anyway. *)
+let workers_conv =
+  let parse s =
+    match String.lowercase_ascii (String.trim s) with
+    | "auto" -> Ok (Campaign.Pool.recommended_workers ())
+    | s -> (
+      match int_of_string_opt s with
+      | Some n -> Ok n
+      | None ->
+        Error
+          (`Msg (Printf.sprintf "expected a worker count or 'auto', got %S" s)))
+  in
+  Arg.conv ~docv:"N|auto" (parse, Format.pp_print_int)
+
+let jobs_doc =
+  "Worker slots for campaign-backed sweeps ('auto' = the machine's \
+   recommended domain count).  Results are identical at any value; only \
+   wall time changes — the persistent domain pool caps real parallelism \
+   at the core count and work-stealing drains the rest."
+
+let jobs_arg = Arg.(value & opt workers_conv 1 & info [ "jobs" ] ~docv:"N|auto" ~doc:jobs_doc)
 
 let check_cmd =
   let run n seed trials jobs =
@@ -1304,12 +1320,12 @@ let explore_cmd =
   in
   let workers =
     Arg.(
-      value & opt int 0
-      & info [ "workers" ] ~docv:"N"
+      value & opt workers_conv 0
+      & info [ "workers" ] ~docv:"N|auto"
           ~doc:
-            "Explore with N domains over a deterministic breadth-first \
-             frontier; reports are byte-identical for every N (0 = plain \
-             DFS).")
+            "Explore with N pool workers over a deterministic breadth-first \
+             frontier ('auto' = the machine's recommended domain count); \
+             reports are byte-identical for every N (0 = plain DFS).")
   in
   let explain =
     Arg.(
@@ -1692,6 +1708,16 @@ let metrics_cmd =
         ~check:(Explore.agreement_check ~equal:Int.equal)
         (Ct_strong.automaton ~proposals)
     in
+    (* Phase 4: a micro-campaign through the persistent domain pool, with
+       more worker slots than the pool will ever spawn domains on small
+       machines — the orphan ranges are drained by stealing, so the pool
+       counter family (campaign_steals, pool_domains, shard_target_ms)
+       lands in the dump with the steal path exercised. *)
+    let pool_report =
+      Campaign.Engine.run ~workers:4 ~name:"metrics-pool-probe" ~seed
+        ~total:32 ~label:string_of_int (fun ~rng:_ ~metrics:_ job -> job)
+    in
+    Obs.Metrics.merge ~into:registry pool_report.Campaign.Engine.metrics;
     Obs.Metrics.observe_gc registry;
     if json then print_endline (Obs.Json.to_string (Obs.Metrics.to_json registry))
     else begin
@@ -1791,8 +1817,8 @@ let campaign_job ~n ~horizon job =
   }
 
 let campaign_cmd =
-  let run n seed horizon seeds families fds scheds jobs shard_size checkpoint
-      resume out progress_f =
+  let run n seed horizon seeds families fds scheds jobs shard_size
+      shard_target_ms checkpoint resume out progress_f =
     let invalid what v known =
       Format.eprintf "fdsim: unknown %s %S (expected one of: %s)@." what v
         (String.concat ", " known);
@@ -1830,8 +1856,9 @@ let campaign_cmd =
         Printf.eprintf "campaign: %d/%d jobs\n%!" done_ total
     in
     let report =
-      Campaign.Engine.run_spec ~workers:jobs ?shard_size ?checkpoint ~resume
-        ~codec:campaign_codec ~progress ~sink ~seed spec
+      Campaign.Engine.run_spec ~workers:jobs ?shard_size
+        ?shard_target_ms ?checkpoint ~resume ~codec:campaign_codec ~progress
+        ~sink ~seed spec
         (fun ~rng:_ ~metrics:_ job -> campaign_job ~n ~horizon job)
     in
     let lines = Campaign.Engine.report_lines campaign_codec report in
@@ -1850,11 +1877,15 @@ let campaign_cmd =
     in
     Format.printf
       "campaign %s: %d jobs (%d resumed, %d duplicate, %d skipped lines), \
-       %d/%d pass, workers=%d, shard=%d, %.2fs@."
+       %d/%d pass, workers=%d (%d pool domain(s), %d steal(s)), shard=%s, \
+       %.2fs@."
       report.Campaign.Engine.campaign report.Campaign.Engine.total
       report.Campaign.Engine.resumed report.Campaign.Engine.duplicates
       report.Campaign.Engine.skipped passed report.Campaign.Engine.total
-      report.Campaign.Engine.workers report.Campaign.Engine.shard_size
+      report.Campaign.Engine.workers report.Campaign.Engine.pool_domains
+      report.Campaign.Engine.steals
+      (if report.Campaign.Engine.shard_size = 0 then "adaptive"
+       else string_of_int report.Campaign.Engine.shard_size)
       report.Campaign.Engine.wall_s;
     exit_ok (passed = report.Campaign.Engine.total)
   in
@@ -1884,17 +1915,30 @@ let campaign_cmd =
   in
   let jobs =
     Arg.(
-      value & opt int 1
-      & info [ "jobs" ] ~docv:"N"
+      value & opt workers_conv 1
+      & info [ "jobs" ] ~docv:"N|auto"
           ~doc:
-            "Worker domains.  The report is byte-identical at any value — \
-             every job derives its own random stream from the campaign seed \
-             and its index alone.")
+            "Worker slots ('auto' = the machine's recommended domain \
+             count).  The report is byte-identical at any value — every job \
+             derives its own random stream from the campaign seed and its \
+             index alone, and the persistent pool steals work across slots.")
   in
   let shard_size =
     Arg.(
       value & opt (some int) None
-      & info [ "shard-size" ] ~docv:"K" ~doc:"Jobs per work-queue shard.")
+      & info [ "shard-size" ] ~docv:"K"
+          ~doc:
+            "Force fixed batches of K jobs per claim.  Default: adaptive \
+             batching sized online to --shard-target-ms of wall time per \
+             batch.")
+  in
+  let shard_target_ms =
+    Arg.(
+      value & opt (some float) None
+      & info [ "shard-target-ms" ] ~docv:"MS"
+          ~doc:
+            "Adaptive batching wall-time target per claimed batch (default \
+             5ms); ignored with --shard-size.")
   in
   let checkpoint =
     Arg.(
@@ -1928,7 +1972,8 @@ let campaign_cmd =
           checkpoint/resume and an aggregated report.")
     Term.(
       const run $ n_arg $ seed_arg $ horizon_arg $ seeds $ families $ fds
-      $ scheds $ jobs $ shard_size $ checkpoint $ resume $ out $ progress_arg)
+      $ scheds $ jobs $ shard_size $ shard_target_ms $ checkpoint $ resume
+      $ out $ progress_arg)
 
 (* ---------- profile: the runtime observatory ---------- *)
 
@@ -1999,8 +2044,11 @@ let profile_cmd =
   in
   let jobs =
     Arg.(
-      value & opt int 2
-      & info [ "jobs" ] ~docv:"N" ~doc:"Worker domains to profile.")
+      value & opt workers_conv 2
+      & info [ "jobs" ] ~docv:"N|auto"
+          ~doc:
+            "Worker slots to profile ('auto' = the machine's recommended \
+             domain count).")
   in
   let scope =
     Arg.(

@@ -24,6 +24,8 @@ type 'r report = {
   metrics : Metrics.t;
   workers : int;
   shard_size : int;
+  steals : int;
+  pool_domains : int;
   wall_s : float;
 }
 
@@ -76,15 +78,22 @@ let load_resume codec ~name ~seed ~total path =
       in
       (recovered, !duplicates, !skipped)
 
-(* One work-queue item: the inclusive-exclusive pending-array slice
-   [lo, hi).  Shards are claimed with an atomic counter and their results
-   parked under their own index, so the final fold over shards is in shard
-   order no matter which worker finished when. *)
-let run ?(workers = 1) ?shard_size ?checkpoint ?(resume = false) ?codec
-    ?progress ?(sink = Trace.null) ?(timeline = Timeline.null) ~name ~seed
-    ~total ~label f =
+(* Work distribution: the pending array is measured in quanta — one shard
+   in fixed mode ([~shard_size]), one job in adaptive mode — and split
+   into one contiguous range per requested worker slot.  A range is an
+   immutable upper bound plus an atomic claim cursor: claiming is a
+   single fetch-and-add from the front (monotone, so there is no ABA and
+   nothing ever runs twice), and a participant whose own range is dry
+   claims from someone else's — that is the whole work-stealing
+   protocol.  Slots beyond the physical pool still get a range; stealing
+   is also how those orphan ranges drain, which is why the report is
+   independent of how many domains actually showed up. *)
+let run ?(workers = 1) ?shard_size ?(shard_target_ms = 5.) ?checkpoint
+    ?(resume = false) ?codec ?progress ?(sink = Trace.null)
+    ?(timeline = Timeline.null) ~name ~seed ~total ~label f =
   if total < 0 then invalid_arg "Engine.run: total < 0";
   if workers < 1 then invalid_arg "Engine.run: workers < 1";
+  if shard_target_ms <= 0. then invalid_arg "Engine.run: shard_target_ms <= 0";
   if (checkpoint <> None || resume) && codec = None then
     invalid_arg "Engine.run: ~checkpoint and ~resume require ~codec";
   if resume && checkpoint = None then
@@ -104,15 +113,27 @@ let run ?(workers = 1) ?shard_size ?checkpoint ?(resume = false) ?codec
          (List.init total Fun.id))
   in
   let n_pending = Array.length pending in
-  let shard_size =
+  let fixed = shard_size <> None in
+  let quantum =
     match shard_size with
     | Some k ->
       if k < 1 then invalid_arg "Engine.run: shard_size < 1";
       k
-    | None -> max 1 (total / (workers * 4))
+    | None -> 1
   in
-  let n_shards = (n_pending + shard_size - 1) / shard_size in
-  let shard_results = Array.make (max n_shards 1) None in
+  let n_quanta = (n_pending + quantum - 1) / quantum in
+  let n_ranges = Stdlib.max 1 (Stdlib.min workers n_quanta) in
+  let range_hi = Array.make n_ranges 0 in
+  let cursor = Array.init n_ranges (fun _ -> Atomic.make 0) in
+  for r = 0 to n_ranges - 1 do
+    Atomic.set cursor.(r) (r * n_quanta / n_ranges);
+    range_hi.(r) <- (r + 1) * n_quanta / n_ranges
+  done;
+  (* slot-local result publication: each participant appends finished
+     batches to its own list, no shared structure on the result path.
+     The pool's quiescence handshake makes the lists safe to read. *)
+  let results = Array.make n_ranges [] in
+  let steal_counts = Array.make n_ranges 0 in
   (* The checkpoint is rewritten, not appended to: a killed run can leave a
      torn final line with no newline, and appending after it would corrupt
      the first new entry.  Rewriting also compacts away duplicates and
@@ -141,8 +162,10 @@ let run ?(workers = 1) ?shard_size ?checkpoint ?(resume = false) ?codec
         oc)
       checkpoint
   in
+  (* the one remaining lock: checkpoint appends and progress telemetry are
+     serialised here — results never are *)
   let mutex = Mutex.create () in
-  let next_shard = Atomic.make 0 in
+  let stop = Atomic.make false in
   let completed = ref (List.length recovered) in
   let failure = ref None in
   let job_times = ref [] in
@@ -187,107 +210,169 @@ let run ?(workers = 1) ?shard_size ?checkpoint ?(resume = false) ?codec
       Metrics.observe metrics "campaign_job_seconds" elapsed_s;
       { job = idx; label = label idx; elapsed_s; resumed = false; value }
   in
-  let worker wid =
-    (* the recorder is created by the worker domain itself and stays
+  let body ~slot:me =
+    (* the recorder is created by the participant domain itself and stays
        domain-private: recording below takes no lock *)
     let rec_ =
       if Timeline.is_null timeline then Timeline.null_recorder
-      else Timeline.recorder timeline (Printf.sprintf "worker-%d" wid)
+      else Timeline.recorder timeline (Printf.sprintf "worker-%d" me)
     in
-    Timeline.event rec_ ~tag:wid "domain-start";
-    let continue = ref true in
-    while !continue do
-      let shard = Atomic.fetch_and_add next_shard 1 in
-      if shard >= n_shards || !failure <> None then continue := false
+    Timeline.event rec_ ~tag:me "unpark";
+    (* adaptive batching: an EWMA of per-job wall time, calibrated by a
+       first one-job batch, sizes every later claim to [shard_target_ms] *)
+    let est = ref 0. in
+    let batch_quanta () =
+      if fixed || !est <= 0. then 1
+      else
+        let want = int_of_float (shard_target_ms /. 1000. /. !est) in
+        Stdlib.max 1 (Stdlib.min 4096 want)
+    in
+    (* claim from range [r]: fetch-and-add from the front, capped at half
+       the remainder so tail work stays stealable *)
+    let claim r =
+      let hi = range_hi.(r) in
+      let lo = Atomic.get cursor.(r) in
+      if lo >= hi then None
       else begin
-        match
-          Timeline.span rec_ ~tag:shard "job-run" (fun () ->
-              let metrics = Metrics.create () in
-              let lo = shard * shard_size in
-              let hi = min n_pending (lo + shard_size) in
-              let outcomes = ref [] in
-              for k = hi - 1 downto lo do
-                outcomes :=
-                  Timeline.span rec_ ~tag:pending.(k) "job" (fun () ->
-                      run_job pending.(k) metrics)
-                  :: !outcomes
-              done;
-              (!outcomes, metrics))
-        with
-        | outcomes, metrics ->
-          (* queue-wait: from shard results ready to publish lock held —
-             the serialisation cost the T14b table attributes *)
-          let t_ready =
-            if Timeline.is_null_recorder rec_ then 0. else Profile.now ()
-          in
-          Mutex.lock mutex;
-          if not (Timeline.is_null_recorder rec_) then
-            Timeline.record_span rec_ ~tag:shard "queue-wait"
-              ~dur_s:(Profile.now () -. t_ready);
-          Fun.protect
-            ~finally:(fun () -> Mutex.unlock mutex)
-            (fun () ->
-              Timeline.span rec_ ~tag:shard "publish" (fun () ->
-                  shard_results.(shard) <- Some (outcomes, metrics);
-                  completed := !completed + List.length outcomes;
-                  List.iter
-                    (fun o -> job_times := o.elapsed_s :: !job_times)
-                    outcomes;
-                  (match (oc, codec) with
-                  | Some oc, Some codec ->
-                    Timeline.span rec_ ~tag:shard "checkpoint-append"
-                      (fun () ->
-                        List.iter
-                          (fun o ->
-                            Checkpoint.write_entry oc
-                              {
-                                Checkpoint.job = o.job;
-                                label = o.label;
-                                elapsed_s = o.elapsed_s;
-                                value = codec.encode o.value;
-                              })
-                          outcomes)
-                  | _ -> ());
-                  notify ()))
-        | exception exn ->
-          let bt = Printexc.get_raw_backtrace () in
-          Mutex.protect mutex (fun () ->
-              if !failure = None then failure := Some (exn, bt));
-          continue := false
+        let take =
+          Stdlib.min (batch_quanta ()) (Stdlib.max 1 ((hi - lo + 1) / 2))
+        in
+        let q0 = Atomic.fetch_and_add cursor.(r) take in
+        if q0 >= hi then None else Some (q0, Stdlib.min hi (q0 + take))
       end
+    in
+    let find_work () =
+      let t_scan =
+        if Timeline.is_null_recorder rec_ then 0. else Profile.now ()
+      in
+      let rec scan k =
+        if k >= n_ranges then None
+        else
+          let r = (me + k) mod n_ranges in
+          match claim r with
+          | Some span_q ->
+            if r <> me then begin
+              steal_counts.(me) <- steal_counts.(me) + 1;
+              if not (Timeline.is_null_recorder rec_) then
+                Timeline.record_span rec_ ~tag:r "steal"
+                  ~dur_s:(Profile.now () -. t_scan)
+            end;
+            Some span_q
+          | None -> scan (k + 1)
+      in
+      scan 0
+    in
+    let continue_ = ref true in
+    while !continue_ do
+      if Atomic.get stop then continue_ := false
+      else
+        match find_work () with
+        | None -> continue_ := false
+        | Some (q0, q1) -> (
+          let lo_j = q0 * quantum in
+          let hi_j = Stdlib.min n_pending (q1 * quantum) in
+          match
+            Timeline.span rec_ ~tag:q0 "job-run" (fun () ->
+                let metrics = Metrics.create () in
+                let t_batch = Profile.now () in
+                let outcomes = ref [] in
+                for k = lo_j to hi_j - 1 do
+                  outcomes :=
+                    Timeline.span rec_ ~tag:pending.(k) "job" (fun () ->
+                        run_job pending.(k) metrics)
+                    :: !outcomes
+                done;
+                let n = hi_j - lo_j in
+                if (not fixed) && n > 0 then begin
+                  let per = (Profile.now () -. t_batch) /. float_of_int n in
+                  est := if !est <= 0. then per else (0.7 *. !est) +. (0.3 *. per)
+                end;
+                (List.rev !outcomes, metrics))
+          with
+          | outcomes, metrics ->
+            (* queue-wait: from batch results ready to bookkeeping lock
+               held — with lock-free result publication this is only the
+               checkpoint/telemetry serialisation, and the T14b table
+               shows it staying ≈ 0 *)
+            let t_ready =
+              if Timeline.is_null_recorder rec_ then 0. else Profile.now ()
+            in
+            Mutex.lock mutex;
+            if not (Timeline.is_null_recorder rec_) then
+              Timeline.record_span rec_ ~tag:q0 "queue-wait"
+                ~dur_s:(Profile.now () -. t_ready);
+            Fun.protect
+              ~finally:(fun () -> Mutex.unlock mutex)
+              (fun () ->
+                Timeline.span rec_ ~tag:q0 "publish" (fun () ->
+                    results.(me) <- (q0, outcomes, metrics) :: results.(me);
+                    completed := !completed + List.length outcomes;
+                    List.iter
+                      (fun o -> job_times := o.elapsed_s :: !job_times)
+                      outcomes;
+                    (match (oc, codec) with
+                    | Some oc, Some codec ->
+                      Timeline.span rec_ ~tag:q0 "checkpoint-append"
+                        (fun () ->
+                          List.iter
+                            (fun o ->
+                              Checkpoint.write_entry oc
+                                {
+                                  Checkpoint.job = o.job;
+                                  label = o.label;
+                                  elapsed_s = o.elapsed_s;
+                                  value = codec.encode o.value;
+                                })
+                            outcomes)
+                    | _ -> ());
+                    notify ()))
+          | exception exn ->
+            let bt = Printexc.get_raw_backtrace () in
+            Mutex.protect mutex (fun () ->
+                if !failure = None then failure := Some (exn, bt));
+            Atomic.set stop true;
+            continue_ := false)
     done;
-    Timeline.event rec_ ~tag:wid "domain-exit"
+    Timeline.event rec_ ~tag:me "park"
   in
   let driver =
     if Timeline.is_null timeline then Timeline.null_recorder
     else Timeline.recorder timeline "driver"
   in
   Mutex.protect mutex notify;
-  if workers = 1 || n_shards <= 1 then worker 0
-  else begin
-    let domains =
-      List.init (min workers n_shards) (fun wid ->
-          Timeline.event driver ~tag:wid "spawn-request";
-          Domain.spawn (fun () -> worker wid))
-    in
-    List.iteri
-      (fun wid d -> Timeline.span driver ~tag:wid "join" (fun () -> Domain.join d))
-      domains
-  end;
+  let stats =
+    Pool.run
+      ~workers:(if n_quanta = 0 then 1 else n_ranges)
+      ~on_spawn:(fun slot -> Timeline.event driver ~tag:slot "pool-start")
+      body
+  in
+  if not (Timeline.is_null_recorder driver) then
+    Timeline.record_span driver "pool-wait" ~dur_s:stats.Pool.wait_s;
   Option.iter close_out oc;
   (match !failure with
   | Some (exn, bt) -> Printexc.raise_with_backtrace exn bt
   | None -> ());
+  let total_steals = Array.fold_left ( + ) 0 steal_counts in
   let metrics = Metrics.create () in
   let fresh = ref [] in
+  (* merge in batch-start order: batches are contiguous index ranges run
+     in ascending index order, so this equals a job-index-order merge —
+     gauges land on their highest-index writer whatever the batching *)
   Timeline.span driver "metrics-merge" (fun () ->
-      Array.iter
-        (function
-          | None -> ()
-          | Some (outcomes, shard_metrics) ->
-            Metrics.merge ~into:metrics shard_metrics;
-            fresh := List.rev_append outcomes !fresh)
-        shard_results);
+      let batches =
+        Array.fold_left (fun acc l -> List.rev_append l acc) [] results
+        |> List.sort (fun (a, _, _) (b, _, _) -> compare a b)
+      in
+      List.iter
+        (fun (_, outcomes, batch_metrics) ->
+          Metrics.merge ~into:metrics batch_metrics;
+          fresh := List.rev_append outcomes !fresh)
+        batches);
+  Metrics.incr ~by:total_steals metrics "campaign_steals";
+  Metrics.set_gauge metrics "pool_domains"
+    (float_of_int stats.Pool.participants);
+  Metrics.set_gauge metrics "shard_target_ms"
+    (if fixed then 0. else shard_target_ms);
   let outcomes =
     List.sort
       (fun a b -> compare a.job b.job)
@@ -303,7 +388,9 @@ let run ?(workers = 1) ?shard_size ?checkpoint ?(resume = false) ?codec
     skipped;
     metrics;
     workers;
-    shard_size;
+    shard_size = (match shard_size with Some k -> k | None -> 0);
+    steals = total_steals;
+    pool_domains = stats.Pool.participants;
     wall_s = Profile.now () -. t0;
   }
 
@@ -328,12 +415,15 @@ let report_to_json report =
       ("skipped", Json.Int report.skipped);
       ("workers", Json.Int report.workers);
       ("shard_size", Json.Int report.shard_size);
+      ("steals", Json.Int report.steals);
+      ("pool_domains", Json.Int report.pool_domains);
       ("wall_s", Json.Float report.wall_s);
       ("metrics", Metrics.to_json report.metrics) ]
 
-let run_spec ?workers ?shard_size ?checkpoint ?resume ?codec ?progress ?sink
-    ?timeline ~seed spec f =
-  run ?workers ?shard_size ?checkpoint ?resume ?codec ?progress ?sink ?timeline
-    ~name:(Spec.name spec) ~seed ~total:(Spec.size spec)
+let run_spec ?workers ?shard_size ?shard_target_ms ?checkpoint ?resume ?codec
+    ?progress ?sink ?timeline ~seed spec f =
+  run ?workers ?shard_size ?shard_target_ms ?checkpoint ?resume ?codec
+    ?progress ?sink ?timeline ~name:(Spec.name spec) ~seed
+    ~total:(Spec.size spec)
     ~label:(fun i -> Spec.label (Spec.job spec i))
     (fun ~rng ~metrics i -> f ~rng ~metrics (Spec.job spec i))

@@ -1,17 +1,22 @@
-(** The sharded multicore campaign engine.
+(** The multicore campaign engine, a client of the persistent {!Pool}.
 
-    [run] turns any (job index → result) function into a campaign: the job
-    range is cut into shards, a fixed pool of OCaml 5 domains pulls shards
-    from an atomic work queue, and every job gets a private deterministic
+    [run] turns any (job index → result) function into a campaign: the
+    job range is split into one contiguous work range per worker slot,
+    the process-wide domain pool's participants claim batches from their
+    own range with a single fetch-and-add and {e steal} from the others'
+    once theirs is dry, and every job gets a private deterministic
     random stream derived from the campaign seed and its own index
     ([Rlfd_kernel.Rng.of_path ~seed [index]]).  Because a job's stream,
     inputs and identity depend only on its index — never on which worker
     runs it or when — the aggregated report is identical at any worker
     count, which {!report_lines} makes checkable byte-for-byte.
 
-    Aggregation is deterministic too: outcomes are sorted by job index and
-    per-shard metric registries are folded with {!Rlfd_obs.Metrics.merge}
-    in shard-index order, not completion order.
+    Aggregation is deterministic too: outcomes are sorted by job index,
+    and per-batch metric registries are folded with
+    {!Rlfd_obs.Metrics.merge} in batch-start order — batches are
+    contiguous index ranges executed in ascending index order, so the
+    fold is equivalent to a job-index-order merge no matter how the
+    adaptive batching cut them.
 
     With [~checkpoint] the engine appends one {!Checkpoint} entry per
     finished job (flushed, so a kill loses at most one in-flight line);
@@ -44,15 +49,18 @@ type 'r report = {
   resumed : int;  (** jobs recovered from the checkpoint *)
   duplicates : int;  (** checkpoint entries for an already-seen job id *)
   skipped : int;  (** malformed / torn / undecodable / out-of-range lines *)
-  metrics : Rlfd_obs.Metrics.t;  (** per-shard registries, shard order *)
-  workers : int;  (** pool size the campaign ran with *)
-  shard_size : int;  (** jobs per work-queue item *)
+  metrics : Rlfd_obs.Metrics.t;  (** per-batch registries, index order *)
+  workers : int;  (** worker slots the campaign was asked for *)
+  shard_size : int;  (** fixed jobs per batch, or [0] in adaptive mode *)
+  steals : int;  (** batches claimed from another slot's range *)
+  pool_domains : int;  (** pool participants that entered this run *)
   wall_s : float;  (** end-to-end wall time *)
 }
 
 val run :
   ?workers:int ->
   ?shard_size:int ->
+  ?shard_target_ms:float ->
   ?checkpoint:string ->
   ?resume:bool ->
   ?codec:'r codec ->
@@ -68,13 +76,22 @@ val run :
 (** [run ~name ~seed ~total ~label f] executes jobs [0 .. total - 1].
 
     [f ~rng ~metrics index] gets a stream private to [index] and the
-    registry of the shard it happens to run in; anything recorded there
+    registry of the batch it happens to run in; anything recorded there
     surfaces merged in the report's [metrics].
 
-    - [workers] (default 1): domains in the pool.  [1] runs inline on the
-      calling domain — no spawn, same results.
-    - [shard_size] (default [total / (workers * 4)], at least 1): jobs per
-      work-queue item.  Any value yields the same report lines.
+    - [workers] (default 1): worker slots — one contiguous work range
+      each.  [1] runs inline on the calling domain, no pool traffic.
+      The {!Pool} caps actual domains at the machine's recommended
+      count; requesting more slots than that is fine (their ranges are
+      drained by stealing) and yields the same report.
+    - [shard_size]: forces fixed batching — exactly this many jobs per
+      claim, like the pre-pool engine.  When absent (the default) the
+      engine {e adapts}: a one-job calibration batch seeds a per-worker
+      EWMA of job cost, and every later claim is sized so one batch
+      costs about [shard_target_ms] of wall time.  Any setting yields
+      the same report lines.
+    - [shard_target_ms] (default [5.]): the adaptive batcher's per-batch
+      wall-time target.  Ignored under [~shard_size].
     - [checkpoint]: keep a completion log here (requires [codec]): the
       header is written once, then one flushed entry per finished job.
     - [resume] (default false): load [checkpoint] first and only run what
@@ -85,26 +102,33 @@ val run :
       fresh start, but a file whose header disagrees with
       [name]/[seed]/[total] raises [Failure] — it belongs to a different
       campaign.
-    - [progress]: called (serialised) after each shard and once at start.
+    - [progress]: called (serialised) after each batch and once at start.
     - [sink]: receives one {!Rlfd_obs.Trace.Progress} event at each of
       those moments — jobs done/total, throughput over the jobs this run
       executed (recovered ones excluded), an [eta_s] extrapolation and the
       p50/p95 of per-job wall times.  The live-telemetry face of the
       campaign; free when left at the default null sink.
     - [timeline]: a {!Rlfd_obs.Timeline} collector for the runtime
-      observatory.  Each worker domain registers a [worker-<i>] recorder
-      and records, per shard, a [job-run] span with one [job] child span
-      per job (tagged by job index), a [queue-wait] span (shard results
-      ready → publish lock held), and a [publish] span whose
-      [checkpoint-append] child covers the fsynced entry writes.  The
-      driver records [spawn-request]/[domain-start]/[domain-exit] events
-      and [join]/[metrics-merge] spans, so spawn latency and teardown are
-      measurable from the merged artifact.  Free when left at the default
-      {!Rlfd_obs.Timeline.null}.
+      observatory.  Each participant registers a [worker-<slot>]
+      recorder and records, per batch, a [job-run] span with one [job]
+      child span per job (tagged by job index), a [queue-wait] span
+      (batch ready → checkpoint/telemetry lock held), and a [publish]
+      span whose [checkpoint-append] child covers the fsynced entry
+      writes; batch spans are tagged by the batch's starting quantum, so
+      under [~shard_size] they carry exactly the old per-shard tags.
+      Pool lifecycle shows up as [unpark]/[park] events per participant,
+      a [steal] span per cross-range claim (tagged by the victim slot),
+      [pool-start] driver events per freshly spawned domain, and a
+      [pool-wait] driver span for the end-of-run quiescence wait; those
+      records are scheduling-dependent, so
+      {!Rlfd_obs.Timeline.normalized_json} always excludes them.  The
+      driver also records the [metrics-merge] span.  Free when left at
+      the default {!Rlfd_obs.Timeline.null}.
 
-    If [f] raises, remaining shards are abandoned and the first exception
-    is re-raised after all workers join.  Raises [Invalid_argument] on
-    [total < 0], [workers < 1], or checkpoint/resume without the options
+    If [f] raises, remaining batches are abandoned and the first
+    exception is re-raised after the pool participants quiesce.  Raises
+    [Invalid_argument] on [total < 0], [workers < 1],
+    [shard_target_ms <= 0], or checkpoint/resume without the options
     they require. *)
 
 val report_lines : 'r codec -> 'r report -> string list
@@ -116,14 +140,15 @@ val report_lines : 'r codec -> 'r report -> string list
 
 val report_to_json : 'r report -> Rlfd_obs.Json.t
 (** The run summary: campaign identity, job counts, resume statistics,
-    worker configuration, wall time and merged metrics
-    ({!Rlfd_obs.Metrics.to_json} sketch summaries).  Timing fields
-    included — this is the human-facing side, not the
+    worker configuration, steal count, pool participation, wall time and
+    merged metrics ({!Rlfd_obs.Metrics.to_json} sketch summaries).
+    Timing fields included — this is the human-facing side, not the
     determinism-checked one. *)
 
 val run_spec :
   ?workers:int ->
   ?shard_size:int ->
+  ?shard_target_ms:float ->
   ?checkpoint:string ->
   ?resume:bool ->
   ?codec:'r codec ->

@@ -367,13 +367,25 @@ let to_json a =
                 ])
             a.a_domains)) ]
 
+(* Scheduling-dependent lifecycle records: how many of these a run emits
+   depends on pool warmth, core count and raw interleaving — never on
+   the workload — so the determinism view below always drops them.
+   Includes the pre-pool spawn/join vocabulary so old artifacts
+   normalize the same way. *)
+let lifecycle_names =
+  [ "spawn-request"; "domain-start"; "domain-exit"; "join"; "pool-start";
+    "pool-spawn"; "pool-wait"; "steal"; "park"; "unpark" ]
+
 (* The determinism view: all timing and GC numbers erased, spans and
    events pooled across domains and sorted by structure alone.  Two runs
    of the same deterministic workload must produce byte-identical
-   normalized JSON whatever the domain interleaving was, and — with the
-   pool-lifecycle records excluded — whatever the worker count was. *)
+   normalized JSON whatever the domain interleaving was — and, because
+   the lifecycle records above are always excluded, whatever the worker
+   count or pool state was. *)
 let normalized_json ?(exclude = []) a =
-  let keep name = not (List.mem name exclude) in
+  let keep name =
+    not (List.mem name lifecycle_names || List.mem name exclude)
+  in
   let spans =
     List.concat_map
       (fun d ->

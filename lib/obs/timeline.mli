@@ -119,13 +119,22 @@ val version : int
 val to_json : artifact -> Json.t
 (** The full versioned artifact, timestamps and GC deltas included. *)
 
+val lifecycle_names : string list
+(** Record names {!normalized_json} always excludes: the pool/domain
+    lifecycle vocabulary ([pool-start], [pool-wait], [steal], [park],
+    [unpark], plus the pre-pool [spawn-request]/[domain-start]/
+    [domain-exit]/[join]).  Their counts depend on pool warmth, core
+    count and raw scheduling, never on the workload, so they can never
+    appear in a determinism-checked view. *)
+
 val normalized_json : ?exclude:string list -> artifact -> Json.t
 (** The determinism view: timing and GC numbers erased, spans pooled
     across domains and sorted by (name, tag, depth) — byte-identical
     across runs of the same deterministic workload regardless of domain
-    interleaving.  [exclude] drops records by name (e.g. the engine's
-    domain-lifecycle records, whose {e count} varies with the worker
-    pool) so the view is also stable across worker counts. *)
+    interleaving, worker count or pool state.  {!lifecycle_names} are
+    always dropped; [exclude] drops further records by name (e.g. the
+    engine's batch-level spans when comparing adaptive-batching runs,
+    whose batch boundaries are timing-dependent). *)
 
 type util = {
   u_window : float;  (** last - first activity on the domain *)

@@ -346,6 +346,151 @@ let timeline_tests =
           (List.map (fun o -> o.Engine.value) with_tl.Engine.outcomes));
   ]
 
+(* ---------- the persistent pool ---------- *)
+
+module Pool = Rlfd_campaign.Pool
+
+(* Force real helper domains (the 1-core CI container would otherwise cap
+   the pool at zero and run everything inline), restore automatic sizing
+   afterwards.  Surplus helpers spawned here just park for the rest of
+   the process — by design. *)
+let with_cap n f =
+  Pool.set_max_helpers (Some n);
+  Fun.protect ~finally:(fun () -> Pool.set_max_helpers None) f
+
+(* A job whose cost varies per job but depends only on the job's own rng
+   stream — the adversarial input for adaptive batching + stealing. *)
+let lumpy ~rng ~metrics i =
+  Metrics.incr metrics "jobs_seen";
+  let spin = Rlfd_kernel.Rng.int rng 2000 in
+  let acc = ref (i + 1) in
+  for _ = 1 to spin do
+    acc := (!acc * 1103515245) + 12345
+  done;
+  (i * 1_000_003) lxor (!acc land 0xFFFFF)
+
+let pool_tests =
+  [
+    qtest ~count:8
+      "random job costs: reports and checkpoint logs are byte-identical at \
+       workers 1/2/4/8"
+      QCheck.small_int
+      (fun seed ->
+        with_cap 3 (fun () ->
+            let seed = abs seed in
+            let total = 9 + (seed mod 14) in
+            let run workers =
+              let path =
+                tmp_file (Printf.sprintf "rlfd-pool-det-%d.jsonl" workers)
+              in
+              let r =
+                Engine.run ~workers ~checkpoint:path ~codec:int_codec
+                  ~name:"pool-det" ~seed ~total ~label:string_of_int lumpy
+              in
+              (* the checkpoint log is completion-ordered and carries wall
+                 times; canonicalize to its order- and timing-free content *)
+              let log =
+                match Checkpoint.load path with
+                | Error e -> Alcotest.fail e
+                | Ok (_, entries, _) ->
+                  List.sort compare
+                    (List.map
+                       (fun (e : Checkpoint.entry) ->
+                         (e.job, e.label, Json.to_string e.value))
+                       entries)
+              in
+              Sys.remove path;
+              (Engine.report_lines int_codec r, log)
+            in
+            let reference = run 1 in
+            List.for_all (fun w -> run w = reference) [ 2; 4; 8 ]));
+    test "orphan ranges are drained by steals and counted" (fun () ->
+        (* cap 0: the caller is the only participant, so every batch taken
+           from worker slots 1..3 must be a steal *)
+        with_cap 0 (fun () ->
+            let r =
+              Engine.run ~workers:4 ~name:"steals" ~seed:5 ~total:12
+                ~label:string_of_int lumpy
+            in
+            Alcotest.(check bool)
+              "at least one steal per orphan range" true
+              (r.Engine.steals >= 3);
+            Alcotest.(check int) "metrics counter agrees" r.Engine.steals
+              (Metrics.counter_value r.Engine.metrics "campaign_steals");
+            Alcotest.(check (option (float 0.)))
+              "single participant" (Some 1.)
+              (Metrics.gauge_value r.Engine.metrics "pool_domains");
+            Alcotest.(check int) "report agrees" 1 r.Engine.pool_domains));
+    test "back-to-back runs reuse the pool: no second spawn" (fun () ->
+        with_cap 2 (fun () ->
+            let go () =
+              Engine.run ~workers:3 ~name:"reuse" ~seed:9 ~total:18
+                ~label:string_of_int lumpy
+            in
+            let first = go () in
+            let spawned_after_first = Pool.spawned_total () in
+            let second = go () in
+            Alcotest.(check int) "warm pool spawns nothing"
+              spawned_after_first (Pool.spawned_total ());
+            Alcotest.(check (list string))
+              "identical reports" (report_fingerprint first)
+              (report_fingerprint second)));
+    test "resume after truncation is exact under real helpers" (fun () ->
+        with_cap 2 (fun () ->
+            let full =
+              Engine.run ~workers:4 ~name:"pool-resume" ~seed:11 ~total:13
+                ~label:string_of_int lumpy
+            in
+            let path = tmp_file "rlfd-pool-resume.jsonl" in
+            let _ =
+              Engine.run ~workers:4 ~checkpoint:path ~codec:int_codec
+                ~name:"pool-resume" ~seed:11 ~total:13 ~label:string_of_int
+                lumpy
+            in
+            (* keep the header + 4 entries, then simulate a kill mid-write *)
+            let ic = open_in path in
+            let kept = List.init 5 (fun _ -> input_line ic) in
+            close_in ic;
+            let oc = open_out path in
+            List.iter
+              (fun l ->
+                output_string oc l;
+                output_char oc '\n')
+              kept;
+            output_string oc "{\"job\":9,\"label\":\"torn";
+            close_out oc;
+            let resumed =
+              Engine.run ~workers:4 ~checkpoint:path ~resume:true
+                ~codec:int_codec ~name:"pool-resume" ~seed:11 ~total:13
+                ~label:string_of_int lumpy
+            in
+            Sys.remove path;
+            Alcotest.(check int) "recovered entries" 4 resumed.Engine.resumed;
+            Alcotest.(check (list string))
+              "identical reports" (report_fingerprint full)
+              (report_fingerprint resumed)));
+    test "adaptive batching keeps the normalized job view identical"
+      (fun () ->
+        (* no ~shard_size: batch boundaries are timing-dependent, so the
+           batch-level spans are excluded and the per-job structure must
+           still match exactly across worker counts *)
+        with_cap 2 (fun () ->
+            let batch_level = [ "job-run"; "queue-wait"; "publish" ] in
+            let at workers =
+              let tl = Timeline.create ~capacity:65536 ~label:"adet" () in
+              let (_ : int Engine.report) =
+                Engine.run ~workers ~timeline:tl ~name:"adet" ~seed:3
+                  ~total:17 ~label:string_of_int lumpy
+              in
+              Json.to_string
+                (Timeline.normalized_json ~exclude:batch_level
+                   (Timeline.merge tl))
+            in
+            let one = at 1 in
+            Alcotest.(check string) "1 = 2 workers" one (at 2);
+            Alcotest.(check string) "1 = 4 workers" one (at 4)));
+  ]
+
 let () =
   Alcotest.run "campaign"
     [
@@ -355,4 +500,5 @@ let () =
       suite "resume" resume_tests;
       suite "run-spec" run_spec_tests;
       suite "timeline" timeline_tests;
+      suite "pool" pool_tests;
     ]
